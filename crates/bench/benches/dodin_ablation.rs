@@ -1,0 +1,55 @@
+//! Dodin design-knob ablations:
+//! * support cap (`max_atoms`) sweep for the scalable forward strategy —
+//!   runtime cost of finer distributions;
+//! * faithful duplication engine vs the forward surrogate on sizes the
+//!   engine can handle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stochdag::core::dodin::DodinStrategy;
+use stochdag::prelude::*;
+use stochdag_bench::{paper_dag, paper_model};
+
+fn bench_atom_cap(c: &mut Criterion) {
+    let dag = paper_dag(FactorizationClass::Lu, 10);
+    let model = paper_model(&dag, 0.001);
+    let mut group = c.benchmark_group("dodin_forward_atom_cap_lu10");
+    group.sample_size(10);
+    for cap in [8usize, 32, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                DodinEstimator::scalable()
+                    .with_max_atoms(cap)
+                    .expected_makespan(&dag, &model)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dodin_strategy");
+    group.sample_size(10);
+    for k in [4usize, 6] {
+        let dag = paper_dag(FactorizationClass::Cholesky, k);
+        let model = paper_model(&dag, 0.001);
+        group.bench_with_input(BenchmarkId::new("duplication", k), &k, |b, _| {
+            b.iter(|| {
+                DodinEstimator::new()
+                    .with_strategy(DodinStrategy::Duplication)
+                    .with_max_atoms(64)
+                    .expected_makespan(&dag, &model)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("forward", k), &k, |b, _| {
+            b.iter(|| {
+                DodinEstimator::scalable()
+                    .with_max_atoms(64)
+                    .expected_makespan(&dag, &model)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_atom_cap, bench_strategy);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Estimator runtime vs graph size — the scalability story behind the
+//! paper's Section V-E ("First Order can be computed within one second,
+//! while Normal requires about 20 minutes").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stochdag::prelude::*;
+use stochdag_bench::{paper_dag, paper_model, PAPER_KS};
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_runtimes_lu");
+    group.sample_size(10);
+    for &k in &PAPER_KS {
+        let dag = paper_dag(FactorizationClass::Lu, k);
+        let model = paper_model(&dag, 0.0001);
+        group.bench_with_input(BenchmarkId::new("first_order_fast", k), &k, |b, _| {
+            b.iter(|| FirstOrderEstimator::fast().expected_makespan(&dag, &model))
+        });
+        group.bench_with_input(BenchmarkId::new("second_order", k), &k, |b, _| {
+            b.iter(|| SecondOrderEstimator.expected_makespan(&dag, &model))
+        });
+        group.bench_with_input(BenchmarkId::new("sculli", k), &k, |b, _| {
+            b.iter(|| SculliEstimator.expected_makespan(&dag, &model))
+        });
+        group.bench_with_input(BenchmarkId::new("corlca", k), &k, |b, _| {
+            b.iter(|| CorLcaEstimator.expected_makespan(&dag, &model))
+        });
+        group.bench_with_input(BenchmarkId::new("normal_cov", k), &k, |b, _| {
+            b.iter(|| CovarianceNormalEstimator.expected_makespan(&dag, &model))
+        });
+        group.bench_with_input(BenchmarkId::new("dodin_fwd", k), &k, |b, _| {
+            b.iter(|| DodinEstimator::scalable().expected_makespan(&dag, &model))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fast `O(V+E)` vs naive `O(V(V+E))` first-order implementation —
+//! the paper's closing remark of Section IV ("lower complexity can be
+//! achieved by exploiting the fact that G and the G_i's differ in only
+//! the weight of one task") quantified.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stochdag::prelude::*;
+use stochdag_bench::{paper_dag, paper_model, PAPER_KS};
+
+fn bench_first_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("first_order_fast_vs_naive");
+    group.sample_size(10);
+    for class in FactorizationClass::ALL {
+        for &k in &PAPER_KS {
+            let dag = paper_dag(class, k);
+            let model = paper_model(&dag, 0.001);
+            let id = format!("{}_{k}", class.name());
+            group.bench_with_input(BenchmarkId::new("fast", &id), &k, |b, _| {
+                b.iter(|| first_order_expected_makespan_fast(&dag, &model))
+            });
+            group.bench_with_input(BenchmarkId::new("naive", &id), &k, |b, _| {
+                b.iter(|| first_order_expected_makespan_naive(&dag, &model))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_first_order);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Monte Carlo cost scaling: runtime vs trial count (linear — which is
+//! why the paper's 300 000-trial ground truth is "prohibitively
+//! expensive in practice") and parallel vs sequential execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stochdag::prelude::*;
+use stochdag_bench::{paper_dag, paper_model};
+
+fn bench_trials(c: &mut Criterion) {
+    let dag = paper_dag(FactorizationClass::Lu, 8);
+    let model = paper_model(&dag, 0.001);
+    let mut group = c.benchmark_group("mc_trials_lu8");
+    group.sample_size(10);
+    for trials in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(trials as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &t| {
+            b.iter(|| {
+                MonteCarloEstimator::new(t)
+                    .with_seed(0)
+                    .expected_makespan(&dag, &model)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallelism(c: &mut Criterion) {
+    let dag = paper_dag(FactorizationClass::Lu, 8);
+    let model = paper_model(&dag, 0.001);
+    let mut group = c.benchmark_group("mc_parallel_vs_sequential_lu8");
+    group.sample_size(10);
+    let trials = 20_000;
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            MonteCarloEstimator::new(trials)
+                .with_seed(0)
+                .expected_makespan(&dag, &model)
+        })
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            MonteCarloEstimator::new(trials)
+                .with_seed(0)
+                .sequential()
+                .expected_makespan(&dag, &model)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trials, bench_parallelism);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Substrate microbenchmarks: the primitives all estimators sit on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stochdag::dag::LevelInfo;
+use stochdag::prelude::*;
+use stochdag_bench::paper_dag;
+
+fn bench_longest_path(c: &mut Criterion) {
+    let dag = paper_dag(FactorizationClass::Lu, 12);
+    let frozen = dag.freeze();
+    let weights = frozen.weights.clone();
+    let mut group = c.benchmark_group("substrate_lu12");
+    group.bench_function("levels_compute", |b| {
+        b.iter(|| LevelInfo::compute(black_box(&dag)).makespan)
+    });
+    group.bench_function("frozen_longest_path", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| frozen.longest_path_with_weights(black_box(&weights), &mut scratch))
+    });
+    group.bench_function("freeze", |b| {
+        b.iter(|| black_box(&dag).freeze().node_count())
+    });
+    group.finish();
+}
+
+fn bench_dist_ops(c: &mut Criterion) {
+    let a = two_state(0.15, 0.999);
+    // A 128-atom distribution from repeated convolution.
+    let mut big = a.clone();
+    for _ in 0..7 {
+        big = big.convolve(&a);
+    }
+    let big = big.reduce_support(128);
+    let mut group = c.benchmark_group("dist_ops");
+    group.bench_function("convolve_128x2", |b| {
+        b.iter(|| big.convolve(black_box(&a)).len())
+    });
+    group.bench_function("max_128x128", |b| {
+        b.iter(|| big.max_independent(black_box(&big)).len())
+    });
+    group.bench_function("reduce_support_256_to_64", |b| {
+        let wide = big.convolve(&a).convolve(&a);
+        b.iter(|| wide.reduce_support(64).len())
+    });
+    group.finish();
+}
+
+fn bench_normal_math(c: &mut Criterion) {
+    let x = Normal::new(1.0, 0.2);
+    let y = Normal::new(1.1, 0.3);
+    let mut group = c.benchmark_group("normal_math");
+    group.bench_function("clark_max", |b| {
+        b.iter(|| clark_max_moments(black_box(x), black_box(y), 0.3).mean)
+    });
+    group.bench_function("normal_cdf", |b| {
+        b.iter(|| black_box(x).cdf(black_box(1.3)))
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let t = KernelTimings::paper_default();
+    let mut group = c.benchmark_group("generators");
+    group.bench_function("lu_k12", |b| b.iter(|| lu_dag(12, &t).node_count()));
+    group.bench_function("cholesky_k12", |b| {
+        b.iter(|| cholesky_dag(12, &t).node_count())
+    });
+    group.bench_function("qr_k12", |b| b.iter(|| qr_dag(12, &t).node_count()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_longest_path,
+    bench_dist_ops,
+    bench_normal_math,
+    bench_generators
+);
+criterion_main!(benches);

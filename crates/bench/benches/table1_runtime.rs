@@ -1,0 +1,48 @@
+//! The execution-time row of the paper's Table I: LU with k = 20
+//! (2 870 tasks), pfail = 0.0001.
+//!
+//! Monte Carlo is benchmarked at 10 000 trials and scales linearly to
+//! the paper's 300 000 (the `mc_convergence` bench demonstrates the
+//! linearity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stochdag::prelude::*;
+use stochdag_bench::{paper_dag, paper_model};
+
+fn bench_table1(c: &mut Criterion) {
+    let dag = paper_dag(FactorizationClass::Lu, 20);
+    assert_eq!(dag.node_count(), 2870, "paper's Table I instance");
+    let model = paper_model(&dag, 0.0001);
+
+    let mut group = c.benchmark_group("table1_lu_k20");
+    group.sample_size(10);
+    group.bench_function("first_order_fast", |b| {
+        b.iter(|| FirstOrderEstimator::fast().expected_makespan(&dag, &model))
+    });
+    group.bench_function("first_order_naive", |b| {
+        b.iter(|| FirstOrderEstimator::naive().expected_makespan(&dag, &model))
+    });
+    group.bench_function("sculli", |b| {
+        b.iter(|| SculliEstimator.expected_makespan(&dag, &model))
+    });
+    group.bench_function("corlca", |b| {
+        b.iter(|| CorLcaEstimator.expected_makespan(&dag, &model))
+    });
+    group.bench_function("normal_cov", |b| {
+        b.iter(|| CovarianceNormalEstimator.expected_makespan(&dag, &model))
+    });
+    group.bench_function("dodin_fwd", |b| {
+        b.iter(|| DodinEstimator::scalable().expected_makespan(&dag, &model))
+    });
+    group.bench_function("monte_carlo_10k", |b| {
+        b.iter(|| {
+            MonteCarloEstimator::new(10_000)
+                .with_seed(0)
+                .expected_makespan(&dag, &model)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Shared helpers for the Criterion benches (see `benches/`).
+//!
+//! Each bench regenerates a runtime aspect of the paper's evaluation:
+//! `table1_runtime` times the Table I estimators, `estimator_runtimes`
+//! sweeps graph size, and the `*_ablation` benches sweep the design
+//! knobs called out in DESIGN.md.
+
+use stochdag::prelude::*;
+
+/// The paper's evaluation sizes.
+pub const PAPER_KS: [usize; 5] = [4, 6, 8, 10, 12];
+
+/// Build a paper workload with the calibrated weight table.
+pub fn paper_dag(class: FactorizationClass, k: usize) -> Dag {
+    class.generate(k, &KernelTimings::paper_default())
+}
+
+/// The paper's λ calibration for a DAG.
+pub fn paper_model(dag: &Dag, pfail: f64) -> FailureModel {
+    FailureModel::from_pfail_for_dag(pfail, dag)
+}

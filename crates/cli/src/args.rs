@@ -1,0 +1,130 @@
+//! Minimal hand-rolled option parsing (no external crates).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` / `-k value` options plus bare flags.
+pub struct Options {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Flags that take no value.
+const BARE_FLAGS: &[&str] = &["--weights", "--fast", "--csv-only"];
+
+impl Options {
+    /// Parse an argument list. Every `--key` is expected to be followed
+    /// by a value unless listed as a bare flag.
+    pub fn parse(argv: &[String]) -> Result<Options, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            if !arg.starts_with('-') {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            }
+            if BARE_FLAGS.contains(&arg.as_str()) {
+                flags.push(arg.trim_start_matches('-').to_string());
+                continue;
+            }
+            let key = arg.trim_start_matches('-').to_string();
+            let Some(value) = it.next() else {
+                return Err(format!("option {arg} expects a value"));
+            };
+            values.insert(key, value.clone());
+        }
+        Ok(Options { values, flags })
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Optional typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Comma-separated usize list option with a default.
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Result<Vec<usize>, String> {
+        match self.values.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| format!("option --{key}: bad entry {s:?}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn values_and_flags() {
+        let o = parse(&["--class", "lu", "-k", "8", "--weights"]);
+        assert_eq!(o.require("class").unwrap(), "lu");
+        assert_eq!(o.get_or::<usize>("k", 5).unwrap(), 8);
+        assert!(o.flag("weights"));
+        assert!(!o.flag("fast"));
+    }
+
+    #[test]
+    fn missing_required() {
+        let o = parse(&[]);
+        assert!(o.require("class").is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.get_or::<f64>("pfail", 0.01).unwrap(), 0.01);
+        assert_eq!(o.get_usize_list("ks", &[4, 6]).unwrap(), vec![4, 6]);
+    }
+
+    #[test]
+    fn list_parsing() {
+        let o = parse(&["--ks", "4, 6,8"]);
+        assert_eq!(o.get_usize_list("ks", &[]).unwrap(), vec![4, 6, 8]);
+    }
+
+    #[test]
+    fn value_missing_is_error() {
+        let v = vec!["--class".to_string()];
+        assert!(Options::parse(&v).is_err());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        let v = vec!["oops".to_string()];
+        assert!(Options::parse(&v).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! `dot` — DOT export of the factorization DAGs (paper Figures 1–3).
+
+use crate::args::Options;
+use crate::commands::{build_dag, parse_class};
+use stochdag::prelude::*;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let opts = Options::parse(argv)?;
+    let class = parse_class(opts.require("class")?)?;
+    let k: usize = opts.get_or("k", 5)?;
+    let dag = build_dag(class, k);
+    print!(
+        "{}",
+        dot_string(&dag, &format!("{}_{k}", class.name()), opts.flag("weights"))
+    );
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! CLI subcommands, one module per paper artifact family.
+
+pub mod analyze;
+pub mod dodin_compare;
+pub mod dot;
+pub mod figure;
+pub mod info;
+pub mod sched;
+pub mod second_order;
+pub mod table1;
+
+use stochdag::prelude::*;
+
+/// Parse `--class`.
+pub fn parse_class(s: &str) -> Result<FactorizationClass, String> {
+    FactorizationClass::parse(s).ok_or_else(|| format!("unknown DAG class {s:?} (cholesky|lu|qr)"))
+}
+
+/// Build a paper workload DAG with the calibrated default weights.
+pub fn build_dag(class: FactorizationClass, k: usize) -> Dag {
+    class.generate(k, &KernelTimings::paper_default())
+}

@@ -1,0 +1,82 @@
+//! `table1` — the paper's Table I: LU with k = 20 (2 870 tasks),
+//! pfail = 0.0001; normalized error *and* wall-clock per estimator.
+
+use crate::args::Options;
+use crate::commands::build_dag;
+use crate::report::{fmt_duration, fmt_rel, Table};
+use stochdag::prelude::*;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let opts = Options::parse(argv)?;
+    let k: usize = opts.get_or("k", 20)?;
+    let trials: usize = opts.get_or("trials", if opts.flag("fast") { 20_000 } else { 300_000 })?;
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let pfail: f64 = opts.get_or("pfail", 0.0001)?;
+
+    let dag = build_dag(FactorizationClass::Lu, k);
+    let model = FailureModel::from_pfail_for_dag(pfail, &dag);
+    eprintln!(
+        "LU k={k}: {} tasks, {} edges, d(G)={:.4}, lambda={:.6}",
+        dag.node_count(),
+        dag.edge_count(),
+        longest_path_length(&dag),
+        model.lambda
+    );
+
+    eprintln!("running Monte Carlo ({trials} trials)...");
+    let mc = MonteCarloEstimator::new(trials)
+        .with_seed(seed)
+        .estimate(&dag, &model);
+    let reference = mc.value;
+
+    let mut table = Table::new(&["estimator", "normalized_difference", "execution_time"]);
+    table.row(vec![
+        "MonteCarlo (ground truth)".into(),
+        format!("0 (se {:.2e})", mc.std_error.unwrap_or(0.0)),
+        fmt_duration(mc.elapsed),
+    ]);
+    eprintln!("running Dodin (scalable surrogate)...");
+    let dodin = DodinEstimator::scalable().estimate(&dag, &model);
+    table.row(vec![
+        "Dodin".into(),
+        fmt_rel(dodin.relative_error(reference)),
+        fmt_duration(dodin.elapsed),
+    ]);
+    eprintln!("running Normal (full covariance)...");
+    let cov = CovarianceNormalEstimator.estimate(&dag, &model);
+    table.row(vec![
+        "Normal(cov)".into(),
+        fmt_rel(cov.relative_error(reference)),
+        fmt_duration(cov.elapsed),
+    ]);
+    eprintln!("running Sculli / CorLCA...");
+    let sculli = SculliEstimator.estimate(&dag, &model);
+    table.row(vec![
+        "Sculli".into(),
+        fmt_rel(sculli.relative_error(reference)),
+        fmt_duration(sculli.elapsed),
+    ]);
+    let corlca = CorLcaEstimator.estimate(&dag, &model);
+    table.row(vec![
+        "CorLCA".into(),
+        fmt_rel(corlca.relative_error(reference)),
+        fmt_duration(corlca.elapsed),
+    ]);
+    eprintln!("running First Order...");
+    let first = FirstOrderEstimator::fast().estimate(&dag, &model);
+    table.row(vec![
+        "FirstOrder".into(),
+        fmt_rel(first.relative_error(reference)),
+        fmt_duration(first.elapsed),
+    ]);
+    let second = SecondOrderEstimator.estimate(&dag, &model);
+    table.row(vec![
+        "SecondOrder".into(),
+        fmt_rel(second.relative_error(reference)),
+        fmt_duration(second.elapsed),
+    ]);
+
+    println!("\n# Table I: LU k={k}, pfail={pfail} (MC mean {reference:.6})");
+    print!("{}", table.to_text());
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! `stochdag` — the experiment harness.
+//!
+//! Regenerates every table and figure of the paper's evaluation
+//! (Section V). Run `stochdag help` for the command list; DESIGN.md
+//! maps each paper artifact to the command that reproduces it.
+
+mod args;
+mod commands;
+mod report;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `stochdag help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print_help();
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "figure" => commands::figure::run(rest),
+        "analyze" => commands::analyze::run(rest),
+        "all-figures" => commands::figure::run_all(rest),
+        "table1" => commands::table1::run(rest),
+        "dot" => commands::dot::run(rest),
+        "sched" => commands::sched::run(rest),
+        "dodin-compare" => commands::dodin_compare::run(rest),
+        "second-order" => commands::second_order::run(rest),
+        "info" => commands::info::run(rest),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "stochdag — expected makespan of task graphs under silent errors
+(reproduction of Casanova/Herrmann/Robert, P2S2/ICPP 2016)
+
+USAGE: stochdag <COMMAND> [OPTIONS]
+
+COMMANDS:
+  figure         one figure's data series: relative error vs graph size
+                   --class cholesky|lu|qr   (required)
+                   --pfail 0.01|0.001|...   (required)
+                   [--ks 4,6,8,10,12] [--trials 300000] [--seed 0]
+                   [--csv PATH] [--fast]
+                 reproduces paper Figures 4-12 (one per class x pfail)
+  all-figures    every class x pfail combination; CSVs into results/
+                   [--trials N] [--seed S] [--out DIR] [--fast]
+  table1         LU k=20 error + wall-clock comparison (paper Table I)
+                   [--k 20] [--trials 300000] [--seed 0] [--fast]
+  dot            DOT export of a factorization DAG (paper Figures 1-3)
+                   --class C [-k 5] [--weights]
+  sched          failure-aware list-scheduling policy comparison
+                   --class C [-k 8] [-p 8] [--pfail 0.01]
+                   [--replicas 1000] [--seed 0]
+  dodin-compare  faithful Dodin (duplication) vs scalable surrogate
+                   [--ks 2,4,6,8] [--pfail 0.01]
+  second-order   first- vs second-order accuracy across pfail values
+                   --class C [-k 8] [--trials 300000] [--seed 0]
+  info           DAG statistics (tasks, edges, d(G), weights)
+                   --class C [-k 8]
+  analyze        estimator panel on a user task-graph file
+                   --file graph.txt [--pfail 0.001] [--trials 100000]
+                 (format: `task <name> <weight>` / `dep <src> <dst>`)
+  help           this message"
+    );
+}

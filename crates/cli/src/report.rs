@@ -1,0 +1,155 @@
+//! Plain-text table and CSV emission (hand-rolled; no serde).
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned text table with a CSV twin.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            write!(line, "{h:>w$}  ").unwrap();
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len() - 2));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                write!(line, "{cell:>w$}  ").unwrap();
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-style quoting for cells containing
+    /// commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV rendering to a file, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> Result<(), String> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+        }
+        let mut f =
+            std::fs::File::create(path).map_err(|e| format!("creating {}: {e}", path.display()))?;
+        f.write_all(self.to_csv().as_bytes())
+            .map_err(|e| format!("writing {}: {e}", path.display()))
+    }
+}
+
+/// Format a signed relative error the way the paper's plots read
+/// (scientific, sign-preserving).
+pub fn fmt_rel(v: f64) -> String {
+    format!("{v:+.3e}")
+}
+
+/// Format a duration in a human unit.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}min", s / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["k", "err"]);
+        t.row(vec!["4".into(), "+1.0e-3".into()]);
+        t.row(vec!["12".into(), "-2.5e-4".into()]);
+        let txt = t.to_text();
+        assert!(txt.contains(" k"));
+        assert!(txt.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "q\"z".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"z\""));
+    }
+
+    #[test]
+    fn duration_formats() {
+        use std::time::Duration;
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with('s'));
+        assert!(fmt_duration(Duration::from_secs(600)).ends_with("min"));
+    }
+
+    #[test]
+    fn rel_format_signs() {
+        assert!(fmt_rel(0.001).starts_with('+'));
+        assert!(fmt_rel(-0.001).starts_with('-'));
+    }
+}

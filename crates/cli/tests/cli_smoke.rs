@@ -1,0 +1,165 @@
+//! End-to-end tests of the `stochdag` binary: every subcommand runs and
+//! produces the expected artifacts (reduced trial counts keep this
+//! fast).
+
+use std::process::Command;
+
+fn stochdag(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stochdag"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let (ok, stdout, _) = stochdag(&["help"]);
+    assert!(ok);
+    for cmd in [
+        "figure",
+        "all-figures",
+        "table1",
+        "dot",
+        "sched",
+        "dodin-compare",
+        "second-order",
+        "info",
+        "analyze",
+    ] {
+        assert!(stdout.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn no_args_prints_help() {
+    let (ok, stdout, _) = stochdag(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let (ok, _, stderr) = stochdag(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn info_reports_paper_task_counts() {
+    let (ok, stdout, _) = stochdag(&["info", "--class", "lu", "-k", "12"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("tasks:            650"), "{stdout}");
+    assert!(stdout.contains("series-parallel:  false"));
+}
+
+#[test]
+fn figure_produces_error_table_and_csv() {
+    let tmp = std::env::temp_dir().join("stochdag_cli_smoke_fig.csv");
+    let _ = std::fs::remove_file(&tmp);
+    let (ok, stdout, _) = stochdag(&[
+        "figure",
+        "--class",
+        "cholesky",
+        "--pfail",
+        "0.001",
+        "--ks",
+        "4",
+        "--trials",
+        "5000",
+        "--csv",
+        tmp.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("first_order"));
+    let csv = std::fs::read_to_string(&tmp).expect("CSV written");
+    assert!(csv.starts_with("k,tasks,mc_mean"));
+    assert_eq!(csv.lines().count(), 2, "header + one k row");
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn figure_requires_class() {
+    let (ok, _, stderr) = stochdag(&["figure", "--pfail", "0.01"]);
+    assert!(!ok);
+    assert!(stderr.contains("--class"));
+}
+
+#[test]
+fn dot_emits_graphviz_with_paper_names() {
+    let (ok, stdout, _) = stochdag(&["dot", "--class", "qr", "-k", "5"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph qr_5 {"));
+    assert!(stdout.contains("TSMQR_3_4_2"), "paper Fig. 3 task present");
+    assert!(stdout.trim_end().ends_with('}'));
+}
+
+#[test]
+fn sched_compares_policies() {
+    let (ok, stdout, _) = stochdag(&[
+        "sched",
+        "--class",
+        "cholesky",
+        "-k",
+        "4",
+        "-p",
+        "2",
+        "--pfail",
+        "0.01",
+        "--replicas",
+        "50",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("bottom-level"));
+    assert!(stdout.contains("best:"));
+}
+
+#[test]
+fn analyze_handles_user_file_and_bad_file() {
+    let tmp = std::env::temp_dir().join("stochdag_cli_smoke_graph.txt");
+    std::fs::write(&tmp, "task a 1.0\ntask b 2.0\ndep a b\n").unwrap();
+    let (ok, stdout, _) = stochdag(&[
+        "analyze",
+        "--file",
+        tmp.to_str().unwrap(),
+        "--trials",
+        "5000",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("FirstOrder"));
+    assert!(stdout.contains("d(G) = 3.0"), "{stdout}");
+
+    std::fs::write(&tmp, "task a 1.0\ndep a missing\n").unwrap();
+    let (ok, _, stderr) = stochdag(&["analyze", "--file", tmp.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("missing"), "{stderr}");
+    let _ = std::fs::remove_file(&tmp);
+}
+
+#[test]
+fn second_order_table() {
+    let (ok, stdout, _) = stochdag(&[
+        "second-order",
+        "--class",
+        "lu",
+        "-k",
+        "4",
+        "--trials",
+        "5000",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("second_order"));
+    assert!(stdout.lines().count() >= 8, "six pfail rows plus header");
+}
+
+#[test]
+fn dodin_compare_reports_gap() {
+    let (ok, stdout, _) = stochdag(&["dodin-compare", "--ks", "2,3"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("rel_gap"));
+    assert!(stdout.contains("cholesky"));
+}

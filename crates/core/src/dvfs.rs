@@ -1,0 +1,237 @@
+//! DVFS speed-scaling model — the paper's equation (1).
+//!
+//! The paper's Section II-B motivates silent errors via Dynamic Voltage
+//! and Frequency Scaling: lowering the processor speed `s` lowers the
+//! circuit's critical charge, and many works (Zhu–Melhem–Mossé 2004 and
+//! follow-ups) model the resulting error rate as
+//!
+//! ```text
+//! λ(s) = λ₀ · 10^( d·(s_max − s) / (s_max − s_min) )
+//! ```
+//!
+//! — exponential growth as the speed drops. Combined with the expected-
+//! makespan machinery this yields the energy/resilience/time trade-off
+//! the paper alludes to: running slower saves dynamic power (`∝ s³`) but
+//! stretches every task (`aᵢ/s`) *and* raises the chance of
+//! re-executions, all three of which feed back into the expected
+//! makespan and the expected energy.
+
+use crate::first_order::first_order_expected_makespan_fast;
+use crate::model::FailureModel;
+use stochdag_dag::Dag;
+
+/// The exponential DVFS error-rate model of the paper's eq. (1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DvfsModel {
+    /// Error rate λ₀ at the maximum speed.
+    pub lambda0: f64,
+    /// Sensitivity exponent `d > 0`.
+    pub d: f64,
+    /// Minimum speed `s_min > 0` (normalized units).
+    pub s_min: f64,
+    /// Maximum speed `s_max > s_min`.
+    pub s_max: f64,
+}
+
+impl DvfsModel {
+    /// Construct a model; see field docs for the parameter meanings.
+    ///
+    /// # Panics
+    /// Panics unless `0 < s_min < s_max`, `d > 0`, `λ₀ ≥ 0`.
+    pub fn new(lambda0: f64, d: f64, s_min: f64, s_max: f64) -> DvfsModel {
+        assert!(
+            lambda0 >= 0.0 && lambda0.is_finite(),
+            "bad lambda0 {lambda0}"
+        );
+        assert!(
+            d > 0.0 && d.is_finite(),
+            "sensitivity must be positive, got {d}"
+        );
+        assert!(
+            0.0 < s_min && s_min < s_max && s_max.is_finite(),
+            "need 0 < s_min < s_max, got [{s_min}, {s_max}]"
+        );
+        DvfsModel {
+            lambda0,
+            d,
+            s_min,
+            s_max,
+        }
+    }
+
+    /// Error rate at speed `s` (paper eq. (1)).
+    ///
+    /// # Panics
+    /// Panics if `s` is outside `[s_min, s_max]`.
+    pub fn lambda_at(&self, s: f64) -> f64 {
+        assert!(
+            (self.s_min..=self.s_max).contains(&s),
+            "speed {s} outside [{}, {}]",
+            self.s_min,
+            self.s_max
+        );
+        self.lambda0 * 10f64.powf(self.d * (self.s_max - s) / (self.s_max - self.s_min))
+    }
+
+    /// The failure model seen by a DAG executed at speed `s`.
+    pub fn failure_model_at(&self, s: f64) -> FailureModel {
+        FailureModel::new(self.lambda_at(s))
+    }
+}
+
+/// Simple power model: `P(s) = p_static + p_dyn · s³` (normalized
+/// units), the standard cubic dynamic-power approximation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerModel {
+    /// Static (leakage) power, paid for the whole makespan.
+    pub p_static: f64,
+    /// Dynamic power coefficient (per `s³`), paid while computing.
+    pub p_dyn: f64,
+}
+
+/// One operating point of the speed sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct TradeoffPoint {
+    /// Operating speed.
+    pub speed: f64,
+    /// Error rate λ(s).
+    pub lambda: f64,
+    /// First-order expected makespan at this speed (unlimited
+    /// processors).
+    pub expected_makespan: f64,
+    /// First-order expected *computation work* time, `Σ aᵢ/s · (1 + λaᵢ/s)`
+    /// (failure-free work plus expected re-executed work).
+    pub expected_work: f64,
+    /// Expected energy: `p_static · E[makespan] + p_dyn·s³ · E[work]`.
+    pub expected_energy: f64,
+}
+
+/// Sweep operating speeds and evaluate the resilience/time/energy
+/// trade-off with the first-order approximation.
+///
+/// Task weights in `dag` are the durations *at `s_max`*; at speed `s`
+/// every weight scales by `s_max / s`.
+pub fn speed_tradeoff(
+    dag: &Dag,
+    dvfs: &DvfsModel,
+    power: &PowerModel,
+    speeds: &[f64],
+) -> Vec<TradeoffPoint> {
+    speeds
+        .iter()
+        .map(|&s| {
+            let lambda = dvfs.lambda_at(s);
+            let model = FailureModel::new(lambda);
+            // Scale the DAG to speed s.
+            let mut scaled = dag.clone();
+            let factor = dvfs.s_max / s;
+            for v in dag.nodes() {
+                scaled.set_weight(v, dag.weight(v) * factor);
+            }
+            let expected_makespan = first_order_expected_makespan_fast(&scaled, &model);
+            let expected_work: f64 = scaled
+                .nodes()
+                .map(|v| {
+                    let a = scaled.weight(v);
+                    a * (1.0 + lambda * a)
+                })
+                .sum();
+            let expected_energy =
+                power.p_static * expected_makespan + power.p_dyn * s * s * s * expected_work;
+            TradeoffPoint {
+                speed: s,
+                lambda,
+                expected_makespan,
+                expected_work,
+                expected_energy,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DvfsModel {
+        DvfsModel::new(1e-4, 3.0, 0.5, 1.0)
+    }
+
+    #[test]
+    fn lambda_at_extremes() {
+        let m = model();
+        assert!((m.lambda_at(1.0) - 1e-4).abs() < 1e-18, "λ(s_max) = λ0");
+        // At s_min the rate is λ0·10^d = 0.1.
+        assert!((m.lambda_at(0.5) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_monotone_decreasing_in_speed() {
+        let m = model();
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let s = 0.5 + 0.05 * i as f64;
+            let l = m.lambda_at(s);
+            assert!(l < prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_speed_rejected() {
+        model().lambda_at(0.4);
+    }
+
+    #[test]
+    fn tradeoff_shapes() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        g.add_edge(a, b);
+        let dvfs = model();
+        let power = PowerModel {
+            p_static: 0.2,
+            p_dyn: 1.0,
+        };
+        let pts = speed_tradeoff(&g, &dvfs, &power, &[0.5, 0.7, 0.9, 1.0]);
+        assert_eq!(pts.len(), 4);
+        // Makespan decreases with speed (twice: shorter tasks, fewer
+        // failures).
+        for w in pts.windows(2) {
+            assert!(w[1].expected_makespan < w[0].expected_makespan);
+        }
+        // At full speed, expected makespan ≈ d(G) since λ0 tiny.
+        let full = pts.last().unwrap();
+        assert!((full.expected_makespan - 3.0).abs() < 1e-3);
+        // Energy accounting is self-consistent.
+        for p in &pts {
+            let want = 0.2 * p.expected_makespan + p.speed.powi(3) * p.expected_work;
+            assert!((p.expected_energy - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slow_speed_can_cost_more_energy_despite_cubic_saving() {
+        // With a strong error sensitivity, running at s_min triggers so
+        // many re-executions that the energy advantage shrinks: verify
+        // expected work at s_min exceeds the failure-free work at s_min.
+        let mut g = Dag::new();
+        for _ in 0..5 {
+            g.add_node(2.0);
+        }
+        let dvfs = DvfsModel::new(1e-3, 4.0, 0.5, 1.0);
+        let power = PowerModel {
+            p_static: 0.0,
+            p_dyn: 1.0,
+        };
+        let pts = speed_tradeoff(&g, &dvfs, &power, &[0.5]);
+        let p = &pts[0];
+        let failure_free_work = 5.0 * 2.0 * (1.0 / 0.5);
+        assert!(
+            p.expected_work > 1.5 * failure_free_work,
+            "re-executions must inflate expected work: {} vs {failure_free_work}",
+            p.expected_work
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! The common estimator interface.
+
+use crate::model::FailureModel;
+use std::time::{Duration, Instant};
+use stochdag_dag::Dag;
+
+/// Result of one expected-makespan estimation.
+#[derive(Clone, Debug)]
+pub struct Estimate {
+    /// Estimated expected makespan `E(G)`, in the task-weight time unit.
+    pub value: f64,
+    /// Wall-clock time the estimation took.
+    pub elapsed: Duration,
+    /// Estimator display name (e.g. `"FirstOrder"`).
+    pub name: &'static str,
+    /// Optional standard error of `value` (Monte Carlo only).
+    pub std_error: Option<f64>,
+}
+
+impl Estimate {
+    /// Relative difference of this estimate against a reference value
+    /// (the paper's "normalized difference with Monte-Carlo"):
+    /// `(value − reference) / reference`. Negative ⇒ underestimate.
+    pub fn relative_error(&self, reference: f64) -> f64 {
+        assert!(reference != 0.0, "reference makespan must be non-zero");
+        (self.value - reference) / reference
+    }
+}
+
+/// An expected-makespan estimator for task graphs under silent errors.
+///
+/// Implementors must be pure: calling [`Estimator::expected_makespan`]
+/// twice with the same inputs returns the same value (Monte Carlo is
+/// deterministic given its configured seed).
+pub trait Estimator {
+    /// Short display name (stable; used in reports and CSV headers).
+    fn name(&self) -> &'static str;
+
+    /// Compute the expected makespan of `dag` under `model`.
+    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64;
+
+    /// Standard error of the last kind of estimate this estimator
+    /// produces, if it is statistical. Default: `None`.
+    fn std_error_hint(&self) -> Option<f64> {
+        None
+    }
+
+    /// Timed wrapper around [`Estimator::expected_makespan`].
+    fn estimate(&self, dag: &Dag, model: &FailureModel) -> Estimate {
+        let start = Instant::now();
+        let value = self.expected_makespan(dag, model);
+        Estimate {
+            value,
+            elapsed: start.elapsed(),
+            name: self.name(),
+            std_error: self.std_error_hint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+    impl Estimator for Fixed {
+        fn name(&self) -> &'static str {
+            "Fixed"
+        }
+        fn expected_makespan(&self, _dag: &Dag, _model: &FailureModel) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn estimate_wraps_value_and_name() {
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        let e = Fixed(42.0).estimate(&g, &FailureModel::failure_free());
+        assert_eq!(e.value, 42.0);
+        assert_eq!(e.name, "Fixed");
+        assert!(e.std_error.is_none());
+    }
+
+    #[test]
+    fn relative_error_signs() {
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        let e = Fixed(11.0).estimate(&g, &FailureModel::failure_free());
+        assert!((e.relative_error(10.0) - 0.1).abs() < 1e-12);
+        assert!((e.relative_error(12.0) + 1.0 / 12.0).abs() < 1e-12);
+    }
+}

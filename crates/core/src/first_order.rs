@@ -1,0 +1,223 @@
+//! The paper's first-order approximation of the expected makespan
+//! (Section IV) — **the primary contribution**.
+//!
+//! With per-attempt success probability `pᵢ = e^{−λaᵢ} = 1 − λaᵢ + O(λ²)`,
+//! expanding `E(G) = Σ_{S⊆V} P(S)·L(S)` and dropping `O(λ²)` terms
+//! (i.e. states with two or more failures) leaves
+//!
+//! ```text
+//! E(G) = d(G) + λ · Σ_{i∈V} aᵢ · ( d(Gᵢ) − d(G) ) + O(λ²)
+//! ```
+//!
+//! where `Gᵢ` doubles task `i`'s weight. Two implementations:
+//!
+//! * [`first_order_expected_makespan_naive`] recomputes the longest path
+//!   of each `Gᵢ` from scratch — the `O(|V|² + |V||E|)` bound quoted in
+//!   the paper.
+//! * [`first_order_expected_makespan_fast`] exploits the paper's closing
+//!   remark ("lower complexity can be achieved by exploiting the fact
+//!   that G and the Gᵢ's differ in only the weight of one task"):
+//!   `d(Gᵢ) = max(d(G), top(i) + aᵢ + bot(i))` from one pair of DP
+//!   passes, giving `O(|V| + |E|)` total.
+//!
+//! Both are exposed; their equality is enforced by unit and property
+//! tests, and the `first_order_ablation` bench measures the speedup.
+
+use crate::estimator::Estimator;
+use crate::model::FailureModel;
+use stochdag_dag::{Dag, LevelInfo};
+
+/// Detailed first-order result.
+#[derive(Clone, Debug)]
+pub struct FirstOrderResult {
+    /// The approximation of `E(G)`.
+    pub expected_makespan: f64,
+    /// Failure-free makespan `d(G)` (lower bound on `E(G)`).
+    pub failure_free_makespan: f64,
+    /// Per-task contribution `λ·aᵢ·(d(Gᵢ) − d(G))`, indexed by
+    /// `NodeId::index()`. Summing these recovers
+    /// `expected_makespan − failure_free_makespan`. Useful as a
+    /// *criticality* measure for failure-aware scheduling.
+    pub task_contribution: Vec<f64>,
+}
+
+/// Fast `O(|V| + |E|)` first-order approximation with per-task detail.
+pub fn first_order_detailed(dag: &Dag, model: &FailureModel) -> FirstOrderResult {
+    let levels = LevelInfo::compute(dag);
+    let d_g = levels.makespan;
+    let mut contributions = Vec::with_capacity(dag.node_count());
+    let mut sum = 0.0f64;
+    for i in dag.nodes() {
+        let a_i = dag.weight(i);
+        let delta = levels.reexecution_sensitivity(dag, i); // d(G_i) − d(G)
+        let c = model.lambda * a_i * delta;
+        contributions.push(c);
+        sum += c;
+    }
+    FirstOrderResult {
+        expected_makespan: d_g + sum,
+        failure_free_makespan: d_g,
+        task_contribution: contributions,
+    }
+}
+
+/// Fast `O(|V| + |E|)` first-order approximation (value only).
+pub fn first_order_expected_makespan_fast(dag: &Dag, model: &FailureModel) -> f64 {
+    first_order_detailed(dag, model).expected_makespan
+}
+
+/// Naive `O(|V|·(|V| + |E|))` first-order approximation: recomputes
+/// `d(Gᵢ)` with a fresh longest-path pass per task, exactly as the
+/// complexity bound quoted in the paper's Section IV.
+pub fn first_order_expected_makespan_naive(dag: &Dag, model: &FailureModel) -> f64 {
+    let d_g = dag.longest_path_length();
+    let mut sum = 0.0f64;
+    for i in dag.nodes() {
+        let a_i = dag.weight(i);
+        let d_gi = dag.with_scaled_weight(i, 2.0).longest_path_length();
+        sum += model.lambda * a_i * (d_gi - d_g);
+    }
+    d_g + sum
+}
+
+/// The first-order estimator of the paper ("First Order" in the
+/// figures).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstOrderEstimator {
+    use_naive: bool,
+}
+
+impl FirstOrderEstimator {
+    /// The `O(|V| + |E|)` implementation (default).
+    pub fn fast() -> FirstOrderEstimator {
+        FirstOrderEstimator { use_naive: false }
+    }
+
+    /// The `O(|V|·(|V| + |E|))` reference implementation.
+    pub fn naive() -> FirstOrderEstimator {
+        FirstOrderEstimator { use_naive: true }
+    }
+}
+
+impl Estimator for FirstOrderEstimator {
+    fn name(&self) -> &'static str {
+        if self.use_naive {
+            "FirstOrder(naive)"
+        } else {
+            "FirstOrder"
+        }
+    }
+
+    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
+        if self.use_naive {
+            first_order_expected_makespan_naive(dag, model)
+        } else {
+            first_order_expected_makespan_fast(dag, model)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochdag_dag::Dag;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    #[test]
+    fn fast_equals_naive_on_diamond() {
+        let g = diamond();
+        let m = FailureModel::new(0.01);
+        let fast = first_order_expected_makespan_fast(&g, &m);
+        let naive = first_order_expected_makespan_naive(&g, &m);
+        assert!((fast - naive).abs() < 1e-12, "fast {fast} vs naive {naive}");
+    }
+
+    #[test]
+    fn single_task_closed_form() {
+        // E ≈ a + λ·a·a (d(G_i) − d(G) = a).
+        let mut g = Dag::new();
+        g.add_node(2.0);
+        let m = FailureModel::new(0.05);
+        let e = first_order_expected_makespan_fast(&g, &m);
+        assert!((e - (2.0 + 0.05 * 2.0 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_closed_form() {
+        // Chain of weights a_j: every task is critical, d(G_i) − d(G) = a_i,
+        // E = Σa + λΣa².
+        let mut g = Dag::new();
+        let mut prev = None;
+        for w in [1.0, 2.0, 3.0] {
+            let v = g.add_node(w);
+            if let Some(p) = prev {
+                g.add_edge(p, v);
+            }
+            prev = Some(v);
+        }
+        let m = FailureModel::new(0.01);
+        let e = first_order_expected_makespan_fast(&g, &m);
+        assert!((e - (6.0 + 0.01 * (1.0 + 4.0 + 9.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noncritical_task_contributes_only_above_slack() {
+        let g = diamond();
+        let m = FailureModel::new(0.1);
+        let r = first_order_detailed(&g, &m);
+        // b has weight 2, slack 1: d(G_b) − d(G) = 1 ⇒ contribution λ·2·1.
+        assert!((r.task_contribution[1] - 0.1 * 2.0 * 1.0).abs() < 1e-12);
+        // c is critical with weight 3: contribution λ·3·3.
+        assert!((r.task_contribution[2] - 0.1 * 3.0 * 3.0).abs() < 1e-12);
+        let sum: f64 = r.task_contribution.iter().sum();
+        assert!(
+            (r.expected_makespan - r.failure_free_makespan - sum).abs() < 1e-12,
+            "contributions must decompose the correction"
+        );
+    }
+
+    #[test]
+    fn zero_lambda_gives_failure_free_makespan() {
+        let g = diamond();
+        let e = first_order_expected_makespan_fast(&g, &FailureModel::failure_free());
+        assert_eq!(e, 5.0);
+    }
+
+    #[test]
+    fn estimate_is_at_least_failure_free() {
+        let g = diamond();
+        for lam in [0.0, 0.001, 0.1, 1.0] {
+            let e = first_order_expected_makespan_fast(&g, &FailureModel::new(lam));
+            assert!(e >= 5.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimator_trait_names() {
+        assert_eq!(FirstOrderEstimator::fast().name(), "FirstOrder");
+        assert_eq!(FirstOrderEstimator::naive().name(), "FirstOrder(naive)");
+    }
+
+    #[test]
+    fn monotone_in_lambda() {
+        let g = diamond();
+        let mut prev = 0.0;
+        for lam in [0.0, 0.01, 0.05, 0.2] {
+            let e = first_order_expected_makespan_fast(&g, &FailureModel::new(lam));
+            assert!(e >= prev);
+            prev = e;
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # stochdag-core — expected-makespan estimators under silent errors
+//!
+//! The paper's primary contribution and every comparator it is evaluated
+//! against, behind one trait:
+//!
+//! | Estimator | Paper role | Cost | Module |
+//! |-----------|------------|------|--------|
+//! | [`FirstOrderEstimator`] | **the contribution** (Section IV) | `O(V + E)` (fast) or `O(V(V+E))` (naive) | `first_order` |
+//! | [`SecondOrderEstimator`] | the paper's "future work" `O(λ²)`-exact extension | `O(V·(V+E))` | `second_order` |
+//! | [`MonteCarloEstimator`] | ground truth (Section II-A1) | `trials × O(V+E)`, parallel | `monte_carlo` |
+//! | [`DodinEstimator`] | baseline #1 (Section II-A2) | pseudo-polynomial | `dodin` |
+//! | [`SculliEstimator`] | baseline #2, ρ = 0 variant (Section II-A3) | `O(V + E)` | `normal` |
+//! | [`CorLcaEstimator`] | correlation-aware normal (Canon–Jeannot) | `O(V·E)` worst case | `normal` |
+//! | [`CovarianceNormalEstimator`] | full covariance propagation (the paper's slow "Normal" profile) | `O(V²·deg)` | `normal` |
+//! | [`ExactEstimator`] | exhaustive 2-state exact (tests/small DAGs) | `O(2^V · (V+E))` | `exact` |
+//!
+//! All estimators consume a task DAG ([`stochdag_dag::Dag`], weights =
+//! failure-free durations) plus a [`FailureModel`] (rate λ, calibrated
+//! from a target per-task failure probability as in the paper's
+//! Section V-C).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use stochdag_core::{Estimator, FailureModel, FirstOrderEstimator, MonteCarloEstimator};
+//! use stochdag_dag::DagBuilder;
+//!
+//! let mut b = DagBuilder::new();
+//! let s = b.add_task("setup", 1.0);
+//! let w = b.add_task("work", 4.0);
+//! b.add_dep(s, w);
+//! let dag = b.build().unwrap();
+//!
+//! let model = FailureModel::from_pfail(0.001, dag.mean_weight());
+//! let first_order = FirstOrderEstimator::fast().estimate(&dag, &model);
+//! let mc = MonteCarloEstimator::new(100_000).with_seed(42).estimate(&dag, &model);
+//! let rel = (first_order.value - mc.value).abs() / mc.value;
+//! assert!(rel < 1e-3, "first order within {rel} of Monte Carlo");
+//! ```
+
+mod estimator;
+mod exact;
+mod first_order;
+mod model;
+mod monte_carlo;
+mod normal;
+mod second_order;
+mod spelde;
+
+pub mod dvfs;
+
+pub mod dodin;
+
+pub use dodin::DodinEstimator;
+pub use dvfs::{speed_tradeoff, DvfsModel, PowerModel, TradeoffPoint};
+pub use estimator::{Estimate, Estimator};
+pub use exact::{exact_expected_makespan_two_state, ExactEstimator, MAX_EXACT_NODES};
+pub use first_order::{
+    first_order_detailed, first_order_expected_makespan_fast, first_order_expected_makespan_naive,
+    FirstOrderEstimator, FirstOrderResult,
+};
+pub use model::FailureModel;
+pub use monte_carlo::{MonteCarloEstimator, MonteCarloResult, SamplingModel};
+pub use normal::{CorLcaEstimator, CovarianceNormalEstimator, SculliEstimator};
+pub use second_order::{second_order_expected_makespan, SecondOrderEstimator};
+pub use spelde::SpeldeEstimator;

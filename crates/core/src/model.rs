@@ -1,0 +1,107 @@
+//! The silent-error failure model.
+
+use stochdag_dag::{Dag, NodeId};
+use stochdag_dist::{failure_probability, lambda_for_failure_probability, mtbf};
+
+/// Exponential silent-error model: a task of weight `a` fails any single
+/// execution attempt with probability `1 − e^{−λa}`, independently
+/// across tasks and attempts; a failed task is detected by the
+/// end-of-task verification and re-executed from scratch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FailureModel {
+    /// Error rate λ (failures per second of work).
+    pub lambda: f64,
+}
+
+impl FailureModel {
+    /// Model with an explicit rate λ.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn new(lambda: f64) -> FailureModel {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be finite and non-negative, got {lambda}"
+        );
+        FailureModel { lambda }
+    }
+
+    /// The paper's calibration (Section V-C): pick λ so a task of mean
+    /// weight `mean_weight` fails with probability `pfail`.
+    pub fn from_pfail(pfail: f64, mean_weight: f64) -> FailureModel {
+        FailureModel::new(lambda_for_failure_probability(pfail, mean_weight))
+    }
+
+    /// Calibrate against a DAG's own mean task weight.
+    pub fn from_pfail_for_dag(pfail: f64, dag: &Dag) -> FailureModel {
+        FailureModel::from_pfail(pfail, dag.mean_weight())
+    }
+
+    /// Per-attempt failure probability of a task with weight `a`.
+    #[inline]
+    pub fn pfail_of_weight(&self, a: f64) -> f64 {
+        failure_probability(self.lambda, a)
+    }
+
+    /// Per-attempt success probability `e^{−λa}` of a task with weight `a`.
+    #[inline]
+    pub fn psuccess_of_weight(&self, a: f64) -> f64 {
+        (-self.lambda * a).exp()
+    }
+
+    /// Per-attempt failure probability of task `i` of `dag`.
+    #[inline]
+    pub fn pfail_of(&self, dag: &Dag, i: NodeId) -> f64 {
+        self.pfail_of_weight(dag.weight(i))
+    }
+
+    /// Mean time between failures `1/λ`.
+    pub fn mtbf(&self) -> f64 {
+        mtbf(self.lambda)
+    }
+
+    /// A failure-free model (λ = 0).
+    pub fn failure_free() -> FailureModel {
+        FailureModel { lambda: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochdag_dag::Dag;
+
+    #[test]
+    fn calibration_matches_paper_protocol() {
+        let mut g = Dag::new();
+        g.add_node(0.1);
+        g.add_node(0.2);
+        let m = FailureModel::from_pfail_for_dag(0.01, &g);
+        // mean weight 0.15 -> the paper's λ ≈ 0.067
+        assert!((m.lambda - 0.067).abs() < 1e-3);
+        assert!((m.pfail_of_weight(0.15) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn success_and_failure_complement() {
+        let m = FailureModel::new(0.3);
+        for a in [0.0, 0.5, 2.0] {
+            assert!((m.pfail_of_weight(a) + m.psuccess_of_weight(a) - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn failure_free_never_fails() {
+        let m = FailureModel::failure_free();
+        assert_eq!(m.pfail_of_weight(100.0), 0.0);
+        assert_eq!(m.psuccess_of_weight(100.0), 1.0);
+    }
+
+    #[test]
+    fn pfail_of_node() {
+        let mut g = Dag::new();
+        let a = g.add_node(2.0);
+        let m = FailureModel::new(0.1);
+        assert!((m.pfail_of(&g, a) - (1.0 - (-0.2f64).exp())).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,494 @@
+//! Monte Carlo ground truth (paper Section II-A1 / V-C).
+//!
+//! Each trial samples, per task, the number of execution attempts until
+//! the verification passes, sets the task's duration to
+//! `attempts × aᵢ`, and computes one longest path. The estimate is the
+//! mean over trials (the paper uses 300 000).
+//!
+//! Trials are embarrassingly parallel and run under Rayon with one
+//! deterministic RNG per trial (`splitmix64(seed, trial)`), so results
+//! are bit-reproducible regardless of thread count — the property the
+//! hpc-parallel guides call out for parallel iterators with independent
+//! work items.
+
+use crate::estimator::{Estimate, Estimator};
+use crate::model::FailureModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::time::Instant;
+use stochdag_dag::{Dag, FrozenDag};
+
+/// How task durations are sampled in each trial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingModel {
+    /// The paper's ground-truth model: re-execute until success
+    /// (geometric number of attempts).
+    Geometric,
+    /// At most one re-execution (`aᵢ` or `2aᵢ`) — the first-order
+    /// model's own assumption; used to validate the analytical expansion
+    /// separately from the model truncation.
+    TwoState,
+}
+
+/// Monte Carlo statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct MonteCarloResult {
+    /// Mean makespan over all trials — the expected-makespan estimate.
+    pub mean: f64,
+    /// Sample variance of the makespan.
+    pub variance: f64,
+    /// Standard error of `mean` (`sd / √trials`).
+    pub std_error: f64,
+    /// Smallest makespan observed.
+    pub min: f64,
+    /// Largest makespan observed.
+    pub max: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl MonteCarloResult {
+    /// Half-width of the ~99.7% (3σ) confidence interval on the mean.
+    pub fn ci3_half_width(&self) -> f64 {
+        3.0 * self.std_error
+    }
+}
+
+/// The brute-force Monte Carlo estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct MonteCarloEstimator {
+    trials: usize,
+    seed: u64,
+    sampling: SamplingModel,
+    parallel: bool,
+    antithetic: bool,
+}
+
+impl MonteCarloEstimator {
+    /// Estimator with the given trial count (paper: 300 000), seed 0,
+    /// geometric sampling, parallel execution.
+    pub fn new(trials: usize) -> MonteCarloEstimator {
+        assert!(trials > 0, "need at least one trial");
+        MonteCarloEstimator {
+            trials,
+            seed: 0,
+            sampling: SamplingModel::Geometric,
+            parallel: true,
+            antithetic: false,
+        }
+    }
+
+    /// The paper's configuration: 300 000 trials.
+    pub fn paper_default() -> MonteCarloEstimator {
+        MonteCarloEstimator::new(300_000)
+    }
+
+    /// Set the master seed (each trial derives its own stream from it).
+    pub fn with_seed(mut self, seed: u64) -> MonteCarloEstimator {
+        self.seed = seed;
+        self
+    }
+
+    /// Choose the sampling model.
+    pub fn with_sampling(mut self, sampling: SamplingModel) -> MonteCarloEstimator {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Force sequential execution (profiling/debugging).
+    pub fn sequential(mut self) -> MonteCarloEstimator {
+        self.parallel = false;
+        self
+    }
+
+    /// Enable antithetic variates: trials are generated in mirrored
+    /// pairs (`u` / `1 − u` per task). The makespan is monotone in every
+    /// task duration, so the pair members are negatively correlated and
+    /// the estimator's variance drops at equal cost (quantified by the
+    /// `mc_convergence` bench and the variance-reduction unit test).
+    pub fn antithetic(mut self) -> MonteCarloEstimator {
+        self.antithetic = true;
+        self
+    }
+
+    /// Number of configured trials.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Run the simulation and return full statistics.
+    pub fn run(&self, dag: &Dag, model: &FailureModel) -> MonteCarloResult {
+        let frozen = dag.freeze();
+        let n = frozen.node_count();
+        if n == 0 {
+            return MonteCarloResult {
+                mean: 0.0,
+                variance: 0.0,
+                std_error: 0.0,
+                min: 0.0,
+                max: 0.0,
+                trials: self.trials,
+            };
+        }
+        // Per-task success probabilities, hoisted out of the trial loop.
+        let psucc: Vec<f64> = frozen
+            .weights
+            .iter()
+            .map(|&a| model.psuccess_of_weight(a))
+            .collect();
+        let sampling = self.sampling;
+        let seed = self.seed;
+        let antithetic = self.antithetic;
+
+        // Per-trial makespans are collected *in trial order* and reduced
+        // sequentially, so the result is bit-identical regardless of
+        // thread count (a parallel tree reduction would reorder the
+        // floating-point sums). 8 bytes per trial is negligible next to
+        // the sampling work.
+        let makespans: Vec<f64> = if self.parallel {
+            (0..self.trials as u64)
+                .into_par_iter()
+                .map_init(
+                    || TrialScratch::new(n),
+                    |scratch, t| scratch.run_trial(&frozen, &psucc, sampling, seed, t, antithetic),
+                )
+                .collect()
+        } else {
+            let mut scratch = TrialScratch::new(n);
+            (0..self.trials as u64)
+                .map(|t| scratch.run_trial(&frozen, &psucc, sampling, seed, t, antithetic))
+                .collect()
+        };
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &m in &makespans {
+            sum += m;
+            sum_sq += m * m;
+            min = min.min(m);
+            max = max.max(m);
+        }
+        let t = self.trials as f64;
+        let mean = sum / t;
+        let variance = (sum_sq / t - mean * mean).max(0.0);
+        MonteCarloResult {
+            mean,
+            variance,
+            std_error: (variance / t).sqrt(),
+            min,
+            max,
+            trials: self.trials,
+        }
+    }
+}
+
+impl Estimator for MonteCarloEstimator {
+    fn name(&self) -> &'static str {
+        "MonteCarlo"
+    }
+
+    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
+        self.run(dag, model).mean
+    }
+
+    fn estimate(&self, dag: &Dag, model: &FailureModel) -> Estimate {
+        let start = Instant::now();
+        let r = self.run(dag, model);
+        Estimate {
+            value: r.mean,
+            elapsed: start.elapsed(),
+            name: self.name(),
+            std_error: Some(r.std_error),
+        }
+    }
+}
+
+/// Per-thread reusable scratch buffers for one trial.
+struct TrialScratch {
+    weights: Vec<f64>,
+    completion: Vec<f64>,
+}
+
+impl TrialScratch {
+    fn new(n: usize) -> TrialScratch {
+        TrialScratch {
+            weights: vec![0.0; n],
+            completion: Vec::with_capacity(n),
+        }
+    }
+
+    /// Sample one failure scenario and return its makespan.
+    ///
+    /// Each task consumes exactly one uniform `u`: the 2-state model
+    /// fails iff `u ≥ p`, the geometric model inverts the attempt-count
+    /// CDF (`N = 1 + ⌊ln(1−u)/ln(1−p)⌋`). One-uniform-per-task is what
+    /// makes antithetic mirroring (`u → 1−u`) well defined: mirrored
+    /// trials share the RNG stream of their pair.
+    fn run_trial(
+        &mut self,
+        frozen: &FrozenDag,
+        psucc: &[f64],
+        sampling: SamplingModel,
+        seed: u64,
+        trial: u64,
+        antithetic: bool,
+    ) -> f64 {
+        let (stream, mirror) = if antithetic {
+            (trial >> 1, trial & 1 == 1)
+        } else {
+            (trial, false)
+        };
+        let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(stream)));
+        for (i, (&a, &p)) in frozen.weights.iter().zip(psucc.iter()).enumerate() {
+            let mut u: f64 = rng.gen(); // [0, 1)
+            if mirror {
+                u = 1.0 - u; // (0, 1]
+            }
+            let attempts = match sampling {
+                SamplingModel::TwoState => {
+                    if p >= 1.0 || u < p {
+                        1u32
+                    } else {
+                        2u32
+                    }
+                }
+                SamplingModel::Geometric => {
+                    if p >= 1.0 || u < p {
+                        1u32
+                    } else {
+                        // Inversion: P(N > k) = (1−p)^k.
+                        let q = 1.0 - p;
+                        let k = 1.0 + ((1.0 - u).max(f64::MIN_POSITIVE)).ln() / q.ln();
+                        (k.floor() as u32).clamp(1, 10_000)
+                    }
+                }
+            };
+            self.weights[i] = attempts as f64 * a;
+        }
+        frozen.longest_path_with_weights(&self.weights, &mut self.completion)
+    }
+}
+
+/// SplitMix64 finalizer — decorrelates per-trial seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochdag_dag::Dag;
+
+    fn single(a: f64) -> Dag {
+        let mut g = Dag::new();
+        g.add_node(a);
+        g
+    }
+
+    #[test]
+    fn failure_free_is_exact() {
+        let g = single(3.0);
+        let mc = MonteCarloEstimator::new(1000);
+        let r = mc.run(&g, &FailureModel::failure_free());
+        assert_eq!(r.mean, 3.0);
+        assert_eq!(r.variance, 0.0);
+        assert_eq!(r.min, 3.0);
+        assert_eq!(r.max, 3.0);
+    }
+
+    #[test]
+    fn single_task_two_state_matches_closed_form() {
+        let a = 1.0;
+        let lambda = 0.2231435513; // pfail = 1 − e^{−λ} = 0.2
+        let g = single(a);
+        let mc = MonteCarloEstimator::new(200_000)
+            .with_seed(7)
+            .with_sampling(SamplingModel::TwoState);
+        let r = mc.run(&g, &FailureModel::new(lambda));
+        let want = 0.8 * 1.0 + 0.2 * 2.0;
+        assert!(
+            (r.mean - want).abs() < 4.0 * r.std_error + 1e-9,
+            "mean {} want {want} (se {})",
+            r.mean,
+            r.std_error
+        );
+    }
+
+    #[test]
+    fn single_task_geometric_matches_closed_form() {
+        // E[attempts] = 1/p ⇒ E[duration] = a/p.
+        let a = 1.0;
+        let p = 0.8f64;
+        let lambda = -(p.ln()) / a;
+        let g = single(a);
+        let mc = MonteCarloEstimator::new(200_000).with_seed(3);
+        let r = mc.run(&g, &FailureModel::new(lambda));
+        let want = a / p;
+        assert!(
+            (r.mean - want).abs() < 4.0 * r.std_error,
+            "mean {} want {want} (se {})",
+            r.mean,
+            r.std_error
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_parallel() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(1.5);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        let m = FailureModel::new(0.1);
+        let mc = MonteCarloEstimator::new(50_000).with_seed(99);
+        let r1 = mc.run(&g, &m);
+        let r2 = mc.run(&g, &m);
+        let r3 = mc.sequential().run(&g, &m);
+        assert_eq!(r1.mean, r2.mean, "parallel runs are reproducible");
+        assert_eq!(r1.mean, r3.mean, "thread count does not change the result");
+        assert_eq!(r1.min, r3.min);
+        assert_eq!(r1.max, r3.max);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = single(1.0);
+        let m = FailureModel::new(0.3);
+        let r1 = MonteCarloEstimator::new(10_000).with_seed(1).run(&g, &m);
+        let r2 = MonteCarloEstimator::new(10_000).with_seed(2).run(&g, &m);
+        assert_ne!(r1.mean, r2.mean);
+    }
+
+    #[test]
+    fn mean_bounded_by_min_max() {
+        let g = single(1.0);
+        let r = MonteCarloEstimator::new(5_000).run(&g, &FailureModel::new(0.5));
+        assert!(r.min <= r.mean && r.mean <= r.max);
+        assert!(r.min >= 1.0, "a task takes at least one attempt");
+    }
+
+    #[test]
+    fn std_error_shrinks_with_trials() {
+        let g = single(1.0);
+        let m = FailureModel::new(0.5);
+        let small = MonteCarloEstimator::new(1_000).with_seed(5).run(&g, &m);
+        let large = MonteCarloEstimator::new(100_000).with_seed(5).run(&g, &m);
+        assert!(large.std_error < small.std_error);
+    }
+
+    #[test]
+    fn estimate_carries_std_error() {
+        let g = single(1.0);
+        let e = MonteCarloEstimator::new(1_000).estimate(&g, &FailureModel::new(0.1));
+        assert!(e.std_error.is_some());
+        assert_eq!(e.name, "MonteCarlo");
+    }
+
+    #[test]
+    fn geometric_exceeds_two_state_mean() {
+        // Geometric allows >1 re-execution, so its mean is strictly
+        // larger at high failure rates.
+        let g = single(1.0);
+        let m = FailureModel::new(0.7);
+        let geo = MonteCarloEstimator::new(100_000).with_seed(11).run(&g, &m);
+        let two = MonteCarloEstimator::new(100_000)
+            .with_seed(11)
+            .with_sampling(SamplingModel::TwoState)
+            .run(&g, &m);
+        assert!(geo.mean > two.mean);
+    }
+}
+
+#[cfg(test)]
+mod antithetic_tests {
+    use super::*;
+    use stochdag_dag::Dag;
+
+    fn chain(n: usize) -> Dag {
+        let mut g = Dag::new();
+        let mut prev = None;
+        for _ in 0..n {
+            let v = g.add_node(1.0);
+            if let Some(p) = prev {
+                g.add_edge(p, v);
+            }
+            prev = Some(v);
+        }
+        g
+    }
+
+    #[test]
+    fn antithetic_mean_is_unbiased() {
+        // Single task closed form: E = a/p under geometric sampling.
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        let p = 0.8f64;
+        let model = FailureModel::new(-(p.ln()));
+        let r = MonteCarloEstimator::new(200_000)
+            .with_seed(4)
+            .antithetic()
+            .run(&g, &model);
+        assert!(
+            (r.mean - 1.0 / p).abs() < 4.0 * r.std_error.max(1e-4),
+            "antithetic mean {} want {}",
+            r.mean,
+            1.0 / p
+        );
+    }
+
+    #[test]
+    fn antithetic_reduces_empirical_estimator_variance() {
+        // The makespan of a chain is Σ durations — monotone in every
+        // uniform, so pairing must reduce the variance of the *mean*.
+        // Measure by bootstrapping over independent seeds.
+        // p = e^{-0.7} ~ 0.50 makes the duration-vs-uniform map steep, so
+        // mirrored pairs are strongly negatively correlated; at tiny
+        // failure rates the reduction exists but drowns in bootstrap
+        // noise.
+        let g = chain(10);
+        let model = FailureModel::new(0.7);
+        let trials = 2_000;
+        let reps = 80;
+        let spread = |anti: bool| -> f64 {
+            let means: Vec<f64> = (0..reps)
+                .map(|s| {
+                    let mut mc = MonteCarloEstimator::new(trials).with_seed(1000 + s);
+                    if anti {
+                        mc = mc.antithetic();
+                    }
+                    mc.run(&g, &model).mean
+                })
+                .collect();
+            let m = means.iter().sum::<f64>() / reps as f64;
+            means.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / reps as f64
+        };
+        let plain = spread(false);
+        let anti = spread(true);
+        assert!(
+            anti < plain,
+            "antithetic variance {anti:.3e} not below plain {plain:.3e}"
+        );
+    }
+
+    #[test]
+    fn mirrored_pairs_share_stream() {
+        // With antithetic sampling and 2 trials, the two makespans come
+        // from mirrored uniforms: for a single task their attempt counts
+        // straddle the mean whenever one of them failed.
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        let model = FailureModel::new(0.5);
+        let r = MonteCarloEstimator::new(2)
+            .with_seed(9)
+            .antithetic()
+            .run(&g, &model);
+        assert!(r.trials == 2);
+        assert!(r.min >= 1.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! Normal-approximation estimators (paper Section II-A3).
+//!
+//! All three share the same skeleton, due to Sculli (1983): propagate
+//! each task's completion time through the DAG as a *normal* random
+//! variable — sums are exact on normals, maxima are re-normalized via
+//! Clark's moment formulas — and differ only in how the correlation
+//! between the two maximands is obtained:
+//!
+//! * [`SculliEstimator`] — assumes every max is over independent
+//!   variables (ρ = 0). `O(|V| + |E|)`.
+//! * [`CorLcaEstimator`] — the Canon–Jeannot heuristic: each node keeps
+//!   a *canonical* predecessor (the branch most likely to realize its
+//!   start-time max), forming a tree; `Cov(C_u, C_v)` is approximated by
+//!   `Var(C_a)` where `a` is the lowest common ancestor of `u`, `v` in
+//!   that tree. `O(|E| · depth)`.
+//! * [`CovarianceNormalEstimator`] — propagates the full covariance
+//!   matrix of all completion times through Clark's covariance update
+//!   (`Cov(max(X,Y), Z) = Φ(α)·Cov(X,Z) + Φ(−α)·Cov(Y,Z)`).
+//!   `O(|E|·|V|)` time, `O(|V|²)` memory — the expensive, accurate
+//!   variant whose cost profile matches the paper's "Normal" column in
+//!   Table I.
+//!
+//! Task durations enter as their exact 2-state mean/variance
+//! (`E = a(2−p)`, `Var = a²p(1−p)`), matching the paper's description of
+//! approximating the *discrete* 2-state duration by a normal of the same
+//! mean and variance.
+
+use crate::estimator::Estimator;
+use crate::model::FailureModel;
+use stochdag_dag::{topological_order, Dag, NodeId};
+use stochdag_dist::{clark_max_moments, two_state_moments, Normal};
+
+/// Normal of a task's 2-state duration under `model`.
+fn duration_normal(dag: &Dag, model: &FailureModel, i: NodeId) -> Normal {
+    let a = dag.weight(i);
+    let p = model.psuccess_of_weight(a);
+    let (mean, var) = two_state_moments(a, p);
+    Normal::from_mean_var(mean, var)
+}
+
+// ---------------------------------------------------------------------
+// Sculli (ρ = 0)
+// ---------------------------------------------------------------------
+
+/// Sculli's normal-approximation estimator with independence assumed at
+/// every maximum.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SculliEstimator;
+
+impl Estimator for SculliEstimator {
+    fn name(&self) -> &'static str {
+        "Sculli"
+    }
+
+    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
+        if dag.node_count() == 0 {
+            return 0.0;
+        }
+        let topo = topological_order(dag).expect("estimators require acyclic graphs");
+        let mut completion = vec![Normal::new(0.0, 0.0); dag.node_count()];
+        for &v in &topo {
+            let mut start = Normal::new(0.0, 0.0);
+            let mut first = true;
+            for &p in dag.preds(v) {
+                let c = completion[p.index()];
+                start = if first {
+                    first = false;
+                    c
+                } else {
+                    let m = clark_max_moments(start, c, 0.0);
+                    Normal::from_mean_var(m.mean, m.var)
+                };
+            }
+            let d = duration_normal(dag, model, v);
+            completion[v.index()] =
+                Normal::from_mean_var(start.mean + d.mean, start.var() + d.var());
+        }
+        let mut makespan = Normal::new(0.0, 0.0);
+        let mut first = true;
+        for v in dag.nodes().filter(|&v| dag.out_degree(v) == 0) {
+            let c = completion[v.index()];
+            makespan = if first {
+                first = false;
+                c
+            } else {
+                let m = clark_max_moments(makespan, c, 0.0);
+                Normal::from_mean_var(m.mean, m.var)
+            };
+        }
+        makespan.mean
+    }
+}
+
+// ---------------------------------------------------------------------
+// CorLCA (Canon–Jeannot)
+// ---------------------------------------------------------------------
+
+/// Correlation-aware normal estimator using the canonical-ancestor
+/// covariance heuristic of Canon & Jeannot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CorLcaEstimator;
+
+struct CanonicalTree {
+    parent: Vec<Option<u32>>,
+    depth: Vec<u32>,
+    /// Var(C_v) for every processed node.
+    var_c: Vec<f64>,
+}
+
+impl CanonicalTree {
+    fn new(n: usize) -> CanonicalTree {
+        CanonicalTree {
+            parent: vec![None; n],
+            depth: vec![0; n],
+            var_c: vec![0.0; n],
+        }
+    }
+
+    /// Covariance estimate `Var(C_lca(u, v))`; 0 when the two nodes have
+    /// no common canonical ancestor.
+    fn cov(&self, u: u32, v: u32) -> f64 {
+        let (mut a, mut b) = (u, v);
+        while self.depth[a as usize] > self.depth[b as usize] {
+            a = match self.parent[a as usize] {
+                Some(p) => p,
+                None => return 0.0,
+            };
+        }
+        while self.depth[b as usize] > self.depth[a as usize] {
+            b = match self.parent[b as usize] {
+                Some(p) => p,
+                None => return 0.0,
+            };
+        }
+        while a != b {
+            match (self.parent[a as usize], self.parent[b as usize]) {
+                (Some(pa), Some(pb)) => {
+                    a = pa;
+                    b = pb;
+                }
+                _ => return 0.0,
+            }
+        }
+        self.var_c[a as usize]
+    }
+
+    fn attach(&mut self, v: u32, parent: Option<u32>, var_c: f64) {
+        self.parent[v as usize] = parent;
+        self.depth[v as usize] = parent.map_or(0, |p| self.depth[p as usize] + 1);
+        self.var_c[v as usize] = var_c;
+    }
+}
+
+impl Estimator for CorLcaEstimator {
+    fn name(&self) -> &'static str {
+        "CorLCA"
+    }
+
+    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
+        if dag.node_count() == 0 {
+            return 0.0;
+        }
+        let topo = topological_order(dag).expect("estimators require acyclic graphs");
+        let n = dag.node_count();
+        let mut completion = vec![Normal::new(0.0, 0.0); n];
+        let mut tree = CanonicalTree::new(n);
+        for &v in &topo {
+            let mut start = Normal::new(0.0, 0.0);
+            let mut rep: Option<u32> = None;
+            for &p in dag.preds(v) {
+                let c = completion[p.index()];
+                match rep {
+                    None => {
+                        start = c;
+                        rep = Some(p.index() as u32);
+                    }
+                    Some(r) => {
+                        let cov = tree.cov(r, p.index() as u32);
+                        let denom = start.sd * c.sd;
+                        let rho = if denom > 0.0 {
+                            (cov / denom).clamp(-1.0, 1.0)
+                        } else {
+                            0.0
+                        };
+                        let m = clark_max_moments(start, c, rho);
+                        // Canonical branch: the maximand more likely to
+                        // realize the max.
+                        if m.phi_alpha < 0.5 {
+                            rep = Some(p.index() as u32);
+                        }
+                        start = Normal::from_mean_var(m.mean, m.var);
+                    }
+                }
+            }
+            let d = duration_normal(dag, model, v);
+            let c_v = Normal::from_mean_var(start.mean + d.mean, start.var() + d.var());
+            completion[v.index()] = c_v;
+            tree.attach(v.index() as u32, rep, c_v.var());
+        }
+        // Final max over exit tasks, with the same covariance heuristic.
+        let mut makespan = Normal::new(0.0, 0.0);
+        let mut rep: Option<u32> = None;
+        for v in dag.nodes().filter(|&v| dag.out_degree(v) == 0) {
+            let c = completion[v.index()];
+            match rep {
+                None => {
+                    makespan = c;
+                    rep = Some(v.index() as u32);
+                }
+                Some(r) => {
+                    let cov = tree.cov(r, v.index() as u32);
+                    let denom = makespan.sd * c.sd;
+                    let rho = if denom > 0.0 {
+                        (cov / denom).clamp(-1.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    let m = clark_max_moments(makespan, c, rho);
+                    if m.phi_alpha < 0.5 {
+                        rep = Some(v.index() as u32);
+                    }
+                    makespan = Normal::from_mean_var(m.mean, m.var);
+                }
+            }
+        }
+        makespan.mean
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full covariance propagation
+// ---------------------------------------------------------------------
+
+/// Normal estimator propagating the complete covariance matrix of task
+/// completion times (see module docs). Accuracy is the best of the
+/// normal family; memory is `O(|V|²)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CovarianceNormalEstimator;
+
+impl Estimator for CovarianceNormalEstimator {
+    fn name(&self) -> &'static str {
+        "Normal(cov)"
+    }
+
+    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
+        if dag.node_count() == 0 {
+            return 0.0;
+        }
+        let topo = topological_order(dag).expect("estimators require acyclic graphs");
+        let n = dag.node_count();
+        // cov[i*n + j] = Cov(C_i, C_j); filled progressively in
+        // topological order. mean[i] = E[C_i].
+        let mut cov = vec![0.0f64; n * n];
+        let mut mean = vec![0.0f64; n];
+        // Scratch row: Cov(partial max M, C_z) for all z.
+        let mut row = vec![0.0f64; n];
+        for &v in &topo {
+            let vi = v.index();
+            // Sequential Clark max over predecessors.
+            let mut m = Normal::new(0.0, 0.0);
+            let mut first = true;
+            row.iter_mut().for_each(|x| *x = 0.0);
+            for &p in dag.preds(v) {
+                let pi = p.index();
+                let c = Normal::from_mean_var(mean[pi], cov[pi * n + pi]);
+                if first {
+                    first = false;
+                    m = c;
+                    row.copy_from_slice(&cov[pi * n..(pi + 1) * n]);
+                } else {
+                    let cov_mc = row[pi];
+                    let denom = m.sd * c.sd;
+                    let rho = if denom > 0.0 {
+                        (cov_mc / denom).clamp(-1.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    let mm = clark_max_moments(m, c, rho);
+                    let (w1, w2) = (mm.phi_alpha, 1.0 - mm.phi_alpha);
+                    let crow = &cov[pi * n..(pi + 1) * n];
+                    for (r, &cz) in row.iter_mut().zip(crow.iter()) {
+                        *r = w1 * *r + w2 * cz;
+                    }
+                    m = Normal::from_mean_var(mm.mean, mm.var);
+                }
+            }
+            let d = duration_normal(dag, model, v);
+            mean[vi] = m.mean + d.mean;
+            let var_v = m.var() + d.var();
+            // Write Cov(C_v, ·): the duration is independent of
+            // everything else, so it contributes only to the diagonal.
+            for z in 0..n {
+                let c = row[z];
+                cov[vi * n + z] = c;
+                cov[z * n + vi] = c;
+            }
+            cov[vi * n + vi] = var_v;
+        }
+        // Max over exit tasks with the same covariance updates.
+        let sinks: Vec<usize> = dag
+            .nodes()
+            .filter(|&v| dag.out_degree(v) == 0)
+            .map(|v| v.index())
+            .collect();
+        let mut m = Normal::from_mean_var(mean[sinks[0]], cov[sinks[0] * n + sinks[0]]);
+        row.copy_from_slice(&cov[sinks[0] * n..(sinks[0] + 1) * n]);
+        for &si in &sinks[1..] {
+            let c = Normal::from_mean_var(mean[si], cov[si * n + si]);
+            let cov_mc = row[si];
+            let denom = m.sd * c.sd;
+            let rho = if denom > 0.0 {
+                (cov_mc / denom).clamp(-1.0, 1.0)
+            } else {
+                0.0
+            };
+            let mm = clark_max_moments(m, c, rho);
+            let (w1, w2) = (mm.phi_alpha, 1.0 - mm.phi_alpha);
+            let crow = &cov[si * n..(si + 1) * n];
+            for (r, &cz) in row.iter_mut().zip(crow.iter()) {
+                *r = w1 * *r + w2 * cz;
+            }
+            m = Normal::from_mean_var(mm.mean, mm.var);
+        }
+        m.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::{MonteCarloEstimator, SamplingModel};
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    fn all_normals() -> Vec<(&'static str, Box<dyn Estimator>)> {
+        vec![
+            ("sculli", Box::new(SculliEstimator)),
+            ("corlca", Box::new(CorLcaEstimator)),
+            ("cov", Box::new(CovarianceNormalEstimator)),
+        ]
+    }
+
+    #[test]
+    fn failure_free_reduces_to_deterministic_makespan() {
+        let g = diamond();
+        let m = FailureModel::failure_free();
+        for (name, est) in all_normals() {
+            let v = est.expected_makespan(&g, &m);
+            assert!((v - 5.0).abs() < 1e-9, "{name}: {v}");
+        }
+    }
+
+    #[test]
+    fn chain_is_exact_for_all_variants() {
+        // No maxima on a chain ⇒ the normal methods are exact: E = Σ a(2−p).
+        let mut g = Dag::new();
+        let mut prev = None;
+        for w in [1.0, 2.0, 0.5] {
+            let v = g.add_node(w);
+            if let Some(p) = prev {
+                g.add_edge(p, v);
+            }
+            prev = Some(v);
+        }
+        let model = FailureModel::new(0.1);
+        let want: f64 = [1.0, 2.0, 0.5]
+            .iter()
+            .map(|&a| {
+                let p = model.psuccess_of_weight(a);
+                a * (2.0 - p)
+            })
+            .sum();
+        for (name, est) in all_normals() {
+            let v = est.expected_makespan(&g, &model);
+            assert!((v - want).abs() < 1e-9, "{name}: {v} want {want}");
+        }
+    }
+
+    #[test]
+    fn independent_forks_agree_across_variants() {
+        // Maxima over genuinely independent branches: ρ = 0 is the true
+        // correlation, so all three must coincide.
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        g.add_node(1.0);
+        g.add_node(1.5);
+        let model = FailureModel::new(0.2);
+        let s = SculliEstimator.expected_makespan(&g, &model);
+        let c = CorLcaEstimator.expected_makespan(&g, &model);
+        let f = CovarianceNormalEstimator.expected_makespan(&g, &model);
+        assert!((s - c).abs() < 1e-9, "sculli {s} corlca {c}");
+        assert!((s - f).abs() < 1e-9, "sculli {s} cov {f}");
+    }
+
+    #[test]
+    fn correlated_branches_sculli_overestimates() {
+        // Shared prefix a feeding two branches that rejoin: Sculli treats
+        // the branch completions as independent although both contain
+        // C_a, overestimating E[max]. The correlation-aware variants
+        // must be at or below Sculli and closer to Monte Carlo.
+        let mut g = Dag::new();
+        let a = g.add_node(4.0);
+        let b = g.add_node(1.0);
+        let c = g.add_node(1.0);
+        let d = g.add_node(0.5);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        let model = FailureModel::new(0.25);
+        let s = SculliEstimator.expected_makespan(&g, &model);
+        let l = CorLcaEstimator.expected_makespan(&g, &model);
+        let f = CovarianceNormalEstimator.expected_makespan(&g, &model);
+        let mc = MonteCarloEstimator::new(400_000)
+            .with_seed(1)
+            .with_sampling(SamplingModel::TwoState)
+            .run(&g, &model);
+        assert!(l <= s + 1e-9, "CorLCA {l} must not exceed Sculli {s}");
+        assert!(f <= s + 1e-9, "Cov {f} must not exceed Sculli {s}");
+        assert!(
+            (f - mc.mean).abs() <= (s - mc.mean).abs() + 3.0 * mc.std_error,
+            "cov {f} should be at least as close to MC {} as Sculli {s}",
+            mc.mean
+        );
+    }
+
+    #[test]
+    fn normal_estimates_track_monte_carlo_on_diamond() {
+        let g = diamond();
+        let model = FailureModel::from_pfail_for_dag(0.01, &g);
+        let mc = MonteCarloEstimator::new(300_000)
+            .with_seed(2)
+            .with_sampling(SamplingModel::TwoState)
+            .run(&g, &model);
+        for (name, est) in all_normals() {
+            let v = est.expected_makespan(&g, &model);
+            let rel = ((v - mc.mean) / mc.mean).abs();
+            assert!(rel < 0.01, "{name}: {v} vs MC {} (rel {rel})", mc.mean);
+        }
+    }
+
+    #[test]
+    fn estimator_names() {
+        assert_eq!(SculliEstimator.name(), "Sculli");
+        assert_eq!(CorLcaEstimator.name(), "CorLCA");
+        assert_eq!(CovarianceNormalEstimator.name(), "Normal(cov)");
+    }
+}

@@ -1,0 +1,236 @@
+//! Second-order approximation — the extension sketched in the paper's
+//! conclusion ("our general approach … can be used to obtain a (more
+//! complicated but still tractable) second order approximation").
+//!
+//! Expanding the per-task attempt-count probabilities to `O(λ²)` with
+//! `xᵢ = λaᵢ`:
+//!
+//! ```text
+//! P(1 attempt)  = 1 − xᵢ + xᵢ²/2       (value aᵢ)
+//! P(2 attempts) = xᵢ − (3/2)xᵢ²        (value 2aᵢ)
+//! P(3 attempts) = xᵢ²                  (value 3aᵢ)
+//! ```
+//!
+//! so the `O(λ²)`-exact expansion of `E(G)` needs four families of
+//! longest paths:
+//!
+//! ```text
+//! E(G) = c∅·d(G) + Σᵢ cᵢ·d(Gᵢ) + Σᵢ xᵢ²·d(Gᵢ³) + Σ_{i<j} xᵢxⱼ·d(G_{ij}) + O(λ³)
+//!   c∅ = 1 − Σxᵢ + Σxᵢ²/2 + Σ_{i<j} xᵢxⱼ
+//!   cᵢ = xᵢ − (3/2)xᵢ² − xᵢ·Σ_{j≠i} xⱼ
+//! ```
+//!
+//! with `Gᵢ` doubling task `i`, `Gᵢ³` tripling it, and `G_{ij}` doubling
+//! both `i` and `j`. The coefficients sum to `1 + O(λ³)` (asserted in
+//! tests). `d(Gᵢ)`/`d(Gᵢ³)` come from the level decomposition in `O(1)`;
+//! `d(G_{ij})` from all-pairs longest paths:
+//!
+//! ```text
+//! d(G_{ij}) = max( d(G), through-i, through-j,
+//!                  top(i) + pa(i,j) + bot(j) + aᵢ )   [if i ⇝ j]
+//! ```
+//!
+//! Total cost `O(|V|·(|V| + |E|))` time and `O(|V|²)` memory.
+
+use crate::estimator::Estimator;
+use crate::model::FailureModel;
+use stochdag_dag::{AllPairsLongestPaths, Dag, LevelInfo};
+
+/// Second-order approximation of the expected makespan under the
+/// geometric re-execution model.
+pub fn second_order_expected_makespan(dag: &Dag, model: &FailureModel) -> f64 {
+    let n = dag.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let levels = LevelInfo::compute(dag);
+    let ap = AllPairsLongestPaths::compute(dag);
+    let d_g = levels.makespan;
+    let lambda = model.lambda;
+
+    let x: Vec<f64> = dag.nodes().map(|i| lambda * dag.weight(i)).collect();
+    let sum_x: f64 = x.iter().sum();
+    let sum_x2: f64 = x.iter().map(|v| v * v).sum();
+    // Σ_{i<j} x_i x_j = ((Σx)² − Σx²)/2
+    let sum_cross = 0.5 * (sum_x * sum_x - sum_x2);
+
+    let c_empty = 1.0 - sum_x + 0.5 * sum_x2 + sum_cross;
+    let mut e = c_empty * d_g;
+
+    // Single-failure and double-failure-of-one-task terms.
+    for i in dag.nodes() {
+        let xi = x[i.index()];
+        if xi == 0.0 {
+            continue;
+        }
+        let d_gi = levels.makespan_with_scaled_node(dag, i, 2.0);
+        let d_gi3 = levels.makespan_with_scaled_node(dag, i, 3.0);
+        let c_i = xi - 1.5 * xi * xi - xi * (sum_x - xi);
+        e += c_i * d_gi + xi * xi * d_gi3;
+    }
+
+    // Distinct-pair single failures.
+    for i in dag.nodes() {
+        let xi = x[i.index()];
+        if xi == 0.0 {
+            continue;
+        }
+        let through_i = levels.path_through(i) + dag.weight(i);
+        for j in dag.nodes().skip(i.index() + 1) {
+            let xj = x[j.index()];
+            if xj == 0.0 {
+                continue;
+            }
+            let through_j = levels.path_through(j) + dag.weight(j);
+            let mut d_gij = d_g.max(through_i).max(through_j);
+            // Path through both, i before j (or j before i).
+            if ap.reaches(i, j) {
+                let both =
+                    levels.top[i.index()] + ap.get(i, j) + levels.bot[j.index()] + dag.weight(i);
+                d_gij = d_gij.max(both);
+            } else if ap.reaches(j, i) {
+                let both =
+                    levels.top[j.index()] + ap.get(j, i) + levels.bot[i.index()] + dag.weight(j);
+                d_gij = d_gij.max(both);
+            }
+            e += xi * xj * d_gij;
+        }
+    }
+    e
+}
+
+/// The second-order estimator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SecondOrderEstimator;
+
+impl Estimator for SecondOrderEstimator {
+    fn name(&self) -> &'static str {
+        "SecondOrder"
+    }
+
+    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
+        second_order_expected_makespan(dag, model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::first_order::first_order_expected_makespan_fast;
+    use crate::monte_carlo::MonteCarloEstimator;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    #[test]
+    fn zero_lambda_gives_failure_free() {
+        let g = diamond();
+        let e = second_order_expected_makespan(&g, &FailureModel::failure_free());
+        assert_eq!(e, 5.0);
+    }
+
+    #[test]
+    fn single_task_closed_form() {
+        // E[N·a] to O(λ²): a·(1·(1−x+x²/2) + 2·(x−1.5x²) + 3·x²)
+        // = a·(1 + x + x²/2) — the O(x²) truncation of a·eˣ = a/p.
+        let a = 2.0;
+        let lambda = 0.03;
+        let x: f64 = lambda * a;
+        let mut g = Dag::new();
+        g.add_node(a);
+        let e = second_order_expected_makespan(&g, &FailureModel::new(lambda));
+        let want = a * (1.0 + x + 0.5 * x * x);
+        assert!((e - want).abs() < 1e-12, "{e} vs {want}");
+    }
+
+    #[test]
+    fn agrees_with_first_order_at_order_lambda() {
+        // E2 − E1 must be O(λ²): shrink λ by 10 ⇒ difference by ~100.
+        let g = diamond();
+        let d1 = {
+            let m = FailureModel::new(1e-2);
+            (second_order_expected_makespan(&g, &m) - first_order_expected_makespan_fast(&g, &m))
+                .abs()
+        };
+        let d2 = {
+            let m = FailureModel::new(1e-3);
+            (second_order_expected_makespan(&g, &m) - first_order_expected_makespan_fast(&g, &m))
+                .abs()
+        };
+        assert!(d2 < d1 / 50.0, "d(1e-2)={d1} d(1e-3)={d2}: not quadratic");
+    }
+
+    #[test]
+    fn beats_first_order_at_high_failure_rate() {
+        let g = diamond();
+        let model = FailureModel::new(0.08); // pfail(ā=1.75) ≈ 13%
+        let mc = MonteCarloEstimator::new(400_000)
+            .with_seed(4)
+            .run(&g, &model);
+        let e1 = first_order_expected_makespan_fast(&g, &model);
+        let e2 = second_order_expected_makespan(&g, &model);
+        let err1 = (e1 - mc.mean).abs();
+        let err2 = (e2 - mc.mean).abs();
+        assert!(
+            err2 < err1,
+            "second order ({e2}, err {err2}) should beat first order ({e1}, err {err1}) vs MC {}",
+            mc.mean
+        );
+    }
+
+    #[test]
+    fn pair_term_uses_joint_paths() {
+        // Chain a→b: both on one path; doubling both lengthens the path
+        // by a+b. Verify the closed form for a 2-task chain.
+        let (a, b) = (1.0f64, 2.0f64);
+        let lambda = 0.05f64;
+        let (xa, xb) = (lambda * a, lambda * b);
+        let mut g = Dag::new();
+        let na = g.add_node(a);
+        let nb = g.add_node(b);
+        g.add_edge(na, nb);
+        let d = a + b;
+        let want = (1.0 - xa - xb + 0.5 * (xa * xa + xb * xb) + xa * xb) * d
+            + (xa - 1.5 * xa * xa - xa * xb) * (d + a)
+            + (xb - 1.5 * xb * xb - xa * xb) * (d + b)
+            + xa * xa * (d + 2.0 * a)
+            + xb * xb * (d + 2.0 * b)
+            + xa * xb * (d + a + b);
+        let e = second_order_expected_makespan(&g, &FailureModel::new(lambda));
+        assert!((e - want).abs() < 1e-12, "{e} vs {want}");
+    }
+
+    #[test]
+    fn parallel_pair_term() {
+        // Two independent tasks of equal weight w: doubling both gives
+        // makespan 2w only when at least one fails (through-i terms),
+        // d(G_ij) = 2w as well.
+        let w = 1.0;
+        let lambda = 0.1;
+        let x: f64 = lambda * w;
+        let mut g = Dag::new();
+        g.add_node(w);
+        g.add_node(w);
+        let want = (1.0 - 2.0 * x + x * x + x * x) * w
+            + 2.0 * (x - 1.5 * x * x - x * x) * (2.0 * w)
+            + 2.0 * (x * x) * (3.0 * w)
+            + x * x * (2.0 * w);
+        let e = second_order_expected_makespan(&g, &FailureModel::new(lambda));
+        assert!((e - want).abs() < 1e-12, "{e} vs {want}");
+    }
+
+    #[test]
+    fn estimator_name() {
+        assert_eq!(SecondOrderEstimator.name(), "SecondOrder");
+    }
+}

@@ -1,0 +1,176 @@
+//! Ergonomic, validated DAG construction.
+
+use crate::graph::{Dag, NodeId};
+use crate::validate::{validate_acyclic, DagError};
+use std::collections::HashMap;
+
+/// Builder for [`Dag`] with name-based lookup and validation on `build`.
+///
+/// The task-graph generators address tasks by structured names (e.g.
+/// `GEMM_4_2_1`); the builder keeps the name → id map so dependencies can
+/// be declared by name or by id interchangeably.
+///
+/// ```
+/// use stochdag_dag::DagBuilder;
+/// let mut b = DagBuilder::new();
+/// b.add_task("load", 1.0);
+/// b.add_task("compute", 4.0);
+/// b.add_task("store", 0.5);
+/// b.add_dep_by_name("load", "compute").unwrap();
+/// b.add_dep_by_name("compute", "store").unwrap();
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.node_count(), 3);
+/// assert!((dag.longest_path_length() - 5.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default)]
+pub struct DagBuilder {
+    dag: Dag,
+    names: HashMap<String, NodeId>,
+    duplicate: Option<String>,
+}
+
+impl DagBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        DagBuilder::default()
+    }
+
+    /// New builder with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DagBuilder {
+            dag: Dag::with_capacity(nodes, edges),
+            names: HashMap::with_capacity(nodes),
+            duplicate: None,
+        }
+    }
+
+    /// Add a named task. Duplicate names are reported by [`Self::build`].
+    pub fn add_task(&mut self, name: impl Into<String>, weight: f64) -> NodeId {
+        let name = name.into();
+        let id = self.dag.add_named_node(weight, Some(name.clone()));
+        if self.names.insert(name.clone(), id).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name);
+        }
+        id
+    }
+
+    /// Add an anonymous task.
+    pub fn add_anon_task(&mut self, weight: f64) -> NodeId {
+        self.dag.add_node(weight)
+    }
+
+    /// Declare a precedence `src -> dst` by id, skipping duplicates.
+    pub fn add_dep(&mut self, src: NodeId, dst: NodeId) {
+        self.dag.add_edge_dedup(src, dst);
+    }
+
+    /// Declare a precedence by task names.
+    pub fn add_dep_by_name(&mut self, src: &str, dst: &str) -> Result<(), DagError> {
+        let s = self.lookup(src)?;
+        let d = self.lookup(dst)?;
+        self.add_dep(s, d);
+        Ok(())
+    }
+
+    /// Id of a previously added named task.
+    pub fn lookup(&self, name: &str) -> Result<NodeId, DagError> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| DagError::UnknownName {
+                name: name.to_string(),
+            })
+    }
+
+    /// Whether a task with this name exists already.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains_key(name)
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Whether no task has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.dag.node_count() == 0
+    }
+
+    /// Finish construction: checks for duplicate names and cycles.
+    pub fn build(self) -> Result<Dag, DagError> {
+        if let Some(name) = self.duplicate {
+            return Err(DagError::DuplicateName { name });
+        }
+        validate_acyclic(&self.dag)?;
+        Ok(self.dag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_by_name() {
+        let mut b = DagBuilder::new();
+        b.add_task("a", 1.0);
+        b.add_task("b", 2.0);
+        b.add_dep_by_name("a", "b").unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.find_by_name("b").map(|n| g.weight(n)), Some(2.0));
+    }
+
+    #[test]
+    fn unknown_name_is_error() {
+        let mut b = DagBuilder::new();
+        b.add_task("a", 1.0);
+        assert_eq!(
+            b.add_dep_by_name("a", "zz"),
+            Err(DagError::UnknownName { name: "zz".into() })
+        );
+    }
+
+    #[test]
+    fn duplicate_name_reported_on_build() {
+        let mut b = DagBuilder::new();
+        b.add_task("a", 1.0);
+        b.add_task("a", 2.0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            DagError::DuplicateName { name: "a".into() }
+        );
+    }
+
+    #[test]
+    fn cycle_reported_on_build() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task("a", 1.0);
+        let c = b.add_task("c", 1.0);
+        b.add_dep(a, c);
+        b.add_dep(c, a);
+        assert!(matches!(b.build(), Err(DagError::Cycle { .. })));
+    }
+
+    #[test]
+    fn dep_dedup() {
+        let mut b = DagBuilder::new();
+        let a = b.add_task("a", 1.0);
+        let c = b.add_task("c", 1.0);
+        b.add_dep(a, c);
+        b.add_dep(a, c);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn len_and_contains() {
+        let mut b = DagBuilder::new();
+        assert!(b.is_empty());
+        b.add_task("a", 1.0);
+        assert_eq!(b.len(), 1);
+        assert!(b.contains("a"));
+        assert!(!b.contains("b"));
+    }
+}

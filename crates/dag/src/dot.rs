@@ -1,0 +1,84 @@
+//! Graphviz DOT export.
+//!
+//! Regenerates the paper's Figures 1–3 (example Cholesky/LU/QR DAGs) via
+//! `stochdag dot --class cholesky -k 5 | dot -Tpdf`.
+
+use crate::graph::Dag;
+use std::fmt::Write as _;
+
+/// Render `dag` as a Graphviz `digraph`.
+///
+/// Node labels are the task names (falling back to `#idx`), with the
+/// weight shown on a second line when `show_weights` is set. Output is
+/// deterministic (insertion order).
+pub fn dot_string(dag: &Dag, graph_name: &str, show_weights: bool) -> String {
+    let mut s = String::with_capacity(32 * (dag.node_count() + dag.edge_count()));
+    let clean: String = graph_name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    writeln!(s, "digraph {clean} {{").unwrap();
+    writeln!(s, "  rankdir=TB;").unwrap();
+    writeln!(s, "  node [shape=box, fontsize=10];").unwrap();
+    for v in dag.nodes() {
+        let label = if show_weights {
+            format!("{}\\n{:.4}", dag.display_name(v), dag.weight(v))
+        } else {
+            dag.display_name(v)
+        };
+        writeln!(s, "  n{} [label=\"{}\"];", v.index(), label).unwrap();
+    }
+    for (a, b) in dag.edges() {
+        writeln!(s, "  n{} -> n{};", a.index(), b.index()).unwrap();
+    }
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = Dag::new();
+        let a = g.add_named_node(1.0, Some("POTRF_0"));
+        let b = g.add_named_node(2.0, Some("TRSM_1_0"));
+        g.add_edge(a, b);
+        let dot = dot_string(&g, "chol", false);
+        assert!(dot.contains("digraph chol {"));
+        assert!(dot.contains("POTRF_0"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(!dot.contains("1.0000"));
+    }
+
+    #[test]
+    fn weights_shown_when_requested() {
+        let mut g = Dag::new();
+        g.add_named_node(1.5, Some("t"));
+        let dot = dot_string(&g, "g", true);
+        assert!(dot.contains("1.5000"));
+    }
+
+    #[test]
+    fn graph_name_is_sanitized() {
+        let g = Dag::new();
+        let dot = dot_string(&g, "my graph-1", false);
+        assert!(dot.contains("digraph my_graph_1 {"));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        g.add_edge(a, b);
+        assert_eq!(dot_string(&g, "g", true), dot_string(&g, "g", true));
+    }
+}

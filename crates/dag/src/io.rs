@@ -1,0 +1,234 @@
+//! Plain-text task-graph format: load user DAGs into the estimators.
+//!
+//! The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! task <name> <weight>
+//! dep  <src-name> <dst-name>
+//! ```
+//!
+//! Names may not contain whitespace; weights are non-negative seconds.
+//! Tasks must be declared before they are referenced by `dep` lines.
+//! [`write_taskgraph`] emits the same format (tasks in id order, then
+//! edges), so load ∘ store is the identity up to comments.
+
+use crate::builder::DagBuilder;
+use crate::graph::Dag;
+use crate::validate::DagError;
+use std::fmt;
+
+/// Errors from [`parse_taskgraph`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed graph is invalid (cycle, duplicate name, unknown
+    /// dependency endpoint).
+    Graph(DagError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Graph(e) => write!(f, "invalid task graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<DagError> for ParseError {
+    fn from(e: DagError) -> Self {
+        ParseError::Graph(e)
+    }
+}
+
+/// Parse the text format described in the module docs.
+pub fn parse_taskgraph(input: &str) -> Result<Dag, ParseError> {
+    let mut b = DagBuilder::new();
+    for (no, raw) in input.lines().enumerate() {
+        let line_no = no + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("non-empty line has a first token");
+        match kind {
+            "task" => {
+                let name = parts.next().ok_or_else(|| ParseError::Malformed {
+                    line: line_no,
+                    message: "task needs a name".into(),
+                })?;
+                let weight_s = parts.next().ok_or_else(|| ParseError::Malformed {
+                    line: line_no,
+                    message: format!("task {name:?} needs a weight"),
+                })?;
+                let weight: f64 = weight_s.parse().map_err(|_| ParseError::Malformed {
+                    line: line_no,
+                    message: format!("bad weight {weight_s:?}"),
+                })?;
+                if !(weight.is_finite() && weight >= 0.0) {
+                    return Err(ParseError::Malformed {
+                        line: line_no,
+                        message: format!("weight must be finite and >= 0, got {weight}"),
+                    });
+                }
+                b.add_task(name, weight);
+            }
+            "dep" => {
+                let src = parts.next().ok_or_else(|| ParseError::Malformed {
+                    line: line_no,
+                    message: "dep needs a source".into(),
+                })?;
+                let dst = parts.next().ok_or_else(|| ParseError::Malformed {
+                    line: line_no,
+                    message: "dep needs a destination".into(),
+                })?;
+                b.add_dep_by_name(src, dst)?;
+            }
+            other => {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    message: format!("unknown directive {other:?} (expected task|dep)"),
+                });
+            }
+        }
+        if let Some(extra) = parts.next() {
+            return Err(ParseError::Malformed {
+                line: line_no,
+                message: format!("trailing token {extra:?}"),
+            });
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Serialize a DAG to the text format (inverse of [`parse_taskgraph`]
+/// for graphs whose nodes all carry names; unnamed nodes get `t<idx>`).
+pub fn write_taskgraph(dag: &Dag) -> String {
+    use std::fmt::Write as _;
+    let name_of = |v: crate::graph::NodeId| -> String {
+        match dag.name(v) {
+            Some(n) => n.to_string(),
+            None => format!("t{}", v.index()),
+        }
+    };
+    let mut out = String::new();
+    writeln!(
+        out,
+        "# stochdag task graph: {} tasks, {} deps",
+        dag.node_count(),
+        dag.edge_count()
+    )
+    .unwrap();
+    for v in dag.nodes() {
+        writeln!(out, "task {} {}", name_of(v), dag.weight(v)).unwrap();
+    }
+    for (s, d) in dag.edges() {
+        writeln!(out, "dep {} {}", name_of(s), name_of(d)).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a small pipeline
+task load 0.5
+task work 2.0
+task store 0.25
+
+dep load work
+dep work store
+";
+
+    #[test]
+    fn parse_sample() {
+        let g = parse_taskgraph(SAMPLE).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.weight(g.find_by_name("work").unwrap()), 2.0);
+        assert!((g.longest_path_length() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = parse_taskgraph(SAMPLE).unwrap();
+        let text = write_taskgraph(&g);
+        let g2 = parse_taskgraph(&text).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(g2.weights(), g.weights());
+    }
+
+    #[test]
+    fn unnamed_nodes_get_synthetic_names() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        g.add_edge(a, b);
+        let text = write_taskgraph(&g);
+        assert!(text.contains("task t0 1"));
+        let g2 = parse_taskgraph(&text).unwrap();
+        assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn error_on_unknown_directive() {
+        let err = parse_taskgraph("frob x 1").unwrap_err();
+        assert!(
+            matches!(err, ParseError::Malformed { line: 1, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("frob"));
+    }
+
+    #[test]
+    fn error_on_bad_weight() {
+        let err = parse_taskgraph("task a heavy").unwrap_err();
+        assert!(err.to_string().contains("bad weight"));
+        let err = parse_taskgraph("task a -1").unwrap_err();
+        assert!(err.to_string().contains(">= 0"));
+    }
+
+    #[test]
+    fn error_on_unknown_dep_endpoint() {
+        let err = parse_taskgraph("task a 1\ndep a b").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::Graph(DagError::UnknownName { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_cycle() {
+        let err = parse_taskgraph("task a 1\ntask b 1\ndep a b\ndep b a").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(DagError::Cycle { .. })));
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        let err = parse_taskgraph("task a 1 extra").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn error_on_duplicate_task() {
+        let err = parse_taskgraph("task a 1\ntask a 2").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseError::Graph(DagError::DuplicateName { .. })
+        ));
+    }
+}

@@ -1,0 +1,49 @@
+//! # stochdag-dag — DAG substrate
+//!
+//! Directed-acyclic-graph data structures and algorithms used throughout
+//! the `stochdag` workspace: a compact adjacency-list graph with `f64`
+//! node weights, topological ordering, longest-path machinery (critical
+//! path, top/bottom levels, all-pairs longest paths), transitive
+//! closure/reduction, validation, and DOT export.
+//!
+//! The representation is *activity-on-node*: vertices carry the task
+//! weights, edges are zero-cost precedence constraints, exactly as in the
+//! paper this workspace reproduces (Casanova, Herrmann, Robert,
+//! "Computing the expected makespan of task graphs in the presence of
+//! silent errors", P2S2/ICPP 2016).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use stochdag_dag::DagBuilder;
+//!
+//! let mut b = DagBuilder::new();
+//! let a = b.add_task("a", 1.0);
+//! let c = b.add_task("c", 2.0);
+//! let d = b.add_task("d", 4.0);
+//! b.add_dep(a, c);
+//! b.add_dep(a, d);
+//! let dag = b.build().unwrap();
+//! assert_eq!(dag.longest_path_length(), 5.0); // a -> d
+//! ```
+
+mod builder;
+mod dot;
+mod graph;
+pub mod io;
+mod longest_path;
+mod paths;
+mod topo;
+mod transitive;
+mod validate;
+
+pub use builder::DagBuilder;
+pub use dot::dot_string;
+pub use graph::{Dag, EdgeId, FrozenDag, NodeId};
+pub use longest_path::{
+    longest_path_length, AllPairsLongestPaths, CriticalPath, LevelInfo, LongestPaths,
+};
+pub use paths::k_longest_paths;
+pub use topo::{topological_layers, topological_order};
+pub use transitive::{transitive_closure, transitive_reduction, Reachability};
+pub use validate::{validate_acyclic, DagError};

@@ -1,0 +1,408 @@
+//! Longest-path machinery: failure-free makespan `d(G)`, top/bottom
+//! levels, critical-path extraction, incremental `d(G_i)`, and all-pairs
+//! longest paths.
+//!
+//! Conventions (activity-on-node):
+//!
+//! * `top(i)` — length of the longest path ending *just before* `i`,
+//!   i.e. the sum of weights of the heaviest predecessor chain,
+//!   **excluding** `a_i`. This is the earliest start time of `i` with
+//!   unlimited processors. `top(i) = 0` for sources.
+//! * `bot(i)` — length of the longest path starting at `i`,
+//!   **including** `a_i` (the classical *bottom level* used by
+//!   CP-scheduling). `bot(i) = a_i` for sinks.
+//! * `d(G) = max_i top(i) + bot(i) − a_i + a_i = max_i (top(i) + bot(i))`
+//!   … where `top(i) + bot(i)` is the longest path *through* `i`.
+//!
+//! The paper's key incremental identity: doubling `a_i` lengthens exactly
+//! the paths through `i` by `a_i`, so
+//! `d(G_i) = max( d(G), top(i) + bot(i) + a_i )`.
+
+use crate::graph::{Dag, NodeId};
+use crate::topo::topological_order;
+
+/// Precomputed level information for a DAG.
+///
+/// Construction costs one topological sort plus two linear DP passes,
+/// `O(|V| + |E|)` total.
+#[derive(Clone, Debug)]
+pub struct LevelInfo {
+    topo: Vec<NodeId>,
+    /// `top(i)`: longest path ending just before `i` (excludes `a_i`).
+    pub top: Vec<f64>,
+    /// `bot(i)`: longest path starting at `i` (includes `a_i`).
+    pub bot: Vec<f64>,
+    /// Failure-free makespan `d(G)`.
+    pub makespan: f64,
+}
+
+impl LevelInfo {
+    /// Compute levels for `dag`.
+    ///
+    /// # Panics
+    /// Panics if the graph is cyclic (validate first with
+    /// [`crate::validate_acyclic`] for a `Result`-based API).
+    pub fn compute(dag: &Dag) -> LevelInfo {
+        let topo = topological_order(dag).expect("LevelInfo requires an acyclic graph");
+        let n = dag.node_count();
+        let mut top = vec![0.0f64; n];
+        let mut bot = vec![0.0f64; n];
+        for &v in &topo {
+            let mut best = 0.0f64;
+            for &p in dag.preds(v) {
+                let c = top[p.index()] + dag.weight(p);
+                if c > best {
+                    best = c;
+                }
+            }
+            top[v.index()] = best;
+        }
+        for &v in topo.iter().rev() {
+            let mut best = 0.0f64;
+            for &s in dag.succs(v) {
+                let c = bot[s.index()];
+                if c > best {
+                    best = c;
+                }
+            }
+            bot[v.index()] = best + dag.weight(v);
+        }
+        let makespan = dag
+            .nodes()
+            .map(|v| top[v.index()] + bot[v.index()])
+            .fold(0.0f64, f64::max);
+        LevelInfo {
+            topo,
+            top,
+            bot,
+            makespan,
+        }
+    }
+
+    /// The topological order used internally.
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Longest path passing *through* node `i` (includes `a_i` once).
+    #[inline]
+    pub fn path_through(&self, i: NodeId) -> f64 {
+        self.top[i.index()] + self.bot[i.index()]
+    }
+
+    /// `d(G_i)` — the makespan of the graph with `a_i` replaced by
+    /// `factor · a_i`, computed in `O(1)` from the levels.
+    ///
+    /// Doubling (`factor = 2`) models one re-execution of task `i`:
+    /// every path through `i` grows by `(factor − 1)·a_i`, paths avoiding
+    /// `i` are unchanged.
+    #[inline]
+    pub fn makespan_with_scaled_node(&self, dag: &Dag, i: NodeId, factor: f64) -> f64 {
+        let extra = (factor - 1.0) * dag.weight(i);
+        self.makespan.max(self.path_through(i) + extra)
+    }
+
+    /// The amount by which the makespan grows when task `i` is
+    /// re-executed once (`d(G_i) − d(G)`); the paper's per-task
+    /// sensitivity. Non-negative.
+    #[inline]
+    pub fn reexecution_sensitivity(&self, dag: &Dag, i: NodeId) -> f64 {
+        self.makespan_with_scaled_node(dag, i, 2.0) - self.makespan
+    }
+
+    /// *Slack* of node `i`: `d(G) − path_through(i)`. Zero exactly on
+    /// critical nodes.
+    #[inline]
+    pub fn slack(&self, i: NodeId) -> f64 {
+        self.makespan - self.path_through(i)
+    }
+}
+
+/// A single longest (critical) path through the DAG.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalPath {
+    /// Nodes along the path, source to sink.
+    pub nodes: Vec<NodeId>,
+    /// Total weight of the path (= `d(G)`).
+    pub length: f64,
+}
+
+/// Bundled longest-path results for a DAG: levels, makespan, and one
+/// extracted critical path.
+#[derive(Clone, Debug)]
+pub struct LongestPaths {
+    /// Level information (top/bot arrays, makespan).
+    pub levels: LevelInfo,
+    /// One critical path (ties broken deterministically by node id).
+    pub critical: CriticalPath,
+}
+
+impl LongestPaths {
+    /// Compute levels and extract a critical path.
+    pub fn compute(dag: &Dag) -> LongestPaths {
+        let levels = LevelInfo::compute(dag);
+        let critical = extract_critical_path(dag, &levels);
+        LongestPaths { levels, critical }
+    }
+}
+
+fn extract_critical_path(dag: &Dag, levels: &LevelInfo) -> CriticalPath {
+    if dag.node_count() == 0 {
+        return CriticalPath {
+            nodes: Vec::new(),
+            length: 0.0,
+        };
+    }
+    let eps = 1e-9 * (1.0 + levels.makespan.abs());
+    // Start from the critical source: a source whose bot equals d(G).
+    let mut cur = dag
+        .nodes()
+        .filter(|&v| dag.in_degree(v) == 0)
+        .find(|&v| (levels.bot[v.index()] - levels.makespan).abs() <= eps)
+        .expect("some source must start a critical path");
+    let mut nodes = vec![cur];
+    // Walk down: choose the successor that continues the critical path.
+    loop {
+        let rest = levels.bot[cur.index()] - dag.weight(cur);
+        if dag.out_degree(cur) == 0 {
+            break;
+        }
+        // If the path can stop here (rest == 0 and no successor is
+        // needed) we still only stop at a sink; a zero-rest non-sink
+        // means remaining bot comes from zero-weight successors, keep
+        // walking for a well-formed source-to-sink path.
+        let next = dag
+            .succs(cur)
+            .iter()
+            .copied()
+            .find(|&s| (levels.bot[s.index()] - rest).abs() <= eps)
+            .expect("critical path must continue through some successor");
+        nodes.push(next);
+        cur = next;
+    }
+    CriticalPath {
+        nodes,
+        length: levels.makespan,
+    }
+}
+
+/// Failure-free makespan `d(G)` of the DAG — the longest path length.
+///
+/// Convenience wrapper around [`LevelInfo::compute`].
+pub fn longest_path_length(dag: &Dag) -> f64 {
+    LevelInfo::compute(dag).makespan
+}
+
+impl Dag {
+    /// Failure-free makespan `d(G)` (longest path length).
+    pub fn longest_path_length(&self) -> f64 {
+        longest_path_length(self)
+    }
+}
+
+/// All-pairs longest path lengths.
+///
+/// `get(i, j)` is the length of the longest path from `i` to `j`
+/// *including both endpoint weights*; `f64::NEG_INFINITY` when `j` is
+/// unreachable from `i`; `a_i` on the diagonal. Memory is `O(|V|²)` and
+/// time `O(|V|·(|V| + |E|))` — used by the second-order estimator.
+#[derive(Clone, Debug)]
+pub struct AllPairsLongestPaths {
+    n: usize,
+    /// Row-major `n × n` matrix.
+    data: Vec<f64>,
+}
+
+impl AllPairsLongestPaths {
+    /// Compute the full matrix.
+    ///
+    /// # Panics
+    /// Panics on cyclic input.
+    pub fn compute(dag: &Dag) -> AllPairsLongestPaths {
+        let n = dag.node_count();
+        let topo = topological_order(dag).expect("AllPairsLongestPaths requires an acyclic graph");
+        let mut data = vec![f64::NEG_INFINITY; n * n];
+        // One forward DP per source row. Row i is filled in topological
+        // order restricted to nodes at/after i.
+        for i in 0..n {
+            let row = &mut data[i * n..(i + 1) * n];
+            row[i] = dag.weight(NodeId::from_index(i));
+            for &v in &topo {
+                let dv = row[v.index()];
+                if dv == f64::NEG_INFINITY {
+                    continue;
+                }
+                for &s in dag.succs(v) {
+                    let cand = dv + dag.weight(s);
+                    if cand > row[s.index()] {
+                        row[s.index()] = cand;
+                    }
+                }
+            }
+        }
+        AllPairsLongestPaths { n, data }
+    }
+
+    /// Longest `i → j` path length (inclusive of both endpoints), or
+    /// `NEG_INFINITY` if unreachable.
+    #[inline]
+    pub fn get(&self, i: NodeId, j: NodeId) -> f64 {
+        self.data[i.index() * self.n + j.index()]
+    }
+
+    /// Whether a directed path `i → j` exists (including `i == j`).
+    #[inline]
+    pub fn reaches(&self, i: NodeId, j: NodeId) -> bool {
+        self.get(i, j) != f64::NEG_INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag, [NodeId; 4]) {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn makespan_of_diamond() {
+        let (g, _) = diamond();
+        assert!((longest_path_length(&g) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_bot_levels() {
+        let (g, [a, b, c, d]) = diamond();
+        let lv = LevelInfo::compute(&g);
+        assert_eq!(lv.top[a.index()], 0.0);
+        assert_eq!(lv.top[b.index()], 1.0);
+        assert_eq!(lv.top[c.index()], 1.0);
+        assert_eq!(lv.top[d.index()], 4.0); // a + c
+        assert_eq!(lv.bot[d.index()], 1.0);
+        assert_eq!(lv.bot[b.index()], 3.0);
+        assert_eq!(lv.bot[c.index()], 4.0);
+        assert_eq!(lv.bot[a.index()], 5.0);
+    }
+
+    #[test]
+    fn path_through_and_slack() {
+        let (g, [a, b, c, d]) = diamond();
+        let lv = LevelInfo::compute(&g);
+        assert_eq!(lv.path_through(c), 5.0);
+        assert_eq!(lv.path_through(b), 4.0);
+        assert!(lv.slack(c).abs() < 1e-12);
+        assert!((lv.slack(b) - 1.0).abs() < 1e-12);
+        assert!(lv.slack(a).abs() < 1e-12);
+        assert!(lv.slack(d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_matches_recompute() {
+        let (g, [a, b, c, d]) = diamond();
+        let lv = LevelInfo::compute(&g);
+        for &i in &[a, b, c, d] {
+            let expect = longest_path_length(&g.with_scaled_weight(i, 2.0));
+            let got = lv.makespan_with_scaled_node(&g, i, 2.0);
+            assert!(
+                (expect - got).abs() < 1e-12,
+                "node {i:?}: recompute {expect} vs incremental {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn sensitivity_of_noncritical_node() {
+        let (g, [_, b, c, _]) = diamond();
+        let lv = LevelInfo::compute(&g);
+        // b has slack 1 and weight 2: doubling adds 2 along its path
+        // (4 -> 6), exceeding d(G)=5 by 1.
+        assert!((lv.reexecution_sensitivity(&g, b) - 1.0).abs() < 1e-12);
+        // c is critical with weight 3: doubling adds 3.
+        assert!((lv.reexecution_sensitivity(&g, c) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_extraction() {
+        let (g, [a, _, c, d]) = diamond();
+        let lp = LongestPaths::compute(&g);
+        assert_eq!(lp.critical.nodes, vec![a, c, d]);
+        assert!((lp.critical.length - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_sums_to_makespan() {
+        let (g, _) = diamond();
+        let lp = LongestPaths::compute(&g);
+        let sum: f64 = lp.critical.nodes.iter().map(|&v| g.weight(v)).sum();
+        assert!((sum - lp.critical.length).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_makespan_is_total_weight() {
+        let mut g = Dag::new();
+        let mut prev = g.add_node(1.5);
+        for i in 0..9 {
+            let v = g.add_node(1.0 + i as f64);
+            g.add_edge(prev, v);
+            prev = v;
+        }
+        assert!((longest_path_length(&g) - g.total_weight()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_tasks_makespan_is_max_weight() {
+        let mut g = Dag::new();
+        for w in [3.0, 7.0, 2.0] {
+            g.add_node(w);
+        }
+        assert!((longest_path_length(&g) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_nodes_are_handled() {
+        let mut g = Dag::new();
+        let a = g.add_node(0.0);
+        let b = g.add_node(5.0);
+        let c = g.add_node(0.0);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        assert!((longest_path_length(&g) - 5.0).abs() < 1e-12);
+        let lp = LongestPaths::compute(&g);
+        assert_eq!(lp.critical.nodes, vec![a, b, c]);
+    }
+
+    #[test]
+    fn all_pairs_longest_paths() {
+        let (g, [a, b, c, d]) = diamond();
+        let ap = AllPairsLongestPaths::compute(&g);
+        assert_eq!(ap.get(a, a), 1.0);
+        assert_eq!(ap.get(a, b), 3.0);
+        assert_eq!(ap.get(a, d), 5.0); // via c
+        assert_eq!(ap.get(b, d), 3.0);
+        assert!(!ap.reaches(b, c));
+        assert!(!ap.reaches(d, a));
+        assert!(ap.reaches(a, d));
+    }
+
+    #[test]
+    fn all_pairs_consistent_with_levels() {
+        let (g, _) = diamond();
+        let ap = AllPairsLongestPaths::compute(&g);
+        let d = g
+            .nodes()
+            .flat_map(|i| g.nodes().map(move |j| (i, j)))
+            .map(|(i, j)| ap.get(i, j))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((d - longest_path_length(&g)).abs() < 1e-12);
+    }
+}

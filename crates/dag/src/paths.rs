@@ -1,0 +1,208 @@
+//! K-longest source-to-sink paths.
+//!
+//! Used by the Spelde-style path-based estimators: the expected makespan
+//! is approximated from the handful of *dominant* paths, so we need the
+//! `K` longest source→sink paths of the weighted DAG, allowing ties and
+//! shared prefixes.
+//!
+//! Algorithm: dynamic programming over the topological order keeping,
+//! per node, the `K` largest path lengths *ending* at that node (each
+//! with a back-pointer `(predecessor, rank-at-predecessor)` for
+//! reconstruction). Merging predecessor lists is `O(indeg · K log K)`
+//! per node, `O(|E| · K log K)` total.
+
+use crate::graph::{Dag, NodeId};
+use crate::longest_path::CriticalPath;
+use crate::topo::topological_order;
+
+/// One of the `K` best partial paths ending at a node.
+#[derive(Clone, Copy, Debug)]
+struct Partial {
+    /// Total weight including the node itself.
+    length: f64,
+    /// Predecessor node and the rank of the partial path at it;
+    /// `None` for path starts.
+    back: Option<(NodeId, u32)>,
+}
+
+/// Compute the `k` longest source→sink paths (by total node weight),
+/// longest first. Returns fewer than `k` paths when the DAG has fewer
+/// distinct source→sink paths.
+///
+/// Paths are node-distinct *as sequences*; two different sequences with
+/// equal length both count.
+///
+/// # Panics
+/// Panics if `k == 0` or the graph is cyclic.
+pub fn k_longest_paths(dag: &Dag, k: usize) -> Vec<CriticalPath> {
+    assert!(k > 0, "k must be positive");
+    if dag.node_count() == 0 {
+        return Vec::new();
+    }
+    let order = topological_order(dag).expect("k_longest_paths requires an acyclic graph");
+    let n = dag.node_count();
+    // best[v] = up to k best partial paths ending at v, sorted desc.
+    let mut best: Vec<Vec<Partial>> = vec![Vec::new(); n];
+    for &v in &order {
+        let w = dag.weight(v);
+        let mut cands: Vec<Partial> = Vec::new();
+        if dag.in_degree(v) == 0 {
+            cands.push(Partial {
+                length: w,
+                back: None,
+            });
+        } else {
+            for &p in dag.preds(v) {
+                for (rank, part) in best[p.index()].iter().enumerate() {
+                    cands.push(Partial {
+                        length: part.length + w,
+                        back: Some((p, rank as u32)),
+                    });
+                }
+            }
+        }
+        cands.sort_by(|a, b| b.length.total_cmp(&a.length));
+        cands.truncate(k);
+        best[v.index()] = cands;
+    }
+    // Collect sink candidates and take the global top k.
+    let mut finals: Vec<(NodeId, u32, f64)> = Vec::new();
+    for v in dag.nodes().filter(|&v| dag.out_degree(v) == 0) {
+        for (rank, part) in best[v.index()].iter().enumerate() {
+            finals.push((v, rank as u32, part.length));
+        }
+    }
+    finals.sort_by(|a, b| b.2.total_cmp(&a.2));
+    finals.truncate(k);
+
+    finals
+        .into_iter()
+        .map(|(sink, rank, length)| {
+            // Walk the back-pointers.
+            let mut nodes = Vec::new();
+            let mut cur = (sink, rank);
+            loop {
+                nodes.push(cur.0);
+                match best[cur.0.index()][cur.1 as usize].back {
+                    Some((p, r)) => cur = (p, r),
+                    None => break,
+                }
+            }
+            nodes.reverse();
+            CriticalPath { nodes, length }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::longest_path::longest_path_length;
+
+    fn diamond() -> (Dag, [NodeId; 4]) {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn first_path_is_the_critical_path() {
+        let (g, [a, _, c, d]) = diamond();
+        let paths = k_longest_paths(&g, 3);
+        assert_eq!(paths[0].nodes, vec![a, c, d]);
+        assert!((paths[0].length - longest_path_length(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_has_exactly_two_paths() {
+        let (g, [a, b, _, d]) = diamond();
+        let paths = k_longest_paths(&g, 10);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[1].nodes, vec![a, b, d]);
+        assert!((paths[1].length - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lengths_are_sorted_and_match_node_sums() {
+        let (g, _) = diamond();
+        let paths = k_longest_paths(&g, 5);
+        let mut prev = f64::INFINITY;
+        for p in &paths {
+            assert!(p.length <= prev + 1e-12);
+            prev = p.length;
+            let sum: f64 = p.nodes.iter().map(|&v| g.weight(v)).sum();
+            assert!((sum - p.length).abs() < 1e-12);
+            // consecutive nodes connected
+            for w in p.nodes.windows(2) {
+                assert!(g.succs(w[0]).contains(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn independent_tasks_are_singleton_paths() {
+        let mut g = Dag::new();
+        g.add_node(3.0);
+        g.add_node(1.0);
+        g.add_node(2.0);
+        let paths = k_longest_paths(&g, 10);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].length, 3.0);
+        assert_eq!(paths[2].length, 1.0);
+    }
+
+    #[test]
+    fn chain_has_one_path() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        g.add_edge(a, b);
+        let paths = k_longest_paths(&g, 4);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes.len(), 2);
+    }
+
+    #[test]
+    fn grid_path_count_is_binomial() {
+        // 3x3 monotone grid: C(4,2) = 6 source→sink paths.
+        let mut g = Dag::new();
+        let mut ids = vec![];
+        for _ in 0..9 {
+            ids.push(g.add_node(1.0));
+        }
+        let at = |r: usize, c: usize| ids[r * 3 + c];
+        for r in 0..3 {
+            for c in 0..3 {
+                if r + 1 < 3 {
+                    g.add_edge(at(r, c), at(r + 1, c));
+                }
+                if c + 1 < 3 {
+                    g.add_edge(at(r, c), at(r, c + 1));
+                }
+            }
+        }
+        let paths = k_longest_paths(&g, 100);
+        assert_eq!(paths.len(), 6);
+        assert!(paths.iter().all(|p| (p.length - 5.0).abs() < 1e-12));
+        // All distinct as sequences.
+        let set: std::collections::HashSet<Vec<usize>> = paths
+            .iter()
+            .map(|p| p.nodes.iter().map(|n| n.index()).collect())
+            .collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let (g, _) = diamond();
+        k_longest_paths(&g, 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Topological ordering (Kahn's algorithm) and layer decomposition.
+
+use crate::graph::{Dag, NodeId};
+use crate::validate::DagError;
+
+/// Compute a topological order of `dag` using Kahn's algorithm.
+///
+/// Ties are broken by node id, so the order is deterministic. Returns
+/// [`DagError::Cycle`] if the graph contains a cycle; the error carries
+/// one node that participates in (or is downstream of) a cycle.
+pub fn topological_order(dag: &Dag) -> Result<Vec<NodeId>, DagError> {
+    let n = dag.node_count();
+    let mut indeg: Vec<u32> = (0..n)
+        .map(|i| dag.in_degree(NodeId::from_index(i)) as u32)
+        .collect();
+    // A FIFO queue of ready nodes gives a deterministic, roughly
+    // breadth-first order; determinism matters for reproducible
+    // experiments and stable DOT output.
+    let mut queue: std::collections::VecDeque<NodeId> =
+        dag.nodes().filter(|&v| indeg[v.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &s in dag.succs(v) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    if order.len() != n {
+        let culprit = (0..n)
+            .map(NodeId::from_index)
+            .find(|v| indeg[v.index()] > 0)
+            .expect("cycle implies a node with remaining in-degree");
+        return Err(DagError::Cycle { node: culprit });
+    }
+    Ok(order)
+}
+
+/// Partition the nodes into *topological layers*: layer 0 holds the
+/// sources, and each node sits in layer `1 + max(layer of predecessors)`.
+///
+/// Layers are the standard way to draw/inspect task graphs and are used
+/// by the synthetic layered-DAG generator tests. Returns
+/// [`DagError::Cycle`] on cyclic input.
+pub fn topological_layers(dag: &Dag) -> Result<Vec<Vec<NodeId>>, DagError> {
+    let order = topological_order(dag)?;
+    let mut layer = vec![0usize; dag.node_count()];
+    let mut max_layer = 0usize;
+    for &v in &order {
+        let l = dag
+            .preds(v)
+            .iter()
+            .map(|p| layer[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        layer[v.index()] = l;
+        max_layer = max_layer.max(l);
+    }
+    let mut layers = vec![
+        Vec::new();
+        if dag.node_count() == 0 {
+            0
+        } else {
+            max_layer + 1
+        }
+    ];
+    for v in dag.nodes() {
+        layers[layer[v.index()]].push(v);
+    }
+    Ok(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Dag, [NodeId; 5]) {
+        // a -> b -> d; a -> c -> d; d -> e
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        let c = g.add_node(1.0);
+        let d = g.add_node(1.0);
+        let e = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g.add_edge(d, e);
+        (g, [a, b, c, d, e])
+    }
+
+    fn assert_is_topological(dag: &Dag, order: &[NodeId]) {
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        assert_eq!(order.len(), dag.node_count());
+        for (s, d) in dag.edges() {
+            assert!(pos[&s] < pos[&d], "edge {s:?}->{d:?} violates order");
+        }
+    }
+
+    #[test]
+    fn order_is_topological() {
+        let (g, _) = sample();
+        let order = topological_order(&g).unwrap();
+        assert_is_topological(&g, &order);
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let (g, _) = sample();
+        assert_eq!(
+            topological_order(&g).unwrap(),
+            topological_order(&g).unwrap()
+        );
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        let c = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        assert!(matches!(topological_order(&g), Err(DagError::Cycle { .. })));
+    }
+
+    #[test]
+    fn layers_are_correct() {
+        let (g, [a, b, c, d, e]) = sample();
+        let layers = topological_layers(&g).unwrap();
+        assert_eq!(layers.len(), 4);
+        assert_eq!(layers[0], vec![a]);
+        assert_eq!(layers[1], vec![b, c]);
+        assert_eq!(layers[2], vec![d]);
+        assert_eq!(layers[3], vec![e]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Dag::new();
+        assert!(topological_order(&g).unwrap().is_empty());
+        assert!(topological_layers(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_form_single_layer() {
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        g.add_node(2.0);
+        let layers = topological_layers(&g).unwrap();
+        assert_eq!(layers.len(), 1);
+        assert_eq!(layers[0].len(), 2);
+    }
+}

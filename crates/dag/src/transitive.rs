@@ -1,0 +1,195 @@
+//! Transitive closure and transitive reduction.
+//!
+//! The closure is used by the second-order estimator (reachability
+//! queries) and by the scheduling crate; the reduction is offered for
+//! graph hygiene (the tiled-factorization generators can emit redundant
+//! precedence edges that reduction removes without changing any path
+//! length semantics).
+
+use crate::graph::{Dag, NodeId};
+use crate::topo::topological_order;
+
+/// Dense reachability matrix computed with a bitset per node.
+///
+/// `reaches(i, j)` is true iff there is a directed path from `i` to `j`
+/// of length ≥ 0 (so `reaches(i, i)` is always true). Memory is
+/// `O(|V|² / 64)`.
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    n: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    #[inline]
+    fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words..(i + 1) * self.words]
+    }
+
+    /// Whether a directed path `i → j` exists (reflexive).
+    #[inline]
+    pub fn reaches(&self, i: NodeId, j: NodeId) -> bool {
+        let r = self.row(i.index());
+        r[j.index() / 64] >> (j.index() % 64) & 1 == 1
+    }
+
+    /// Number of nodes reachable from `i` (including `i`).
+    pub fn descendant_count(&self, i: NodeId) -> usize {
+        self.row(i.index())
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of nodes in the matrix.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Compute the transitive closure of `dag`.
+///
+/// Processes nodes in reverse topological order, OR-ing successor rows —
+/// `O(|V|·|E| / 64)` word operations.
+///
+/// # Panics
+/// Panics on cyclic input.
+pub fn transitive_closure(dag: &Dag) -> Reachability {
+    let n = dag.node_count();
+    let words = n.div_ceil(64);
+    let mut bits = vec![0u64; n * words];
+    let topo = topological_order(dag).expect("transitive_closure requires an acyclic graph");
+    for &v in topo.iter().rev() {
+        let vi = v.index();
+        // self bit
+        bits[vi * words + vi / 64] |= 1u64 << (vi % 64);
+        // OR in each successor's row (successors are later in topo order,
+        // hence already complete).
+        for &s in dag.succs(v) {
+            let si = s.index();
+            // Split the flat buffer to borrow two disjoint rows.
+            let (lo, hi) = (vi.min(si), vi.max(si));
+            let (first, second) = bits.split_at_mut(hi * words);
+            let (dst, src) = if vi < si {
+                (&mut first[vi * words..(vi + 1) * words], &second[..words])
+            } else {
+                (&mut second[..words], &first[si * words..(si + 1) * words])
+            };
+            debug_assert!(lo < hi);
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d |= *s;
+            }
+        }
+    }
+    Reachability { n, words, bits }
+}
+
+/// Compute the transitive reduction of `dag`: the unique minimal subgraph
+/// of a DAG with the same reachability relation.
+///
+/// An edge `(u, v)` is redundant iff some other successor `w` of `u`
+/// reaches `v`. Returns a new graph with the same nodes (weights and
+/// names preserved) and only the non-redundant edges.
+///
+/// # Panics
+/// Panics on cyclic input.
+pub fn transitive_reduction(dag: &Dag) -> Dag {
+    let reach = transitive_closure(dag);
+    let mut out = Dag::with_capacity(dag.node_count(), dag.edge_count());
+    for v in dag.nodes() {
+        out.add_named_node(dag.weight(v), dag.name(v));
+    }
+    for (u, v) in dag.edges() {
+        let redundant = dag.succs(u).iter().any(|&w| w != v && reach.reaches(w, v));
+        if !redundant {
+            out.add_edge_dedup(u, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_of_chain() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        let c = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let r = transitive_closure(&g);
+        assert!(r.reaches(a, c));
+        assert!(r.reaches(a, a));
+        assert!(!r.reaches(c, a));
+        assert_eq!(r.descendant_count(a), 3);
+        assert_eq!(r.descendant_count(c), 1);
+    }
+
+    #[test]
+    fn reduction_removes_shortcut() {
+        let mut g = Dag::new();
+        let a = g.add_named_node(1.0, Some("a"));
+        let b = g.add_node(1.0);
+        let c = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(a, c); // redundant shortcut
+        let red = transitive_reduction(&g);
+        assert_eq!(red.edge_count(), 2);
+        assert_eq!(red.name(a), Some("a"), "names preserved");
+        // Reachability unchanged.
+        let r = transitive_closure(&red);
+        assert!(r.reaches(a, c));
+    }
+
+    #[test]
+    fn reduction_preserves_longest_paths_here() {
+        // Redundant edges never carry the longest path in an
+        // activity-on-node DAG with non-negative weights.
+        let mut g = Dag::new();
+        let a = g.add_node(2.0);
+        let b = g.add_node(3.0);
+        let c = g.add_node(4.0);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(a, c);
+        let before = g.longest_path_length();
+        let red = transitive_reduction(&g);
+        assert!((red.longest_path_length() - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_of_irreducible_graph_is_identity() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        let c = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        let red = transitive_reduction(&g);
+        assert_eq!(red.edge_count(), 2);
+    }
+
+    #[test]
+    fn closure_on_wide_graph_crosses_word_boundary() {
+        // >64 nodes to exercise multi-word rows.
+        let mut g = Dag::new();
+        let root = g.add_node(1.0);
+        let mut leaves = Vec::new();
+        for _ in 0..130 {
+            let v = g.add_node(1.0);
+            g.add_edge(root, v);
+            leaves.push(v);
+        }
+        let r = transitive_closure(&g);
+        for &l in &leaves {
+            assert!(r.reaches(root, l));
+            assert!(!r.reaches(l, root));
+        }
+        assert_eq!(r.descendant_count(root), 131);
+    }
+}

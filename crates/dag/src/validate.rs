@@ -1,0 +1,81 @@
+//! Validation helpers and the crate error type.
+
+use crate::graph::{Dag, NodeId};
+use crate::topo::topological_order;
+use std::fmt;
+
+/// Errors produced by DAG construction and validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DagError {
+    /// The graph contains a directed cycle; `node` lies on or downstream
+    /// of one.
+    Cycle {
+        /// A witness node with non-zero residual in-degree after Kahn's
+        /// algorithm drained all ready nodes.
+        node: NodeId,
+    },
+    /// A named node was referenced but never defined (builder API).
+    UnknownName {
+        /// The offending name.
+        name: String,
+    },
+    /// Two nodes were given the same name (builder API).
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Cycle { node } => {
+                write!(f, "graph contains a cycle through/behind node {node:?}")
+            }
+            DagError::UnknownName { name } => write!(f, "unknown node name {name:?}"),
+            DagError::DuplicateName { name } => write!(f, "duplicate node name {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Check that `dag` is acyclic.
+pub fn validate_acyclic(dag: &Dag) -> Result<(), DagError> {
+    topological_order(dag).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_passes() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        g.add_edge(a, b);
+        assert!(validate_acyclic(&g).is_ok());
+    }
+
+    #[test]
+    fn cycle_fails_with_witness() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        match validate_acyclic(&g) {
+            Err(DagError::Cycle { node }) => assert!(node == a || node == b),
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = DagError::UnknownName { name: "x".into() };
+        assert!(e.to_string().contains("unknown"));
+        let e = DagError::DuplicateName { name: "x".into() };
+        assert!(e.to_string().contains("duplicate"));
+    }
+}

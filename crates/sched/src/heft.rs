@@ -1,0 +1,240 @@
+//! HEFT (Heterogeneous Earliest Finish Time, Topcuoglu et al. 2002) on
+//! speed-scaled processors.
+//!
+//! Ranking uses the *upward rank* on mean execution costs; placement
+//! greedily minimizes earliest finish time with insertion-based gap
+//! filling. The produced assignment can be replayed under silent errors
+//! via [`crate::simulate_execution`] with
+//! [`crate::SimConfig::assignment`].
+
+use crate::schedule::{Schedule, ScheduleEntry};
+use stochdag_dag::{topological_order, Dag, NodeId};
+
+/// A HEFT schedule: placement plus the rank-ordered task list.
+#[derive(Clone, Debug)]
+pub struct HeftSchedule {
+    /// The failure-free schedule.
+    pub schedule: Schedule,
+    /// Tasks in scheduling order (decreasing upward rank).
+    pub order: Vec<NodeId>,
+    /// Upward rank per task (mean-cost bottom level), indexed by
+    /// `NodeId::index()`.
+    pub upward_rank: Vec<f64>,
+}
+
+/// Compute a HEFT schedule of `dag` on processors with the given speed
+/// factors (task `i` takes `aᵢ / speeds[p]` on processor `p`).
+///
+/// Failure-aware variants are obtained by handing `rank_weights`
+/// inflated expected durations (e.g. `aᵢ(2 − pᵢ)`); pass `None` to use
+/// the plain weights.
+///
+/// # Panics
+/// Panics if `speeds` is empty or contains non-positive entries.
+pub fn heft_schedule(dag: &Dag, speeds: &[f64], rank_weights: Option<&[f64]>) -> HeftSchedule {
+    assert!(!speeds.is_empty(), "need at least one processor");
+    assert!(
+        speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
+        "speeds must be positive"
+    );
+    let n = dag.node_count();
+    let p = speeds.len();
+    let mean_inv_speed: f64 = speeds.iter().map(|&s| 1.0 / s).sum::<f64>() / p as f64;
+
+    // Upward rank on mean costs: rank(i) = w̄ᵢ + max_succ rank(s).
+    let weights: Vec<f64> = match rank_weights {
+        Some(w) => {
+            assert_eq!(w.len(), n, "rank weight vector length mismatch");
+            w.to_vec()
+        }
+        None => dag.weights(),
+    };
+    let topo = topological_order(dag).expect("HEFT requires an acyclic graph");
+    let mut rank = vec![0.0f64; n];
+    for &v in topo.iter().rev() {
+        let best_succ = dag
+            .succs(v)
+            .iter()
+            .map(|s| rank[s.index()])
+            .fold(0.0f64, f64::max);
+        rank[v.index()] = weights[v.index()] * mean_inv_speed + best_succ;
+    }
+    let mut order: Vec<NodeId> = dag.nodes().collect();
+    // Decreasing rank, ties by id — but HEFT must also respect
+    // precedence; decreasing upward rank guarantees that (a predecessor
+    // always has strictly larger rank when weights are positive; equal
+    // ranks are broken by id which matches insertion order of the
+    // generators). A final stable topological repair pass below makes
+    // this robust to zero-weight tasks.
+    order.sort_by(|a, b| {
+        rank[b.index()]
+            .total_cmp(&rank[a.index()])
+            .then_with(|| a.index().cmp(&b.index()))
+    });
+    // Topological repair: stable-move any task after its predecessors.
+    let mut position = vec![0usize; n];
+    for (i, v) in order.iter().enumerate() {
+        position[v.index()] = i;
+    }
+    let mut repaired: Vec<NodeId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut pending = order.clone();
+    while repaired.len() < n {
+        let mut progressed = false;
+        pending.retain(|&v| {
+            if placed[v.index()] {
+                return false;
+            }
+            if dag.preds(v).iter().all(|p| placed[p.index()]) {
+                placed[v.index()] = true;
+                repaired.push(v);
+                progressed = true;
+                false
+            } else {
+                true
+            }
+        });
+        assert!(progressed, "cyclic DAG in HEFT ordering");
+    }
+    let order = repaired;
+
+    // Insertion-based EFT placement.
+    let mut proc_busy: Vec<Vec<(f64, f64)>> = vec![Vec::new(); p]; // sorted intervals
+    let mut entries = vec![
+        ScheduleEntry {
+            processor: 0,
+            start: 0.0,
+            finish: 0.0
+        };
+        n
+    ];
+    for &v in &order {
+        let ready: f64 = dag
+            .preds(v)
+            .iter()
+            .map(|q| entries[q.index()].finish)
+            .fold(0.0, f64::max);
+        let mut best: Option<(f64, f64, usize)> = None; // (finish, start, proc)
+        for q in 0..p {
+            let dur = dag.weight(v) / speeds[q];
+            let (start, finish) = earliest_slot(&proc_busy[q], ready, dur);
+            if best.is_none_or(|(bf, _, _)| finish < bf - 1e-15) {
+                best = Some((finish, start, q));
+            }
+        }
+        let (finish, start, q) = best.expect("at least one processor");
+        entries[v.index()] = ScheduleEntry {
+            processor: q,
+            start,
+            finish,
+        };
+        let pos = proc_busy[q].partition_point(|&(s, _)| s < start);
+        proc_busy[q].insert(pos, (start, finish));
+    }
+    let schedule = Schedule {
+        processors: p,
+        entries,
+    };
+    debug_assert!(
+        schedule.validate(dag).is_ok(),
+        "{:?}",
+        schedule.validate(dag)
+    );
+    HeftSchedule {
+        schedule,
+        order,
+        upward_rank: rank,
+    }
+}
+
+/// Earliest `(start, finish)` of a `dur`-long job on a processor with
+/// the given sorted busy intervals, not earlier than `ready`.
+fn earliest_slot(busy: &[(f64, f64)], ready: f64, dur: f64) -> (f64, f64) {
+    let mut t = ready;
+    for &(s, f) in busy {
+        if t + dur <= s + 1e-15 {
+            break; // fits in the gap before this interval
+        }
+        if f > t {
+            t = f;
+        }
+    }
+    (t, t + dur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    #[test]
+    fn identical_processors_reach_critical_path() {
+        let g = diamond();
+        let h = heft_schedule(&g, &[1.0, 1.0], None);
+        assert!(h.schedule.validate(&g).is_ok());
+        assert!((h.schedule.makespan() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_respects_rank_and_precedence() {
+        let g = diamond();
+        let h = heft_schedule(&g, &[1.0], None);
+        assert_eq!(h.order[0].index(), 0, "source ranks highest");
+        // rank(a) = 1 + max(rank b, rank c) = 1 + 4 = 5 on unit speeds.
+        assert!((h.upward_rank[0] - 5.0).abs() < 1e-12);
+        assert!((h.upward_rank[2] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_processor_attracts_work() {
+        let mut g = Dag::new();
+        g.add_node(6.0);
+        let h = heft_schedule(&g, &[1.0, 3.0], None);
+        assert_eq!(h.schedule.entries[0].processor, 1);
+        assert!((h.schedule.makespan() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_fills_gaps() {
+        // b (long) and c (short) fork from a; d joins; one fast and one
+        // slow processor: HEFT must not serialize everything.
+        let g = diamond();
+        let h = heft_schedule(&g, &[1.0, 2.0], None);
+        assert!(h.schedule.validate(&g).is_ok());
+        // Lower bound: critical path on fastest processor.
+        assert!(h.schedule.makespan() >= 5.0 / 2.0 - 1e-12);
+        // Strictly better than single slow processor.
+        assert!(h.schedule.makespan() <= 7.0 + 1e-12);
+    }
+
+    #[test]
+    fn inflated_rank_weights_accepted() {
+        let g = diamond();
+        let inflated: Vec<f64> = g.weights().iter().map(|w| w * 1.1).collect();
+        let h = heft_schedule(&g, &[1.0, 1.0], Some(&inflated));
+        assert!(h.schedule.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn zero_weight_tasks_handled() {
+        let mut g = Dag::new();
+        let a = g.add_node(0.0);
+        let b = g.add_node(1.0);
+        g.add_edge(a, b);
+        let h = heft_schedule(&g, &[1.0], None);
+        assert!(h.schedule.validate(&g).is_ok());
+        assert!((h.schedule.makespan() - 1.0).abs() < 1e-12);
+    }
+}

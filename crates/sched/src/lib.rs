@@ -1,0 +1,40 @@
+//! # stochdag-sched — failure-aware list scheduling
+//!
+//! The paper's stated motivation (Section I) is that silent errors break
+//! classical list-scheduling heuristics: CP-scheduling and HEFT
+//! prioritize tasks by *bottom level* (longest path to the exit), and
+//! under re-executions the bottom level becomes a random variable whose
+//! expectation is #P-complete to compute — hence the first-order
+//! approximation. This crate closes the loop by actually building the
+//! scheduling stack the paper points at:
+//!
+//! * [`Priority`] — task priority policies: classical failure-free
+//!   bottom level, the first-order *expected* bottom level (per-task
+//!   weights inflated to their expected durations `aᵢ(2 − pᵢ)`), the
+//!   first-order criticality (bottom level plus the task's contribution
+//!   to `E(G) − d(G)`), plus trivial baselines.
+//! * [`list_schedule`] — static list scheduling on `P` identical
+//!   processors (failure-free), producing a validated [`Schedule`].
+//! * [`simulate_execution`] — discrete-event execution under silent
+//!   errors: dynamic list scheduling where each completed attempt is
+//!   verified and re-executed from scratch on failure (geometric
+//!   attempts), with deterministic seeding.
+//! * [`heft_schedule`] — HEFT on heterogeneous (speed-scaled)
+//!   processors, with the same failure-aware simulation.
+//! * [`compare_policies`] — replicated simulations (Rayon-parallel)
+//!   comparing policies, as exercised by the `scheduling_under_errors`
+//!   example and the `sched` CLI subcommand.
+
+mod heft;
+mod list;
+mod policy;
+mod schedule;
+mod sim;
+mod stats;
+
+pub use heft::{heft_schedule, HeftSchedule};
+pub use list::list_schedule;
+pub use policy::{compute_priorities, Priority};
+pub use schedule::{Schedule, ScheduleEntry};
+pub use sim::{simulate_execution, ExecutionOutcome, SimConfig};
+pub use stats::{compare_policies, PolicyComparison, PolicyStats};

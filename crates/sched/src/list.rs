@@ -1,0 +1,235 @@
+//! Static list scheduling on identical processors (failure-free).
+
+use crate::policy::{compute_priorities, Priority};
+use crate::schedule::{Schedule, ScheduleEntry};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use stochdag_core::FailureModel;
+use stochdag_dag::{Dag, NodeId};
+
+/// Total-ordering wrapper for `f64` heap keys (`total_cmp`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Event-driven list scheduling: whenever a processor is free, start the
+/// ready task with the highest priority (ties broken by node id, so the
+/// schedule is deterministic).
+///
+/// The resulting [`Schedule`] is validated in debug builds.
+///
+/// # Panics
+/// Panics if `processors == 0` or the DAG is cyclic.
+pub fn list_schedule(
+    dag: &Dag,
+    processors: usize,
+    model: &FailureModel,
+    policy: Priority,
+) -> Schedule {
+    assert!(processors > 0, "need at least one processor");
+    let n = dag.node_count();
+    let prio = compute_priorities(dag, model, policy);
+    let mut indeg: Vec<usize> = dag.nodes().map(|v| dag.in_degree(v)).collect();
+
+    // Ready queue: max-heap on (priority, Reverse(node id)).
+    let mut ready: BinaryHeap<(OrdF64, Reverse<u32>)> = BinaryHeap::new();
+    for v in dag.nodes() {
+        if indeg[v.index()] == 0 {
+            ready.push((OrdF64(prio[v.index()]), Reverse(v.index() as u32)));
+        }
+    }
+
+    // Idle processors and the time each becomes free: min-heap.
+    let mut free_procs: Vec<usize> = (0..processors).rev().collect();
+    // Running tasks: min-heap on (finish time, node).
+    let mut running: BinaryHeap<Reverse<(OrdF64, u32, usize)>> = BinaryHeap::new();
+
+    let mut entries = vec![
+        ScheduleEntry {
+            processor: 0,
+            start: 0.0,
+            finish: 0.0
+        };
+        n
+    ];
+    let mut remaining = n;
+    let mut now = 0.0f64;
+
+    while remaining > 0 {
+        // Start ready tasks on idle processors at the current time.
+        while !free_procs.is_empty() && !ready.is_empty() {
+            let proc_id = free_procs.pop().expect("non-empty");
+            let (_, Reverse(vidx)) = ready.pop().expect("non-empty");
+            let v = NodeId::from_index(vidx as usize);
+            let finish = now + dag.weight(v);
+            entries[vidx as usize] = ScheduleEntry {
+                processor: proc_id,
+                start: now,
+                finish,
+            };
+            running.push(Reverse((OrdF64(finish), vidx, proc_id)));
+        }
+        // Advance to the next completion (and all ties), release
+        // successors and processors.
+        let Some(Reverse((OrdF64(t), vidx, proc_id))) = running.pop() else {
+            panic!("deadlock: no running task but {remaining} tasks unscheduled (cyclic DAG?)");
+        };
+        now = t;
+        let mut finished = vec![(vidx, proc_id)];
+        while let Some(&Reverse((OrdF64(t2), _, _))) = running.peek() {
+            if t2 > now {
+                break;
+            }
+            let Reverse((_, w, p)) = running.pop().expect("peeked");
+            finished.push((w, p));
+        }
+        for (widx, p) in finished {
+            remaining -= 1;
+            free_procs.push(p);
+            let w = NodeId::from_index(widx as usize);
+            for &s in dag.succs(w) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    ready.push((OrdF64(prio[s.index()]), Reverse(s.index() as u32)));
+                }
+            }
+        }
+    }
+
+    let schedule = Schedule {
+        processors,
+        entries,
+    };
+    debug_assert!(
+        schedule.validate(dag).is_ok(),
+        "{:?}",
+        schedule.validate(dag)
+    );
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochdag_dag::longest_path_length;
+
+    fn ff() -> FailureModel {
+        FailureModel::failure_free()
+    }
+
+    #[test]
+    fn single_processor_serializes() {
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        g.add_node(2.0);
+        g.add_node(3.0);
+        let s = list_schedule(&g, 1, &ff(), Priority::BottomLevel);
+        assert!(s.validate(&g).is_ok());
+        assert!((s.makespan() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlimited_processors_reach_critical_path() {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        let s = list_schedule(&g, 4, &ff(), Priority::BottomLevel);
+        assert!(s.validate(&g).is_ok());
+        assert!((s.makespan() - longest_path_length(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_processors_fork_join() {
+        // fork(0) -> 2 branches of weight 3 -> join(0): on 2 procs the
+        // branches run in parallel: makespan 3.
+        let mut g = Dag::new();
+        let f = g.add_node(0.0);
+        let b1 = g.add_node(3.0);
+        let b2 = g.add_node(3.0);
+        let j = g.add_node(0.0);
+        g.add_edge(f, b1);
+        g.add_edge(f, b2);
+        g.add_edge(b1, j);
+        g.add_edge(b2, j);
+        let s = list_schedule(&g, 2, &ff(), Priority::BottomLevel);
+        assert!((s.makespan() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priority_orders_ready_tasks() {
+        // Three independent tasks on one processor: highest priority
+        // (bottom level = weight here) runs first.
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        g.add_node(5.0);
+        g.add_node(2.0);
+        let s = list_schedule(&g, 1, &ff(), Priority::BottomLevel);
+        assert_eq!(s.entries[1].start, 0.0, "heaviest first under bottom-level");
+        assert!(s.entries[0].start > s.entries[2].start);
+    }
+
+    #[test]
+    fn makespan_bounds_hold() {
+        // Graham bounds: d(G) <= makespan <= total weight.
+        let mut g = Dag::new();
+        let mut prev = None;
+        for i in 0..20 {
+            let v = g.add_node(1.0 + (i % 3) as f64);
+            if i % 4 != 0 {
+                if let Some(p) = prev {
+                    g.add_edge(p, v);
+                }
+            }
+            prev = Some(v);
+        }
+        for procs in [1, 2, 4, 8] {
+            let s = list_schedule(&g, procs, &ff(), Priority::BottomLevel);
+            assert!(s.validate(&g).is_ok());
+            assert!(s.makespan() + 1e-9 >= longest_path_length(&g));
+            assert!(s.makespan() <= g.total_weight() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_processors_never_hurt_here() {
+        let mut g = Dag::new();
+        for i in 0..12 {
+            let v = g.add_node(1.0 + (i % 4) as f64);
+            if i >= 4 {
+                // connect to an earlier node to create structure
+                g.add_edge(NodeId::from_index(i - 4), v);
+            }
+        }
+        let m2 = list_schedule(&g, 2, &ff(), Priority::BottomLevel).makespan();
+        let m8 = list_schedule(&g, 8, &ff(), Priority::BottomLevel).makespan();
+        assert!(m8 <= m2 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut g = Dag::new();
+        for i in 0..10 {
+            g.add_node(1.0 + i as f64 * 0.1);
+        }
+        let a = list_schedule(&g, 3, &ff(), Priority::Weight);
+        let b = list_schedule(&g, 3, &ff(), Priority::Weight);
+        assert_eq!(a.entries, b.entries);
+    }
+}

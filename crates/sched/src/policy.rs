@@ -1,0 +1,150 @@
+//! Task priority policies for list scheduling.
+
+use stochdag_core::{first_order_detailed, FailureModel};
+use stochdag_dag::{Dag, LevelInfo};
+
+/// Which scalar priority to assign each task (larger = scheduled
+/// earlier among ready tasks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Priority {
+    /// Classical CP-scheduling: failure-free bottom level `bl(i)`.
+    BottomLevel,
+    /// Bottom level computed on *expected* task durations
+    /// `E[wᵢ] = aᵢ(2 − pᵢ)` — the natural first-order failure-aware
+    /// refinement the paper's approximation enables.
+    ExpectedBottomLevel,
+    /// Failure-free bottom level plus the task's first-order
+    /// contribution `λaᵢ(d(Gᵢ) − d(G))` to the expected makespan —
+    /// boosts tasks whose re-execution would actually lengthen the
+    /// schedule.
+    FirstOrderCriticality,
+    /// Task weight (largest-processing-time); failure-oblivious
+    /// baseline.
+    Weight,
+    /// Arrival order (FIFO by node id); the weakest baseline.
+    InsertionOrder,
+}
+
+impl Priority {
+    /// All policies, for sweeps.
+    pub const ALL: [Priority; 5] = [
+        Priority::BottomLevel,
+        Priority::ExpectedBottomLevel,
+        Priority::FirstOrderCriticality,
+        Priority::Weight,
+        Priority::InsertionOrder,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::BottomLevel => "bottom-level",
+            Priority::ExpectedBottomLevel => "expected-bottom-level",
+            Priority::FirstOrderCriticality => "first-order-criticality",
+            Priority::Weight => "weight",
+            Priority::InsertionOrder => "insertion-order",
+        }
+    }
+}
+
+/// Compute the priority of every task under `policy`.
+///
+/// Returned vector is indexed by `NodeId::index()`.
+pub fn compute_priorities(dag: &Dag, model: &FailureModel, policy: Priority) -> Vec<f64> {
+    match policy {
+        Priority::BottomLevel => LevelInfo::compute(dag).bot,
+        Priority::ExpectedBottomLevel => {
+            let mut inflated = dag.clone();
+            for i in dag.nodes() {
+                let a = dag.weight(i);
+                let p = model.psuccess_of_weight(a);
+                inflated.set_weight(i, a * (2.0 - p));
+            }
+            LevelInfo::compute(&inflated).bot
+        }
+        Priority::FirstOrderCriticality => {
+            let levels = LevelInfo::compute(dag);
+            let detail = first_order_detailed(dag, model).task_contribution;
+            dag.nodes()
+                .map(|i| levels.bot[i.index()] + detail[i.index()])
+                .collect()
+        }
+        Priority::Weight => dag.weights(),
+        Priority::InsertionOrder => dag.nodes().map(|i| -(i.index() as f64)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Dag {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        g.add_edge(a, b);
+        g
+    }
+
+    #[test]
+    fn bottom_level_priorities() {
+        let g = chain();
+        let p = compute_priorities(&g, &FailureModel::failure_free(), Priority::BottomLevel);
+        assert_eq!(p, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn expected_bottom_level_inflates() {
+        let g = chain();
+        let model = FailureModel::new(0.1);
+        let p = compute_priorities(&g, &model, Priority::ExpectedBottomLevel);
+        let pf = compute_priorities(&g, &model, Priority::BottomLevel);
+        assert!(p[0] > pf[0], "expected durations must inflate levels");
+        // Exact: bl(a) = E[w_a] + E[w_b].
+        let ew: Vec<f64> = [1.0f64, 2.0]
+            .iter()
+            .map(|&a| a * (2.0 - model.psuccess_of_weight(a)))
+            .collect();
+        assert!((p[0] - (ew[0] + ew[1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_order_criticality_boosts_critical_tasks() {
+        // Diamond with a heavy critical branch.
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(0.5);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        let model = FailureModel::new(0.05);
+        let crit = compute_priorities(&g, &model, Priority::FirstOrderCriticality);
+        let plain = compute_priorities(&g, &model, Priority::BottomLevel);
+        // c is critical: its boost must exceed b's.
+        let boost_c = crit[2] - plain[2];
+        let boost_b = crit[1] - plain[1];
+        assert!(boost_c > boost_b, "boost_c={boost_c} boost_b={boost_b}");
+    }
+
+    #[test]
+    fn all_policies_produce_finite_priorities() {
+        let g = chain();
+        let model = FailureModel::new(0.01);
+        for policy in Priority::ALL {
+            let p = compute_priorities(&g, &model, policy);
+            assert_eq!(p.len(), 2, "{}", policy.name());
+            assert!(p.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Priority::ALL {
+            assert!(seen.insert(p.name()));
+        }
+    }
+}

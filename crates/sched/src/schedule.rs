@@ -1,0 +1,199 @@
+//! Schedule representation and validation.
+
+use stochdag_dag::{Dag, NodeId};
+
+/// Placement of one task (or one *successful* task execution, for
+/// simulated schedules — re-executed attempts are folded into the
+/// interval).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleEntry {
+    /// Processor index in `0..P`.
+    pub processor: usize,
+    /// Start time of the task's first attempt.
+    pub start: f64,
+    /// Completion time of the successful attempt.
+    pub finish: f64,
+}
+
+/// A complete schedule of a DAG on `P` processors.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Number of processors.
+    pub processors: usize,
+    /// Per-task placement, indexed by `NodeId::index()`.
+    pub entries: Vec<ScheduleEntry>,
+}
+
+impl Schedule {
+    /// Schedule makespan: the latest finish time (0 for empty).
+    pub fn makespan(&self) -> f64 {
+        self.entries.iter().map(|e| e.finish).fold(0.0, f64::max)
+    }
+
+    /// Entry of a task.
+    pub fn entry(&self, i: NodeId) -> ScheduleEntry {
+        self.entries[i.index()]
+    }
+
+    /// Sum of busy time divided by `P × makespan` (1.0 = perfectly
+    /// packed).
+    pub fn utilization(&self) -> f64 {
+        let m = self.makespan();
+        if m == 0.0 {
+            return 1.0;
+        }
+        let busy: f64 = self.entries.iter().map(|e| e.finish - e.start).sum();
+        busy / (self.processors as f64 * m)
+    }
+
+    /// Check the schedule is feasible for `dag`:
+    /// * every task assigned to a valid processor,
+    /// * no two tasks overlap on a processor,
+    /// * every task starts at/after all its predecessors finish.
+    ///
+    /// Returns a human-readable violation description, or `Ok(())`.
+    pub fn validate(&self, dag: &Dag) -> Result<(), String> {
+        if self.entries.len() != dag.node_count() {
+            return Err(format!(
+                "schedule covers {} tasks, DAG has {}",
+                self.entries.len(),
+                dag.node_count()
+            ));
+        }
+        const EPS: f64 = 1e-9;
+        for (idx, e) in self.entries.iter().enumerate() {
+            if e.processor >= self.processors {
+                return Err(format!("task #{idx} on invalid processor {}", e.processor));
+            }
+            if e.finish < e.start - EPS {
+                return Err(format!("task #{idx} finishes before it starts"));
+            }
+        }
+        // Precedence.
+        for (s, d) in dag.edges() {
+            let fs = self.entries[s.index()].finish;
+            let sd = self.entries[d.index()].start;
+            if sd + EPS < fs {
+                return Err(format!(
+                    "precedence violated: {} finishes at {fs} but {} starts at {sd}",
+                    dag.display_name(s),
+                    dag.display_name(d)
+                ));
+            }
+        }
+        // No overlap per processor.
+        let mut by_proc: Vec<Vec<(f64, f64, usize)>> = vec![Vec::new(); self.processors];
+        for (idx, e) in self.entries.iter().enumerate() {
+            by_proc[e.processor].push((e.start, e.finish, idx));
+        }
+        for (p, intervals) in by_proc.iter_mut().enumerate() {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in intervals.windows(2) {
+                if w[1].0 + EPS < w[0].1 {
+                    return Err(format!(
+                        "overlap on processor {p}: task #{} ({}..{}) and task #{} ({}..{})",
+                        w[0].2, w[0].0, w[0].1, w[1].2, w[1].0, w[1].1
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Dag {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        g.add_edge(a, b);
+        g
+    }
+
+    fn ok_schedule() -> Schedule {
+        Schedule {
+            processors: 1,
+            entries: vec![
+                ScheduleEntry {
+                    processor: 0,
+                    start: 0.0,
+                    finish: 1.0,
+                },
+                ScheduleEntry {
+                    processor: 0,
+                    start: 1.0,
+                    finish: 3.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let g = chain();
+        let s = ok_schedule();
+        assert!(s.validate(&g).is_ok());
+        assert_eq!(s.makespan(), 3.0);
+        assert!((s.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let g = chain();
+        let mut s = ok_schedule();
+        s.entries[1].start = 0.5;
+        s.entries[1].finish = 2.5;
+        let err = s.validate(&g).unwrap_err();
+        assert!(err.contains("precedence"), "{err}");
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        g.add_node(1.0);
+        let s = Schedule {
+            processors: 1,
+            entries: vec![
+                ScheduleEntry {
+                    processor: 0,
+                    start: 0.0,
+                    finish: 1.0,
+                },
+                ScheduleEntry {
+                    processor: 0,
+                    start: 0.5,
+                    finish: 1.5,
+                },
+            ],
+        };
+        let err = s.validate(&g).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn bad_processor_detected() {
+        let g = chain();
+        let mut s = ok_schedule();
+        s.entries[0].processor = 5;
+        assert!(s.validate(&g).is_err());
+    }
+
+    #[test]
+    fn utilization_with_idle_processor() {
+        let mut g = Dag::new();
+        g.add_node(2.0);
+        let s = Schedule {
+            processors: 2,
+            entries: vec![ScheduleEntry {
+                processor: 0,
+                start: 0.0,
+                finish: 2.0,
+            }],
+        };
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+    }
+}

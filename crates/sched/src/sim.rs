@@ -1,0 +1,329 @@
+//! Discrete-event execution simulation under silent errors.
+//!
+//! Dynamic list scheduling: whenever a processor frees up, the
+//! highest-priority ready task starts. Each execution attempt of task
+//! `i` on processor `p` takes `aᵢ / speed(p)` and is verified at
+//! completion; the verification flags a silent error with probability
+//! `1 − e^{−λ·aᵢ/speed(p)}` (error exposure scales with the time the
+//! computation was exposed, matching the paper's model on unit-speed
+//! processors), in which case the task restarts *on the same processor*
+//! immediately. Attempts repeat until success.
+
+use crate::list::OrdF64;
+use crate::policy::{compute_priorities, Priority};
+use crate::schedule::{Schedule, ScheduleEntry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use stochdag_core::FailureModel;
+use stochdag_dag::{Dag, NodeId};
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Per-processor speed factors; length = processor count. Use
+    /// `vec![1.0; p]` for identical processors.
+    pub speeds: Vec<f64>,
+    /// Priority policy for the dynamic ready queue.
+    pub policy: Priority,
+    /// RNG seed (the simulation is deterministic given the seed).
+    pub seed: u64,
+    /// Optional fixed task→processor assignment (e.g. from HEFT); when
+    /// set, a ready task waits for *its* processor instead of taking any
+    /// idle one.
+    pub assignment: Option<Vec<usize>>,
+}
+
+impl SimConfig {
+    /// Identical unit-speed processors with the given policy.
+    pub fn identical(processors: usize, policy: Priority, seed: u64) -> SimConfig {
+        assert!(processors > 0);
+        SimConfig {
+            speeds: vec![1.0; processors],
+            policy,
+            seed,
+            assignment: None,
+        }
+    }
+}
+
+/// Result of one simulated execution.
+#[derive(Clone, Debug)]
+pub struct ExecutionOutcome {
+    /// The realized schedule (start = first attempt start, finish =
+    /// successful completion).
+    pub schedule: Schedule,
+    /// Total number of failed attempts across all tasks.
+    pub failures: usize,
+    /// Total wasted time (duration of failed attempts).
+    pub wasted_time: f64,
+}
+
+impl ExecutionOutcome {
+    /// Realized makespan.
+    pub fn makespan(&self) -> f64 {
+        self.schedule.makespan()
+    }
+}
+
+/// Simulate one execution of `dag` under `model` with the given
+/// configuration. See module docs for the semantics.
+///
+/// # Panics
+/// Panics on empty processor lists, non-positive speeds, or cyclic DAGs.
+pub fn simulate_execution(dag: &Dag, model: &FailureModel, cfg: &SimConfig) -> ExecutionOutcome {
+    let processors = cfg.speeds.len();
+    assert!(processors > 0, "need at least one processor");
+    assert!(
+        cfg.speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
+        "speeds must be positive"
+    );
+    if let Some(a) = &cfg.assignment {
+        assert_eq!(a.len(), dag.node_count(), "assignment must cover all tasks");
+        assert!(
+            a.iter().all(|&p| p < processors),
+            "assignment targets a valid processor"
+        );
+    }
+    let n = dag.node_count();
+    let prio = compute_priorities(dag, model, cfg.policy);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut indeg: Vec<usize> = dag.nodes().map(|v| dag.in_degree(v)).collect();
+
+    let mut ready: BinaryHeap<(OrdF64, Reverse<u32>)> = BinaryHeap::new();
+    for v in dag.nodes() {
+        if indeg[v.index()] == 0 {
+            ready.push((OrdF64(prio[v.index()]), Reverse(v.index() as u32)));
+        }
+    }
+    let mut proc_free = vec![true; processors];
+    // (finish time, node, processor) of running attempts.
+    let mut running: BinaryHeap<Reverse<(OrdF64, u32, usize)>> = BinaryHeap::new();
+    let mut entries = vec![
+        ScheduleEntry {
+            processor: 0,
+            start: 0.0,
+            finish: 0.0
+        };
+        n
+    ];
+    let mut started = vec![false; n];
+    let mut remaining = n;
+    let mut now = 0.0f64;
+    let mut failures = 0usize;
+    let mut wasted = 0.0f64;
+
+    // Re-queue of ready tasks that could not start (assignment busy).
+    let mut stash: Vec<(OrdF64, Reverse<u32>)> = Vec::new();
+
+    while remaining > 0 {
+        // Launch ready tasks.
+        stash.clear();
+        while let Some((p, Reverse(vidx))) = ready.pop() {
+            let v = NodeId::from_index(vidx as usize);
+            let proc = match &cfg.assignment {
+                Some(assign) => {
+                    let target = assign[vidx as usize];
+                    if proc_free[target] {
+                        Some(target)
+                    } else {
+                        None
+                    }
+                }
+                None => {
+                    // Fastest idle processor.
+                    (0..processors)
+                        .filter(|&q| proc_free[q])
+                        .max_by(|&a, &b| cfg.speeds[a].total_cmp(&cfg.speeds[b]))
+                }
+            };
+            match proc {
+                Some(q) => {
+                    proc_free[q] = false;
+                    let dur = dag.weight(v) / cfg.speeds[q];
+                    if !started[vidx as usize] {
+                        entries[vidx as usize].processor = q;
+                        entries[vidx as usize].start = now;
+                        started[vidx as usize] = true;
+                    }
+                    running.push(Reverse((OrdF64(now + dur), vidx, q)));
+                }
+                None => stash.push((p, Reverse(vidx))),
+            }
+        }
+        for item in stash.drain(..) {
+            ready.push(item);
+        }
+
+        let Some(Reverse((OrdF64(t), vidx, q))) = running.pop() else {
+            panic!("deadlock: nothing running with {remaining} tasks left");
+        };
+        now = t;
+        let v = NodeId::from_index(vidx as usize);
+        let dur = dag.weight(v) / cfg.speeds[q];
+        // Verification: silent error detected?
+        let pfail = model.pfail_of_weight(dur);
+        if dur > 0.0 && rng.gen::<f64>() < pfail {
+            // Failed attempt: restart on the same processor immediately.
+            failures += 1;
+            wasted += dur;
+            running.push(Reverse((OrdF64(now + dur), vidx, q)));
+            continue;
+        }
+        // Success.
+        proc_free[q] = true;
+        entries[vidx as usize].finish = now;
+        remaining -= 1;
+        for &s in dag.succs(v) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push((OrdF64(prio[s.index()]), Reverse(s.index() as u32)));
+            }
+        }
+    }
+
+    let schedule = Schedule {
+        processors,
+        entries,
+    };
+    debug_assert!(
+        schedule.validate(dag).is_ok(),
+        "{:?}",
+        schedule.validate(dag)
+    );
+    ExecutionOutcome {
+        schedule,
+        failures,
+        wasted_time: wasted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochdag_dag::longest_path_length;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    #[test]
+    fn failure_free_matches_list_schedule_makespan() {
+        let g = diamond();
+        let model = FailureModel::failure_free();
+        let cfg = SimConfig::identical(2, Priority::BottomLevel, 0);
+        let out = simulate_execution(&g, &model, &cfg);
+        assert_eq!(out.failures, 0);
+        assert_eq!(out.wasted_time, 0.0);
+        let s = crate::list::list_schedule(&g, 2, &model, Priority::BottomLevel);
+        assert!((out.makespan() - s.makespan()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_extend_makespan() {
+        let g = diamond();
+        let model = FailureModel::new(0.5);
+        let cfg = SimConfig::identical(2, Priority::BottomLevel, 12345);
+        // Average over seeds: with λ=0.5 failures are frequent.
+        let mut total_failures = 0usize;
+        let mut mean = 0.0;
+        let reps = 200;
+        for seed in 0..reps {
+            let out = simulate_execution(
+                &g,
+                &model,
+                &SimConfig {
+                    seed,
+                    ..cfg.clone()
+                },
+            );
+            assert!(out.schedule.validate(&g).is_ok());
+            total_failures += out.failures;
+            mean += out.makespan();
+        }
+        mean /= reps as f64;
+        assert!(total_failures > 0, "failures must occur at λ=0.5");
+        assert!(
+            mean > longest_path_length(&g),
+            "re-executions lengthen the run"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = diamond();
+        let model = FailureModel::new(0.3);
+        let cfg = SimConfig::identical(2, Priority::BottomLevel, 7);
+        let a = simulate_execution(&g, &model, &cfg);
+        let b = simulate_execution(&g, &model, &cfg);
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.failures, b.failures);
+    }
+
+    #[test]
+    fn wasted_time_consistency() {
+        let g = diamond();
+        let model = FailureModel::new(0.4);
+        let out = simulate_execution(&g, &model, &SimConfig::identical(1, Priority::Weight, 3));
+        // On one unit-speed processor every failed attempt wastes its
+        // full task weight.
+        assert!(out.wasted_time >= out.failures as f64 * 0.9); // min weight 1.0
+    }
+
+    #[test]
+    fn fixed_assignment_respected() {
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        g.add_node(1.0);
+        let cfg = SimConfig {
+            speeds: vec![1.0, 1.0],
+            policy: Priority::BottomLevel,
+            seed: 0,
+            assignment: Some(vec![1, 1]),
+        };
+        let out = simulate_execution(&g, &FailureModel::failure_free(), &cfg);
+        assert_eq!(out.schedule.entries[0].processor, 1);
+        assert_eq!(out.schedule.entries[1].processor, 1);
+        // Serialized on processor 1.
+        assert!((out.makespan() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_speeds_scale_durations() {
+        let mut g = Dag::new();
+        g.add_node(4.0);
+        let cfg = SimConfig {
+            speeds: vec![2.0],
+            policy: Priority::BottomLevel,
+            seed: 0,
+            assignment: None,
+        };
+        let out = simulate_execution(&g, &FailureModel::failure_free(), &cfg);
+        assert!((out.makespan() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fastest_idle_processor_preferred() {
+        let mut g = Dag::new();
+        g.add_node(6.0);
+        let cfg = SimConfig {
+            speeds: vec![1.0, 3.0],
+            policy: Priority::BottomLevel,
+            seed: 0,
+            assignment: None,
+        };
+        let out = simulate_execution(&g, &FailureModel::failure_free(), &cfg);
+        assert_eq!(out.schedule.entries[0].processor, 1);
+        assert!((out.makespan() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! Duplication-count scaling probe for the faithful Dodin engine.
+//!
+//! Demonstrates why the experiment harness uses the forward surrogate at
+//! the paper's scales: duplications grow combinatorially on the dense
+//! LU DAGs (about 1.0e5 at k = 8 and 2.6e6 at k = 10 — the k = 10 row
+//! takes several minutes). See DESIGN.md §3.
+//!
+//! Run with: `cargo run -p stochdag-sp --release --example dodin_scale [max_k]`
+
+fn main() {
+    let max_k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let t = stochdag_taskgraphs::KernelTimings::paper_default();
+    for k in (4..=max_k).step_by(2) {
+        let g = stochdag_taskgraphs::lu_dag(k, &t);
+        let cfg = stochdag_sp::ReduceConfig {
+            max_atoms: 64,
+            ..Default::default()
+        };
+        let start = std::time::Instant::now();
+        let out =
+            stochdag_sp::dodin_evaluate(&g, |i| stochdag_dist::two_state(g.weight(i), 0.999), &cfg)
+                .unwrap();
+        println!(
+            "lu k={k}: n={} dups={} mean={:.4} d(G)={:.4} time={:?}",
+            g.node_count(),
+            out.duplications,
+            out.dist.mean(),
+            g.longest_path_length(),
+            start.elapsed()
+        );
+    }
+}

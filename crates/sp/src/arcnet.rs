@@ -1,0 +1,301 @@
+//! Activity-on-arc stochastic network.
+
+use stochdag_dag::{Dag, NodeId};
+use stochdag_dist::DiscreteDist;
+
+/// A directed multigraph whose arcs carry duration distributions, with a
+/// unique source and sink — the representation Dodin's algorithm (and
+/// classical PERT analysis) operates on.
+///
+/// Arcs are stored in a slot vector with tombstones; per-node adjacency
+/// lists hold live arc ids and are maintained eagerly on every mutation,
+/// so degree queries are `O(1)` and iteration over a node's arcs is
+/// `O(degree)`.
+#[derive(Clone, Debug)]
+pub struct ArcNetwork {
+    arcs: Vec<ArcSlot>,
+    out_arcs: Vec<Vec<u32>>,
+    in_arcs: Vec<Vec<u32>>,
+    live_arcs: usize,
+    source: u32,
+    sink: u32,
+}
+
+#[derive(Clone, Debug)]
+struct ArcSlot {
+    src: u32,
+    dst: u32,
+    dist: DiscreteDist,
+    alive: bool,
+}
+
+impl ArcNetwork {
+    /// Build the activity-on-arc network of a task DAG.
+    ///
+    /// Every task `i` becomes an arc `begin(i) → end(i)` carrying
+    /// `dist_of(i)`; every precedence `(i, j)` a zero arc
+    /// `end(i) → begin(j)`; entry/exit tasks attach to the virtual
+    /// source/sink with zero arcs. Node ids: `source = 0`, `sink = 1`,
+    /// `begin(i) = 2 + 2·index(i)`, `end(i) = 3 + 2·index(i)`.
+    ///
+    /// # Panics
+    /// Panics if the DAG is empty.
+    pub fn from_task_dag(dag: &Dag, mut dist_of: impl FnMut(NodeId) -> DiscreteDist) -> ArcNetwork {
+        assert!(
+            dag.node_count() > 0,
+            "cannot build a network from an empty DAG"
+        );
+        let n_nodes = 2 + 2 * dag.node_count();
+        let mut net = ArcNetwork {
+            arcs: Vec::with_capacity(2 * dag.node_count() + dag.edge_count()),
+            out_arcs: vec![Vec::new(); n_nodes],
+            in_arcs: vec![Vec::new(); n_nodes],
+            live_arcs: 0,
+            source: 0,
+            sink: 1,
+        };
+        let begin = |i: NodeId| 2 + 2 * i.index() as u32;
+        let end = |i: NodeId| 3 + 2 * i.index() as u32;
+        for i in dag.nodes() {
+            net.add_arc(begin(i), end(i), dist_of(i));
+            if dag.in_degree(i) == 0 {
+                net.add_arc(net.source, begin(i), DiscreteDist::point(0.0));
+            }
+            if dag.out_degree(i) == 0 {
+                net.add_arc(end(i), net.sink, DiscreteDist::point(0.0));
+            }
+        }
+        for (i, j) in dag.edges() {
+            net.add_arc(end(i), begin(j), DiscreteDist::point(0.0));
+        }
+        net
+    }
+
+    /// The virtual source node.
+    pub fn source(&self) -> u32 {
+        self.source
+    }
+
+    /// The virtual sink node.
+    pub fn sink(&self) -> u32 {
+        self.sink
+    }
+
+    /// Number of node slots (live and dead; node ids never shift).
+    pub fn node_slots(&self) -> usize {
+        self.out_arcs.len()
+    }
+
+    /// Number of live arcs.
+    pub fn live_arcs(&self) -> usize {
+        self.live_arcs
+    }
+
+    /// Allocate a fresh node (used by Dodin duplication).
+    pub fn add_node(&mut self) -> u32 {
+        let id = self.out_arcs.len() as u32;
+        self.out_arcs.push(Vec::new());
+        self.in_arcs.push(Vec::new());
+        id
+    }
+
+    /// Add an arc and return its id.
+    pub fn add_arc(&mut self, src: u32, dst: u32, dist: DiscreteDist) -> u32 {
+        assert!(src != dst, "self-loop arc {src}->{dst}");
+        let id = self.arcs.len() as u32;
+        self.arcs.push(ArcSlot {
+            src,
+            dst,
+            dist,
+            alive: true,
+        });
+        self.out_arcs[src as usize].push(id);
+        self.in_arcs[dst as usize].push(id);
+        self.live_arcs += 1;
+        id
+    }
+
+    /// Remove an arc, returning its distribution.
+    ///
+    /// The slot's payload is replaced by a point mass so large
+    /// distributions do not linger in tombstones (Dodin's duplication can
+    /// create and retire hundreds of thousands of arcs).
+    ///
+    /// # Panics
+    /// Panics if the arc is already dead.
+    pub fn remove_arc(&mut self, id: u32) -> DiscreteDist {
+        let slot = &mut self.arcs[id as usize];
+        assert!(slot.alive, "arc {id} already removed");
+        slot.alive = false;
+        let (src, dst) = (slot.src, slot.dst);
+        let dist = std::mem::replace(&mut slot.dist, DiscreteDist::point(0.0));
+        self.out_arcs[src as usize].retain(|&a| a != id);
+        self.in_arcs[dst as usize].retain(|&a| a != id);
+        self.live_arcs -= 1;
+        dist
+    }
+
+    /// Endpoints of a live arc.
+    pub fn endpoints(&self, id: u32) -> (u32, u32) {
+        let slot = &self.arcs[id as usize];
+        debug_assert!(slot.alive);
+        (slot.src, slot.dst)
+    }
+
+    /// Distribution carried by a live arc.
+    pub fn dist(&self, id: u32) -> &DiscreteDist {
+        let slot = &self.arcs[id as usize];
+        debug_assert!(slot.alive);
+        &slot.dist
+    }
+
+    /// Replace the distribution of a live arc.
+    pub fn set_dist(&mut self, id: u32, dist: DiscreteDist) {
+        let slot = &mut self.arcs[id as usize];
+        debug_assert!(slot.alive);
+        slot.dist = dist;
+    }
+
+    /// Live out-arc ids of a node.
+    pub fn out_of(&self, node: u32) -> &[u32] {
+        &self.out_arcs[node as usize]
+    }
+
+    /// Live in-arc ids of a node.
+    pub fn in_of(&self, node: u32) -> &[u32] {
+        &self.in_arcs[node as usize]
+    }
+
+    /// Live out-degree.
+    pub fn out_degree(&self, node: u32) -> usize {
+        self.out_arcs[node as usize].len()
+    }
+
+    /// Live in-degree.
+    pub fn in_degree(&self, node: u32) -> usize {
+        self.in_arcs[node as usize].len()
+    }
+
+    /// A topological order of the nodes that currently have live arcs
+    /// (isolated nodes are skipped). Kahn's algorithm on live arcs.
+    ///
+    /// # Panics
+    /// Panics if the live network is cyclic (cannot happen for networks
+    /// produced by the reduction engine from a valid DAG).
+    pub fn topological_order(&self) -> Vec<u32> {
+        let n = self.out_arcs.len();
+        let mut indeg: Vec<u32> = (0..n).map(|v| self.in_arcs[v].len() as u32).collect();
+        let mut active = vec![false; n];
+        let mut active_count = 0usize;
+        for slot in &self.arcs {
+            if slot.alive {
+                for v in [slot.src, slot.dst] {
+                    if !active[v as usize] {
+                        active[v as usize] = true;
+                        active_count += 1;
+                    }
+                }
+            }
+        }
+        let mut queue: std::collections::VecDeque<u32> = (0..n as u32)
+            .filter(|&v| active[v as usize] && indeg[v as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(active_count);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &a in &self.out_arcs[v as usize] {
+                let d = self.arcs[a as usize].dst;
+                indeg[d as usize] -= 1;
+                if indeg[d as usize] == 0 {
+                    queue.push_back(d);
+                }
+            }
+        }
+        assert_eq!(order.len(), active_count, "live network contains a cycle");
+        order
+    }
+
+    /// The single live arc's id, if exactly one remains.
+    pub fn sole_arc(&self) -> Option<u32> {
+        if self.live_arcs != 1 {
+            return None;
+        }
+        self.arcs.iter().position(|s| s.alive).map(|i| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochdag_dag::Dag;
+
+    fn two_task_chain() -> (Dag, ArcNetwork) {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        g.add_edge(a, b);
+        let net = ArcNetwork::from_task_dag(&g, |i| DiscreteDist::point(g.weight(i)));
+        (g, net)
+    }
+
+    #[test]
+    fn construction_counts() {
+        let (_, net) = two_task_chain();
+        // arcs: 2 tasks + 1 precedence + source attach + sink attach = 5
+        assert_eq!(net.live_arcs(), 5);
+        assert_eq!(net.node_slots(), 6);
+        assert_eq!(net.out_degree(net.source()), 1);
+        assert_eq!(net.in_degree(net.sink()), 1);
+    }
+
+    #[test]
+    fn remove_arc_updates_adjacency() {
+        let (_, mut net) = two_task_chain();
+        let id = net.out_of(net.source())[0];
+        let d = net.remove_arc(id);
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(net.out_degree(net.source()), 0);
+        assert_eq!(net.live_arcs(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already removed")]
+    fn double_remove_panics() {
+        let (_, mut net) = two_task_chain();
+        let id = net.out_of(net.source())[0];
+        net.remove_arc(id);
+        net.remove_arc(id);
+    }
+
+    #[test]
+    fn topological_order_covers_active_nodes() {
+        let (_, net) = two_task_chain();
+        let order = net.topological_order();
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], net.source());
+        assert_eq!(*order.last().unwrap(), net.sink());
+    }
+
+    #[test]
+    fn add_node_extends_slots() {
+        let (_, mut net) = two_task_chain();
+        let v = net.add_node();
+        assert_eq!(v as usize, net.node_slots() - 1);
+        assert_eq!(net.out_degree(v), 0);
+    }
+
+    #[test]
+    fn sole_arc_detection() {
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        let mut net = ArcNetwork::from_task_dag(&g, |_| DiscreteDist::point(1.0));
+        assert_eq!(net.live_arcs(), 3); // source->b, task, e->sink
+        assert!(net.sole_arc().is_none());
+        // Remove two, leaving one.
+        let a0 = net.out_of(net.source())[0];
+        net.remove_arc(a0);
+        let a1 = net.in_of(net.sink())[0];
+        net.remove_arc(a1);
+        assert!(net.sole_arc().is_some());
+    }
+}

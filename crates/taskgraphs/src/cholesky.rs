@@ -1,0 +1,192 @@
+//! Tiled Cholesky factorization DAG (paper Fig. 1).
+//!
+//! Right-looking tiled Cholesky of a `k × k` tile matrix. At elimination
+//! step `j`:
+//!
+//! * `POTRF_j` factors the diagonal tile `A[j][j]`;
+//! * `TRSM_i_j` (for `i > j`) solves the panel tile `A[i][j]`;
+//! * `SYRK_i_j` (for `i > j`) updates the diagonal tile `A[i][i]` with
+//!   the panel tile;
+//! * `GEMM_i_l_j` (for `j < l < i`) updates the interior tile `A[i][l]`
+//!   with panel tiles `A[i][j]` and `A[l][j]`.
+//!
+//! Dependencies follow tile read/write order: updates to a given tile
+//! across steps are serialized, each consumer waits for the last write
+//! to every tile it reads. Task names match the paper's Figure 1 labels
+//! exactly (`POTRF_4`, `TRSM_4_2`, `SYRK_4_1`, `GEMM_4_2_1`).
+
+use crate::kernels::{Kernel, KernelTimings};
+use stochdag_dag::{Dag, DagBuilder};
+
+/// Generate the Cholesky DAG for a `k × k` tile matrix.
+///
+/// Task count is `k + k(k−1) + C(k,3)` (see
+/// [`crate::cholesky_task_count`]); `k = 5` gives the paper's 35-task
+/// Figure 1.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn cholesky_dag(k: usize, timings: &KernelTimings) -> Dag {
+    assert!(k > 0, "matrix must have at least one tile");
+    let mut b = DagBuilder::with_capacity(crate::counts::cholesky_task_count(k), 4 * k * k * k / 3);
+    let (t_potrf, t_trsm) = (timings.time(Kernel::Potrf), timings.time(Kernel::Trsm));
+    let (t_syrk, t_gemm) = (timings.time(Kernel::Syrk), timings.time(Kernel::Gemm));
+
+    for j in 0..k {
+        let potrf = format!("POTRF_{j}");
+        b.add_task(&potrf, t_potrf);
+        if j > 0 {
+            // Last update of A[j][j] was SYRK_j_{j-1}.
+            b.add_dep_by_name(&format!("SYRK_{j}_{}", j - 1), &potrf)
+                .expect("SYRK of previous step exists");
+        }
+        for i in (j + 1)..k {
+            let trsm = format!("TRSM_{i}_{j}");
+            b.add_task(&trsm, t_trsm);
+            b.add_dep_by_name(&potrf, &trsm).expect("POTRF exists");
+            if j > 0 {
+                // Last update of A[i][j] was GEMM_i_j_{j-1}.
+                b.add_dep_by_name(&format!("GEMM_{i}_{j}_{}", j - 1), &trsm)
+                    .expect("GEMM of previous step exists");
+            }
+        }
+        for i in (j + 1)..k {
+            let syrk = format!("SYRK_{i}_{j}");
+            b.add_task(&syrk, t_syrk);
+            b.add_dep_by_name(&format!("TRSM_{i}_{j}"), &syrk)
+                .expect("TRSM exists");
+            if j > 0 {
+                // Serialize updates of A[i][i].
+                b.add_dep_by_name(&format!("SYRK_{i}_{}", j - 1), &syrk)
+                    .expect("SYRK of previous step exists");
+            }
+            for l in (j + 1)..i {
+                let gemm = format!("GEMM_{i}_{l}_{j}");
+                b.add_task(&gemm, t_gemm);
+                b.add_dep_by_name(&format!("TRSM_{i}_{j}"), &gemm)
+                    .expect("row TRSM exists");
+                b.add_dep_by_name(&format!("TRSM_{l}_{j}"), &gemm)
+                    .expect("col TRSM exists");
+                if j > 0 {
+                    // Serialize updates of A[i][l].
+                    b.add_dep_by_name(&format!("GEMM_{i}_{l}_{}", j - 1), &gemm)
+                        .expect("GEMM of previous step exists");
+                }
+            }
+        }
+    }
+    b.build().expect("generator produces a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::cholesky_task_count;
+    use stochdag_dag::{topological_order, LevelInfo};
+
+    fn unit_dag(k: usize) -> Dag {
+        cholesky_dag(k, &KernelTimings::unit())
+    }
+
+    #[test]
+    fn k5_matches_paper_figure1() {
+        let g = unit_dag(5);
+        assert_eq!(g.node_count(), 35);
+        // Spot-check tasks named in the paper's figure.
+        for name in [
+            "POTRF_4",
+            "GEMM_4_2_1",
+            "SYRK_3_0",
+            "TRSM_4_3",
+            "GEMM_3_2_0",
+        ] {
+            assert!(g.find_by_name(name).is_some(), "missing task {name}");
+        }
+        // POTRF_0 is the unique entry task.
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.name(g.sources()[0]), Some("POTRF_0"));
+        // POTRF_{k-1} is the unique exit task.
+        assert_eq!(g.sinks().len(), 1);
+        assert_eq!(g.name(g.sinks()[0]), Some("POTRF_4"));
+    }
+
+    #[test]
+    fn counts_match_closed_form() {
+        for k in 1..=12 {
+            assert_eq!(unit_dag(k).node_count(), cholesky_task_count(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn is_acyclic_and_connected_through_steps() {
+        let g = unit_dag(6);
+        assert!(topological_order(&g).is_ok());
+        // Every non-first POTRF depends (transitively) on the previous one.
+        let tc = stochdag_dag::transitive_closure(&g);
+        for j in 1..6 {
+            let a = g.find_by_name(&format!("POTRF_{}", j - 1)).unwrap();
+            let b = g.find_by_name(&format!("POTRF_{j}")).unwrap();
+            assert!(tc.reaches(a, b), "POTRF_{} should reach POTRF_{j}", j - 1);
+        }
+    }
+
+    #[test]
+    fn dependency_structure_spot_checks() {
+        let g = unit_dag(5);
+        let idx = g.name_index();
+        // TRSM_2_1 depends on POTRF_1 and GEMM_2_1_0.
+        let trsm21 = idx["TRSM_2_1"];
+        let preds: Vec<_> = g.preds(trsm21).iter().map(|&p| g.display_name(p)).collect();
+        assert!(preds.contains(&"POTRF_1".to_string()), "preds = {preds:?}");
+        assert!(
+            preds.contains(&"GEMM_2_1_0".to_string()),
+            "preds = {preds:?}"
+        );
+        // GEMM_4_2_1 reads TRSM_4_1 and TRSM_2_1, and follows GEMM_4_2_0.
+        let gemm421 = idx["GEMM_4_2_1"];
+        let preds: Vec<_> = g
+            .preds(gemm421)
+            .iter()
+            .map(|&p| g.display_name(p))
+            .collect();
+        for want in ["TRSM_4_1", "TRSM_2_1", "GEMM_4_2_0"] {
+            assert!(preds.contains(&want.to_string()), "preds = {preds:?}");
+        }
+        // SYRK chain: SYRK_4_1 follows SYRK_4_0.
+        let syrk41 = idx["SYRK_4_1"];
+        let preds: Vec<_> = g.preds(syrk41).iter().map(|&p| g.display_name(p)).collect();
+        assert!(preds.contains(&"SYRK_4_0".to_string()), "preds = {preds:?}");
+    }
+
+    #[test]
+    fn critical_path_with_unit_weights() {
+        // With unit weights the critical path is
+        // POTRF_0, TRSM_1_0, SYRK_1_0, POTRF_1, … = 3(k−1) + 1 tasks
+        // … but GEMM chains can tie; length must be exactly 3k−2 for unit
+        // weights (each step adds POTRF + TRSM + SYRK on the diagonal
+        // path and GEMM paths are never longer).
+        for k in 2..=8 {
+            let g = unit_dag(k);
+            let lv = LevelInfo::compute(&g);
+            assert_eq!(lv.makespan, (3 * k - 2) as f64, "k={k}");
+        }
+    }
+
+    #[test]
+    fn weights_assigned_from_table() {
+        let t = KernelTimings::paper_default();
+        let g = cholesky_dag(4, &t);
+        let idx = g.name_index();
+        assert_eq!(g.weight(idx["POTRF_0"]), t.time(Kernel::Potrf));
+        assert_eq!(g.weight(idx["TRSM_1_0"]), t.time(Kernel::Trsm));
+        assert_eq!(g.weight(idx["SYRK_1_0"]), t.time(Kernel::Syrk));
+        assert_eq!(g.weight(idx["GEMM_3_2_0"]), t.time(Kernel::Gemm));
+    }
+
+    #[test]
+    fn k1_is_single_potrf() {
+        let g = unit_dag(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

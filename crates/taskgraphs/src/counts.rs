@@ -1,0 +1,71 @@
+//! Closed-form task counts for the factorization DAGs.
+//!
+//! These formulas pin the generators to the paper's reported sizes:
+//! the LU/QR count is **650 at k = 12** ("15 DAGs with up to 650
+//! tasks") and **2 870 at k = 20** (Section V-E), which uniquely
+//! identifies the dependency structure among the standard tiled
+//! variants.
+
+/// Number of tasks in the tiled Cholesky DAG:
+/// `k` POTRF + `k(k−1)/2` TRSM + `k(k−1)/2` SYRK + `C(k,3)` GEMM.
+pub fn cholesky_task_count(k: usize) -> usize {
+    k + k * (k - 1) + binom3(k)
+}
+
+/// Number of tasks in the tiled LU DAG:
+/// `k` GETRF + `k(k−1)/2` TRSML + `k(k−1)/2` TRSMU + `Σ_{j=1}^{k−1} j²` GEMM.
+pub fn lu_task_count(k: usize) -> usize {
+    k + k * (k - 1) + sum_of_squares(k - 1)
+}
+
+/// Number of tasks in the tiled QR DAG (same shape as LU):
+/// `k` GEQRT + `k(k−1)/2` TSQRT + `k(k−1)/2` UNMQR + `Σ j²` TSMQR.
+pub fn qr_task_count(k: usize) -> usize {
+    lu_task_count(k)
+}
+
+fn binom3(k: usize) -> usize {
+    if k < 3 {
+        0
+    } else {
+        k * (k - 1) * (k - 2) / 6
+    }
+}
+
+fn sum_of_squares(m: usize) -> usize {
+    m * (m + 1) * (2 * m + 1) / 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_sizes() {
+        assert_eq!(lu_task_count(12), 650);
+        assert_eq!(qr_task_count(12), 650);
+        assert_eq!(lu_task_count(20), 2870);
+        assert_eq!(cholesky_task_count(5), 35);
+    }
+
+    #[test]
+    fn small_cases_by_hand() {
+        assert_eq!(cholesky_task_count(1), 1);
+        assert_eq!(cholesky_task_count(2), 4); // POTRF×2, TRSM, SYRK
+        assert_eq!(cholesky_task_count(3), 10);
+        assert_eq!(lu_task_count(1), 1);
+        assert_eq!(lu_task_count(2), 5); // GETRF×2, TRSML, TRSMU, GEMM
+        assert_eq!(lu_task_count(3), 14);
+    }
+
+    #[test]
+    fn asymptotics() {
+        // Cholesky ~ k³/6, LU/QR ~ k³/3 (leading order).
+        let k = 200usize;
+        let chol = cholesky_task_count(k) as f64;
+        let lu = lu_task_count(k) as f64;
+        let k3 = (k as f64).powi(3);
+        assert!((chol / (k3 / 6.0) - 1.0).abs() < 0.05);
+        assert!((lu / (k3 / 3.0) - 1.0).abs() < 0.05);
+    }
+}

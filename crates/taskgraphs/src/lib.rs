@@ -1,0 +1,131 @@
+//! # stochdag-taskgraphs — application DAG generators
+//!
+//! The paper evaluates its estimators on the task graphs of three tiled
+//! dense linear-algebra factorizations of a `k × k` tile matrix:
+//! Cholesky, LU, and QR (paper Figures 1–3 show the `k = 5` instances).
+//! This crate generates those DAGs with the same task-naming scheme
+//! (`POTRF_4`, `GEMM_4_2_1`, `TRSML_2_1`, `TSMQR_3_4_2`, …) and the same
+//! dependency structure, plus a family of synthetic DAGs (layered
+//! random, Erdős–Rényi, fork-join, chains, trees) used by tests and
+//! examples.
+//!
+//! Task weights come from a [`KernelTimings`] table. The paper used BLAS
+//! kernel times measured on an Nvidia Tesla M2070 with tile size
+//! `b = 960` (unpublished); [`KernelTimings::paper_default`] substitutes
+//! flop-proportional times scaled so the mean task weight matches the
+//! paper's stated `ā ≈ 0.15 s` (see DESIGN.md §3 for why this preserves
+//! the evaluation's behaviour).
+//!
+//! ```
+//! use stochdag_taskgraphs::{cholesky_dag, lu_dag, KernelTimings};
+//!
+//! let t = KernelTimings::paper_default();
+//! let chol = cholesky_dag(5, &t);
+//! assert_eq!(chol.node_count(), 35); // matches the paper's Figure 1
+//! let lu = lu_dag(12, &t);
+//! assert_eq!(lu.node_count(), 650);  // paper: "up to 650 tasks"
+//! ```
+
+mod cholesky;
+mod counts;
+mod kernels;
+mod lu;
+mod qr;
+mod synthetic;
+
+pub use cholesky::cholesky_dag;
+pub use counts::{cholesky_task_count, lu_task_count, qr_task_count};
+pub use kernels::{Kernel, KernelTimings};
+pub use lu::lu_dag;
+pub use qr::qr_dag;
+pub use synthetic::{
+    chain_dag, diamond_mesh_dag, erdos_renyi_dag, fork_join_dag, in_tree_dag, layered_random_dag,
+    out_tree_dag, LayeredConfig,
+};
+
+use stochdag_dag::Dag;
+
+/// The three factorization families of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FactorizationClass {
+    /// Tiled Cholesky factorization (paper Fig. 1).
+    Cholesky,
+    /// Tiled LU factorization (paper Fig. 2).
+    Lu,
+    /// Tiled QR factorization (paper Fig. 3).
+    Qr,
+}
+
+impl FactorizationClass {
+    /// All three classes, in the paper's presentation order.
+    pub const ALL: [FactorizationClass; 3] = [
+        FactorizationClass::Cholesky,
+        FactorizationClass::Lu,
+        FactorizationClass::Qr,
+    ];
+
+    /// Lower-case name as used on the CLI (`cholesky`, `lu`, `qr`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FactorizationClass::Cholesky => "cholesky",
+            FactorizationClass::Lu => "lu",
+            FactorizationClass::Qr => "qr",
+        }
+    }
+
+    /// Parse a CLI name (case-insensitive).
+    pub fn parse(s: &str) -> Option<FactorizationClass> {
+        match s.to_ascii_lowercase().as_str() {
+            "cholesky" | "chol" | "potrf" => Some(FactorizationClass::Cholesky),
+            "lu" | "getrf" => Some(FactorizationClass::Lu),
+            "qr" | "geqrf" => Some(FactorizationClass::Qr),
+            _ => None,
+        }
+    }
+
+    /// Generate the DAG for a `k × k` tile matrix.
+    pub fn generate(self, k: usize, timings: &KernelTimings) -> Dag {
+        match self {
+            FactorizationClass::Cholesky => cholesky_dag(k, timings),
+            FactorizationClass::Lu => lu_dag(k, timings),
+            FactorizationClass::Qr => qr_dag(k, timings),
+        }
+    }
+
+    /// Closed-form task count of the generated DAG.
+    pub fn task_count(self, k: usize) -> usize {
+        match self {
+            FactorizationClass::Cholesky => cholesky_task_count(k),
+            FactorizationClass::Lu => lu_task_count(k),
+            FactorizationClass::Qr => qr_task_count(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in FactorizationClass::ALL {
+            assert_eq!(FactorizationClass::parse(c.name()), Some(c));
+        }
+        assert_eq!(
+            FactorizationClass::parse("QR"),
+            Some(FactorizationClass::Qr)
+        );
+        assert_eq!(FactorizationClass::parse("nope"), None);
+    }
+
+    #[test]
+    fn generate_matches_counts() {
+        let t = KernelTimings::paper_default();
+        for c in FactorizationClass::ALL {
+            for k in [2, 4, 6] {
+                let dag = c.generate(k, &t);
+                assert_eq!(dag.node_count(), c.task_count(k), "{} k={k}", c.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Tiled LU factorization DAG (paper Fig. 2).
+//!
+//! Right-looking tiled LU (tile pivoting only, as in the paper's figure).
+//! At elimination step `j`:
+//!
+//! * `GETRF_j` factors the diagonal tile `A[j][j]`;
+//! * `TRSML_i_j` (for `i > j`) solves the column-panel tile `A[i][j]`
+//!   against `L`;
+//! * `TRSMU_j_i` (for `i > j`) solves the row-panel tile `A[j][i]`
+//!   against `U`;
+//! * `GEMM_i_l_j` (for `i, l > j`) updates the trailing tile `A[i][l]`.
+//!
+//! Names match the paper's Figure 2 (`GETRF_1`, `TRSML_2_1`,
+//! `TRSMU_1_2`, `GEMM_4_4_2`, including the diagonal `GEMM_1_1_0`).
+//!
+//! Task count: `k + k(k−1) + Σ_{j=1}^{k−1} j²`, which is **650 at
+//! k = 12** and **2 870 at k = 20** — the exact numbers the paper
+//! quotes, pinning this structure down.
+
+use crate::kernels::{Kernel, KernelTimings};
+use stochdag_dag::{Dag, DagBuilder};
+
+/// Generate the LU DAG for a `k × k` tile matrix.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn lu_dag(k: usize, timings: &KernelTimings) -> Dag {
+    assert!(k > 0, "matrix must have at least one tile");
+    let mut b = DagBuilder::with_capacity(crate::counts::lu_task_count(k), 2 * k * k * k);
+    let (t_getrf, t_trsml) = (timings.time(Kernel::Getrf), timings.time(Kernel::TrsmL));
+    let (t_trsmu, t_gemm) = (timings.time(Kernel::TrsmU), timings.time(Kernel::Gemm));
+
+    for j in 0..k {
+        let getrf = format!("GETRF_{j}");
+        b.add_task(&getrf, t_getrf);
+        if j > 0 {
+            // Last update of the diagonal tile A[j][j] was GEMM_j_j_{j-1}.
+            b.add_dep_by_name(&format!("GEMM_{j}_{j}_{}", j - 1), &getrf)
+                .expect("diagonal GEMM of previous step exists");
+        }
+        for i in (j + 1)..k {
+            let trsml = format!("TRSML_{i}_{j}");
+            b.add_task(&trsml, t_trsml);
+            b.add_dep_by_name(&getrf, &trsml).expect("GETRF exists");
+            if j > 0 {
+                b.add_dep_by_name(&format!("GEMM_{i}_{j}_{}", j - 1), &trsml)
+                    .expect("column GEMM of previous step exists");
+            }
+            let trsmu = format!("TRSMU_{j}_{i}");
+            b.add_task(&trsmu, t_trsmu);
+            b.add_dep_by_name(&getrf, &trsmu).expect("GETRF exists");
+            if j > 0 {
+                b.add_dep_by_name(&format!("GEMM_{j}_{i}_{}", j - 1), &trsmu)
+                    .expect("row GEMM of previous step exists");
+            }
+        }
+        for i in (j + 1)..k {
+            for l in (j + 1)..k {
+                let gemm = format!("GEMM_{i}_{l}_{j}");
+                b.add_task(&gemm, t_gemm);
+                b.add_dep_by_name(&format!("TRSML_{i}_{j}"), &gemm)
+                    .expect("TRSML exists");
+                b.add_dep_by_name(&format!("TRSMU_{j}_{l}"), &gemm)
+                    .expect("TRSMU exists");
+                if j > 0 {
+                    // Serialize updates of A[i][l].
+                    b.add_dep_by_name(&format!("GEMM_{i}_{l}_{}", j - 1), &gemm)
+                        .expect("GEMM of previous step exists");
+                }
+            }
+        }
+    }
+    b.build().expect("generator produces a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::lu_task_count;
+    use stochdag_dag::{topological_order, LevelInfo};
+
+    fn unit_dag(k: usize) -> Dag {
+        lu_dag(k, &KernelTimings::unit())
+    }
+
+    #[test]
+    fn paper_task_counts() {
+        assert_eq!(
+            unit_dag(12).node_count(),
+            650,
+            "paper: up to 650 tasks at k=12"
+        );
+        assert_eq!(
+            unit_dag(20).node_count(),
+            2870,
+            "paper: 2,870 tasks at k=20"
+        );
+    }
+
+    #[test]
+    fn counts_match_closed_form() {
+        for k in 1..=12 {
+            assert_eq!(unit_dag(k).node_count(), lu_task_count(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn k5_contains_paper_figure2_tasks() {
+        let g = unit_dag(5);
+        for name in [
+            "GETRF_0",
+            "GETRF_4",
+            "TRSML_2_1",
+            "TRSMU_1_2",
+            "GEMM_1_1_0",
+            "GEMM_4_4_2",
+            "TRSMU_0_4",
+            "GEMM_1_2_0",
+        ] {
+            assert!(g.find_by_name(name).is_some(), "missing task {name}");
+        }
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.name(g.sources()[0]), Some("GETRF_0"));
+        assert_eq!(g.sinks().len(), 1);
+        assert_eq!(g.name(g.sinks()[0]), Some("GETRF_4"));
+    }
+
+    #[test]
+    fn is_acyclic() {
+        assert!(topological_order(&unit_dag(8)).is_ok());
+    }
+
+    #[test]
+    fn dependency_structure_spot_checks() {
+        let g = unit_dag(5);
+        let idx = g.name_index();
+        // GEMM_3_2_1 reads TRSML_3_1 and TRSMU_1_2, follows GEMM_3_2_0.
+        let gemm = idx["GEMM_3_2_1"];
+        let preds: Vec<_> = g.preds(gemm).iter().map(|&p| g.display_name(p)).collect();
+        for want in ["TRSML_3_1", "TRSMU_1_2", "GEMM_3_2_0"] {
+            assert!(preds.contains(&want.to_string()), "preds = {preds:?}");
+        }
+        // GETRF_2 waits for the diagonal update GEMM_2_2_1.
+        let getrf2 = idx["GETRF_2"];
+        let preds: Vec<_> = g.preds(getrf2).iter().map(|&p| g.display_name(p)).collect();
+        assert_eq!(preds, vec!["GEMM_2_2_1".to_string()]);
+    }
+
+    #[test]
+    fn critical_path_with_unit_weights() {
+        // Unit weights: each step contributes GETRF + TRSM + GEMM along
+        // the diagonal chain ⇒ d(G) = 3(k−1) + 1.
+        for k in 2..=8 {
+            let g = unit_dag(k);
+            let lv = LevelInfo::compute(&g);
+            assert_eq!(lv.makespan, (3 * k - 2) as f64, "k={k}");
+        }
+    }
+
+    #[test]
+    fn weights_assigned_from_table() {
+        let t = KernelTimings::paper_default();
+        let g = lu_dag(4, &t);
+        let idx = g.name_index();
+        assert_eq!(g.weight(idx["GETRF_0"]), t.time(Kernel::Getrf));
+        assert_eq!(g.weight(idx["TRSML_1_0"]), t.time(Kernel::TrsmL));
+        assert_eq!(g.weight(idx["TRSMU_0_1"]), t.time(Kernel::TrsmU));
+        assert_eq!(g.weight(idx["GEMM_1_1_0"]), t.time(Kernel::Gemm));
+    }
+
+    #[test]
+    fn mean_weight_near_paper_value() {
+        // The calibrated default should put ā in the vicinity of the
+        // paper's 0.15 s for the k=12 instance.
+        let g = lu_dag(12, &KernelTimings::paper_default());
+        let abar = g.mean_weight();
+        assert!((0.10..0.20).contains(&abar), "ā = {abar}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Tiled QR factorization DAG (paper Fig. 3).
+//!
+//! Flat-tree (domino) tiled QR. At elimination step `j`:
+//!
+//! * `GEQRT_j` QR-factors the diagonal tile `A[j][j]`;
+//! * `TSQRT_i_j` (for `i > j`, in increasing `i`) folds panel tile
+//!   `A[i][j]` into the triangular factor — a *serial chain* down the
+//!   panel (the flat-tree structure);
+//! * `UNMQR_j_l` (for `l > j`) applies the `GEQRT_j` reflectors to row
+//!   tile `A[j][l]`;
+//! * `TSMQR_i_l_j` (for `i, l > j`) applies the `TSQRT_i_j` reflectors
+//!   to the tile pair `(A[j][l], A[i][l])` — serialized down each column
+//!   `l` in increasing `i` because each update rewrites the shared row
+//!   tile `A[j][l]`.
+//!
+//! Names match the paper's Figure 3 (`GEQRT_2`, `TSQRT_3_2`,
+//! `UNMQR_2_4`, `TSMQR_3_4_2`).
+
+use crate::kernels::{Kernel, KernelTimings};
+use stochdag_dag::{Dag, DagBuilder};
+
+/// Generate the QR DAG for a `k × k` tile matrix.
+///
+/// Task count is identical to LU's (`k + k(k−1) + Σ j²`), but the QR
+/// kernels each cost twice their LU counterparts.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn qr_dag(k: usize, timings: &KernelTimings) -> Dag {
+    assert!(k > 0, "matrix must have at least one tile");
+    let mut b = DagBuilder::with_capacity(crate::counts::qr_task_count(k), 3 * k * k * k);
+    let (t_geqrt, t_tsqrt) = (timings.time(Kernel::Geqrt), timings.time(Kernel::Tsqrt));
+    let (t_unmqr, t_tsmqr) = (timings.time(Kernel::Unmqr), timings.time(Kernel::Tsmqr));
+
+    for j in 0..k {
+        let geqrt = format!("GEQRT_{j}");
+        b.add_task(&geqrt, t_geqrt);
+        if j > 0 {
+            // Last update of A[j][j] was TSMQR_j_j_{j-1} … but note the
+            // TSMQR chain in column j ends at i = j? No: at step j−1 the
+            // updates touch rows i ≥ j; the *first* of them (i = j)
+            // rewrites the future diagonal tile A[j][j]; later chain
+            // entries rewrite A[j-1][j]'s partner rows only. The tile
+            // A[j][j] is last written by TSMQR_j_j_{j-1}.
+            b.add_dep_by_name(&format!("TSMQR_{j}_{j}_{}", j - 1), &geqrt)
+                .expect("TSMQR of previous step exists");
+        }
+        for l in (j + 1)..k {
+            let unmqr = format!("UNMQR_{j}_{l}");
+            b.add_task(&unmqr, t_unmqr);
+            b.add_dep_by_name(&geqrt, &unmqr).expect("GEQRT exists");
+            if j > 0 {
+                // Row tile A[j][l] was last written by TSMQR_j_l_{j-1}.
+                b.add_dep_by_name(&format!("TSMQR_{j}_{l}_{}", j - 1), &unmqr)
+                    .expect("TSMQR of previous step exists");
+            }
+        }
+        for i in (j + 1)..k {
+            let tsqrt = format!("TSQRT_{i}_{j}");
+            b.add_task(&tsqrt, t_tsqrt);
+            if i == j + 1 {
+                b.add_dep_by_name(&geqrt, &tsqrt).expect("GEQRT exists");
+            } else {
+                // Flat tree: panel chain.
+                b.add_dep_by_name(&format!("TSQRT_{}_{j}", i - 1), &tsqrt)
+                    .expect("previous TSQRT exists");
+            }
+            if j > 0 {
+                // Panel tile A[i][j] was last written by TSMQR_i_j_{j-1}.
+                b.add_dep_by_name(&format!("TSMQR_{i}_{j}_{}", j - 1), &tsqrt)
+                    .expect("TSMQR of previous step exists");
+            }
+        }
+        for i in (j + 1)..k {
+            for l in (j + 1)..k {
+                let tsmqr = format!("TSMQR_{i}_{l}_{j}");
+                b.add_task(&tsmqr, t_tsmqr);
+                b.add_dep_by_name(&format!("TSQRT_{i}_{j}"), &tsmqr)
+                    .expect("TSQRT exists");
+                if i == j + 1 {
+                    // First update in column l consumes the UNMQR output
+                    // (row tile A[j][l]).
+                    b.add_dep_by_name(&format!("UNMQR_{j}_{l}"), &tsmqr)
+                        .expect("UNMQR exists");
+                } else {
+                    // Chain down the column: shares row tile A[j][l].
+                    b.add_dep_by_name(&format!("TSMQR_{}_{l}_{j}", i - 1), &tsmqr)
+                        .expect("previous TSMQR exists");
+                }
+                if j > 0 {
+                    // Tile A[i][l] last written at step j−1.
+                    b.add_dep_by_name(&format!("TSMQR_{i}_{l}_{}", j - 1), &tsmqr)
+                        .expect("TSMQR of previous step exists");
+                }
+            }
+        }
+    }
+    b.build().expect("generator produces a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counts::qr_task_count;
+    use stochdag_dag::{topological_order, LevelInfo};
+
+    fn unit_dag(k: usize) -> Dag {
+        qr_dag(k, &KernelTimings::unit())
+    }
+
+    #[test]
+    fn counts_match_closed_form_and_lu() {
+        for k in 1..=12 {
+            assert_eq!(unit_dag(k).node_count(), qr_task_count(k), "k={k}");
+            assert_eq!(qr_task_count(k), crate::counts::lu_task_count(k));
+        }
+        assert_eq!(unit_dag(12).node_count(), 650);
+    }
+
+    #[test]
+    fn k5_contains_paper_figure3_tasks() {
+        let g = unit_dag(5);
+        for name in [
+            "GEQRT_0",
+            "GEQRT_4",
+            "TSQRT_3_2",
+            "UNMQR_2_4",
+            "TSMQR_3_4_2",
+            "TSMQR_1_1_0",
+            "TSQRT_1_0",
+            "UNMQR_0_1",
+        ] {
+            assert!(g.find_by_name(name).is_some(), "missing task {name}");
+        }
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.name(g.sources()[0]), Some("GEQRT_0"));
+        assert_eq!(g.sinks().len(), 1);
+        assert_eq!(g.name(g.sinks()[0]), Some("GEQRT_4"));
+    }
+
+    #[test]
+    fn is_acyclic() {
+        assert!(topological_order(&unit_dag(8)).is_ok());
+    }
+
+    #[test]
+    fn dependency_structure_spot_checks() {
+        let g = unit_dag(5);
+        let idx = g.name_index();
+        // TSQRT chain: TSQRT_3_1 follows TSQRT_2_1.
+        let t31 = idx["TSQRT_3_1"];
+        let preds: Vec<_> = g.preds(t31).iter().map(|&p| g.display_name(p)).collect();
+        assert!(
+            preds.contains(&"TSQRT_2_1".to_string()),
+            "preds = {preds:?}"
+        );
+        assert!(
+            preds.contains(&"TSMQR_3_1_0".to_string()),
+            "preds = {preds:?}"
+        );
+        // TSMQR column chain: TSMQR_3_4_2 needs TSQRT_3_2 and TSMQR_3_4_1
+        // (same tile, previous step); it is the i=j+1 head of step 2's
+        // chain in column 4, so it also consumes UNMQR_2_4.
+        let tsm = idx["TSMQR_3_4_2"];
+        let preds: Vec<_> = g.preds(tsm).iter().map(|&p| g.display_name(p)).collect();
+        for want in ["TSQRT_3_2", "UNMQR_2_4", "TSMQR_3_4_1"] {
+            assert!(preds.contains(&want.to_string()), "preds = {preds:?}");
+        }
+        // GEQRT_1 waits for TSMQR_1_1_0.
+        let geqrt1 = idx["GEQRT_1"];
+        let preds: Vec<_> = g.preds(geqrt1).iter().map(|&p| g.display_name(p)).collect();
+        assert_eq!(preds, vec!["TSMQR_1_1_0".to_string()]);
+    }
+
+    #[test]
+    fn critical_path_grows_linearly_in_k() {
+        // The TSQRT/TSMQR chains make the QR critical path longer than
+        // Cholesky's 3k−2 but still Θ(k) with unit weights.
+        let g4 = unit_dag(4);
+        let g8 = unit_dag(8);
+        let m4 = LevelInfo::compute(&g4).makespan;
+        let m8 = LevelInfo::compute(&g8).makespan;
+        assert!(m8 > m4, "critical path grows");
+        assert!(m8 < 2.5 * m4, "roughly linear growth (got {m4} -> {m8})");
+    }
+
+    #[test]
+    fn weights_assigned_from_table() {
+        let t = KernelTimings::paper_default();
+        let g = qr_dag(4, &t);
+        let idx = g.name_index();
+        assert_eq!(g.weight(idx["GEQRT_0"]), t.time(Kernel::Geqrt));
+        assert_eq!(g.weight(idx["TSQRT_1_0"]), t.time(Kernel::Tsqrt));
+        assert_eq!(g.weight(idx["UNMQR_0_1"]), t.time(Kernel::Unmqr));
+        assert_eq!(g.weight(idx["TSMQR_1_1_0"]), t.time(Kernel::Tsmqr));
+    }
+
+    #[test]
+    fn qr_total_weight_is_twice_lu() {
+        let t = KernelTimings::paper_default();
+        for k in [4, 8] {
+            let qr = qr_dag(k, &t);
+            let lu = crate::lu::lu_dag(k, &t);
+            assert!(
+                ((qr.total_weight() / lu.total_weight()) - 2.0).abs() < 1e-9,
+                "k={k}: QR work should be 2× LU"
+            );
+        }
+    }
+}

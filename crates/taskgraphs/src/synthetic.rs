@@ -1,0 +1,310 @@
+//! Synthetic DAG families for tests, examples, and robustness studies.
+//!
+//! None of these appear in the paper's evaluation, but they exercise the
+//! estimators on structures with very different path statistics: chains
+//! (pure series), fork-join (pure parallel), layered random DAGs (the
+//! classical scheduling benchmark shape), Erdős–Rényi DAGs (unstructured
+//! precedence), trees, and diamond meshes (grid-like pipelines, the
+//! worst case for series-parallel approximations).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stochdag_dag::{Dag, NodeId};
+
+/// Configuration for [`layered_random_dag`].
+#[derive(Clone, Debug)]
+pub struct LayeredConfig {
+    /// Number of layers (≥ 1).
+    pub layers: usize,
+    /// Tasks per layer (≥ 1).
+    pub width: usize,
+    /// Probability of an edge between consecutive-layer task pairs.
+    pub edge_prob: f64,
+    /// Task weights drawn uniformly from this range.
+    pub weight_range: (f64, f64),
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig {
+            layers: 5,
+            width: 4,
+            edge_prob: 0.5,
+            weight_range: (0.5, 1.5),
+        }
+    }
+}
+
+fn draw_weight(rng: &mut StdRng, range: (f64, f64)) -> f64 {
+    assert!(
+        range.0 >= 0.0 && range.1 >= range.0,
+        "invalid weight range {range:?}"
+    );
+    if range.0 == range.1 {
+        range.0
+    } else {
+        rng.gen_range(range.0..range.1)
+    }
+}
+
+/// Random layered DAG: `layers × width` tasks; edges go between
+/// consecutive layers with probability `edge_prob`, and every non-first
+/// layer task gets at least one predecessor so the layer structure is
+/// real. Deterministic for a fixed `seed`.
+pub fn layered_random_dag(cfg: &LayeredConfig, seed: u64) -> Dag {
+    assert!(cfg.layers >= 1 && cfg.width >= 1, "need at least one task");
+    assert!(
+        (0.0..=1.0).contains(&cfg.edge_prob),
+        "edge_prob out of range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dag::with_capacity(cfg.layers * cfg.width, cfg.layers * cfg.width * cfg.width);
+    let mut prev: Vec<NodeId> = Vec::new();
+    for layer in 0..cfg.layers {
+        let mut cur = Vec::with_capacity(cfg.width);
+        for w in 0..cfg.width {
+            let id = g.add_named_node(
+                draw_weight(&mut rng, cfg.weight_range),
+                Some(format!("L{layer}_{w}")),
+            );
+            cur.push(id);
+        }
+        if layer > 0 {
+            for &c in &cur {
+                let mut has_pred = false;
+                for &p in &prev {
+                    if rng.gen_bool(cfg.edge_prob) {
+                        g.add_edge(p, c);
+                        has_pred = true;
+                    }
+                }
+                if !has_pred {
+                    let p = prev[rng.gen_range(0..prev.len())];
+                    g.add_edge(p, c);
+                }
+            }
+        }
+        prev = cur;
+    }
+    g
+}
+
+/// Erdős–Rényi DAG: `n` tasks; each forward pair `(i, j)`, `i < j`, is an
+/// edge with probability `p`. Acyclic by construction.
+pub fn erdos_renyi_dag(n: usize, p: f64, weight_range: (f64, f64), seed: u64) -> Dag {
+    assert!((0.0..=1.0).contains(&p), "edge probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dag::with_capacity(n, (n * n / 4).max(1));
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| g.add_named_node(draw_weight(&mut rng, weight_range), Some(format!("T{i}"))))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(ids[i], ids[j]);
+            }
+        }
+    }
+    g
+}
+
+/// Chain of `n` tasks with the given weights cycle (weights repeat if
+/// fewer than `n` are provided).
+pub fn chain_dag(n: usize, weights: &[f64]) -> Dag {
+    assert!(n >= 1 && !weights.is_empty());
+    let mut g = Dag::with_capacity(n, n.saturating_sub(1));
+    let mut prev = None;
+    for i in 0..n {
+        let id = g.add_named_node(weights[i % weights.len()], Some(format!("C{i}")));
+        if let Some(p) = prev {
+            g.add_edge(p, id);
+        }
+        prev = Some(id);
+    }
+    g
+}
+
+/// Fork-join: a source, `width` parallel branches of `depth` tasks each,
+/// and a sink. Weight `w` everywhere.
+pub fn fork_join_dag(width: usize, depth: usize, w: f64) -> Dag {
+    assert!(width >= 1 && depth >= 1);
+    let mut g = Dag::with_capacity(width * depth + 2, width * (depth + 1));
+    let src = g.add_named_node(w, Some("fork".to_string()));
+    let sink = g.add_named_node(w, Some("join".to_string()));
+    for b in 0..width {
+        let mut prev = src;
+        for d in 0..depth {
+            let id = g.add_named_node(w, Some(format!("B{b}_{d}")));
+            g.add_edge(prev, id);
+            prev = id;
+        }
+        g.add_edge(prev, sink);
+    }
+    g
+}
+
+/// Complete out-tree (root at top) with the given branching factor and
+/// depth (depth 0 = single node). Weight `w` everywhere.
+pub fn out_tree_dag(branching: usize, depth: usize, w: f64) -> Dag {
+    assert!(branching >= 1);
+    let mut g = Dag::new();
+    let root = g.add_named_node(w, Some("root".to_string()));
+    let mut frontier = vec![root];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * branching);
+        for &p in &frontier {
+            for _ in 0..branching {
+                let c = g.add_node(w);
+                g.add_edge(p, c);
+                next.push(c);
+            }
+        }
+        frontier = next;
+    }
+    g
+}
+
+/// Complete in-tree (leaves at top, root at bottom): the reverse of
+/// [`out_tree_dag`].
+pub fn in_tree_dag(branching: usize, depth: usize, w: f64) -> Dag {
+    let out = out_tree_dag(branching, depth, w);
+    let mut g = Dag::with_capacity(out.node_count(), out.edge_count());
+    for v in out.nodes() {
+        g.add_named_node(out.weight(v), out.name(v));
+    }
+    for (a, b) in out.edges() {
+        g.add_edge(b, a); // reverse
+    }
+    g
+}
+
+/// Diamond mesh (`rows × cols` grid where task `(r, c)` precedes
+/// `(r+1, c)` and `(r, c+1)`), the classic non-series-parallel pipeline
+/// shape — useful to stress Dodin's SP approximation.
+pub fn diamond_mesh_dag(rows: usize, cols: usize, weight_range: (f64, f64), seed: u64) -> Dag {
+    assert!(rows >= 1 && cols >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Dag::with_capacity(rows * cols, 2 * rows * cols);
+    let mut ids = vec![Vec::with_capacity(cols); rows];
+    for (r, row_ids) in ids.iter_mut().enumerate() {
+        for c in 0..cols {
+            let id = g.add_named_node(
+                draw_weight(&mut rng, weight_range),
+                Some(format!("M{r}_{c}")),
+            );
+            row_ids.push(id);
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            if r + 1 < rows {
+                g.add_edge(ids[r][c], ids[r + 1][c]);
+            }
+            if c + 1 < cols {
+                g.add_edge(ids[r][c], ids[r][c + 1]);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochdag_dag::{longest_path_length, topological_layers, topological_order};
+
+    #[test]
+    fn layered_structure() {
+        let cfg = LayeredConfig {
+            layers: 6,
+            width: 3,
+            edge_prob: 0.4,
+            weight_range: (1.0, 2.0),
+        };
+        let g = layered_random_dag(&cfg, 42);
+        assert_eq!(g.node_count(), 18);
+        assert!(topological_order(&g).is_ok());
+        let layers = topological_layers(&g).unwrap();
+        assert_eq!(layers.len(), 6, "every layer must be populated");
+        // Every non-source has a predecessor in the previous layer.
+        for v in g.nodes() {
+            if g.in_degree(v) == 0 {
+                assert!(g.display_name(v).starts_with("L0_"));
+            }
+        }
+    }
+
+    #[test]
+    fn layered_deterministic_by_seed() {
+        let cfg = LayeredConfig::default();
+        let a = layered_random_dag(&cfg, 7);
+        let b = layered_random_dag(&cfg, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.weights(), b.weights());
+        let c = layered_random_dag(&cfg, 8);
+        assert!(
+            a.weights() != c.weights(),
+            "different seed, different weights"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_bounds() {
+        let g = erdos_renyi_dag(20, 0.3, (1.0, 1.0), 1);
+        assert_eq!(g.node_count(), 20);
+        assert!(g.edge_count() <= 20 * 19 / 2);
+        assert!(topological_order(&g).is_ok());
+        let empty = erdos_renyi_dag(10, 0.0, (1.0, 1.0), 1);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi_dag(10, 1.0, (1.0, 1.0), 1);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn chain_is_serial() {
+        let g = chain_dag(5, &[2.0]);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(longest_path_length(&g), 10.0);
+    }
+
+    #[test]
+    fn chain_weights_cycle() {
+        let g = chain_dag(4, &[1.0, 3.0]);
+        assert_eq!(g.total_weight(), 8.0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join_dag(3, 2, 1.0);
+        assert_eq!(g.node_count(), 3 * 2 + 2);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        // Critical path: fork + 2 + join = 4.
+        assert_eq!(longest_path_length(&g), 4.0);
+    }
+
+    #[test]
+    fn out_tree_and_in_tree() {
+        let out = out_tree_dag(2, 3, 1.0);
+        assert_eq!(out.node_count(), 15);
+        assert_eq!(out.sources().len(), 1);
+        assert_eq!(out.sinks().len(), 8);
+        let inn = in_tree_dag(2, 3, 1.0);
+        assert_eq!(inn.node_count(), 15);
+        assert_eq!(inn.sources().len(), 8);
+        assert_eq!(inn.sinks().len(), 1);
+        assert_eq!(longest_path_length(&out), 4.0);
+        assert_eq!(longest_path_length(&inn), 4.0);
+    }
+
+    #[test]
+    fn diamond_mesh_longest_path() {
+        let g = diamond_mesh_dag(3, 4, (1.0, 1.0), 0);
+        assert_eq!(g.node_count(), 12);
+        // Monotone lattice path: rows + cols − 1 nodes.
+        assert_eq!(longest_path_length(&g), 6.0);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Methodology example: empirical verification of the first-order
+//! error bound on DAG families *beyond* the paper's three workloads.
+//!
+//! The approximation neglects `O(λ²)` terms, so halving λ should cut the
+//! error against the exact/ground-truth expectation by ~4×. This example
+//! measures that scaling on synthetic families (layered random,
+//! Erdős–Rényi, fork-join, diamond mesh) — structures with very
+//! different path statistics from tiled factorizations.
+//!
+//! Run with: `cargo run -p stochdag --release --example accuracy_study`
+
+use stochdag::prelude::*;
+
+fn main() {
+    let families: Vec<(&str, Dag)> = vec![
+        (
+            "layered 6x5",
+            layered_random_dag(
+                &LayeredConfig {
+                    layers: 6,
+                    width: 5,
+                    edge_prob: 0.4,
+                    weight_range: (0.5, 2.0),
+                },
+                11,
+            ),
+        ),
+        (
+            "erdos-renyi n=40 p=0.15",
+            erdos_renyi_dag(40, 0.15, (0.5, 2.0), 22),
+        ),
+        ("fork-join 8x4", fork_join_dag(8, 4, 1.0)),
+        ("diamond mesh 6x6", diamond_mesh_dag(6, 6, (0.5, 1.5), 33)),
+    ];
+
+    for (name, dag) in &families {
+        println!(
+            "\n=== {name}: {} tasks, {} edges, d(G) = {:.3} ===",
+            dag.node_count(),
+            dag.edge_count(),
+            longest_path_length(dag)
+        );
+        println!(
+            "{:>10} {:>13} {:>13} {:>12} {:>8}",
+            "lambda", "MC (2-state)", "first order", "error", "ratio"
+        );
+        let mut prev_err: Option<f64> = None;
+        for exp in 1..=4 {
+            let lambda = 0.1 / 2f64.powi(exp);
+            let model = FailureModel::new(lambda);
+            // 2-state sampling isolates the analytical expansion from
+            // the at-most-one-re-execution model truncation.
+            let mc = MonteCarloEstimator::new(400_000)
+                .with_seed(5)
+                .with_sampling(SamplingModel::TwoState)
+                .run(dag, &model);
+            let first = first_order_expected_makespan_fast(dag, &model);
+            let err = (first - mc.mean).abs();
+            let ratio = prev_err.map_or(f64::NAN, |p| p / err.max(1e-12));
+            println!(
+                "{lambda:>10.5} {:>13.6} {first:>13.6} {err:>12.2e} {:>8}",
+                mc.mean,
+                if ratio.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{ratio:.1}x")
+                },
+            );
+            prev_err = Some(err);
+        }
+        println!("(ratio ≈ 4x per halving of λ confirms the O(λ²) error bound,");
+        println!(
+            " up to the Monte-Carlo noise floor of ~{:.0e})",
+            400_000f64.sqrt().recip()
+        );
+    }
+}

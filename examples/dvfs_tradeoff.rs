@@ -1,0 +1,70 @@
+//! Domain example: the DVFS energy/resilience/time trade-off behind the
+//! paper's silent-error motivation (its equation (1)).
+//!
+//! Lowering the processor speed saves dynamic power (`∝ s³`) but raises
+//! the silent-error rate exponentially — so the *expected* makespan and
+//! the *expected* energy both pick up re-execution terms. The
+//! first-order approximation makes the whole sweep analytic.
+//!
+//! Run with: `cargo run -p stochdag --release --example dvfs_tradeoff`
+
+use stochdag::prelude::*;
+
+fn main() {
+    let dag = qr_dag(8, &KernelTimings::paper_default());
+    println!(
+        "QR k=8: {} tasks, d(G) = {:.4}s at full speed\n",
+        dag.node_count(),
+        longest_path_length(&dag)
+    );
+
+    // Paper eq. (1): λ(s) = λ0 · 10^{d (s_max − s)/(s_max − s_min)}.
+    let dvfs = DvfsModel::new(1e-4, 3.0, 0.5, 1.0);
+    let power = PowerModel {
+        p_static: 0.3,
+        p_dyn: 1.0,
+    };
+    let speeds: Vec<f64> = (0..=10).map(|i| 0.5 + 0.05 * i as f64).collect();
+    let points = speed_tradeoff(&dag, &dvfs, &power, &speeds);
+
+    println!(
+        "{:>6} {:>11} {:>14} {:>14} {:>13}",
+        "speed", "lambda(s)", "E[makespan]", "E[work]", "E[energy]"
+    );
+    let mut best: Option<&TradeoffPoint> = None;
+    for p in &points {
+        println!(
+            "{:>6.2} {:>11.3e} {:>13.4}s {:>13.4}s {:>13.4}",
+            p.speed, p.lambda, p.expected_makespan, p.expected_work, p.expected_energy
+        );
+        if best.is_none_or(|b| p.expected_energy < b.expected_energy) {
+            best = Some(p);
+        }
+    }
+    let best = best.expect("non-empty sweep");
+    println!(
+        "\nenergy-optimal operating point: s = {:.2} (E = {:.4}, {:.1}% slower than full speed)",
+        best.speed,
+        best.expected_energy,
+        100.0 * (best.expected_makespan / points.last().unwrap().expected_makespan - 1.0)
+    );
+
+    // Cross-check the first-order makespans against Monte Carlo at the
+    // two extremes of the sweep.
+    for p in [&points[0], points.last().unwrap()] {
+        let mut scaled = dag.clone();
+        for v in dag.nodes() {
+            scaled.set_weight(v, dag.weight(v) * (dvfs.s_max / p.speed));
+        }
+        let mc = MonteCarloEstimator::new(100_000)
+            .with_seed(3)
+            .run(&scaled, &FailureModel::new(p.lambda));
+        println!(
+            "check s={:.2}: first-order {:.4} vs MC {:.4} ({:+.2e} rel)",
+            p.speed,
+            p.expected_makespan,
+            mc.mean,
+            (p.expected_makespan - mc.mean) / mc.mean
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! The core correctness claim of the paper: the first-order
+//! approximation is exact up to `O(λ²)`.
+//!
+//! Validated against the exhaustive 2-state oracle (no sampling noise)
+//! on small DAGs: the error must shrink quadratically in λ, while a
+//! deliberately broken "zeroth-order" estimate (d(G)) shrinks only
+//! linearly.
+
+use stochdag::prelude::*;
+
+fn small_dags() -> Vec<(&'static str, Dag)> {
+    let mut v = Vec::new();
+    v.push(("chain", chain_dag(6, &[0.5, 1.0, 1.5])));
+    v.push(("fork-join", fork_join_dag(3, 2, 1.0)));
+    let mut n = Dag::new();
+    let a = n.add_node(1.0);
+    let b = n.add_node(2.0);
+    let c = n.add_node(1.5);
+    let d = n.add_node(0.5);
+    n.add_edge(a, c);
+    n.add_edge(a, d);
+    n.add_edge(b, d);
+    v.push(("n-graph", n));
+    v.push(("cholesky-k3", cholesky_dag(3, &KernelTimings::unit())));
+    v.push(("mesh-3x3", diamond_mesh_dag(3, 3, (0.5, 1.5), 7)));
+    v
+}
+
+/// Exact 2-state expectation, but with first-order 2-state probabilities
+/// (`P(fail) = λa` instead of `1 − e^{−λa}`), so the only remaining
+/// discrepancy vs the first-order formula is the multi-failure terms.
+fn exact_two_state(dag: &Dag, lambda: f64) -> f64 {
+    exact_expected_makespan_two_state(dag, &FailureModel::new(lambda))
+}
+
+#[test]
+fn error_scales_quadratically_in_lambda() {
+    for (name, dag) in small_dags() {
+        let lambdas = [0.04, 0.02, 0.01, 0.005];
+        let mut errors = Vec::new();
+        for &lam in &lambdas {
+            let exact = exact_two_state(&dag, lam);
+            let first = first_order_expected_makespan_fast(&dag, &FailureModel::new(lam));
+            errors.push((first - exact).abs());
+        }
+        // Each halving of λ must cut the error by ~4 (allow 2.5x to
+        // absorb higher-order terms at the larger rates).
+        for w in errors.windows(2) {
+            if w[1] > 1e-13 {
+                let ratio = w[0] / w[1];
+                assert!(
+                    ratio > 2.5,
+                    "{name}: error sequence {errors:?} not quadratic (ratio {ratio})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn first_order_beats_failure_free_baseline() {
+    for (name, dag) in small_dags() {
+        let lam = 0.02;
+        let exact = exact_two_state(&dag, lam);
+        let first = first_order_expected_makespan_fast(&dag, &FailureModel::new(lam));
+        let zeroth = longest_path_length(&dag);
+        assert!(
+            (first - exact).abs() < (zeroth - exact).abs(),
+            "{name}: first order must improve on d(G)"
+        );
+    }
+}
+
+#[test]
+fn second_order_beats_first_order_against_exact_geometric_mc() {
+    // Against the geometric ground truth (the paper's model), the
+    // second-order expansion must be at least as accurate as the
+    // first-order one at a moderately high failure rate.
+    for (name, dag) in small_dags() {
+        let lam = 0.03;
+        let model = FailureModel::new(lam);
+        let mc = MonteCarloEstimator::new(800_000)
+            .with_seed(3)
+            .run(&dag, &model);
+        let e1 = first_order_expected_makespan_fast(&dag, &model);
+        let e2 = second_order_expected_makespan(&dag, &model);
+        let err1 = (e1 - mc.mean).abs();
+        let err2 = (e2 - mc.mean).abs();
+        assert!(
+            err2 <= err1 + 3.0 * mc.std_error,
+            "{name}: second order ({err2:.2e}) worse than first ({err1:.2e})"
+        );
+    }
+}
+
+#[test]
+fn naive_and_fast_agree_on_all_families() {
+    for (name, dag) in small_dags() {
+        for lam in [0.0, 0.001, 0.05, 0.3] {
+            let m = FailureModel::new(lam);
+            let fast = first_order_expected_makespan_fast(&dag, &m);
+            let naive = first_order_expected_makespan_naive(&dag, &m);
+            assert!(
+                (fast - naive).abs() < 1e-10 * (1.0 + fast.abs()),
+                "{name} λ={lam}: fast {fast} vs naive {naive}"
+            );
+        }
+    }
+}
+
+#[test]
+fn expected_makespan_at_least_failure_free() {
+    for (name, dag) in small_dags() {
+        let d = longest_path_length(&dag);
+        for lam in [0.001, 0.01, 0.1] {
+            let e = first_order_expected_makespan_fast(&dag, &FailureModel::new(lam));
+            assert!(e >= d - 1e-12, "{name}: E(G) = {e} below d(G) = {d}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end smoke of the paper's evaluation protocol at reduced trial
+//! counts: the qualitative claims of Figures 4–12 and Table I must hold.
+
+use stochdag::prelude::*;
+
+/// Run one (class, pfail, k) cell and return relative errors
+/// (first_order, sculli, dodin) vs Monte Carlo.
+fn cell(class: FactorizationClass, pfail: f64, k: usize, trials: usize) -> (f64, f64, f64) {
+    let dag = class.generate(k, &KernelTimings::paper_default());
+    let model = FailureModel::from_pfail_for_dag(pfail, &dag);
+    let mc = MonteCarloEstimator::new(trials)
+        .with_seed(0)
+        .run(&dag, &model);
+    let fo = FirstOrderEstimator::fast().expected_makespan(&dag, &model);
+    let sc = SculliEstimator.expected_makespan(&dag, &model);
+    let dd = DodinEstimator::scalable().expected_makespan(&dag, &model);
+    (
+        (fo - mc.mean) / mc.mean,
+        (sc - mc.mean) / mc.mean,
+        (dd - mc.mean) / mc.mean,
+    )
+}
+
+#[test]
+fn figure5_shape_cholesky_pfail_001() {
+    // Paper Fig. 5 (Cholesky, pfail = 0.001): FirstOrder error at least
+    // an order of magnitude below Normal and Dodin for k >= 8.
+    for k in [8, 12] {
+        let (fo, sc, dd) = cell(FactorizationClass::Cholesky, 0.001, k, 120_000);
+        assert!(
+            fo.abs() * 10.0 < sc.abs(),
+            "k={k}: first-order {fo:.2e} not >=10x better than Normal {sc:.2e}"
+        );
+        assert!(
+            fo.abs() * 10.0 < dd.abs(),
+            "k={k}: first-order {fo:.2e} not >=10x better than Dodin {dd:.2e}"
+        );
+    }
+}
+
+#[test]
+fn figure8_shape_lu_pfail_001() {
+    let (fo, sc, dd) = cell(FactorizationClass::Lu, 0.001, 10, 120_000);
+    assert!(fo.abs() < 2e-3, "first-order error {fo:.2e} too large");
+    assert!(
+        sc.abs() > fo.abs(),
+        "Normal should be worse than first order"
+    );
+    assert!(
+        dd.abs() > fo.abs(),
+        "Dodin should be worse than first order"
+    );
+}
+
+#[test]
+fn figure11_shape_qr_pfail_001() {
+    let (fo, sc, dd) = cell(FactorizationClass::Qr, 0.001, 10, 120_000);
+    assert!(fo.abs() < 2e-3);
+    assert!(sc.abs() > fo.abs());
+    assert!(dd.abs() > fo.abs());
+}
+
+#[test]
+fn dodin_error_grows_with_graph_size() {
+    // The paper's explanation for Dodin's poor accuracy: factorization
+    // DAGs are far from series-parallel, and more so as k grows.
+    let (_, _, d4) = cell(FactorizationClass::Cholesky, 0.001, 4, 120_000);
+    let (_, _, d12) = cell(FactorizationClass::Cholesky, 0.001, 12, 120_000);
+    assert!(
+        d12.abs() > d4.abs(),
+        "Dodin error should grow with k: {d4:.2e} -> {d12:.2e}"
+    );
+}
+
+#[test]
+fn high_failure_rate_closes_the_gap() {
+    // Paper Figs. 4/7/10 (pfail = 0.01): FirstOrder no longer dominates
+    // by orders of magnitude; it stays within ~1 order of Normal.
+    let (fo, sc, _) = cell(FactorizationClass::Cholesky, 0.01, 12, 120_000);
+    assert!(
+        fo.abs() < sc.abs() * 10.0,
+        "first-order {fo:.2e} should be within 10x of Normal {sc:.2e} at pfail=0.01"
+    );
+}
+
+#[test]
+fn table1_protocol_reduced() {
+    // Table I at reduced scale (k = 10 instead of 20, fewer trials):
+    // error ordering FirstOrder < Normal < Dodin and the runtime
+    // ordering FirstOrder fastest.
+    let dag = lu_dag(10, &KernelTimings::paper_default());
+    let model = FailureModel::from_pfail_for_dag(0.0001, &dag);
+    let mc = MonteCarloEstimator::new(200_000)
+        .with_seed(0)
+        .estimate(&dag, &model);
+    let fo = FirstOrderEstimator::fast().estimate(&dag, &model);
+    let cov = CovarianceNormalEstimator.estimate(&dag, &model);
+    let dd = DodinEstimator::scalable().estimate(&dag, &model);
+    let (e_fo, e_cov, e_dd) = (
+        fo.relative_error(mc.value).abs(),
+        cov.relative_error(mc.value).abs(),
+        dd.relative_error(mc.value).abs(),
+    );
+    // Allow the MC noise floor: first-order's true error at this pfail
+    // is ~1e-6, far below the sampling noise.
+    let noise = 3.0 * mc.std_error.unwrap_or(0.0) / mc.value;
+    assert!(
+        e_fo <= e_cov + noise,
+        "first-order {e_fo:.2e} vs normal {e_cov:.2e}"
+    );
+    assert!(e_cov < e_dd, "normal {e_cov:.2e} vs dodin {e_dd:.2e}");
+    assert!(
+        fo.elapsed < mc.elapsed,
+        "first order faster than Monte Carlo"
+    );
+}
+
+#[test]
+fn lambda_calibration_matches_paper_narrative() {
+    // Paper Section V-C: ā = 0.15 s with pfail = 0.01 gives λ ≈ 0.067
+    // and MTBF ≈ 14.9 s. Our calibrated weight table yields ā ≈ 0.15 s
+    // averaged across the fifteen evaluation DAGs.
+    let t = KernelTimings::paper_default();
+    let mut total_w = 0.0;
+    let mut total_n = 0usize;
+    for class in FactorizationClass::ALL {
+        for k in [4, 6, 8, 10, 12] {
+            let dag = class.generate(k, &t);
+            total_w += dag.total_weight();
+            total_n += dag.node_count();
+        }
+    }
+    let abar = total_w / total_n as f64;
+    assert!((abar - 0.15).abs() < 0.01, "calibrated mean weight {abar}");
+    let lambda = lambda_for_failure_probability(0.01, abar);
+    assert!((lambda - 0.067).abs() < 0.005, "lambda {lambda}");
+}

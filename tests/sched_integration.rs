@@ -1,0 +1,136 @@
+//! Scheduling stack integration on the paper's workloads.
+
+use stochdag::prelude::*;
+
+#[test]
+fn list_schedules_are_feasible_on_all_workloads() {
+    let t = KernelTimings::paper_default();
+    let model = FailureModel::failure_free();
+    for class in FactorizationClass::ALL {
+        let dag = class.generate(6, &t);
+        for procs in [1usize, 4, 16] {
+            for policy in Priority::ALL {
+                let s = list_schedule(&dag, procs, &model, policy);
+                assert!(
+                    s.validate(&dag).is_ok(),
+                    "{} P={procs} {}: {:?}",
+                    class.name(),
+                    policy.name(),
+                    s.validate(&dag)
+                );
+                assert!(s.makespan() + 1e-9 >= longest_path_length(&dag));
+                assert!(s.makespan() <= dag.total_weight() + 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_reduces_to_schedule_without_failures() {
+    let dag = lu_dag(5, &KernelTimings::paper_default());
+    let model = FailureModel::failure_free();
+    for procs in [2usize, 8] {
+        let s = list_schedule(&dag, procs, &model, Priority::BottomLevel);
+        let out = simulate_execution(
+            &dag,
+            &model,
+            &SimConfig::identical(procs, Priority::BottomLevel, 0),
+        );
+        assert_eq!(out.failures, 0);
+        assert!(
+            (out.makespan() - s.makespan()).abs() < 1e-9,
+            "P={procs}: sim {} vs static {}",
+            out.makespan(),
+            s.makespan()
+        );
+    }
+}
+
+#[test]
+fn expected_makespan_lower_bounds_realized_mean() {
+    // With unlimited processors, E(G) (first order) lower-bounds the
+    // mean simulated makespan on finitely many processors.
+    let dag = cholesky_dag(6, &KernelTimings::paper_default());
+    let model = FailureModel::from_pfail_for_dag(0.01, &dag);
+    let e_g = first_order_expected_makespan_fast(&dag, &model);
+    let cmp = compare_policies(&dag, &model, 8, &[Priority::BottomLevel], 400, 5);
+    let realized = cmp.stats[0].mean_makespan;
+    assert!(
+        realized + 3.0 * cmp.stats[0].std_error >= e_g,
+        "realized {realized} below unlimited-processor bound {e_g}"
+    );
+}
+
+#[test]
+fn unlimited_processors_match_monte_carlo_expectation() {
+    // With P >= |V| the simulated mean must approach the expected
+    // makespan of the DAG itself (same geometric model as MC).
+    let dag = cholesky_dag(4, &KernelTimings::paper_default());
+    let model = FailureModel::from_pfail_for_dag(0.02, &dag);
+    let mc = MonteCarloEstimator::new(200_000)
+        .with_seed(2)
+        .run(&dag, &model);
+    let cmp = compare_policies(
+        &dag,
+        &model,
+        dag.node_count(),
+        &[Priority::BottomLevel],
+        4000,
+        11,
+    );
+    let sim = cmp.stats[0].mean_makespan;
+    let tol = 4.0 * (cmp.stats[0].std_error + mc.std_error);
+    assert!(
+        (sim - mc.mean).abs() < tol,
+        "sim mean {sim} vs MC {} (tol {tol})",
+        mc.mean
+    );
+}
+
+#[test]
+fn heft_feasible_and_beats_slowest_processor() {
+    let dag = qr_dag(5, &KernelTimings::paper_default());
+    let speeds = [2.0, 1.0, 0.5];
+    let h = heft_schedule(&dag, &speeds, None);
+    assert!(h.schedule.validate(&dag).is_ok());
+    // Better than running everything on the slowest processor.
+    assert!(h.schedule.makespan() < dag.total_weight() / 0.5);
+    // Rank ordering is topological.
+    let mut seen = vec![false; dag.node_count()];
+    for v in &h.order {
+        for p in dag.preds(*v) {
+            assert!(seen[p.index()], "HEFT order violates precedence");
+        }
+        seen[v.index()] = true;
+    }
+}
+
+#[test]
+fn failure_aware_policies_never_catastrophically_worse() {
+    // The first-order-informed policies must stay within 5% of classical
+    // CP scheduling on the paper workloads (they usually tie or win;
+    // this guards against regressions making them pathological).
+    let dag = lu_dag(8, &KernelTimings::paper_default());
+    let model = FailureModel::from_pfail_for_dag(0.02, &dag);
+    let cmp = compare_policies(
+        &dag,
+        &model,
+        8,
+        &[
+            Priority::BottomLevel,
+            Priority::ExpectedBottomLevel,
+            Priority::FirstOrderCriticality,
+        ],
+        600,
+        77,
+    );
+    let base = cmp.stats[0].mean_makespan;
+    for s in &cmp.stats[1..] {
+        assert!(
+            s.mean_makespan <= base * 1.05,
+            "{} mean {} vs CP {base}",
+            s.policy.name(),
+            s.mean_makespan
+        );
+    }
+}

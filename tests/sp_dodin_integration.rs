@@ -1,0 +1,128 @@
+//! Series-parallel machinery integration: recognition, exact SP
+//! evaluation, Dodin duplication statistics, and interaction with the
+//! DAG substrate across crates.
+
+use stochdag::prelude::*;
+use stochdag::sp::{dodin_evaluate, reduce, ReduceConfig, ReduceError};
+
+#[test]
+fn sp_recognition_across_families() {
+    // Chains, fork-joins and out-trees are series-parallel; factorization
+    // DAGs and diamond meshes are not.
+    assert!(is_series_parallel(&chain_dag(10, &[1.0])));
+    assert!(is_series_parallel(&fork_join_dag(4, 3, 1.0)));
+    let t = KernelTimings::unit();
+    assert!(!is_series_parallel(&cholesky_dag(4, &t)));
+    assert!(!is_series_parallel(&lu_dag(4, &t)));
+    assert!(!is_series_parallel(&qr_dag(4, &t)));
+    assert!(!is_series_parallel(&diamond_mesh_dag(3, 3, (1.0, 1.0), 0)));
+}
+
+#[test]
+fn exact_sp_equals_exhaustive_on_fork_join() {
+    let dag = fork_join_dag(3, 2, 1.0);
+    let model = FailureModel::new(0.08);
+    let sp = exact_sp_expected_makespan(
+        &dag,
+        |i| two_state(dag.weight(i), model.psuccess_of_weight(dag.weight(i))),
+        usize::MAX,
+    )
+    .expect("fork-join is SP");
+    let exact = exact_expected_makespan_two_state(&dag, &model);
+    assert!(
+        (sp.mean() - exact).abs() < 1e-9,
+        "SP evaluation {} vs exhaustive {exact}",
+        sp.mean()
+    );
+}
+
+#[test]
+fn dodin_duplication_counts_reflect_distance_from_sp() {
+    // More joins ⇒ more duplications. Track across Cholesky sizes.
+    let t = KernelTimings::unit();
+    let model = FailureModel::new(0.01);
+    let mut prev = 0usize;
+    for k in [2usize, 3, 4, 5] {
+        let dag = cholesky_dag(k, &t);
+        let out = DodinEstimator::new().run(&dag, &model);
+        assert!(
+            out.duplications >= prev,
+            "k={k}: duplications {} decreased from {prev}",
+            out.duplications
+        );
+        prev = out.duplications;
+    }
+    assert!(prev > 0, "cholesky k=5 requires duplications");
+}
+
+#[test]
+fn reduction_engine_errors_are_reported() {
+    let dag = cholesky_dag(4, &KernelTimings::unit());
+    let mut net = stochdag::sp::ArcNetwork::from_task_dag(&dag, |_| DiscreteDist::point(1.0));
+    let cfg = ReduceConfig {
+        allow_duplication: false,
+        ..Default::default()
+    };
+    assert!(matches!(
+        reduce(&mut net, &cfg),
+        Err(ReduceError::NotSeriesParallel)
+    ));
+}
+
+#[test]
+fn dodin_distribution_bounds_support() {
+    let dag = lu_dag(6, &KernelTimings::paper_default());
+    let model = FailureModel::from_pfail_for_dag(0.01, &dag);
+    let out = dodin_evaluate(
+        &dag,
+        |i| two_state(dag.weight(i), model.psuccess_of_weight(dag.weight(i))),
+        &ReduceConfig {
+            max_atoms: 32,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(out.dist.len() <= 32);
+    // The approximate makespan distribution must cover d(G).
+    assert!(out.dist.max_value() >= longest_path_length(&dag) - 1e-9);
+    assert!((out.dist.total_prob() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn forward_surrogate_is_deterministic_and_capped() {
+    let dag = qr_dag(8, &KernelTimings::paper_default());
+    let model = FailureModel::from_pfail_for_dag(0.001, &dag);
+    let d1 = DodinEstimator::scalable()
+        .with_max_atoms(64)
+        .makespan_dist(&dag, &model);
+    let d2 = DodinEstimator::scalable()
+        .with_max_atoms(64)
+        .makespan_dist(&dag, &model);
+    assert_eq!(d1.atoms().len(), d2.atoms().len());
+    assert_eq!(d1.mean(), d2.mean());
+    assert!(d1.len() <= 64);
+}
+
+#[test]
+fn zero_weight_virtual_tasks_flow_through() {
+    // Zero-weight fork/join nodes (the classical PERT dummy tasks) must
+    // not break any reduction path.
+    let mut g = Dag::new();
+    let fork = g.add_node(0.0);
+    let a = g.add_node(1.0);
+    let b = g.add_node(2.0);
+    let join = g.add_node(0.0);
+    g.add_edge(fork, a);
+    g.add_edge(fork, b);
+    g.add_edge(a, join);
+    g.add_edge(b, join);
+    let model = FailureModel::new(0.2);
+    let exact = exact_expected_makespan_two_state(&g, &model);
+    let dodin = DodinEstimator::new()
+        .with_max_atoms(usize::MAX)
+        .expected_makespan(&g, &model);
+    assert!(
+        (dodin - exact).abs() < 1e-9,
+        "SP graph with dummies: dodin {dodin} vs exact {exact}"
+    );
+}

@@ -1,0 +1,120 @@
+//! Workspace-level property tests: invariants that span crates.
+
+use proptest::prelude::*;
+use stochdag::prelude::*;
+
+/// Random small DAG via forward edges (acyclic by construction).
+fn arb_dag() -> impl Strategy<Value = Dag> {
+    (2usize..=8).prop_flat_map(|n| {
+        let weights = proptest::collection::vec(0.01f64..5.0, n);
+        let bits = proptest::collection::vec(any::<bool>(), n * (n - 1) / 2);
+        (weights, bits).prop_map(move |(ws, bits)| {
+            let mut g = Dag::new();
+            let ids: Vec<NodeId> = ws.iter().map(|&w| g.add_node(w)).collect();
+            let mut b = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if bits[b] {
+                        g.add_edge(ids[i], ids[j]);
+                    }
+                    b += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn first_order_fast_equals_naive(g in arb_dag(), lambda in 0.0f64..0.2) {
+        let m = FailureModel::new(lambda);
+        let fast = first_order_expected_makespan_fast(&g, &m);
+        let naive = first_order_expected_makespan_naive(&g, &m);
+        prop_assert!((fast - naive).abs() < 1e-9 * (1.0 + fast.abs()));
+    }
+
+    #[test]
+    fn estimators_bounded_by_model_extremes(g in arb_dag(), lambda in 0.0f64..0.1) {
+        // Any sane estimate lies in [d(G), 2·Σa/(min p)] — we use the
+        // loose upper bound 3·Σa which covers the 2-state and the
+        // truncated-geometric models at these rates.
+        let m = FailureModel::new(lambda);
+        let lo = longest_path_length(&g) - 1e-9;
+        let hi = 3.0 * g.total_weight() + 1e-9;
+        let values = [
+            first_order_expected_makespan_fast(&g, &m),
+            second_order_expected_makespan(&g, &m),
+            SculliEstimator.expected_makespan(&g, &m),
+            CorLcaEstimator.expected_makespan(&g, &m),
+            CovarianceNormalEstimator.expected_makespan(&g, &m),
+            DodinEstimator::scalable().expected_makespan(&g, &m),
+        ];
+        for v in values {
+            prop_assert!(v >= lo && v <= hi, "estimate {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn exact_oracle_vs_first_order_error_is_second_order(g in arb_dag()) {
+        // |E1 − exact| must shrink by ≥2.5x when λ halves from 0.02.
+        let e_big = {
+            let m = FailureModel::new(0.02);
+            (first_order_expected_makespan_fast(&g, &m)
+                - exact_expected_makespan_two_state(&g, &m)).abs()
+        };
+        let e_small = {
+            let m = FailureModel::new(0.01);
+            (first_order_expected_makespan_fast(&g, &m)
+                - exact_expected_makespan_two_state(&g, &m)).abs()
+        };
+        if e_small > 1e-12 {
+            prop_assert!(e_big / e_small > 2.5,
+                "error ratio {} not quadratic", e_big / e_small);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_reproducible_across_parallelism(g in arb_dag(), lambda in 0.0f64..0.3, seed in 0u64..1000) {
+        let m = FailureModel::new(lambda);
+        let par = MonteCarloEstimator::new(2_000).with_seed(seed).run(&g, &m);
+        let seq = MonteCarloEstimator::new(2_000).with_seed(seed).sequential().run(&g, &m);
+        prop_assert_eq!(par.mean, seq.mean);
+        prop_assert_eq!(par.max, seq.max);
+    }
+
+    #[test]
+    fn sp_exact_matches_exhaustive_when_sp(g in arb_dag(), lambda in 0.001f64..0.2) {
+        let m = FailureModel::new(lambda);
+        if let Some(dist) = exact_sp_expected_makespan(
+            &g,
+            |i| two_state(g.weight(i), m.psuccess_of_weight(g.weight(i))),
+            usize::MAX,
+        ) {
+            let exact = exact_expected_makespan_two_state(&g, &m);
+            prop_assert!((dist.mean() - exact).abs() < 1e-9,
+                "SP {} vs exhaustive {exact}", dist.mean());
+        }
+    }
+
+    #[test]
+    fn schedules_feasible_on_random_dags(g in arb_dag(), procs in 1usize..5) {
+        let m = FailureModel::new(0.05);
+        for policy in [Priority::BottomLevel, Priority::ExpectedBottomLevel, Priority::Weight] {
+            let s = list_schedule(&g, procs, &m, policy);
+            prop_assert!(s.validate(&g).is_ok(), "{:?}", s.validate(&g));
+        }
+        let out = simulate_execution(&g, &m, &SimConfig::identical(procs, Priority::BottomLevel, 1));
+        prop_assert!(out.schedule.validate(&g).is_ok());
+        prop_assert!(out.makespan() + 1e-9 >= longest_path_length(&g));
+    }
+
+    #[test]
+    fn dodin_forward_upper_bounds_failure_free(g in arb_dag(), lambda in 0.0f64..0.2) {
+        let m = FailureModel::new(lambda);
+        let d = DodinEstimator::scalable().expected_makespan(&g, &m);
+        prop_assert!(d + 1e-9 >= longest_path_length(&g));
+    }
+}
