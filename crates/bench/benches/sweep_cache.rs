@@ -1,0 +1,65 @@
+//! Scenario-sweep engine benchmarks: cold (computed) vs warm (fully
+//! cached) campaign throughput, and the content-hash primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stochdag::prelude::*;
+use stochdag_bench::paper_dag;
+use stochdag_engine::DagSpec;
+
+fn small_campaign() -> SweepSpec {
+    SweepSpec {
+        name: "bench".into(),
+        seed: 1,
+        pfails: vec![0.01, 0.001],
+        lambdas: vec![],
+        estimators: vec!["first-order".into(), "sculli".into(), "corlca".into()],
+        reference_trials: 5_000,
+        reference_sampling: stochdag::core::SamplingModel::Geometric,
+        dags: vec![DagSpec::Factorization {
+            class: FactorizationClass::Cholesky,
+            ks: vec![4, 6, 8],
+        }],
+    }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let spec = small_campaign();
+    let registry = EstimatorRegistry::standard();
+    let mut group = c.benchmark_group("sweep_cholesky_18cells");
+    group.sample_size(3);
+    group.bench_function("cold_cache", |b| {
+        b.iter(|| {
+            let cache = ResultCache::in_memory();
+            let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+            run_sweep(&spec, &registry, &cache, &mut sinks)
+                .expect("sweep runs")
+                .cells
+        })
+    });
+    let warm = ResultCache::in_memory();
+    {
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+        run_sweep(&spec, &registry, &warm, &mut sinks).expect("warmup");
+    }
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+            let outcome = run_sweep(&spec, &registry, &warm, &mut sinks).expect("sweep runs");
+            assert!(outcome.fully_cached());
+            outcome.cells
+        })
+    });
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let dag = paper_dag(FactorizationClass::Lu, 12);
+    let mut group = c.benchmark_group("content_hash");
+    group.bench_function("structural_hash_lu12", |b| {
+        b.iter(|| structural_hash(black_box(&dag)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_hashing);
+criterion_main!(benches);

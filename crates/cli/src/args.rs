@@ -9,7 +9,7 @@ pub struct Options {
 }
 
 /// Flags that take no value.
-const BARE_FLAGS: &[&str] = &["--weights", "--fast", "--csv-only"];
+const BARE_FLAGS: &[&str] = &["--weights", "--fast", "--csv-only", "--no-cache"];
 
 impl Options {
     /// Parse an argument list. Every `--key` is expected to be followed

@@ -51,7 +51,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     for est in panel {
         let e = est.estimate(&dag, &model);
         table.row(vec![
-            e.name.into(),
+            e.name.clone(),
             format!("{:.6}", e.value),
             format!("{:+.3e}", e.relative_error(mc.value)),
             fmt_duration(e.elapsed),

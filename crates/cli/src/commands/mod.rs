@@ -7,6 +7,7 @@ pub mod figure;
 pub mod info;
 pub mod sched;
 pub mod second_order;
+pub mod sweep;
 pub mod table1;
 
 use stochdag::prelude::*;

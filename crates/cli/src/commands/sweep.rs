@@ -1,0 +1,147 @@
+//! `sweep` — run a declarative scenario campaign on the parallel
+//! engine, with content-addressed caching and streaming CSV/JSONL
+//! sinks.
+//!
+//! The campaign comes from a spec file (`--spec camp.toml|.json`) or is
+//! assembled from flags (`--classes`, `--ks`, `--pfails`,
+//! `--estimators`, …). Re-running the same spec against the same
+//! `--cache` directory completes from cache with byte-identical output
+//! files.
+
+use crate::args::Options;
+use crate::report::{fmt_duration, Table};
+use std::path::PathBuf;
+use stochdag::prelude::*;
+use stochdag_engine::DagSpec;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let opts = Options::parse(argv)?;
+    let spec = load_spec(&opts)?;
+    spec.validate()?;
+
+    let out_dir: PathBuf = opts.get("out").unwrap_or("results").into();
+    let registry = EstimatorRegistry::standard();
+    // Resolve estimator specs before touching the filesystem so a typo
+    // does not leave empty output files behind.
+    for est in &spec.estimators {
+        registry.canonical_id(est)?;
+    }
+    let cache = if opts.flag("no-cache") {
+        ResultCache::in_memory()
+    } else {
+        ResultCache::on_disk(opts.get("cache").unwrap_or(".stochdag-cache"))
+    };
+
+    let csv_path = out_dir.join(format!("{}.csv", spec.name));
+    let jsonl_path = out_dir.join(format!("{}.jsonl", spec.name));
+    let mut csv = CsvSink::create(&csv_path).map_err(|e| format!("{}: {e}", csv_path.display()))?;
+    let mut jsonl =
+        JsonlSink::create(&jsonl_path).map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
+
+    eprintln!(
+        "sweep {:?}: {} estimator(s) x {} model(s), reference mc={} trials",
+        spec.name,
+        spec.estimators.len(),
+        spec.pfails.len() + spec.lambdas.len(),
+        spec.reference_trials
+    );
+    let outcome = {
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv, &mut jsonl];
+        run_sweep(&spec, &registry, &cache, &mut sinks)?
+    };
+
+    let mut table = Table::new(&[
+        "estimator",
+        "cells",
+        "mean|rel_err|",
+        "max|rel_err|",
+        "total_time",
+    ]);
+    for s in &outcome.summary {
+        table.row(vec![
+            s.estimator.clone(),
+            s.cells.to_string(),
+            format!("{:.3e}", s.mean_abs_rel_error),
+            format!("{:.3e}", s.max_abs_rel_error),
+            fmt_duration(std::time::Duration::from_secs_f64(s.total_elapsed_s)),
+        ]);
+    }
+    println!(
+        "# sweep {:?}: {} cells + {} references in {}",
+        spec.name,
+        outcome.cells,
+        outcome.references,
+        fmt_duration(outcome.wall)
+    );
+    print!("{}", table.to_text());
+    println!(
+        "cache: {}/{} hits{}",
+        outcome.cache_hits,
+        outcome.cache_hits + outcome.cache_misses,
+        if outcome.fully_cached() {
+            " (fully cached)"
+        } else {
+            ""
+        }
+    );
+    println!("wrote {}", csv_path.display());
+    println!("wrote {}", jsonl_path.display());
+    Ok(())
+}
+
+fn load_spec(opts: &Options) -> Result<SweepSpec, String> {
+    if let Some(path) = opts.get("spec") {
+        let mut spec = SweepSpec::from_file(path)?;
+        // Flag overrides on top of a file spec.
+        if let Some(seed) = opts.get("seed") {
+            spec.seed = seed.parse().map_err(|_| "bad --seed".to_string())?;
+        }
+        if let Some(trials) = opts.get("trials") {
+            spec.reference_trials = trials.parse().map_err(|_| "bad --trials".to_string())?;
+        }
+        return Ok(spec);
+    }
+    // Flag-assembled spec: factorization classes only.
+    let classes = opts.get("classes").ok_or_else(|| {
+        "pass --spec FILE, or assemble one with --classes/--ks/--pfails/--estimators".to_string()
+    })?;
+    let ks = opts.get_usize_list("ks", &[4, 6, 8])?;
+    let dags = classes
+        .split(',')
+        .map(|c| {
+            let class = FactorizationClass::parse(c.trim())
+                .ok_or_else(|| format!("unknown DAG class {c:?}"))?;
+            Ok(DagSpec::Factorization {
+                class,
+                ks: ks.clone(),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let pfails = match opts.get("pfails") {
+        None => vec![0.01, 0.001],
+        Some(list) => list
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad pfail {p:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let estimators = opts
+        .get("estimators")
+        .unwrap_or("first-order,sculli,corlca,dodin")
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    Ok(SweepSpec {
+        name: opts.get("name").unwrap_or("sweep").to_string(),
+        seed: opts.get_or("seed", 0)?,
+        pfails,
+        lambdas: Vec::new(),
+        estimators,
+        reference_trials: opts.get_or("trials", 100_000)?,
+        reference_sampling: stochdag::core::SamplingModel::Geometric,
+        dags,
+    })
+}

@@ -1,10 +1,26 @@
-//! `table1` — the paper's Table I: LU with k = 20 (2 870 tasks),
+//! `table1` — the paper's Table I: LU k = 20 (2 870 tasks),
 //! pfail = 0.0001; normalized error *and* wall-clock per estimator.
+//!
+//! Ported to the scenario-sweep engine: the estimator panel is one
+//! [`SweepSpec`] cell column, executed in parallel with
+//! content-addressed caching (pass `--cache DIR` to persist results —
+//! an immediate re-run then completes without recomputing anything).
 
 use crate::args::Options;
-use crate::commands::build_dag;
 use crate::report::{fmt_duration, fmt_rel, Table};
+use std::time::Duration;
 use stochdag::prelude::*;
+use stochdag_engine::DagSpec;
+
+/// Table I's estimator panel, in the paper's presentation order.
+const PANEL: &[&str] = &[
+    "dodin",
+    "normal-cov",
+    "sculli",
+    "corlca",
+    "first-order",
+    "second-order",
+];
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let opts = Options::parse(argv)?;
@@ -13,70 +29,55 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let seed: u64 = opts.get_or("seed", 0)?;
     let pfail: f64 = opts.get_or("pfail", 0.0001)?;
 
-    let dag = build_dag(FactorizationClass::Lu, k);
-    let model = FailureModel::from_pfail_for_dag(pfail, &dag);
-    eprintln!(
-        "LU k={k}: {} tasks, {} edges, d(G)={:.4}, lambda={:.6}",
-        dag.node_count(),
-        dag.edge_count(),
-        longest_path_length(&dag),
-        model.lambda
-    );
+    let spec = SweepSpec {
+        name: format!("table1-lu-k{k}"),
+        seed,
+        pfails: vec![pfail],
+        lambdas: Vec::new(),
+        estimators: PANEL.iter().map(|s| s.to_string()).collect(),
+        reference_trials: trials,
+        reference_sampling: stochdag::core::SamplingModel::Geometric,
+        dags: vec![DagSpec::Factorization {
+            class: FactorizationClass::Lu,
+            ks: vec![k],
+        }],
+    };
 
-    eprintln!("running Monte Carlo ({trials} trials)...");
-    let mc = MonteCarloEstimator::new(trials)
-        .with_seed(seed)
-        .estimate(&dag, &model);
-    let reference = mc.value;
+    let registry = EstimatorRegistry::standard();
+    let cache = match opts.get("cache") {
+        Some(dir) => ResultCache::on_disk(dir),
+        None => ResultCache::in_memory(),
+    };
+    eprintln!("LU k={k}: running Monte Carlo reference ({trials} trials) + estimator panel...");
+    let outcome = {
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+        run_sweep(&spec, &registry, &cache, &mut sinks)?
+    };
 
+    let reference = outcome.rows.first().map(|r| r.reference).unwrap_or(0.0);
+    let ref_se = outcome
+        .rows
+        .first()
+        .map(|r| r.reference_std_error)
+        .unwrap_or(0.0);
     let mut table = Table::new(&["estimator", "normalized_difference", "execution_time"]);
     table.row(vec![
         "MonteCarlo (ground truth)".into(),
-        format!("0 (se {:.2e})", mc.std_error.unwrap_or(0.0)),
-        fmt_duration(mc.elapsed),
+        format!("0 (se {ref_se:.2e})"),
+        "(reference)".into(),
     ]);
-    eprintln!("running Dodin (scalable surrogate)...");
-    let dodin = DodinEstimator::scalable().estimate(&dag, &model);
-    table.row(vec![
-        "Dodin".into(),
-        fmt_rel(dodin.relative_error(reference)),
-        fmt_duration(dodin.elapsed),
-    ]);
-    eprintln!("running Normal (full covariance)...");
-    let cov = CovarianceNormalEstimator.estimate(&dag, &model);
-    table.row(vec![
-        "Normal(cov)".into(),
-        fmt_rel(cov.relative_error(reference)),
-        fmt_duration(cov.elapsed),
-    ]);
-    eprintln!("running Sculli / CorLCA...");
-    let sculli = SculliEstimator.estimate(&dag, &model);
-    table.row(vec![
-        "Sculli".into(),
-        fmt_rel(sculli.relative_error(reference)),
-        fmt_duration(sculli.elapsed),
-    ]);
-    let corlca = CorLcaEstimator.estimate(&dag, &model);
-    table.row(vec![
-        "CorLCA".into(),
-        fmt_rel(corlca.relative_error(reference)),
-        fmt_duration(corlca.elapsed),
-    ]);
-    eprintln!("running First Order...");
-    let first = FirstOrderEstimator::fast().estimate(&dag, &model);
-    table.row(vec![
-        "FirstOrder".into(),
-        fmt_rel(first.relative_error(reference)),
-        fmt_duration(first.elapsed),
-    ]);
-    let second = SecondOrderEstimator.estimate(&dag, &model);
-    table.row(vec![
-        "SecondOrder".into(),
-        fmt_rel(second.relative_error(reference)),
-        fmt_duration(second.elapsed),
-    ]);
+    for row in &outcome.rows {
+        table.row(vec![
+            row.estimator.clone(),
+            fmt_rel(row.rel_error),
+            fmt_duration(Duration::from_secs_f64(row.elapsed_s)),
+        ]);
+    }
 
     println!("\n# Table I: LU k={k}, pfail={pfail} (MC mean {reference:.6})");
     print!("{}", table.to_text());
+    if outcome.fully_cached() {
+        println!("(served entirely from cache)");
+    }
     Ok(())
 }

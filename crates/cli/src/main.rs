@@ -32,6 +32,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "figure" => commands::figure::run(rest),
         "analyze" => commands::analyze::run(rest),
         "all-figures" => commands::figure::run_all(rest),
+        "sweep" => commands::sweep::run(rest),
         "table1" => commands::table1::run(rest),
         "dot" => commands::dot::run(rest),
         "sched" => commands::sched::run(rest),
@@ -62,8 +63,18 @@ COMMANDS:
                  reproduces paper Figures 4-12 (one per class x pfail)
   all-figures    every class x pfail combination; CSVs into results/
                    [--trials N] [--seed S] [--out DIR] [--fast]
-  table1         LU k=20 error + wall-clock comparison (paper Table I)
+  sweep          declarative scenario campaign on the parallel engine
+                   --spec camp.toml|camp.json   (or assemble with flags:)
+                   [--classes cholesky,lu] [--ks 4,6,8] [--pfails 0.01,0.001]
+                   [--estimators first-order,sculli,corlca,dodin]
+                   [--trials 100000] [--seed 0] [--name sweep]
+                   [--out results] [--cache .stochdag-cache] [--no-cache]
+                 caches every cell content-addressed: re-runs and resumed
+                 campaigns skip finished cells and emit identical CSV/JSONL
+  table1         LU k=20 error + wall-clock comparison (paper Table I),
+                 executed as an engine sweep (cache-aware)
                    [--k 20] [--trials 300000] [--seed 0] [--fast]
+                   [--cache DIR]
   dot            DOT export of a factorization DAG (paper Figures 1-3)
                    --class C [-k 5] [--weights]
   sched          failure-aware list-scheduling policy comparison

@@ -163,3 +163,114 @@ fn dodin_compare_reports_gap() {
     assert!(stdout.contains("rel_gap"));
     assert!(stdout.contains("cholesky"));
 }
+
+#[test]
+fn sweep_campaign_caches_and_reruns_identically() {
+    // The acceptance campaign: 2 DAG kinds x 3 sizes x 2 estimators x
+    // 2 failure probabilities = 24 cells, from a TOML spec file.
+    let dir = std::env::temp_dir().join(format!("stochdag_cli_sweep_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("campaign.toml");
+    std::fs::write(
+        &spec_path,
+        r#"
+name = "smoke"
+seed = 3
+pfails = [0.01, 0.001]
+estimators = ["first-order", "sculli"]
+reference_trials = 2000
+
+[[dags]]
+kind = "cholesky"
+ks = [2, 3, 4]
+
+[[dags]]
+kind = "lu"
+ks = [2, 3, 4]
+"#,
+    )
+    .unwrap();
+    let out = dir.join("results");
+    let cache = dir.join("cache");
+    let args = [
+        "sweep",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+    ];
+
+    let (ok, stdout, stderr) = stochdag(&args);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("24 cells"), "{stdout}");
+    let csv_path = out.join("smoke.csv");
+    let csv = std::fs::read(&csv_path).expect("CSV written");
+    let text = String::from_utf8_lossy(&csv);
+    assert!(text.starts_with("dag,tasks,edges,model,lambda,estimator,"));
+    // header + 24 cells + summary header + 2 estimator summaries.
+    assert_eq!(text.lines().count(), 1 + 24 + 1 + 2, "{text}");
+    let jsonl = std::fs::read(out.join("smoke.jsonl")).expect("JSONL written");
+
+    // Immediate re-run: 100% cache hits, byte-identical outputs.
+    let (ok2, stdout2, stderr2) = stochdag(&args);
+    assert!(ok2, "{stdout2}\n{stderr2}");
+    assert!(stdout2.contains("(fully cached)"), "{stdout2}");
+    assert_eq!(std::fs::read(&csv_path).unwrap(), csv, "CSV byte-identical");
+    assert_eq!(
+        std::fs::read(out.join("smoke.jsonl")).unwrap(),
+        jsonl,
+        "JSONL byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_flag_spec_and_errors() {
+    let dir = std::env::temp_dir().join(format!("stochdag_cli_sweepflags_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = dir.join("results");
+    let (ok, stdout, _) = stochdag(&[
+        "sweep",
+        "--classes",
+        "cholesky",
+        "--ks",
+        "2",
+        "--pfails",
+        "0.01",
+        "--estimators",
+        "first-order",
+        "--trials",
+        "1000",
+        "--out",
+        out.to_str().unwrap(),
+        "--no-cache",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("1 cells + 1 references"), "{stdout}");
+
+    let (ok, _, stderr) = stochdag(&["sweep"]);
+    assert!(!ok);
+    assert!(stderr.contains("--spec"), "{stderr}");
+
+    let (ok, _, stderr) = stochdag(&[
+        "sweep",
+        "--classes",
+        "cholesky",
+        "--estimators",
+        "warp-drive",
+        "--no-cache",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("warp-drive"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_lists_sweep() {
+    let (ok, stdout, _) = stochdag(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("sweep"), "help missing sweep");
+}

@@ -11,10 +11,33 @@ pub struct Estimate {
     pub value: f64,
     /// Wall-clock time the estimation took.
     pub elapsed: Duration,
-    /// Estimator display name (e.g. `"FirstOrder"`).
-    pub name: &'static str,
+    /// Estimator display name (e.g. `"FirstOrder"`). Owned so estimates
+    /// survive serialization round trips (result caches, sinks).
+    pub name: String,
     /// Optional standard error of `value` (Monte Carlo only).
     pub std_error: Option<f64>,
+}
+
+impl serde::Serialize for Estimate {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::obj([
+            ("value", self.value.serialize()),
+            ("elapsed", self.elapsed.serialize()),
+            ("name", self.name.serialize()),
+            ("std_error", self.std_error.serialize()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Estimate {
+    fn deserialize(v: &serde::Value) -> Result<Estimate, serde::Error> {
+        Ok(Estimate {
+            value: f64::deserialize(v.require("value")?)?,
+            elapsed: Duration::deserialize(v.require("elapsed")?)?,
+            name: String::deserialize(v.require("name")?)?,
+            std_error: Option::deserialize(v.get("std_error").unwrap_or(&serde::Value::Null))?,
+        })
+    }
 }
 
 impl Estimate {
@@ -52,9 +75,33 @@ pub trait Estimator {
         Estimate {
             value,
             elapsed: start.elapsed(),
-            name: self.name(),
+            name: self.name().to_string(),
             std_error: self.std_error_hint(),
         }
+    }
+}
+
+/// An owned, thread-safe estimator handle — the currency of the
+/// scenario-sweep engine's name-addressable registry. `Estimator` is
+/// dyn-compatible by construction (no generic methods, no `Self`
+/// returns), so trait objects work directly.
+pub type BoxedEstimator = Box<dyn Estimator + Send + Sync>;
+
+impl Estimator for BoxedEstimator {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
+        self.as_ref().expected_makespan(dag, model)
+    }
+
+    fn std_error_hint(&self) -> Option<f64> {
+        self.as_ref().std_error_hint()
+    }
+
+    fn estimate(&self, dag: &Dag, model: &FailureModel) -> Estimate {
+        self.as_ref().estimate(dag, model)
     }
 }
 

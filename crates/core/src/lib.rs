@@ -53,7 +53,7 @@ pub mod dodin;
 
 pub use dodin::DodinEstimator;
 pub use dvfs::{speed_tradeoff, DvfsModel, PowerModel, TradeoffPoint};
-pub use estimator::{Estimate, Estimator};
+pub use estimator::{BoxedEstimator, Estimate, Estimator};
 pub use exact::{exact_expected_makespan_two_state, ExactEstimator, MAX_EXACT_NODES};
 pub use first_order::{
     first_order_detailed, first_order_expected_makespan_fast, first_order_expected_makespan_naive,

@@ -66,6 +66,22 @@ impl FailureModel {
     }
 }
 
+impl serde::Serialize for FailureModel {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::obj([("lambda", self.lambda.serialize())])
+    }
+}
+
+impl serde::Deserialize for FailureModel {
+    fn deserialize(v: &serde::Value) -> Result<FailureModel, serde::Error> {
+        let lambda = f64::deserialize(v.require("lambda")?)?;
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(serde::Error::new(format!("bad lambda {lambda}")));
+        }
+        Ok(FailureModel::new(lambda))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -199,7 +199,7 @@ impl Estimator for MonteCarloEstimator {
         Estimate {
             value: r.mean,
             elapsed: start.elapsed(),
-            name: self.name(),
+            name: self.name().to_string(),
             std_error: Some(r.std_error),
         }
     }

@@ -30,6 +30,7 @@
 mod builder;
 mod dot;
 mod graph;
+mod hash;
 pub mod io;
 mod longest_path;
 mod paths;
@@ -40,6 +41,7 @@ mod validate;
 pub use builder::DagBuilder;
 pub use dot::dot_string;
 pub use graph::{Dag, EdgeId, FrozenDag, NodeId};
+pub use hash::{canonical_f64_bits, stable_mix64, structural_hash};
 pub use longest_path::{
     longest_path_length, AllPairsLongestPaths, CriticalPath, LevelInfo, LongestPaths,
 };

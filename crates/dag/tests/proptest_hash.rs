@@ -1,0 +1,141 @@
+//! Property-based coverage of the stable structural hash.
+//!
+//! The properties the sweep engine's content-addressed cache depends
+//! on: relabeling-invariance (isomorphic insertions collide) and
+//! perturbation-sensitivity (weight or edge edits separate).
+
+use proptest::prelude::*;
+use stochdag_dag::{structural_hash, Dag, NodeId};
+
+/// A random DAG description: weights plus forward-edge bits, both
+/// indexed by *logical* node position so it can be instantiated under
+/// any insertion order.
+#[derive(Clone, Debug)]
+struct DagDesc {
+    weights: Vec<f64>,
+    edges: Vec<(usize, usize)>,
+}
+
+fn arb_desc() -> impl Strategy<Value = DagDesc> {
+    (2usize..=9).prop_flat_map(|n| {
+        let weights = proptest::collection::vec(0.0f64..10.0, n);
+        let bits = proptest::collection::vec(any::<bool>(), n * (n - 1) / 2);
+        (weights, bits).prop_map(move |(weights, bits)| {
+            let mut edges = Vec::new();
+            let mut b = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if bits[b] {
+                        edges.push((i, j));
+                    }
+                    b += 1;
+                }
+            }
+            DagDesc { weights, edges }
+        })
+    })
+}
+
+/// Instantiate a description with logical node `order[k]` inserted at
+/// position `k` (edges remapped accordingly, in shuffled order).
+fn instantiate(desc: &DagDesc, order: &[usize]) -> Dag {
+    let n = desc.weights.len();
+    let mut position = vec![0usize; n];
+    for (k, &logical) in order.iter().enumerate() {
+        position[logical] = k;
+    }
+    let mut g = Dag::new();
+    let ids: Vec<NodeId> = order.iter().map(|&l| g.add_node(desc.weights[l])).collect();
+    // Edge declaration order must not matter either: reverse it.
+    for &(a, b) in desc.edges.iter().rev() {
+        g.add_edge(ids[position[a]], ids[position[b]]);
+    }
+    g
+}
+
+/// A permutation of `0..n` derived from random sort keys.
+fn permutation_of(n: usize, keys: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (keys[i % keys.len()], i));
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn isomorphic_relabelings_hash_equal(
+        desc in arb_desc(),
+        keys in proptest::collection::vec(0u64..1_000_000, 9),
+    ) {
+        let n = desc.weights.len();
+        let identity: Vec<usize> = (0..n).collect();
+        let shuffled = permutation_of(n, &keys);
+        let a = instantiate(&desc, &identity);
+        let b = instantiate(&desc, &shuffled);
+        prop_assert_eq!(
+            structural_hash(&a),
+            structural_hash(&b),
+            "relabeling {:?} changed the hash", shuffled
+        );
+    }
+
+    #[test]
+    fn weight_perturbation_changes_hash(
+        desc in arb_desc(),
+        which in 0usize..9,
+        delta in 0.001f64..5.0,
+    ) {
+        let order: Vec<usize> = (0..desc.weights.len()).collect();
+        let g = instantiate(&desc, &order);
+        let mut g2 = g.clone();
+        let victim = NodeId::from_index(which % desc.weights.len());
+        g2.set_weight(victim, g.weight(victim) + delta);
+        prop_assert!(
+            structural_hash(&g) != structural_hash(&g2),
+            "weight bump {delta} on {victim:?} kept the hash"
+        );
+    }
+
+    #[test]
+    fn edge_perturbation_changes_hash(
+        desc in arb_desc(),
+        pick in 0usize..64,
+    ) {
+        let n = desc.weights.len();
+        let order: Vec<usize> = (0..n).collect();
+        let g = instantiate(&desc, &order);
+        // Candidate forward pairs not already present.
+        let absent: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .filter(|p| !desc.edges.contains(p))
+            .collect();
+        if let Some(&(a, b)) = absent.get(pick % absent.len().max(1)) {
+            let mut g2 = g.clone();
+            g2.add_edge(NodeId::from_index(a), NodeId::from_index(b));
+            prop_assert!(
+                structural_hash(&g) != structural_hash(&g2),
+                "adding edge ({a}, {b}) kept the hash"
+            );
+        }
+        // Removing an edge: rebuild without the first one.
+        if !desc.edges.is_empty() {
+            let mut removed = desc.clone();
+            removed.edges.remove(pick % desc.edges.len());
+            let g3 = instantiate(&removed, &order);
+            prop_assert!(
+                structural_hash(&g) != structural_hash(&g3),
+                "removing an edge kept the hash"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_across_clones_and_calls(desc in arb_desc()) {
+        let order: Vec<usize> = (0..desc.weights.len()).collect();
+        let g = instantiate(&desc, &order);
+        let h1 = structural_hash(&g);
+        let h2 = structural_hash(&g.clone());
+        prop_assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,316 @@
+//! Finite discrete distributions over `f64` values.
+
+/// A finite discrete distribution: sorted support values with strictly
+/// positive probabilities summing to 1 (up to rounding).
+///
+/// The in-place operations the series-parallel machinery needs —
+/// convolution (sum of independent variables), independent maximum, and
+/// mean-preserving support coarsening — are all closed over this
+/// representation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiscreteDist {
+    /// `(value, probability)` pairs, sorted by value, probabilities > 0.
+    atoms: Vec<(f64, f64)>,
+}
+
+impl DiscreteDist {
+    /// Point mass at `v`.
+    pub fn point(v: f64) -> DiscreteDist {
+        assert!(v.is_finite(), "support value must be finite, got {v}");
+        DiscreteDist {
+            atoms: vec![(v, 1.0)],
+        }
+    }
+
+    /// Build from `(value, probability)` pairs: sorts, merges equal
+    /// values, drops zero-probability atoms.
+    ///
+    /// # Panics
+    /// Panics on empty/invalid input or probabilities far from summing
+    /// to 1.
+    pub fn from_atoms(mut atoms: Vec<(f64, f64)>) -> DiscreteDist {
+        assert!(!atoms.is_empty(), "a distribution needs at least one atom");
+        for &(v, p) in &atoms {
+            assert!(v.is_finite(), "support value must be finite, got {v}");
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "probability must be in [0, 1], got {p}"
+            );
+        }
+        atoms.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(atoms.len());
+        for (v, p) in atoms {
+            if p == 0.0 {
+                continue;
+            }
+            match merged.last_mut() {
+                Some(last) if last.0 == v => last.1 += p,
+                _ => merged.push((v, p)),
+            }
+        }
+        assert!(!merged.is_empty(), "all atoms had zero probability");
+        let total: f64 = merged.iter().map(|&(_, p)| p).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "probabilities sum to {total}, expected 1"
+        );
+        DiscreteDist { atoms: merged }
+    }
+
+    /// The `(value, probability)` atoms, sorted by value.
+    #[inline]
+    pub fn atoms(&self) -> &[(f64, f64)] {
+        &self.atoms
+    }
+
+    /// Number of support atoms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the support is empty (never true for a constructed
+    /// distribution; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Whether this is a point mass.
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.atoms.len() == 1
+    }
+
+    /// Expectation.
+    pub fn mean(&self) -> f64 {
+        self.atoms.iter().map(|&(v, p)| v * p).sum()
+    }
+
+    /// Variance.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.atoms
+            .iter()
+            .map(|&(v, p)| p * (v - m) * (v - m))
+            .sum::<f64>()
+            .max(0.0)
+    }
+
+    /// Smallest support value.
+    pub fn min_value(&self) -> f64 {
+        self.atoms.first().expect("non-empty").0
+    }
+
+    /// Largest support value.
+    pub fn max_value(&self) -> f64 {
+        self.atoms.last().expect("non-empty").0
+    }
+
+    /// Total probability mass (≈ 1; drifts only by accumulated rounding).
+    pub fn total_prob(&self) -> f64 {
+        self.atoms.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// `q`-quantile: the smallest support value `v` with
+    /// `P(X ≤ v) ≥ q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let mut acc = 0.0;
+        for &(v, p) in &self.atoms {
+            acc += p;
+            if acc >= q {
+                return v;
+            }
+        }
+        self.max_value()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.atoms
+            .iter()
+            .take_while(|&&(v, _)| v <= x)
+            .map(|&(_, p)| p)
+            .sum()
+    }
+
+    /// Distribution of `X + Y` for independent `X` (self), `Y` (other).
+    pub fn convolve(&self, other: &DiscreteDist) -> DiscreteDist {
+        let mut atoms = Vec::with_capacity(self.len() * other.len());
+        for &(vx, px) in &self.atoms {
+            for &(vy, py) in &other.atoms {
+                atoms.push((vx + vy, px * py));
+            }
+        }
+        Self::from_pairs_unchecked(atoms)
+    }
+
+    /// Distribution of `max(X, Y)` for independent `X`, `Y`.
+    pub fn max_independent(&self, other: &DiscreteDist) -> DiscreteDist {
+        let mut atoms = Vec::with_capacity(self.len() * other.len());
+        for &(vx, px) in &self.atoms {
+            for &(vy, py) in &other.atoms {
+                atoms.push((vx.max(vy), px * py));
+            }
+        }
+        Self::from_pairs_unchecked(atoms)
+    }
+
+    /// Coarsen the support to at most `max_atoms` atoms by repeatedly
+    /// merging the adjacent pair whose merge introduces the least
+    /// variance distortion (`p₁p₂/(p₁+p₂)·(v₂−v₁)²`), replacing the
+    /// pair by its probability-weighted mean. The overall mean is
+    /// preserved exactly (up to rounding); the support shrinks inward.
+    pub fn reduce_support(&self, max_atoms: usize) -> DiscreteDist {
+        assert!(max_atoms >= 1, "need at least one atom");
+        if self.len() <= max_atoms {
+            return self.clone();
+        }
+        let mut atoms = self.atoms.clone();
+        while atoms.len() > max_atoms {
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for i in 0..atoms.len() - 1 {
+                let (v1, p1) = atoms[i];
+                let (v2, p2) = atoms[i + 1];
+                let cost = p1 * p2 / (p1 + p2) * (v2 - v1) * (v2 - v1);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = i;
+                }
+            }
+            let (v1, p1) = atoms[best];
+            let (v2, p2) = atoms[best + 1];
+            let p = p1 + p2;
+            atoms[best] = ((p1 * v1 + p2 * v2) / p, p);
+            atoms.remove(best + 1);
+        }
+        DiscreteDist { atoms }
+    }
+
+    /// Sort + merge without the sum-to-one assertion (products of many
+    /// probabilities accumulate rounding; the operations themselves
+    /// conserve mass).
+    fn from_pairs_unchecked(mut atoms: Vec<(f64, f64)>) -> DiscreteDist {
+        atoms.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(atoms.len());
+        for (v, p) in atoms {
+            if p == 0.0 {
+                continue;
+            }
+            match merged.last_mut() {
+                Some(last) if last.0 == v => last.1 += p,
+                _ => merged.push((v, p)),
+            }
+        }
+        debug_assert!(!merged.is_empty());
+        DiscreteDist { atoms: merged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two(a: f64, p: f64) -> DiscreteDist {
+        DiscreteDist::from_atoms(vec![(a, p), (2.0 * a, 1.0 - p)])
+    }
+
+    #[test]
+    fn point_mass_basics() {
+        let d = DiscreteDist::point(3.0);
+        assert!(d.is_point());
+        assert_eq!(d.mean(), 3.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.min_value(), 3.0);
+        assert_eq!(d.max_value(), 3.0);
+        assert_eq!(d.quantile(0.5), 3.0);
+    }
+
+    #[test]
+    fn from_atoms_sorts_and_merges() {
+        let d = DiscreteDist::from_atoms(vec![(2.0, 0.25), (1.0, 0.5), (2.0, 0.25)]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.atoms(), &[(1.0, 0.5), (2.0, 0.5)]);
+    }
+
+    #[test]
+    fn convolution_of_two_state() {
+        // {1: .9, 2: .1} + {1: .9, 2: .1} = {2: .81, 3: .18, 4: .01}.
+        let d = two(1.0, 0.9).convolve(&two(1.0, 0.9));
+        assert_eq!(d.len(), 3);
+        assert!((d.cdf(2.0) - 0.81).abs() < 1e-15);
+        assert!((d.mean() - 2.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_of_iid_two_state() {
+        // max{1 w.p. .9, 2 w.p. .1}²: P(1) = .81, P(2) = .19.
+        let d = two(1.0, 0.9).max_independent(&two(1.0, 0.9));
+        assert_eq!(d.len(), 2);
+        assert!((d.mean() - (0.81 + 2.0 * 0.19)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn convolve_with_point_shifts() {
+        let d = two(1.0, 0.5).convolve(&DiscreteDist::point(10.0));
+        assert_eq!(d.atoms(), &[(11.0, 0.5), (12.0, 0.5)]);
+    }
+
+    #[test]
+    fn max_with_dominant_point() {
+        let d = two(1.0, 0.5).max_independent(&DiscreteDist::point(10.0));
+        assert!(d.is_point());
+        assert_eq!(d.mean(), 10.0);
+    }
+
+    #[test]
+    fn reduce_support_preserves_mean() {
+        // Binomial-ish support from repeated convolutions.
+        let a = two(0.15, 0.999);
+        let mut big = a.clone();
+        for _ in 0..7 {
+            big = big.convolve(&a);
+        }
+        let before = big.mean();
+        for cap in [64, 16, 4, 2, 1] {
+            let red = big.reduce_support(cap);
+            assert!(red.len() <= cap);
+            assert!(
+                (red.mean() - before).abs() < 1e-12 * (1.0 + before.abs()),
+                "cap {cap}: {} vs {before}",
+                red.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_support_noop_when_small() {
+        let d = two(1.0, 0.5);
+        assert_eq!(d.reduce_support(10), d);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cdf() {
+        let d = DiscreteDist::from_atoms(vec![(1.0, 0.2), (2.0, 0.5), (5.0, 0.3)]);
+        assert_eq!(d.quantile(0.0), 1.0);
+        assert_eq!(d.quantile(0.2), 1.0);
+        assert_eq!(d.quantile(0.21), 2.0);
+        assert_eq!(d.quantile(0.7), 2.0);
+        assert_eq!(d.quantile(0.71), 5.0);
+        assert_eq!(d.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn variance_matches_closed_form() {
+        let d = two(1.0, 0.9);
+        assert!((d.variance() - 0.09).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn bad_mass_rejected() {
+        DiscreteDist::from_atoms(vec![(1.0, 0.5), (2.0, 0.2)]);
+    }
+}

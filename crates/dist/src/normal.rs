@@ -1,0 +1,313 @@
+//! Normal random variables, `Φ`/`φ`, and Clark's max-moment formulas.
+
+/// The error function `erf(x)`, accurate to ~1e-15 relative.
+///
+/// Maclaurin series for `|x| ≤ 2` (terms decay fast there), modified
+/// Lentz continued fraction for the complementary function beyond.
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x <= 2.0 {
+        // erf(x) = 2/√π · Σ_{n≥0} (−1)^n x^{2n+1} / (n! (2n+1))
+        let x2 = x * x;
+        let mut term = x;
+        let mut sum = x;
+        let mut n = 1u32;
+        loop {
+            term *= -x2 / n as f64;
+            let contrib = term / (2 * n + 1) as f64;
+            sum += contrib;
+            if contrib.abs() < 1e-18 * sum.abs() {
+                break;
+            }
+            n += 1;
+            debug_assert!(n < 200, "series failed to converge at x = {x}");
+        }
+        sum * std::f64::consts::FRAC_2_SQRT_PI
+    } else {
+        1.0 - erfc_large(x)
+    }
+}
+
+/// `erfc(x)` for `x > 2` via the continued fraction
+/// `erfc(x) = e^{−x²}/√π · 1/(x + 1/2/(x + 1/(x + 3/2/(x + …))))`
+/// evaluated with the modified Lentz algorithm.
+fn erfc_large(x: f64) -> f64 {
+    if x > 27.0 {
+        return 0.0; // below the smallest positive f64 after scaling
+    }
+    const TINY: f64 = 1e-300;
+    let mut f = TINY;
+    let mut c = f;
+    let mut d = 0.0f64;
+    // Continued fraction K_{n≥1} with b_n = x for odd steps … easier in
+    // the standard form: erfc(x)·√π·e^{x²} = 1/(x+) (1/2)/(x+) 1/(x+)
+    // (3/2)/(x+) 2/(x+) …, i.e. a_1 = 1, a_{n+1} = n/2, b_n = x.
+    let mut n = 0u32;
+    loop {
+        let (a, b) = if n == 0 {
+            (1.0, x)
+        } else {
+            (n as f64 / 2.0, x)
+        };
+        d = b + a * d;
+        if d == 0.0 {
+            d = TINY;
+        }
+        c = b + a / c;
+        if c == 0.0 {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+        n += 1;
+        debug_assert!(n < 500, "continued fraction failed at x = {x}");
+    }
+    (-x * x).exp() / std::f64::consts::PI.sqrt() * f
+}
+
+/// Standard normal density `φ(z)`.
+#[inline]
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF `Φ(z)`.
+#[inline]
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// A (possibly degenerate) normal random variable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (≥ 0; 0 is a point mass).
+    pub sd: f64,
+}
+
+impl Normal {
+    /// Normal with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `sd` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, sd: f64) -> Normal {
+        assert!(
+            mean.is_finite() && sd.is_finite() && sd >= 0.0,
+            "bad normal parameters ({mean}, {sd})"
+        );
+        Normal { mean, sd }
+    }
+
+    /// Normal from mean and variance (negative variance from floating
+    /// point cancellation is clamped to zero).
+    pub fn from_mean_var(mean: f64, var: f64) -> Normal {
+        Normal::new(mean, var.max(0.0).sqrt())
+    }
+
+    /// Variance `σ²`.
+    #[inline]
+    pub fn var(&self) -> f64 {
+        self.sd * self.sd
+    }
+
+    /// CDF `P(X ≤ x)`; a step function when degenerate.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sd == 0.0 {
+            if x >= self.mean {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            normal_cdf((x - self.mean) / self.sd)
+        }
+    }
+}
+
+/// Moments of `max(X, Y)` from [`clark_max_moments`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClarkMoments {
+    /// `E[max(X, Y)]`.
+    pub mean: f64,
+    /// `Var[max(X, Y)]`.
+    pub var: f64,
+    /// `Φ(α) = P(X ≥ Y)` under the joint normal model — the weight of
+    /// the first maximand (used by CorLCA's canonical-branch choice and
+    /// by the covariance update `Cov(max(X,Y), Z) = Φ(α)·Cov(X,Z) +
+    /// Φ(−α)·Cov(Y,Z)`).
+    pub phi_alpha: f64,
+}
+
+/// Clark's 1961 formulas for the first two moments of `max(X, Y)` of
+/// jointly normal `X`, `Y` with correlation `rho`.
+pub fn clark_max_moments(x: Normal, y: Normal, rho: f64) -> ClarkMoments {
+    debug_assert!((-1.0..=1.0).contains(&rho), "correlation {rho}");
+    let a2 = (x.var() + y.var() - 2.0 * rho * x.sd * y.sd).max(0.0);
+    let a = a2.sqrt();
+    if a < 1e-300 {
+        // Degenerate difference: X − Y is (almost surely) constant, so
+        // the max is just the larger-mean variable.
+        return if x.mean >= y.mean {
+            ClarkMoments {
+                mean: x.mean,
+                var: x.var(),
+                phi_alpha: 1.0,
+            }
+        } else {
+            ClarkMoments {
+                mean: y.mean,
+                var: y.var(),
+                phi_alpha: 0.0,
+            }
+        };
+    }
+    let alpha = (x.mean - y.mean) / a;
+    let phi = normal_cdf(alpha);
+    let phi_neg = normal_cdf(-alpha);
+    let pdf = normal_pdf(alpha);
+    let m1 = x.mean * phi + y.mean * phi_neg + a * pdf;
+    let m2 = (x.mean * x.mean + x.var()) * phi
+        + (y.mean * y.mean + y.var()) * phi_neg
+        + (x.mean + y.mean) * a * pdf;
+    ClarkMoments {
+        mean: m1,
+        var: (m2 - m1 * m1).max(0.0),
+        phi_alpha: phi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values (Abramowitz & Stegun / mpmath).
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778130465),
+            (1.0, 0.8427007929497149),
+            (1.5, 0.9661051464753107),
+            (2.0, 0.9953222650189527),
+            (2.5, 0.999593047982555),
+            (3.0, 0.9999779095030014),
+            (4.0, 0.9999999845827421),
+        ];
+        for (x, want) in cases {
+            let got = erf(x);
+            assert!((got - want).abs() < 1e-14, "erf({x}) = {got}, want {want}");
+            assert!((erf(-x) + want).abs() < 1e-14, "odd symmetry at {x}");
+        }
+    }
+
+    #[test]
+    fn cdf_symmetry_and_tails() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-15);
+        for z in [0.1, 0.7, 1.3, 2.9, 5.0] {
+            assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-14);
+        }
+        assert!(normal_cdf(-9.0) < 1e-18);
+        assert!(normal_cdf(9.0) >= 1.0 - 1e-15);
+        // Φ(1.96) ≈ 0.975.
+        assert!((normal_cdf(1.959963984540054) - 0.975).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clark_independent_equal_normals() {
+        // max of two iid N(0, 1): mean = 1/√π, var = 1 − 1/π.
+        let n = Normal::new(0.0, 1.0);
+        let m = clark_max_moments(n, n, 0.0);
+        let pi = std::f64::consts::PI;
+        assert!((m.mean - 1.0 / pi.sqrt()).abs() < 1e-14, "{}", m.mean);
+        assert!((m.var - (1.0 - 1.0 / pi)).abs() < 1e-14, "{}", m.var);
+        assert!((m.phi_alpha - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clark_dominant_maximand() {
+        // Far-apart means: max ≈ the larger one.
+        let x = Normal::new(10.0, 0.1);
+        let y = Normal::new(0.0, 0.1);
+        let m = clark_max_moments(x, y, 0.0);
+        assert!((m.mean - 10.0).abs() < 1e-12);
+        assert!((m.var - x.var()).abs() < 1e-12);
+        assert!(m.phi_alpha > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn clark_degenerate_point_masses() {
+        let x = Normal::new(3.0, 0.0);
+        let y = Normal::new(5.0, 0.0);
+        let m = clark_max_moments(x, y, 0.0);
+        assert_eq!(m.mean, 5.0);
+        assert_eq!(m.var, 0.0);
+        assert_eq!(m.phi_alpha, 0.0);
+    }
+
+    #[test]
+    fn clark_perfect_correlation_same_sd() {
+        // rho = 1 with equal sd: X − Y constant ⇒ max is the larger mean.
+        let x = Normal::new(1.0, 0.5);
+        let y = Normal::new(2.0, 0.5);
+        let m = clark_max_moments(x, y, 1.0);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        assert!((m.var - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clark_monte_carlo_cross_check() {
+        // Correlated case against a quick deterministic lattice
+        // integration of E[max] over the joint density.
+        let x = Normal::new(1.0, 0.8);
+        let y = Normal::new(1.5, 0.4);
+        let rho: f64 = 0.6;
+        let m = clark_max_moments(x, y, rho);
+        // 2-D Gauss quadrature over independent (z1, z2), with
+        // y = μy + σy(ρ z1 + √(1−ρ²) z2).
+        let steps = 400;
+        let (mut e, mut e2, mut wsum) = (0.0f64, 0.0f64, 0.0f64);
+        for i in 0..steps {
+            let z1 = -5.0 + 10.0 * (i as f64 + 0.5) / steps as f64;
+            let w1 = normal_pdf(z1);
+            for j in 0..steps {
+                let z2 = -5.0 + 10.0 * (j as f64 + 0.5) / steps as f64;
+                let w = w1 * normal_pdf(z2);
+                let xv = x.mean + x.sd * z1;
+                let yv = y.mean + y.sd * (rho * z1 + (1.0 - rho * rho).sqrt() * z2);
+                let mx = xv.max(yv);
+                e += w * mx;
+                e2 += w * mx * mx;
+                wsum += w;
+            }
+        }
+        e /= wsum;
+        e2 /= wsum;
+        assert!((m.mean - e).abs() < 1e-3, "clark {} vs quad {e}", m.mean);
+        assert!((m.var - (e2 - e * e)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normal_cdf_method_handles_degenerate() {
+        let p = Normal::new(2.0, 0.0);
+        assert_eq!(p.cdf(1.9), 0.0);
+        assert_eq!(p.cdf(2.0), 1.0);
+        let n = Normal::new(0.0, 2.0);
+        assert!((n.cdf(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_mean_var_clamps_negative() {
+        let n = Normal::from_mean_var(1.0, -1e-18);
+        assert_eq!(n.sd, 0.0);
+    }
+}

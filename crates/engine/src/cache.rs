@@ -1,0 +1,212 @@
+//! Content-addressed result cache.
+//!
+//! A cell's key digests everything its result depends on: the DAG's
+//! [structural hash](stochdag_dag::structural_hash) (structure +
+//! weights), the failure model's λ, the canonical estimator id, and the
+//! cell's deterministic seed. Identical inputs ⇒ identical key, on any
+//! machine, in any session — so repeated or resumed campaigns skip
+//! every finished cell.
+//!
+//! Two tiers: an in-memory map (always on) and an optional on-disk
+//! layer (`<dir>/<k[0..2]>/<key>.json`, written atomically via a
+//! temp-file rename) that persists across processes.
+
+use crate::keys::StableHasher;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use stochdag_core::Estimate;
+
+/// Bump when cached payload semantics change (invalidates old entries).
+const CACHE_VERSION: u64 = 1;
+
+/// Compute the content key of one estimation cell.
+pub fn cell_key(dag_hash: u128, lambda: f64, estimator_id: &str, seed: u64) -> String {
+    let mut h = StableHasher::new("stochdag-cell");
+    h.write_u64(CACHE_VERSION)
+        .write_u128(dag_hash)
+        .write_f64(lambda)
+        .write_str(estimator_id)
+        .write_u64(seed);
+    h.finish_hex()
+}
+
+/// Two-tier content-addressed cache of [`Estimate`]s.
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<String, Estimate>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ResultCache {
+    /// Purely in-memory cache (one process lifetime).
+    pub fn in_memory() -> ResultCache {
+        ResultCache {
+            dir: None,
+            mem: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Cache backed by a directory (created on first write).
+    pub fn on_disk(dir: impl Into<PathBuf>) -> ResultCache {
+        ResultCache {
+            dir: Some(dir.into()),
+            ..ResultCache::in_memory()
+        }
+    }
+
+    fn path_of(&self, key: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| {
+            let shard = &key[..2];
+            d.join(shard).join(format!("{key}.json"))
+        })
+    }
+
+    /// Look a key up (memory first, then disk). Counts a hit or miss.
+    pub fn lookup(&self, key: &str) -> Option<Estimate> {
+        if let Some(found) = self.mem.lock().expect("cache poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(found.clone());
+        }
+        if let Some(path) = self.path_of(key) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                match serde::json::from_str::<Estimate>(&text) {
+                    Ok(est) => {
+                        self.mem
+                            .lock()
+                            .expect("cache poisoned")
+                            .insert(key.to_string(), est.clone());
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(est);
+                    }
+                    Err(e) => {
+                        // A corrupt entry is a miss, not an error — the
+                        // cell simply recomputes and overwrites it.
+                        eprintln!("warning: discarding corrupt cache entry {path:?}: {e}");
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Store a result under a key (memory + disk when configured).
+    pub fn store(&self, key: &str, est: &Estimate) {
+        self.mem
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.to_string(), est.clone());
+        if let Some(path) = self.path_of(key) {
+            let parent = path.parent().expect("sharded path has a parent");
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("warning: cannot create cache dir {parent:?}: {e}");
+                return;
+            }
+            let tmp = path.with_extension("json.tmp");
+            let payload = serde::json::to_string(est);
+            if let Err(e) =
+                std::fs::write(&tmp, &payload).and_then(|()| std::fs::rename(&tmp, &path))
+            {
+                eprintln!("warning: cannot persist cache entry {path:?}: {e}");
+            }
+        }
+    }
+
+    /// Hits counted since construction.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses counted since construction.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Reset the hit/miss counters (e.g. between sweep phases).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample(value: f64) -> Estimate {
+        Estimate {
+            value,
+            elapsed: Duration::from_millis(12),
+            name: "FirstOrder".into(),
+            std_error: Some(0.25),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("stochdag_cache_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn keys_are_stable_and_discriminating() {
+        let k = cell_key(42, 0.01, "first-order", 7);
+        assert_eq!(k, cell_key(42, 0.01, "first-order", 7));
+        assert_eq!(k.len(), 32);
+        assert_ne!(k, cell_key(43, 0.01, "first-order", 7));
+        assert_ne!(k, cell_key(42, 0.011, "first-order", 7));
+        assert_ne!(k, cell_key(42, 0.01, "first-order-naive", 7));
+        assert_ne!(k, cell_key(42, 0.01, "first-order", 8));
+    }
+
+    #[test]
+    fn memory_round_trip_counts_hits() {
+        let c = ResultCache::in_memory();
+        let key = cell_key(1, 0.1, "sculli", 0);
+        assert!(c.lookup(&key).is_none());
+        c.store(&key, &sample(5.0));
+        let got = c.lookup(&key).expect("hit");
+        assert_eq!(got.value, 5.0);
+        assert_eq!(got.name, "FirstOrder");
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn disk_round_trip_survives_new_instance() {
+        let dir = tmp_dir("disk");
+        let key = cell_key(2, 0.2, "corlca", 3);
+        {
+            let c = ResultCache::on_disk(&dir);
+            c.store(&key, &sample(7.5));
+        }
+        let c2 = ResultCache::on_disk(&dir);
+        let got = c2.lookup(&key).expect("disk hit");
+        assert_eq!(got.value, 7.5);
+        assert_eq!(got.std_error, Some(0.25));
+        assert_eq!(got.elapsed, Duration::from_millis(12));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_degrade_to_misses() {
+        let dir = tmp_dir("corrupt");
+        let key = cell_key(3, 0.3, "dodin:128", 1);
+        let c = ResultCache::on_disk(&dir);
+        c.store(&key, &sample(1.0));
+        // Corrupt the file and wipe memory by using a fresh instance.
+        let path = dir.join(&key[..2]).join(format!("{key}.json"));
+        std::fs::write(&path, "{not json").unwrap();
+        let c2 = ResultCache::on_disk(&dir);
+        assert!(c2.lookup(&key).is_none());
+        assert_eq!(c2.misses(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,102 @@
+//! Stable hashing for content-addressed cache keys.
+//!
+//! Fixed mixing constants, explicit canonicalization of floats, no
+//! process-random state: a key computed today on one machine equals the
+//! key computed tomorrow on another, which is what lets resumed and
+//! repeated campaigns skip finished cells.
+
+// The one SplitMix64 definition lives next to the structural hash so
+// cache keys and DAG digests can never drift apart.
+pub(crate) use stochdag_dag::stable_mix64 as mix;
+
+/// Incremental stable hasher (128-bit output from two mixing lanes).
+pub struct StableHasher {
+    lo: u64,
+    hi: u64,
+}
+
+impl StableHasher {
+    /// Hasher seeded with a domain tag.
+    pub fn new(domain: &str) -> StableHasher {
+        let mut h = StableHasher {
+            lo: 0x9AE1_6A3B_2F90_404F,
+            hi: 0xCBF2_9CE4_8422_2325,
+        };
+        h.write_str(domain);
+        h
+    }
+
+    /// Fold in a raw word.
+    pub fn write_u64(&mut self, w: u64) -> &mut Self {
+        self.lo = mix(self.lo ^ w);
+        self.hi = mix(self.hi ^ w.rotate_left(31));
+        self
+    }
+
+    /// Fold in a 128-bit word.
+    pub fn write_u128(&mut self, w: u128) -> &mut Self {
+        self.write_u64(w as u64).write_u64((w >> 64) as u64)
+    }
+
+    /// Fold in a float by canonical bit pattern (`-0.0` → `0.0`).
+    pub fn write_f64(&mut self, f: f64) -> &mut Self {
+        self.write_u64(stochdag_dag::canonical_f64_bits(f))
+    }
+
+    /// Fold in a string (length-prefixed, byte-exact).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+        self
+    }
+
+    /// Final 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        let lo = mix(self.lo ^ self.hi);
+        let hi = mix(self.hi ^ self.lo.rotate_left(17));
+        ((hi as u128) << 64) | lo as u128
+    }
+
+    /// Final digest rendered as 32 lowercase hex chars.
+    pub fn finish_hex(&self) -> String {
+        format!("{:032x}", self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_input_sensitive() {
+        let key = |s: &str, x: f64| {
+            let mut h = StableHasher::new("test");
+            h.write_str(s).write_f64(x);
+            h.finish_hex()
+        };
+        assert_eq!(key("a", 1.0), key("a", 1.0));
+        assert_ne!(key("a", 1.0), key("a", 1.0000001));
+        assert_ne!(key("a", 1.0), key("b", 1.0));
+        assert_eq!(key("a", 0.0), key("a", -0.0), "canonical zero");
+        assert_eq!(key("x", 2.0).len(), 32);
+    }
+
+    #[test]
+    fn string_boundaries_matter() {
+        let h1 = {
+            let mut h = StableHasher::new("t");
+            h.write_str("ab").write_str("c");
+            h.finish()
+        };
+        let h2 = {
+            let mut h = StableHasher::new("t");
+            h.write_str("a").write_str("bc");
+            h.finish()
+        };
+        assert_ne!(h1, h2, "length prefix separates concatenations");
+    }
+}

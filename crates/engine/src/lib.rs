@@ -1,0 +1,71 @@
+//! # stochdag-engine — parallel scenario-sweep engine
+//!
+//! The paper's evaluation is a *campaign*: estimator accuracy measured
+//! over grids of (DAG family, size, failure probability) against a
+//! Monte-Carlo ground truth. This crate turns that pattern into a
+//! declarative, parallel, cached subsystem:
+//!
+//! * [`EstimatorRegistry`] — every estimator in `stochdag-core` behind
+//!   an object-safe, name-addressable handle (`"first-order"`,
+//!   `"dodin:64"`, `"mc:10000"`, …).
+//! * [`SweepSpec`] — the Cartesian product of DAG sources × failure
+//!   models × estimators, loadable from TOML or JSON.
+//! * [`run_sweep`] — a work-stealing parallel executor with
+//!   deterministic per-cell seeding and a content-addressed
+//!   [`ResultCache`] (in-memory + on-disk), so repeated or resumed
+//!   campaigns skip every finished cell.
+//! * [`CsvSink`] / [`JsonlSink`] — streaming sinks fed in
+//!   deterministic order with relative-error-vs-MC rows and a
+//!   per-estimator summary; re-runs produce byte-identical files.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use stochdag_engine::{
+//!     run_sweep, EstimatorRegistry, ResultCache, ResultSink, SweepSpec, VecSink,
+//! };
+//!
+//! let spec = SweepSpec::from_str_auto(r#"
+//!     name = "doc"
+//!     pfails = [0.01]
+//!     estimators = ["first-order", "sculli"]
+//!     reference_trials = 500
+//!     [[dags]]
+//!     kind = "cholesky"
+//!     ks = [2]
+//! "#).unwrap();
+//!
+//! let registry = EstimatorRegistry::standard();
+//! let cache = ResultCache::in_memory();
+//! let mut sink = VecSink::default();
+//! let outcome = {
+//!     let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut sink];
+//!     run_sweep(&spec, &registry, &cache, &mut sinks).unwrap()
+//! };
+//! assert_eq!(outcome.cells, 2); // 1 DAG × 1 pfail × 2 estimators
+//! assert!(outcome.rows.iter().all(|r| r.rel_error.abs() < 0.2));
+//!
+//! // Re-running the same spec is served entirely from the cache.
+//! let again = {
+//!     let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+//!     run_sweep(&spec, &registry, &cache, &mut sinks).unwrap()
+//! };
+//! assert!(again.fully_cached());
+//! assert_eq!(again.rows, outcome.rows);
+//! ```
+
+mod cache;
+mod keys;
+mod registry;
+mod runner;
+mod sink;
+mod spec;
+
+pub use cache::{cell_key, ResultCache};
+pub use keys::StableHasher;
+pub use registry::{BuildContext, EstimatorRegistry};
+pub use runner::{run_sweep, SweepOutcome};
+pub use sink::{
+    summarize, CsvSink, JsonlSink, Reorderer, ResultSink, SummaryRow, SweepRow, VecSink,
+};
+pub use spec::{parse_toml, DagInstance, DagSpec, SweepSpec};

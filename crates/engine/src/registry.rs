@@ -1,0 +1,313 @@
+//! Name-addressable estimator registry.
+//!
+//! Every estimator in `stochdag-core` behind an object-safe handle
+//! ([`BoxedEstimator`]), addressable by a *spec string*:
+//!
+//! | Spec | Estimator |
+//! |------|-----------|
+//! | `first-order` | [`FirstOrderEstimator::fast`] |
+//! | `first-order-naive` | [`FirstOrderEstimator::naive`] |
+//! | `second-order` | [`SecondOrderEstimator`] |
+//! | `sculli` | [`SculliEstimator`] |
+//! | `corlca` | [`CorLcaEstimator`] |
+//! | `normal-cov` | [`CovarianceNormalEstimator`] |
+//! | `dodin[:ATOMS]` | [`DodinEstimator::scalable`] (forward surrogate) |
+//! | `dodin-dup[:ATOMS]` | [`DodinEstimator::new`] (faithful duplication) |
+//! | `spelde[:PATHS]` | [`SpeldeEstimator`] |
+//! | `exact` | [`ExactEstimator`] (≤ 24 tasks) |
+//! | `mc[:TRIALS]` | [`MonteCarloEstimator`] (seeded per cell) |
+//!
+//! The optional `:arg` suffix carries the one numeric knob an estimator
+//! family exposes to sweeps. [`EstimatorRegistry::canonical_id`]
+//! normalizes a spec (filling in defaults) so cache keys are stable
+//! under spelling variations.
+
+use std::collections::BTreeMap;
+use stochdag_core::{
+    BoxedEstimator, CorLcaEstimator, CovarianceNormalEstimator, DodinEstimator, ExactEstimator,
+    FirstOrderEstimator, MonteCarloEstimator, SculliEstimator, SecondOrderEstimator,
+    SpeldeEstimator,
+};
+
+/// Parameters available to an estimator builder.
+#[derive(Clone, Debug)]
+pub struct BuildContext {
+    /// Optional `:arg` from the spec string.
+    pub arg: Option<u64>,
+    /// Deterministic per-cell seed (used by statistical estimators).
+    pub seed: u64,
+}
+
+type Builder = fn(&BuildContext) -> Result<BoxedEstimator, String>;
+
+/// One registry entry.
+struct Entry {
+    build: Builder,
+    /// Default value of the `:arg` knob, if the family has one.
+    default_arg: Option<u64>,
+    about: &'static str,
+}
+
+/// The estimator registry (see module docs).
+pub struct EstimatorRegistry {
+    entries: BTreeMap<&'static str, Entry>,
+}
+
+impl EstimatorRegistry {
+    /// Registry with every estimator in `stochdag-core`.
+    pub fn standard() -> EstimatorRegistry {
+        let mut entries: BTreeMap<&'static str, Entry> = BTreeMap::new();
+        let mut add =
+            |name: &'static str, default_arg: Option<u64>, about: &'static str, build: Builder| {
+                entries.insert(
+                    name,
+                    Entry {
+                        build,
+                        default_arg,
+                        about,
+                    },
+                );
+            };
+        add(
+            "first-order",
+            None,
+            "the paper's O(V+E) first-order approximation",
+            |_| Ok(Box::new(FirstOrderEstimator::fast())),
+        );
+        add(
+            "first-order-naive",
+            None,
+            "first-order via per-task longest-path recomputation",
+            |_| Ok(Box::new(FirstOrderEstimator::naive())),
+        );
+        add(
+            "second-order",
+            None,
+            "O(lambda^2)-exact second-order extension",
+            |_| Ok(Box::new(SecondOrderEstimator)),
+        );
+        add(
+            "sculli",
+            None,
+            "Sculli's independent-normal propagation",
+            |_| Ok(Box::new(SculliEstimator)),
+        );
+        add(
+            "corlca",
+            None,
+            "Canon-Jeannot canonical-ancestor correlation heuristic",
+            |_| Ok(Box::new(CorLcaEstimator)),
+        );
+        add(
+            "normal-cov",
+            None,
+            "full covariance-propagating normal estimator",
+            |_| Ok(Box::new(CovarianceNormalEstimator)),
+        );
+        add(
+            "dodin",
+            Some(128),
+            "Dodin forward surrogate; arg = support-atom cap",
+            |ctx| {
+                Ok(Box::new(
+                    DodinEstimator::scalable().with_max_atoms(require_atoms(ctx)?),
+                ))
+            },
+        );
+        add(
+            "dodin-dup",
+            Some(128),
+            "faithful Dodin duplication engine; arg = support-atom cap",
+            |ctx| {
+                Ok(Box::new(
+                    DodinEstimator::new().with_max_atoms(require_atoms(ctx)?),
+                ))
+            },
+        );
+        add(
+            "spelde",
+            Some(16),
+            "Spelde path-based bound; arg = number of dominant paths",
+            |ctx| {
+                let paths = ctx.arg.unwrap_or(16);
+                if paths == 0 {
+                    return Err("spelde needs at least one path".into());
+                }
+                Ok(Box::new(SpeldeEstimator::new(paths as usize)))
+            },
+        );
+        add(
+            "exact",
+            None,
+            "exhaustive 2-state oracle (<= 24 tasks)",
+            |_| Ok(Box::new(ExactEstimator)),
+        );
+        add(
+            "mc",
+            Some(10_000),
+            "Monte Carlo with the cell's deterministic seed; arg = trials",
+            |ctx| {
+                let trials = ctx.arg.unwrap_or(10_000);
+                if trials == 0 {
+                    return Err("mc needs at least one trial".into());
+                }
+                Ok(Box::new(
+                    MonteCarloEstimator::new(trials as usize).with_seed(ctx.seed),
+                ))
+            },
+        );
+        EstimatorRegistry { entries }
+    }
+
+    /// Registered base names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// One-line description of a base name.
+    pub fn about(&self, name: &str) -> Option<&'static str> {
+        self.entries.get(name).map(|e| e.about)
+    }
+
+    /// Split a spec string into `(base, arg)`.
+    fn parse(spec: &str) -> Result<(&str, Option<u64>), String> {
+        match spec.split_once(':') {
+            None => Ok((spec, None)),
+            Some((base, arg)) => {
+                let n: u64 = arg
+                    .parse()
+                    .map_err(|_| format!("estimator spec {spec:?}: bad argument {arg:?}"))?;
+                Ok((base, Some(n)))
+            }
+        }
+    }
+
+    /// Canonical form of a spec (defaults filled in) — the identity
+    /// used in cache keys and result rows, stable across spellings.
+    ///
+    /// Also exercises the builder (constructors are cheap), so a spec
+    /// whose *argument* is invalid (`mc:0`, `dodin:1`, `spelde:0`) is
+    /// rejected here, before a sweep launches any work.
+    pub fn canonical_id(&self, spec: &str) -> Result<String, String> {
+        let (base, arg) = Self::parse(spec)?;
+        let entry = self.entries.get(base).ok_or_else(|| {
+            format!(
+                "unknown estimator {base:?} (known: {})",
+                self.entries.keys().copied().collect::<Vec<_>>().join(", ")
+            )
+        })?;
+        let id = match (entry.default_arg, arg) {
+            (None, Some(_)) => return Err(format!("estimator {base:?} takes no argument")),
+            (None, None) => base.to_string(),
+            (Some(d), None) => format!("{base}:{d}"),
+            (Some(_), Some(a)) => format!("{base}:{a}"),
+        };
+        self.build(spec, 0)?;
+        Ok(id)
+    }
+
+    /// Build an estimator from a spec string and a per-cell seed.
+    pub fn build(&self, spec: &str, seed: u64) -> Result<BoxedEstimator, String> {
+        let (base, arg) = Self::parse(spec)?;
+        let entry = self
+            .entries
+            .get(base)
+            .ok_or_else(|| format!("unknown estimator {base:?}"))?;
+        let ctx = BuildContext {
+            arg: arg.or(entry.default_arg),
+            seed,
+        };
+        (entry.build)(&ctx)
+    }
+}
+
+fn require_atoms(ctx: &BuildContext) -> Result<usize, String> {
+    let atoms = ctx.arg.unwrap_or(128);
+    if atoms < 2 {
+        return Err("dodin needs at least two support atoms".into());
+    }
+    Ok(atoms as usize)
+}
+
+impl Default for EstimatorRegistry {
+    fn default() -> Self {
+        EstimatorRegistry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochdag_core::{Estimator, FailureModel};
+    use stochdag_dag::Dag;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    #[test]
+    fn every_registered_estimator_builds_and_runs() {
+        let reg = EstimatorRegistry::standard();
+        let g = diamond();
+        let m = FailureModel::new(0.01);
+        let d_g = 5.0;
+        for name in reg.names().collect::<Vec<_>>() {
+            let spec = if name == "mc" { "mc:500" } else { name };
+            let est = reg.build(spec, 7).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let v = est.expected_makespan(&g, &m);
+            assert!(
+                v >= d_g - 1e-9 && v.is_finite(),
+                "{name}: estimate {v} below failure-free makespan"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_ids_fill_defaults() {
+        let reg = EstimatorRegistry::standard();
+        assert_eq!(reg.canonical_id("first-order").unwrap(), "first-order");
+        assert_eq!(reg.canonical_id("dodin").unwrap(), "dodin:128");
+        assert_eq!(reg.canonical_id("dodin:64").unwrap(), "dodin:64");
+        assert_eq!(reg.canonical_id("mc:5000").unwrap(), "mc:5000");
+        assert_eq!(reg.canonical_id("spelde").unwrap(), "spelde:16");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let reg = EstimatorRegistry::standard();
+        assert!(reg.canonical_id("nope").is_err());
+        assert!(reg.canonical_id("sculli:3").is_err());
+        assert!(reg.canonical_id("mc:x").is_err());
+        assert!(reg.build("mc:0", 1).is_err());
+        assert!(reg.build("dodin:1", 1).is_err());
+    }
+
+    #[test]
+    fn mc_is_seed_deterministic() {
+        let reg = EstimatorRegistry::standard();
+        let g = diamond();
+        let m = FailureModel::new(0.05);
+        let a = reg.build("mc:2000", 11).unwrap().expected_makespan(&g, &m);
+        let b = reg.build("mc:2000", 11).unwrap().expected_makespan(&g, &m);
+        let c = reg.build("mc:2000", 12).unwrap().expected_makespan(&g, &m);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn registry_lists_descriptions() {
+        let reg = EstimatorRegistry::standard();
+        assert!(reg.about("first-order").is_some());
+        assert!(reg.about("nope").is_none());
+        assert!(reg.names().count() >= 10);
+    }
+}

@@ -1,0 +1,389 @@
+//! The parallel sweep executor.
+//!
+//! Expands a [`SweepSpec`] into scenarios (DAG × failure model) and
+//! cells (scenario × estimator), then runs:
+//!
+//! 1. **Reference phase** — one Monte-Carlo reference per scenario,
+//!    cells distributed over all cores (work-stealing chunks via the
+//!    parallel-iterator layer), each consulting the content-addressed
+//!    [`ResultCache`] first.
+//! 2. **Cell phase** — every estimator cell in parallel, again
+//!    cache-first. Completions stream through a dedicated writer thread
+//!    that re-sequences them into deterministic cell order and feeds
+//!    the sinks row by row while later cells are still computing.
+//!
+//! Determinism: cell seeds derive from the spec seed and the cell's
+//! content (DAG hash, λ, estimator id) — never from position or time —
+//! so a re-run, a resumed run, and a differently-parallel run all
+//! produce byte-identical sink output.
+
+use crate::cache::{cell_key, ResultCache};
+use crate::keys::{mix, StableHasher};
+use crate::registry::EstimatorRegistry;
+use crate::sink::{summarize, Reorderer, ResultSink, SummaryRow, SweepRow};
+use crate::spec::{DagInstance, SweepSpec};
+use rayon::prelude::*;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use stochdag_core::{Estimate, Estimator, FailureModel, MonteCarloEstimator};
+use stochdag_dag::structural_hash;
+
+/// One (DAG, failure model) scenario.
+struct Scenario<'a> {
+    dag: &'a DagInstance,
+    dag_hash: u128,
+    model: FailureModel,
+    label: String,
+    reference: Estimate,
+}
+
+/// Outcome of a finished sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Every cell row, in deterministic cell order.
+    pub rows: Vec<SweepRow>,
+    /// Per-estimator aggregates.
+    pub summary: Vec<SummaryRow>,
+    /// Number of estimator cells (excludes references).
+    pub cells: usize,
+    /// Number of Monte-Carlo reference scenarios.
+    pub references: usize,
+    /// Cache hits across references + cells.
+    pub cache_hits: usize,
+    /// Cache misses (computed fresh) across references + cells.
+    pub cache_misses: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+}
+
+impl SweepOutcome {
+    /// Whether every unit of work was served from the cache.
+    pub fn fully_cached(&self) -> bool {
+        self.cache_misses == 0
+    }
+}
+
+/// Derive the deterministic seed of a work unit from the spec seed and
+/// the unit's content identity. Masked to 53 bits so seeds survive the
+/// JSON number model (JSONL rows, cached payloads) exactly.
+fn derive_seed(spec_seed: u64, dag_hash: u128, lambda: f64, unit: &str) -> u64 {
+    let mut h = StableHasher::new("stochdag-seed");
+    h.write_u64(spec_seed)
+        .write_u128(dag_hash)
+        .write_f64(lambda)
+        .write_str(unit);
+    mix(h.finish() as u64) & ((1u64 << 53) - 1)
+}
+
+/// Run a sweep, streaming rows into `sinks` (all sinks receive every
+/// row, in order). Returns the collected outcome.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    registry: &EstimatorRegistry,
+    cache: &ResultCache,
+    sinks: &mut [&mut dyn ResultSink],
+) -> Result<SweepOutcome, String> {
+    let start = Instant::now();
+    spec.validate()?;
+    // Resolve estimator ids up front so bad specs fail before any work.
+    let estimator_ids: Vec<(String, String)> = spec
+        .estimators
+        .iter()
+        .map(|s| registry.canonical_id(s).map(|id| (s.clone(), id)))
+        .collect::<Result<_, _>>()?;
+    {
+        let mut ids: Vec<&str> = estimator_ids.iter().map(|(_, id)| id.as_str()).collect();
+        ids.sort_unstable();
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(format!(
+                    "duplicate estimator {:?} in spec (canonical ids must be unique)",
+                    pair[0]
+                ));
+            }
+        }
+    }
+    cache.reset_counters();
+
+    // Materialize DAG instances and hash each once.
+    let mut instances: Vec<DagInstance> = Vec::new();
+    for d in &spec.dags {
+        instances.extend(d.materialize()?);
+    }
+    {
+        let mut ids: Vec<&str> = instances.iter().map(|i| i.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() != instances.len() {
+            return Err("duplicate DAG instances in spec".into());
+        }
+    }
+    // The exhaustive oracle panics past its node cap; surface that as
+    // a spec error before any cell launches.
+    if estimator_ids.iter().any(|(_, id)| id == "exact") {
+        for inst in &instances {
+            if inst.dag.node_count() > stochdag_core::MAX_EXACT_NODES {
+                return Err(format!(
+                    "estimator \"exact\" needs <= {} tasks, but {} has {}",
+                    stochdag_core::MAX_EXACT_NODES,
+                    inst.id,
+                    inst.dag.node_count()
+                ));
+            }
+        }
+    }
+    let hashes: Vec<u128> = instances.iter().map(|i| structural_hash(&i.dag)).collect();
+
+    // Scenario skeletons: (instance, model, label) pairs.
+    let proto: Vec<(usize, FailureModel, String)> = instances
+        .iter()
+        .enumerate()
+        .flat_map(|(i, inst)| {
+            let pfails = spec.pfails.iter().map(move |&p| {
+                (
+                    FailureModel::from_pfail_for_dag(p, &inst.dag),
+                    format!("pfail={p}"),
+                )
+            });
+            let lambdas = spec
+                .lambdas
+                .iter()
+                .map(|&l| (FailureModel::new(l), format!("lambda={l}")));
+            pfails
+                .chain(lambdas)
+                .map(move |(m, label)| (i, m, label))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // Phase 1: Monte-Carlo references, parallel and cache-first.
+    let reference_id = format!(
+        "mc-reference:{}:{}",
+        spec.reference_trials,
+        match spec.reference_sampling {
+            stochdag_core::SamplingModel::Geometric => "geometric",
+            stochdag_core::SamplingModel::TwoState => "two-state",
+        }
+    );
+    let references: Vec<Estimate> = (0..proto.len())
+        .into_par_iter()
+        .map(|s| {
+            let (inst_idx, model, _) = &proto[s];
+            let dag_hash = hashes[*inst_idx];
+            let seed = derive_seed(spec.seed, dag_hash, model.lambda, &reference_id);
+            let key = cell_key(dag_hash, model.lambda, &reference_id, seed);
+            if let Some(found) = cache.lookup(&key) {
+                return found;
+            }
+            let est = MonteCarloEstimator::new(spec.reference_trials)
+                .with_seed(seed)
+                .with_sampling(spec.reference_sampling)
+                .estimate(&instances[*inst_idx].dag, model);
+            cache.store(&key, &est);
+            est
+        })
+        .collect();
+
+    let scenarios: Vec<Scenario<'_>> = proto
+        .into_iter()
+        .zip(references)
+        .map(|((inst_idx, model, label), reference)| Scenario {
+            dag: &instances[inst_idx],
+            dag_hash: hashes[inst_idx],
+            model,
+            label,
+            reference,
+        })
+        .collect();
+
+    // Phase 2: estimator cells, parallel, streaming into the sinks.
+    let n_cells = scenarios.len() * estimator_ids.len();
+    for sink in sinks.iter_mut() {
+        sink.begin().map_err(|e| format!("sink begin: {e}"))?;
+    }
+    let (tx, rx) = mpsc::channel::<(usize, SweepRow)>();
+    let tx = Mutex::new(tx);
+    let write_error: Mutex<Option<String>> = Mutex::new(None);
+    let rows: Vec<SweepRow> = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut reorder = Reorderer::new();
+            let mut rows: Vec<SweepRow> = Vec::with_capacity(n_cells);
+            for (idx, row) in rx {
+                let emit_result = reorder.push(idx, row, |r| {
+                    // Collect first: a sink failure aborts the sweep
+                    // with an error, but the row set stays complete.
+                    rows.push(r.clone());
+                    for sink in sinks.iter_mut() {
+                        sink.row(r)?;
+                    }
+                    Ok(())
+                });
+                if let Err(e) = emit_result {
+                    let mut slot = write_error.lock().expect("error slot poisoned");
+                    if slot.is_none() {
+                        *slot = Some(format!("sink row: {e}"));
+                    }
+                }
+            }
+            debug_assert_eq!(reorder.pending(), 0, "all cells completed");
+            rows
+        });
+
+        (0..n_cells).into_par_iter().for_each(|cell| {
+            let scenario = &scenarios[cell / estimator_ids.len()];
+            let (spec_str, canonical) = &estimator_ids[cell % estimator_ids.len()];
+            let lambda = scenario.model.lambda;
+            let seed = derive_seed(spec.seed, scenario.dag_hash, lambda, canonical);
+            let key = cell_key(scenario.dag_hash, lambda, canonical, seed);
+            let est = match cache.lookup(&key) {
+                Some(found) => found,
+                None => {
+                    let built = registry
+                        .build(spec_str, seed)
+                        .expect("estimator specs validated before launch");
+                    let est = built.estimate(&scenario.dag.dag, &scenario.model);
+                    cache.store(&key, &est);
+                    est
+                }
+            };
+            let reference = scenario.reference.value;
+            let row = SweepRow {
+                dag: scenario.dag.id.clone(),
+                tasks: scenario.dag.dag.node_count(),
+                edges: scenario.dag.dag.edge_count(),
+                model: scenario.label.clone(),
+                lambda,
+                estimator: canonical.clone(),
+                value: est.value,
+                reference,
+                reference_std_error: scenario.reference.std_error.unwrap_or(0.0),
+                rel_error: (est.value - reference) / reference,
+                elapsed_s: est.elapsed.as_secs_f64(),
+                seed,
+            };
+            tx.lock()
+                .expect("sender poisoned")
+                .send((cell, row))
+                .expect("writer alive until senders drop");
+        });
+        drop(tx);
+        writer.join().expect("writer thread panicked")
+    });
+    if let Some(e) = write_error.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+
+    let summary = summarize(&rows);
+    for sink in sinks.iter_mut() {
+        sink.summary(&summary)
+            .and_then(|()| sink.finish())
+            .map_err(|e| format!("sink summary: {e}"))?;
+    }
+    Ok(SweepOutcome {
+        cells: n_cells,
+        references: scenarios.len(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        wall: start.elapsed(),
+        rows,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::VecSink;
+    use crate::spec::DagSpec;
+    use stochdag_taskgraphs::FactorizationClass;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            name: "tiny".into(),
+            seed: 1,
+            pfails: vec![0.01, 0.001],
+            lambdas: vec![],
+            estimators: vec!["first-order".into(), "sculli".into()],
+            reference_trials: 1500,
+            reference_sampling: stochdag_core::SamplingModel::Geometric,
+            dags: vec![
+                DagSpec::Factorization {
+                    class: FactorizationClass::Cholesky,
+                    ks: vec![2, 3],
+                },
+                DagSpec::ForkJoin {
+                    width: 3,
+                    depth: 2,
+                    weight: 1.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sweep_runs_all_cells_in_order() {
+        let spec = tiny_spec();
+        let registry = EstimatorRegistry::standard();
+        let cache = ResultCache::in_memory();
+        let mut sink = VecSink::default();
+        let outcome = {
+            let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut sink];
+            run_sweep(&spec, &registry, &cache, &mut sinks).unwrap()
+        };
+        // 3 DAG instances × 2 pfails × 2 estimators.
+        assert_eq!(outcome.cells, 12);
+        assert_eq!(outcome.references, 6);
+        assert_eq!(outcome.rows.len(), 12);
+        assert_eq!(sink.rows, outcome.rows, "sink saw the same ordered rows");
+        // Deterministic order: scenario-major.
+        assert_eq!(outcome.rows[0].dag, "cholesky:k=2");
+        assert_eq!(outcome.rows[0].estimator, "first-order");
+        assert_eq!(outcome.rows[1].estimator, "sculli");
+        // Estimates are sane.
+        for r in &outcome.rows {
+            assert!(r.value > 0.0 && r.reference > 0.0);
+            assert!(r.rel_error.abs() < 0.5, "{r:?}");
+        }
+        assert_eq!(outcome.summary.len(), 2);
+    }
+
+    #[test]
+    fn repeated_run_is_fully_cached_and_identical() {
+        let spec = tiny_spec();
+        let registry = EstimatorRegistry::standard();
+        let cache = ResultCache::in_memory();
+        let run = |cache: &ResultCache| {
+            let mut sink = VecSink::default();
+            let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut sink];
+            run_sweep(&spec, &registry, cache, &mut sinks).unwrap()
+        };
+        let first = run(&cache);
+        assert!(!first.fully_cached());
+        let second = run(&cache);
+        assert!(second.fully_cached(), "second run must be 100% cache hits");
+        assert_eq!(second.cache_hits, first.cells + first.references);
+        assert_eq!(second.rows, first.rows, "cached rows are bit-identical");
+    }
+
+    #[test]
+    fn seeds_differ_across_cells_but_not_runs() {
+        let a = derive_seed(1, 42, 0.01, "first-order");
+        assert_eq!(a, derive_seed(1, 42, 0.01, "first-order"));
+        assert_ne!(a, derive_seed(1, 42, 0.01, "sculli"));
+        assert_ne!(a, derive_seed(1, 43, 0.01, "first-order"));
+        assert_ne!(a, derive_seed(2, 42, 0.01, "first-order"));
+    }
+
+    #[test]
+    fn bad_estimator_fails_before_work() {
+        let mut spec = tiny_spec();
+        spec.estimators.push("warp-drive".into());
+        let registry = EstimatorRegistry::standard();
+        let cache = ResultCache::in_memory();
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+        let err = run_sweep(&spec, &registry, &cache, &mut sinks).unwrap_err();
+        assert!(err.contains("warp-drive"), "{err}");
+        assert_eq!(cache.hits() + cache.misses(), 0, "no work was attempted");
+    }
+}

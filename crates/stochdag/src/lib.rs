@@ -15,6 +15,7 @@
 //! | [`sp`] | `stochdag-sp` | series-parallel reductions, Dodin's transformation |
 //! | [`core`] | `stochdag-core` | the estimators: FirstOrder, SecondOrder, MonteCarlo, Dodin, Sculli/CorLCA/Normal(cov), Exact |
 //! | [`sched`] | `stochdag-sched` | failure-aware list scheduling, HEFT, execution simulation |
+//! | [`engine`] | `stochdag-engine` | parallel scenario sweeps: estimator registry, content-addressed caching, streaming sinks |
 //!
 //! ## Quickstart
 //!
@@ -35,6 +36,7 @@
 pub use stochdag_core as core;
 pub use stochdag_dag as dag;
 pub use stochdag_dist as dist;
+pub use stochdag_engine as engine;
 pub use stochdag_sched as sched;
 pub use stochdag_sp as sp;
 pub use stochdag_taskgraphs as taskgraphs;
@@ -52,12 +54,16 @@ pub mod prelude {
         SecondOrderEstimator, SpeldeEstimator,
     };
     pub use stochdag_dag::{
-        dot_string, longest_path_length, topological_layers, topological_order, Dag, DagBuilder,
-        LevelInfo, LongestPaths, NodeId,
+        dot_string, longest_path_length, structural_hash, topological_layers, topological_order,
+        Dag, DagBuilder, LevelInfo, LongestPaths, NodeId,
     };
     pub use stochdag_dist::{
         clark_max_moments, failure_probability, geometric_truncated,
         lambda_for_failure_probability, two_state, DiscreteDist, Normal, TaskDurationModel,
+    };
+    pub use stochdag_engine::{
+        run_sweep, CsvSink, EstimatorRegistry, JsonlSink, ResultCache, ResultSink, SweepOutcome,
+        SweepSpec, VecSink,
     };
     pub use stochdag_sched::{
         compare_policies, heft_schedule, list_schedule, simulate_execution, Priority, Schedule,

@@ -1,65 +1,86 @@
 //! Methodology example: empirical verification of the first-order
-//! error bound on DAG families *beyond* the paper's three workloads.
+//! error bound on DAG families *beyond* the paper's three workloads —
+//! now expressed as one declarative sweep on the scenario engine.
 //!
-//! The approximation neglects `O(λ²)` terms, so halving λ should cut the
-//! error against the exact/ground-truth expectation by ~4×. This example
-//! measures that scaling on synthetic families (layered random,
-//! Erdős–Rényi, fork-join, diamond mesh) — structures with very
-//! different path statistics from tiled factorizations.
+//! The approximation neglects `O(λ²)` terms, so halving λ should cut
+//! the error against the Monte-Carlo expectation by ~4×. The engine
+//! runs the whole (family × λ) grid in parallel with a shared
+//! Monte-Carlo reference per scenario (2-state sampling isolates the
+//! analytical expansion from the model truncation), and the rows come
+//! back in deterministic grid order, ready for the ratio analysis.
 //!
 //! Run with: `cargo run -p stochdag --release --example accuracy_study`
 
 use stochdag::prelude::*;
+use stochdag_engine::DagSpec;
 
 fn main() {
-    let families: Vec<(&str, Dag)> = vec![
-        (
-            "layered 6x5",
-            layered_random_dag(
-                &LayeredConfig {
-                    layers: 6,
-                    width: 5,
-                    edge_prob: 0.4,
-                    weight_range: (0.5, 2.0),
-                },
-                11,
-            ),
-        ),
-        (
-            "erdos-renyi n=40 p=0.15",
-            erdos_renyi_dag(40, 0.15, (0.5, 2.0), 22),
-        ),
-        ("fork-join 8x4", fork_join_dag(8, 4, 1.0)),
-        ("diamond mesh 6x6", diamond_mesh_dag(6, 6, (0.5, 1.5), 33)),
-    ];
+    // λ = 0.05, 0.025, 0.0125, 0.00625 — each halving should divide
+    // the first-order error by ~4.
+    let lambdas: Vec<f64> = (1..=4).map(|e| 0.1 / 2f64.powi(e)).collect();
+    let spec = SweepSpec {
+        name: "accuracy-study".into(),
+        seed: 5,
+        pfails: vec![],
+        lambdas: lambdas.clone(),
+        estimators: vec!["first-order".into()],
+        reference_trials: 400_000,
+        reference_sampling: SamplingModel::TwoState,
+        dags: vec![
+            DagSpec::Layered {
+                layers: vec![6],
+                width: 5,
+                edge_prob: 0.4,
+                weight_range: (0.5, 2.0),
+                seed: 11,
+            },
+            DagSpec::ErdosRenyi {
+                ns: vec![40],
+                p: 0.15,
+                weight_range: (0.5, 2.0),
+                seed: 22,
+            },
+            DagSpec::ForkJoin {
+                width: 8,
+                depth: 4,
+                weight: 1.0,
+            },
+            DagSpec::DiamondMesh {
+                rows: 6,
+                cols: 6,
+                weight_range: (0.5, 1.5),
+                seed: 33,
+            },
+        ],
+    };
 
-    for (name, dag) in &families {
+    let registry = EstimatorRegistry::standard();
+    let cache = ResultCache::in_memory();
+    let outcome = {
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+        run_sweep(&spec, &registry, &cache, &mut sinks).expect("sweep runs")
+    };
+
+    // Rows arrive scenario-major: for each DAG, the λ axis in order.
+    for family in outcome.rows.chunks(lambdas.len()) {
+        let head = &family[0];
         println!(
-            "\n=== {name}: {} tasks, {} edges, d(G) = {:.3} ===",
-            dag.node_count(),
-            dag.edge_count(),
-            longest_path_length(dag)
+            "\n=== {}: {} tasks, {} edges ===",
+            head.dag, head.tasks, head.edges
         );
         println!(
             "{:>10} {:>13} {:>13} {:>12} {:>8}",
             "lambda", "MC (2-state)", "first order", "error", "ratio"
         );
         let mut prev_err: Option<f64> = None;
-        for exp in 1..=4 {
-            let lambda = 0.1 / 2f64.powi(exp);
-            let model = FailureModel::new(lambda);
-            // 2-state sampling isolates the analytical expansion from
-            // the at-most-one-re-execution model truncation.
-            let mc = MonteCarloEstimator::new(400_000)
-                .with_seed(5)
-                .with_sampling(SamplingModel::TwoState)
-                .run(dag, &model);
-            let first = first_order_expected_makespan_fast(dag, &model);
-            let err = (first - mc.mean).abs();
+        for row in family {
+            let err = (row.value - row.reference).abs();
             let ratio = prev_err.map_or(f64::NAN, |p| p / err.max(1e-12));
             println!(
-                "{lambda:>10.5} {:>13.6} {first:>13.6} {err:>12.2e} {:>8}",
-                mc.mean,
+                "{:>10.5} {:>13.6} {:>13.6} {err:>12.2e} {:>8}",
+                row.lambda,
+                row.reference,
+                row.value,
                 if ratio.is_nan() {
                     "-".to_string()
                 } else {
@@ -74,4 +95,8 @@ fn main() {
             400_000f64.sqrt().recip()
         );
     }
+    eprintln!(
+        "\nengine: {} cells + {} references in {:.2?}",
+        outcome.cells, outcome.references, outcome.wall
+    );
 }

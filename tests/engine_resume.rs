@@ -1,0 +1,128 @@
+//! Deterministic resume: a sweep whose sink output is damaged or lost
+//! can be re-run against the same cache and must (a) recompute nothing
+//! and (b) regenerate byte-identical output files.
+
+use std::path::{Path, PathBuf};
+use stochdag::prelude::*;
+use stochdag_engine::DagSpec;
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("stochdag_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn campaign() -> SweepSpec {
+    SweepSpec {
+        name: "resume".into(),
+        seed: 7,
+        pfails: vec![0.01, 0.001],
+        lambdas: vec![],
+        estimators: vec!["first-order".into(), "corlca".into(), "mc:800".into()],
+        reference_trials: 2_000,
+        reference_sampling: stochdag::core::SamplingModel::Geometric,
+        dags: vec![
+            DagSpec::Factorization {
+                class: FactorizationClass::Cholesky,
+                ks: vec![2, 3],
+            },
+            DagSpec::Factorization {
+                class: FactorizationClass::Lu,
+                ks: vec![2, 3],
+            },
+        ],
+    }
+}
+
+fn run_into(spec: &SweepSpec, cache: &ResultCache, csv_path: &Path) -> SweepOutcome {
+    let mut csv = CsvSink::create(csv_path).unwrap();
+    let mut jsonl = JsonlSink::create(&csv_path.with_extension("jsonl")).unwrap();
+    let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv, &mut jsonl];
+    run_sweep(spec, &EstimatorRegistry::standard(), cache, &mut sinks).unwrap()
+}
+
+#[test]
+fn resume_from_cache_regenerates_identical_output() {
+    let dir = scratch("main");
+    let cache = ResultCache::on_disk(dir.join("cache"));
+    let csv_path = dir.join("resume.csv");
+    let spec = campaign();
+
+    // First run: everything computed fresh.
+    let first = run_into(&spec, &cache, &csv_path);
+    assert_eq!(first.cells, 4 * 2 * 3, "4 DAGs x 2 pfails x 3 estimators");
+    assert_eq!(first.references, 8);
+    assert!(!first.fully_cached());
+    let original_csv = std::fs::read(&csv_path).unwrap();
+    let original_jsonl = std::fs::read(csv_path.with_extension("jsonl")).unwrap();
+    assert!(original_csv.len() > 100);
+
+    // Damage the sink output: truncate the CSV to half and delete the
+    // JSONL entirely.
+    std::fs::write(&csv_path, &original_csv[..original_csv.len() / 2]).unwrap();
+    std::fs::remove_file(csv_path.with_extension("jsonl")).unwrap();
+
+    // Second run with the same spec + cache: 100% hits, identical bytes.
+    let second = run_into(&spec, &cache, &csv_path);
+    assert!(
+        second.fully_cached(),
+        "resume must not recompute: {} misses",
+        second.cache_misses
+    );
+    assert_eq!(
+        second.cache_hits,
+        first.cells + first.references,
+        "every cell and reference served from cache"
+    );
+    assert_eq!(second.rows, first.rows);
+    assert_eq!(
+        std::fs::read(&csv_path).unwrap(),
+        original_csv,
+        "regenerated CSV is byte-identical"
+    );
+    assert_eq!(
+        std::fs::read(csv_path.with_extension("jsonl")).unwrap(),
+        original_jsonl,
+        "regenerated JSONL is byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_survives_process_style_reload() {
+    // Fresh ResultCache instances over the same directory model
+    // separate processes: the second instance starts with an empty
+    // memory tier and must resume purely from disk.
+    let dir = scratch("reload");
+    let csv_path = dir.join("resume.csv");
+    let spec = campaign();
+    let first = run_into(&spec, &ResultCache::on_disk(dir.join("cache")), &csv_path);
+    let bytes = std::fs::read(&csv_path).unwrap();
+
+    let second = run_into(&spec, &ResultCache::on_disk(dir.join("cache")), &csv_path);
+    assert!(second.fully_cached(), "disk tier alone must satisfy resume");
+    assert_eq!(second.rows, first.rows);
+    assert_eq!(std::fs::read(&csv_path).unwrap(), bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spec_change_invalidates_only_new_cells() {
+    let dir = scratch("partial");
+    let cache = ResultCache::on_disk(dir.join("cache"));
+    let csv_path = dir.join("resume.csv");
+    let spec = campaign();
+    let first = run_into(&spec, &cache, &csv_path);
+
+    // Adding an estimator reuses every existing cell and reference.
+    let mut extended = spec.clone();
+    extended.estimators.push("sculli".into());
+    let second = run_into(&extended, &cache, &csv_path);
+    assert_eq!(second.cells, first.cells + 8, "one new column of cells");
+    assert_eq!(
+        second.cache_misses, 8,
+        "only the new estimator's cells computed"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
