@@ -15,6 +15,7 @@ fn small_campaign() -> SweepSpec {
         estimators: vec!["first-order".into(), "sculli".into(), "corlca".into()],
         reference_trials: 5_000,
         reference_sampling: stochdag::core::SamplingModel::Geometric,
+        jobs: None,
         dags: vec![DagSpec::Factorization {
             class: FactorizationClass::Cholesky,
             ks: vec![4, 6, 8],

@@ -9,7 +9,13 @@ pub struct Options {
 }
 
 /// Flags that take no value.
-const BARE_FLAGS: &[&str] = &["--weights", "--fast", "--csv-only", "--no-cache"];
+const BARE_FLAGS: &[&str] = &[
+    "--weights",
+    "--fast",
+    "--csv-only",
+    "--no-cache",
+    "--resume-report",
+];
 
 impl Options {
     /// Parse an argument list. Every `--key` is expected to be followed

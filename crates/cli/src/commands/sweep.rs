@@ -6,13 +6,16 @@
 //! assembled from flags (`--classes`, `--ks`, `--pfails`,
 //! `--estimators`, …). Re-running the same spec against the same
 //! `--cache` directory completes from cache with byte-identical output
-//! files.
+//! files. `--jobs N` caps the worker threads (results are identical at
+//! any setting), `--resume-report` diffs the spec against the cache
+//! without running anything, and `--cache-max-bytes B` LRU-prunes the
+//! on-disk cache after the campaign.
 
 use crate::args::Options;
 use crate::report::{fmt_duration, Table};
 use std::path::PathBuf;
 use stochdag::prelude::*;
-use stochdag_engine::DagSpec;
+use stochdag_engine::{resume_report, DagSpec};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let opts = Options::parse(argv)?;
@@ -31,6 +34,20 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     } else {
         ResultCache::on_disk(opts.get("cache").unwrap_or(".stochdag-cache"))
     };
+    // Parse the GC budget before any work: a malformed value must fail
+    // up front, not after an hours-long campaign.
+    let cache_budget: Option<u64> = opts
+        .get("cache-max-bytes")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| "bad --cache-max-bytes".to_string())?;
+
+    if opts.flag("resume-report") {
+        if cache_budget.is_some() {
+            eprintln!("note: --cache-max-bytes has no effect with --resume-report (nothing runs)");
+        }
+        return print_resume_report(&spec, &registry, &cache);
+    }
 
     let csv_path = out_dir.join(format!("{}.csv", spec.name));
     let jsonl_path = out_dir.join(format!("{}.jsonl", spec.name));
@@ -86,6 +103,56 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     );
     println!("wrote {}", csv_path.display());
     println!("wrote {}", jsonl_path.display());
+
+    if let Some(budget) = cache_budget {
+        if opts.flag("no-cache") {
+            eprintln!("note: --cache-max-bytes has no effect with --no-cache");
+        } else {
+            let stats = cache
+                .gc_disk(budget)
+                .map_err(|e| format!("cache gc: {e}"))?;
+            println!(
+                "cache gc: kept {} entries ({} B), evicted {} ({} B) to fit {budget} B",
+                stats.kept_files, stats.kept_bytes, stats.evicted_files, stats.evicted_bytes
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `sweep --resume-report`: diff the spec against the cache and print
+/// hit/miss counts per estimator without running anything.
+fn print_resume_report(
+    spec: &SweepSpec,
+    registry: &EstimatorRegistry,
+    cache: &ResultCache,
+) -> Result<(), String> {
+    let report = resume_report(spec, registry, cache)?;
+    println!(
+        "# resume report for {:?}: {} of {} work units cached",
+        spec.name,
+        report.total_hits(),
+        report.total_hits() + report.total_misses()
+    );
+    let mut table = Table::new(&["estimator", "cached", "to compute"]);
+    table.row(vec![
+        "(mc reference)".into(),
+        report.reference_hits.to_string(),
+        report.reference_misses.to_string(),
+    ]);
+    for e in &report.estimators {
+        table.row(vec![
+            e.estimator.clone(),
+            e.hits.to_string(),
+            e.misses.to_string(),
+        ]);
+    }
+    print!("{}", table.to_text());
+    if report.fully_cached() {
+        println!("a run would complete entirely from cache");
+    } else {
+        println!("{} work unit(s) would be computed", report.total_misses());
+    }
     Ok(())
 }
 
@@ -98,6 +165,9 @@ fn load_spec(opts: &Options) -> Result<SweepSpec, String> {
         }
         if let Some(trials) = opts.get("trials") {
             spec.reference_trials = trials.parse().map_err(|_| "bad --trials".to_string())?;
+        }
+        if let Some(jobs) = opts.get("jobs") {
+            spec.jobs = Some(jobs.parse().map_err(|_| "bad --jobs".to_string())?);
         }
         return Ok(spec);
     }
@@ -142,6 +212,11 @@ fn load_spec(opts: &Options) -> Result<SweepSpec, String> {
         estimators,
         reference_trials: opts.get_or("trials", 100_000)?,
         reference_sampling: stochdag::core::SamplingModel::Geometric,
+        jobs: opts
+            .get("jobs")
+            .map(str::parse)
+            .transpose()
+            .map_err(|_| "bad --jobs".to_string())?,
         dags,
     })
 }

@@ -37,6 +37,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         estimators: PANEL.iter().map(|s| s.to_string()).collect(),
         reference_trials: trials,
         reference_sampling: stochdag::core::SamplingModel::Geometric,
+        jobs: opts
+            .get("jobs")
+            .map(str::parse)
+            .transpose()
+            .map_err(|_| "bad --jobs".to_string())?,
         dags: vec![DagSpec::Factorization {
             class: FactorizationClass::Lu,
             ks: vec![k],

@@ -67,10 +67,17 @@ COMMANDS:
                    --spec camp.toml|camp.json   (or assemble with flags:)
                    [--classes cholesky,lu] [--ks 4,6,8] [--pfails 0.01,0.001]
                    [--estimators first-order,sculli,corlca,dodin]
-                   [--trials 100000] [--seed 0] [--name sweep]
+                   [--trials 100000] [--seed 0] [--name sweep] [--jobs N]
                    [--out results] [--cache .stochdag-cache] [--no-cache]
+                   [--resume-report] [--cache-max-bytes B]
                  caches every cell content-addressed: re-runs and resumed
-                 campaigns skip finished cells and emit identical CSV/JSONL
+                 campaigns skip finished cells and emit identical CSV/JSONL.
+                 each DAG source is built/frozen/hashed once per campaign
+                 and shared across all models x estimators. --jobs caps
+                 worker threads (results identical at any setting);
+                 --resume-report prints per-estimator cache hit/miss
+                 counts without running; --cache-max-bytes LRU-prunes
+                 the on-disk cache after the campaign
   table1         LU k=20 error + wall-clock comparison (paper Table I),
                  executed as an engine sweep (cache-aware)
                    [--k 20] [--trials 300000] [--seed 0] [--fast]

@@ -269,6 +269,66 @@ fn sweep_flag_spec_and_errors() {
 }
 
 #[test]
+fn sweep_resume_report_jobs_and_cache_gc() {
+    let dir = std::env::temp_dir().join(format!("stochdag_cli_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("results");
+    let cache = dir.join("cache");
+    let base = [
+        "sweep",
+        "--classes",
+        "cholesky",
+        "--ks",
+        "2,3",
+        "--pfails",
+        "0.01",
+        "--estimators",
+        "first-order,sculli",
+        "--trials",
+        "1000",
+        "--out",
+        out.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+    ];
+
+    // Before any run: the resume report predicts all misses and runs
+    // nothing (no output files appear).
+    let mut report_args = base.to_vec();
+    report_args.push("--resume-report");
+    let (ok, stdout, stderr) = stochdag(&report_args);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("0 of 6 work units cached"), "{stdout}");
+    assert!(stdout.contains("(mc reference)"), "{stdout}");
+    assert!(!out.join("sweep.csv").exists(), "report must not run cells");
+
+    // Run the campaign with a worker cap.
+    let mut run_args = base.to_vec();
+    run_args.extend(["--jobs", "2"]);
+    let (ok, stdout, stderr) = stochdag(&run_args);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("4 cells + 2 references"), "{stdout}");
+
+    // Now the report sees everything cached.
+    let (ok, stdout, _) = stochdag(&report_args);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("6 of 6 work units cached"), "{stdout}");
+    assert!(stdout.contains("entirely from cache"), "{stdout}");
+
+    // A zero-byte budget evicts the whole on-disk tier after the run.
+    let mut gc_args = base.to_vec();
+    gc_args.extend(["--cache-max-bytes", "0"]);
+    let (ok, stdout, stderr) = stochdag(&gc_args);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("cache gc: kept 0 entries"), "{stdout}");
+    let (ok, stdout, _) = stochdag(&report_args);
+    assert!(ok);
+    assert!(stdout.contains("0 of 6 work units cached"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn help_lists_sweep() {
     let (ok, stdout, _) = stochdag(&["help"]);
     assert!(ok);

@@ -1,10 +1,10 @@
 //! Dodin-baseline estimator: the series-parallel approximation of
 //! Section II-A2, wired to the reduction engine of `stochdag-sp`.
 
-use crate::estimator::Estimator;
+use crate::estimator::{Estimator, PreparedEstimator};
 use crate::model::FailureModel;
-use stochdag_dag::Dag;
-use stochdag_dist::TaskDurationModel;
+use stochdag_dag::{Dag, PreparedDag};
+use stochdag_dist::{DurationTable, TaskDurationModel};
 use stochdag_sp::{dodin_evaluate, dodin_forward_evaluate, ReduceConfig, ReduceOutcome};
 
 /// How the series-parallel approximation is computed.
@@ -93,15 +93,31 @@ impl DodinEstimator {
         self.strategy
     }
 
-    fn dist_of<'a>(
+    /// Per-node duration renderer over a prebuilt [`DurationTable`].
+    fn dist_of_table<'a>(
         &'a self,
-        dag: &'a Dag,
-        model: &'a FailureModel,
+        table: &'a DurationTable,
     ) -> impl FnMut(stochdag_dag::NodeId) -> stochdag_dist::DiscreteDist + 'a {
-        move |i| {
-            let a = dag.weight(i);
-            self.duration_model
-                .duration_dist(a, model.psuccess_of_weight(a))
+        move |i| table.duration_dist(i.index(), self.duration_model)
+    }
+
+    /// Duplication evaluation over an explicit duration table.
+    fn run_with(&self, dag: &Dag, table: &DurationTable) -> ReduceOutcome {
+        let cfg = ReduceConfig {
+            max_atoms: self.max_atoms,
+            ..Default::default()
+        };
+        dodin_evaluate(dag, self.dist_of_table(table), &cfg)
+            .expect("Dodin reduction failed (operation limit)")
+    }
+
+    /// Makespan distribution over an explicit duration table.
+    fn makespan_dist_with(&self, dag: &Dag, table: &DurationTable) -> stochdag_dist::DiscreteDist {
+        match self.strategy {
+            DodinStrategy::Duplication => self.run_with(dag, table).dist,
+            DodinStrategy::Forward => {
+                dodin_forward_evaluate(dag, self.dist_of_table(table), self.max_atoms)
+            }
         }
     }
 
@@ -110,23 +126,38 @@ impl DodinEstimator {
     /// etc.). Always uses [`DodinStrategy::Duplication`] regardless of
     /// the configured strategy.
     pub fn run(&self, dag: &Dag, model: &FailureModel) -> ReduceOutcome {
-        let cfg = ReduceConfig {
-            max_atoms: self.max_atoms,
-            ..Default::default()
-        };
-        dodin_evaluate(dag, self.dist_of(dag, model), &cfg)
-            .expect("Dodin reduction failed (operation limit)")
+        self.run_with(dag, &DurationTable::new(model.lambda, &dag.weights()))
     }
 
     /// The approximate makespan distribution under the configured
     /// strategy.
     pub fn makespan_dist(&self, dag: &Dag, model: &FailureModel) -> stochdag_dist::DiscreteDist {
-        match self.strategy {
-            DodinStrategy::Duplication => self.run(dag, model).dist,
-            DodinStrategy::Forward => {
-                dodin_forward_evaluate(dag, self.dist_of(dag, model), self.max_atoms)
-            }
+        self.makespan_dist_with(dag, &DurationTable::new(model.lambda, &dag.weights()))
+    }
+}
+
+/// Dodin estimator bound to one prepared graph: the per-node duration
+/// table is rebuilt in place per failure model instead of re-rendered
+/// atom by atom inside the reduction.
+struct PreparedDodin {
+    est: DodinEstimator,
+    prepared: PreparedDag,
+    table: DurationTable,
+}
+
+impl PreparedEstimator for PreparedDodin {
+    fn name(&self) -> &'static str {
+        match self.est.strategy {
+            DodinStrategy::Duplication => "Dodin",
+            DodinStrategy::Forward => "Dodin(fwd)",
         }
+    }
+
+    fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
+        self.table.rebuild(model.lambda, self.prepared.weights());
+        self.est
+            .makespan_dist_with(self.prepared.dag(), &self.table)
+            .mean()
     }
 }
 
@@ -136,6 +167,14 @@ impl Estimator for DodinEstimator {
             DodinStrategy::Duplication => "Dodin",
             DodinStrategy::Forward => "Dodin(fwd)",
         }
+    }
+
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        Box::new(PreparedDodin {
+            est: self.clone(),
+            prepared: prepared.clone(),
+            table: DurationTable::default(),
+        })
     }
 
     fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {

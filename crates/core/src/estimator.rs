@@ -1,8 +1,25 @@
 //! The common estimator interface.
+//!
+//! Estimation is **two-phase**:
+//!
+//! 1. [`Estimator::prepare`] consumes a shared [`PreparedDag`] and
+//!    returns a [`PreparedEstimator`] holding every model-independent
+//!    artifact the estimator needs (level decompositions, all-pairs
+//!    longest paths, dominant path sets, frozen CSR views, scratch
+//!    buffers, …) — computed once per graph.
+//! 2. [`PreparedEstimator::estimate_for`] (or the batched
+//!    [`PreparedEstimator::estimate_grid`]) evaluates one failure model
+//!    against that preparation, as many times as the caller likes.
+//!
+//! One-shot callers keep the thin [`Estimator::estimate`] /
+//! [`Estimator::expected_makespan`] shims, which prepare internally and
+//! evaluate once. Sweep-style callers (the `stochdag-engine` runner,
+//! the accuracy-grid examples) prepare once per (graph, estimator) pair
+//! and amortize the preprocessing across every failure model.
 
 use crate::model::FailureModel;
 use std::time::{Duration, Instant};
-use stochdag_dag::Dag;
+use stochdag_dag::{Dag, PreparedDag};
 
 /// Result of one expected-makespan estimation.
 #[derive(Clone, Debug)]
@@ -50,17 +67,81 @@ impl Estimate {
     }
 }
 
+/// An estimator bound to one prepared graph (phase two of the
+/// lifecycle; see the module docs).
+///
+/// Implementations own their model-independent precomputation plus any
+/// scratch buffers, which is why evaluation takes `&mut self`: buffers
+/// are reused across calls instead of reallocated. Evaluation must
+/// still be *pure with respect to the model*: calling
+/// [`PreparedEstimator::expected_makespan_for`] twice with the same
+/// model (and, for statistical estimators, the same seed) returns the
+/// same value, regardless of which other models were evaluated in
+/// between. The `prepared_parity` property tests enforce this against
+/// the one-shot path bit for bit.
+pub trait PreparedEstimator: Send {
+    /// Short display name (same as the estimator that produced this).
+    fn name(&self) -> &'static str;
+
+    /// Expected makespan of the prepared graph under `model`.
+    fn expected_makespan_for(&mut self, model: &FailureModel) -> f64;
+
+    /// Standard error of the most recent evaluation, if the estimator
+    /// is statistical. Default: `None`.
+    fn std_error_hint(&self) -> Option<f64> {
+        None
+    }
+
+    /// Replace the random seed used by subsequent evaluations.
+    /// Deterministic estimators ignore this (default no-op); the sweep
+    /// engine calls it before every cell so one preparation can serve
+    /// many deterministically-seeded cells.
+    fn reseed(&mut self, _seed: u64) {}
+
+    /// Timed wrapper around [`PreparedEstimator::expected_makespan_for`].
+    fn estimate_for(&mut self, model: &FailureModel) -> Estimate {
+        let start = Instant::now();
+        let value = self.expected_makespan_for(model);
+        Estimate {
+            value,
+            elapsed: start.elapsed(),
+            name: self.name().to_string(),
+            std_error: self.std_error_hint(),
+        }
+    }
+
+    /// Evaluate a whole grid of failure models against this one
+    /// preparation, in order.
+    fn estimate_grid(&mut self, models: &[FailureModel]) -> Vec<Estimate> {
+        models.iter().map(|m| self.estimate_for(m)).collect()
+    }
+}
+
 /// An expected-makespan estimator for task graphs under silent errors.
 ///
-/// Implementors must be pure: calling [`Estimator::expected_makespan`]
-/// twice with the same inputs returns the same value (Monte Carlo is
-/// deterministic given its configured seed).
+/// The required method is [`Estimator::prepare`]; the one-shot
+/// [`Estimator::expected_makespan`] / [`Estimator::estimate`] shims
+/// have default implementations that prepare internally. Implementors
+/// must be pure: preparing the same graph twice and evaluating the same
+/// model returns the same value (Monte Carlo is deterministic given its
+/// configured seed).
 pub trait Estimator {
     /// Short display name (stable; used in reports and CSV headers).
     fn name(&self) -> &'static str;
 
+    /// Bind this estimator to a prepared graph, hoisting all
+    /// model-independent work (phase one; see the module docs).
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator>;
+
     /// Compute the expected makespan of `dag` under `model`.
-    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64;
+    ///
+    /// One-shot shim: prepares internally and evaluates once. Callers
+    /// that evaluate several models (or several estimators) on one
+    /// graph should [`Estimator::prepare`] once instead.
+    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
+        self.prepare(&PreparedDag::new(dag.clone()))
+            .expected_makespan_for(model)
+    }
 
     /// Standard error of the last kind of estimate this estimator
     /// produces, if it is statistical. Default: `None`.
@@ -92,6 +173,10 @@ impl Estimator for BoxedEstimator {
         self.as_ref().name()
     }
 
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        self.as_ref().prepare(prepared)
+    }
+
     fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
         self.as_ref().expected_makespan(dag, model)
     }
@@ -110,12 +195,23 @@ mod tests {
     use super::*;
 
     struct Fixed(f64);
+    struct PreparedFixed(f64);
+
+    impl PreparedEstimator for PreparedFixed {
+        fn name(&self) -> &'static str {
+            "Fixed"
+        }
+        fn expected_makespan_for(&mut self, _model: &FailureModel) -> f64 {
+            self.0
+        }
+    }
+
     impl Estimator for Fixed {
         fn name(&self) -> &'static str {
             "Fixed"
         }
-        fn expected_makespan(&self, _dag: &Dag, _model: &FailureModel) -> f64 {
-            self.0
+        fn prepare(&self, _prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+            Box::new(PreparedFixed(self.0))
         }
     }
 
@@ -136,5 +232,16 @@ mod tests {
         let e = Fixed(11.0).estimate(&g, &FailureModel::failure_free());
         assert!((e.relative_error(10.0) - 0.1).abs() < 1e-12);
         assert!((e.relative_error(12.0) + 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_grid_evaluates_in_order() {
+        let mut g = Dag::new();
+        g.add_node(1.0);
+        let prepared = PreparedDag::new(g);
+        let mut p = Fixed(7.0).prepare(&prepared);
+        let grid = p.estimate_grid(&[FailureModel::new(0.1), FailureModel::failure_free()]);
+        assert_eq!(grid.len(), 2);
+        assert!(grid.iter().all(|e| e.value == 7.0 && e.name == "Fixed"));
     }
 }

@@ -6,12 +6,49 @@
 //! the `O(λ²)` error bound of the first-order approximation on small
 //! graphs.
 
-use crate::estimator::Estimator;
+use crate::estimator::{Estimator, PreparedEstimator};
 use crate::model::FailureModel;
-use stochdag_dag::Dag;
+use stochdag_dag::{Dag, FrozenDag, PreparedDag};
+use stochdag_dist::DurationTable;
 
 /// Largest node count accepted by the exhaustive evaluator.
 pub const MAX_EXACT_NODES: usize = 24;
+
+/// Reusable buffers of the exhaustive mask loop.
+#[derive(Default)]
+struct ExactScratch {
+    weights: Vec<f64>,
+    completion: Vec<f64>,
+}
+
+/// The `2^n`-mask expectation over a frozen view — the shared core of
+/// the one-shot and prepared paths.
+fn exact_with(frozen: &FrozenDag, pfail: &[f64], scratch: &mut ExactScratch) -> f64 {
+    let n = frozen.node_count();
+    let base = &frozen.weights;
+    scratch.weights.clear();
+    scratch.weights.extend_from_slice(base);
+    let weights = &mut scratch.weights;
+    let completion = &mut scratch.completion;
+    let mut expectation = 0.0f64;
+    for mask in 0u64..(1u64 << n) {
+        let mut prob = 1.0f64;
+        for i in 0..n {
+            if mask >> i & 1 == 1 {
+                prob *= pfail[i];
+                weights[i] = 2.0 * base[i];
+            } else {
+                prob *= 1.0 - pfail[i];
+                weights[i] = base[i];
+            }
+        }
+        if prob == 0.0 {
+            continue;
+        }
+        expectation += prob * frozen.longest_path_with_weights(weights, completion);
+    }
+    expectation
+}
 
 /// Exact expected makespan under the **2-state** model (every task runs
 /// once with probability `pᵢ = e^{−λaᵢ}`, else exactly twice).
@@ -28,37 +65,57 @@ pub fn exact_expected_makespan_two_state(dag: &Dag, model: &FailureModel) -> f64
         return 0.0;
     }
     let frozen = dag.freeze();
-    let base = frozen.weights.clone();
-    let pfail: Vec<f64> = base.iter().map(|&a| model.pfail_of_weight(a)).collect();
-    let mut weights = base.clone();
-    let mut completion = Vec::new();
-    let mut expectation = 0.0f64;
-    for mask in 0u64..(1u64 << n) {
-        let mut prob = 1.0f64;
-        for i in 0..n {
-            if mask >> i & 1 == 1 {
-                prob *= pfail[i];
-                weights[i] = 2.0 * base[i];
-            } else {
-                prob *= 1.0 - pfail[i];
-                weights[i] = base[i];
-            }
-        }
-        if prob == 0.0 {
-            continue;
-        }
-        expectation += prob * frozen.longest_path_with_weights(&weights, &mut completion);
-    }
-    expectation
+    let table = DurationTable::new(model.lambda, &frozen.weights);
+    exact_with(&frozen, table.pfail_all(), &mut ExactScratch::default())
 }
 
 /// The exhaustive 2-state estimator (validation oracle).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExactEstimator;
 
+/// Exact estimator bound to one prepared graph: the frozen view is
+/// shared with the preparation and the mask-loop buffers are reused
+/// across models.
+struct PreparedExact {
+    prepared: PreparedDag,
+    table: DurationTable,
+    scratch: ExactScratch,
+}
+
+impl PreparedEstimator for PreparedExact {
+    fn name(&self) -> &'static str {
+        "Exact(2-state)"
+    }
+
+    fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
+        if self.prepared.node_count() == 0 {
+            return 0.0;
+        }
+        self.table.rebuild(model.lambda, self.prepared.weights());
+        exact_with(
+            self.prepared.frozen(),
+            self.table.pfail_all(),
+            &mut self.scratch,
+        )
+    }
+}
+
 impl Estimator for ExactEstimator {
     fn name(&self) -> &'static str {
         "Exact(2-state)"
+    }
+
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        assert!(
+            prepared.node_count() <= MAX_EXACT_NODES,
+            "exhaustive evaluation needs |V| <= {MAX_EXACT_NODES}, got {}",
+            prepared.node_count()
+        );
+        Box::new(PreparedExact {
+            prepared: prepared.clone(),
+            table: DurationTable::default(),
+            scratch: ExactScratch::default(),
+        })
     }
 
     fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {

@@ -23,9 +23,9 @@
 //! Both are exposed; their equality is enforced by unit and property
 //! tests, and the `first_order_ablation` bench measures the speedup.
 
-use crate::estimator::Estimator;
+use crate::estimator::{Estimator, PreparedEstimator};
 use crate::model::FailureModel;
-use stochdag_dag::{Dag, LevelInfo};
+use stochdag_dag::{Dag, LevelInfo, PreparedDag};
 
 /// Detailed first-order result.
 #[derive(Clone, Debug)]
@@ -43,7 +43,18 @@ pub struct FirstOrderResult {
 
 /// Fast `O(|V| + |E|)` first-order approximation with per-task detail.
 pub fn first_order_detailed(dag: &Dag, model: &FailureModel) -> FirstOrderResult {
-    let levels = LevelInfo::compute(dag);
+    first_order_detailed_with(dag, &LevelInfo::compute(dag), model)
+}
+
+/// [`first_order_detailed`] with the level decomposition supplied by
+/// the caller — the shared core of the one-shot and prepared paths
+/// (the levels are model-independent, so a prepared estimator computes
+/// them once and reuses them for every failure model).
+pub fn first_order_detailed_with(
+    dag: &Dag,
+    levels: &LevelInfo,
+    model: &FailureModel,
+) -> FirstOrderResult {
     let d_g = levels.makespan;
     let mut contributions = Vec::with_capacity(dag.node_count());
     let mut sum = 0.0f64;
@@ -99,6 +110,33 @@ impl FirstOrderEstimator {
     }
 }
 
+/// First-order estimator bound to one prepared graph: the fast variant
+/// reuses the preparation's shared level decomposition, so each model
+/// evaluation is a single `O(|V|)` pass.
+struct PreparedFirstOrder {
+    prepared: PreparedDag,
+    use_naive: bool,
+}
+
+impl PreparedEstimator for PreparedFirstOrder {
+    fn name(&self) -> &'static str {
+        if self.use_naive {
+            "FirstOrder(naive)"
+        } else {
+            "FirstOrder"
+        }
+    }
+
+    fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
+        if self.use_naive {
+            first_order_expected_makespan_naive(self.prepared.dag(), model)
+        } else {
+            first_order_detailed_with(self.prepared.dag(), self.prepared.levels(), model)
+                .expected_makespan
+        }
+    }
+}
+
 impl Estimator for FirstOrderEstimator {
     fn name(&self) -> &'static str {
         if self.use_naive {
@@ -106,6 +144,13 @@ impl Estimator for FirstOrderEstimator {
         } else {
             "FirstOrder"
         }
+    }
+
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        Box::new(PreparedFirstOrder {
+            prepared: prepared.clone(),
+            use_naive: self.use_naive,
+        })
     }
 
     fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {

@@ -19,11 +19,39 @@
 //! from a target per-task failure probability as in the paper's
 //! Section V-C).
 //!
+//! ## Two-phase estimator lifecycle
+//!
+//! Estimation splits into a per-graph **prepare** step and a per-model
+//! **evaluate** step:
+//!
+//! 1. Wrap the graph once in a [`stochdag_dag::PreparedDag`] — this
+//!    freezes the CSR adjacency, fixes a topological order, and (lazily)
+//!    computes the level decomposition and the structural hash, all
+//!    shared by every estimator.
+//! 2. [`Estimator::prepare`] binds an estimator to that preparation and
+//!    hoists its own model-independent work (all-pairs longest paths for
+//!    `SecondOrder`, dominant path sets for `Spelde`, scratch buffers
+//!    for `MonteCarlo`/`Exact`, …).
+//! 3. [`PreparedEstimator::estimate_for`] — or the batched
+//!    [`PreparedEstimator::estimate_grid`] — evaluates one failure model
+//!    against that preparation, as many times as needed.
+//!
+//! **When to use which path:** evaluating one (graph, model) pair — a
+//! CLI `analyze` call, a scheduler probing a candidate DAG — should use
+//! the thin one-shot shims [`Estimator::estimate`] /
+//! [`Estimator::expected_makespan`], which prepare internally.
+//! Evaluating a *grid* (many failure models, many estimators, one
+//! graph) — the sweep engine, the paper's accuracy studies — should
+//! prepare once per (graph, estimator) pair; the `prepared_pipeline`
+//! bench measures the resulting amortization. Both paths return
+//! bit-identical values (enforced by the `prepared_parity` property
+//! tests).
+//!
 //! ## Quick example
 //!
 //! ```
 //! use stochdag_core::{Estimator, FailureModel, FirstOrderEstimator, MonteCarloEstimator};
-//! use stochdag_dag::DagBuilder;
+//! use stochdag_dag::{DagBuilder, PreparedDag};
 //!
 //! let mut b = DagBuilder::new();
 //! let s = b.add_task("setup", 1.0);
@@ -32,10 +60,20 @@
 //! let dag = b.build().unwrap();
 //!
 //! let model = FailureModel::from_pfail(0.001, dag.mean_weight());
+//! // One-shot shim: prepare-and-evaluate in one call.
 //! let first_order = FirstOrderEstimator::fast().estimate(&dag, &model);
 //! let mc = MonteCarloEstimator::new(100_000).with_seed(42).estimate(&dag, &model);
 //! let rel = (first_order.value - mc.value).abs() / mc.value;
 //! assert!(rel < 1e-3, "first order within {rel} of Monte Carlo");
+//!
+//! // Grid evaluation: prepare once, evaluate many models against it.
+//! let prepared = PreparedDag::new(dag);
+//! let mut fo = FirstOrderEstimator::fast().prepare(&prepared);
+//! let models: Vec<FailureModel> =
+//!     [0.01, 0.001].iter().map(|&p| FailureModel::from_pfail(p, 2.5)).collect();
+//! let grid = fo.estimate_grid(&models);
+//! assert_eq!(grid.len(), 2);
+//! assert_eq!(grid[1].value, first_order.value);
 //! ```
 
 mod estimator;
@@ -53,14 +91,17 @@ pub mod dodin;
 
 pub use dodin::DodinEstimator;
 pub use dvfs::{speed_tradeoff, DvfsModel, PowerModel, TradeoffPoint};
-pub use estimator::{BoxedEstimator, Estimate, Estimator};
+pub use estimator::{BoxedEstimator, Estimate, Estimator, PreparedEstimator};
 pub use exact::{exact_expected_makespan_two_state, ExactEstimator, MAX_EXACT_NODES};
 pub use first_order::{
-    first_order_detailed, first_order_expected_makespan_fast, first_order_expected_makespan_naive,
-    FirstOrderEstimator, FirstOrderResult,
+    first_order_detailed, first_order_detailed_with, first_order_expected_makespan_fast,
+    first_order_expected_makespan_naive, FirstOrderEstimator, FirstOrderResult,
 };
 pub use model::FailureModel;
 pub use monte_carlo::{MonteCarloEstimator, MonteCarloResult, SamplingModel};
 pub use normal::{CorLcaEstimator, CovarianceNormalEstimator, SculliEstimator};
-pub use second_order::{second_order_expected_makespan, SecondOrderEstimator};
+pub use second_order::{
+    second_order_expected_makespan, second_order_from_tables, second_order_with,
+    SecondOrderEstimator, SecondOrderTables,
+};
 pub use spelde::SpeldeEstimator;

@@ -11,13 +11,13 @@
 //! hpc-parallel guides call out for parallel iterators with independent
 //! work items.
 
-use crate::estimator::{Estimate, Estimator};
+use crate::estimator::{Estimate, Estimator, PreparedEstimator};
 use crate::model::FailureModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::time::Instant;
-use stochdag_dag::{Dag, FrozenDag};
+use stochdag_dag::{Dag, FrozenDag, PreparedDag};
 
 /// How task durations are sampled in each trial.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,7 +119,19 @@ impl MonteCarloEstimator {
 
     /// Run the simulation and return full statistics.
     pub fn run(&self, dag: &Dag, model: &FailureModel) -> MonteCarloResult {
-        let frozen = dag.freeze();
+        self.run_on(&dag.freeze(), model, &mut Vec::new())
+    }
+
+    /// [`MonteCarloEstimator::run`] over an already-frozen view, with a
+    /// caller-owned success-probability buffer — the shared core of the
+    /// one-shot and prepared paths (a prepared estimator freezes once
+    /// and reuses `psucc` across every model it evaluates).
+    fn run_on(
+        &self,
+        frozen: &FrozenDag,
+        model: &FailureModel,
+        psucc: &mut Vec<f64>,
+    ) -> MonteCarloResult {
         let n = frozen.node_count();
         if n == 0 {
             return MonteCarloResult {
@@ -132,11 +144,9 @@ impl MonteCarloEstimator {
             };
         }
         // Per-task success probabilities, hoisted out of the trial loop.
-        let psucc: Vec<f64> = frozen
-            .weights
-            .iter()
-            .map(|&a| model.psuccess_of_weight(a))
-            .collect();
+        psucc.clear();
+        psucc.extend(frozen.weights.iter().map(|&a| model.psuccess_of_weight(a)));
+        let psucc: &[f64] = psucc;
         let sampling = self.sampling;
         let seed = self.seed;
         let antithetic = self.antithetic;
@@ -151,13 +161,13 @@ impl MonteCarloEstimator {
                 .into_par_iter()
                 .map_init(
                     || TrialScratch::new(n),
-                    |scratch, t| scratch.run_trial(&frozen, &psucc, sampling, seed, t, antithetic),
+                    |scratch, t| scratch.run_trial(frozen, psucc, sampling, seed, t, antithetic),
                 )
                 .collect()
         } else {
             let mut scratch = TrialScratch::new(n);
             (0..self.trials as u64)
-                .map(|t| scratch.run_trial(&frozen, &psucc, sampling, seed, t, antithetic))
+                .map(|t| scratch.run_trial(frozen, psucc, sampling, seed, t, antithetic))
                 .collect()
         };
         let mut sum = 0.0f64;
@@ -184,9 +194,53 @@ impl MonteCarloEstimator {
     }
 }
 
+/// Monte-Carlo estimator bound to one prepared graph: the frozen CSR
+/// view is shared with the preparation and the per-task success
+/// probabilities live in a per-prep scratch buffer refilled per model
+/// instead of allocated per call. [`PreparedEstimator::reseed`] swaps
+/// the master seed, so one preparation serves many deterministically
+/// seeded sweep cells.
+struct PreparedMonteCarlo {
+    est: MonteCarloEstimator,
+    prepared: PreparedDag,
+    psucc: Vec<f64>,
+    last_std_error: Option<f64>,
+}
+
+impl PreparedEstimator for PreparedMonteCarlo {
+    fn name(&self) -> &'static str {
+        "MonteCarlo"
+    }
+
+    fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
+        let r = self
+            .est
+            .run_on(self.prepared.frozen(), model, &mut self.psucc);
+        self.last_std_error = Some(r.std_error);
+        r.mean
+    }
+
+    fn std_error_hint(&self) -> Option<f64> {
+        self.last_std_error
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.est.seed = seed;
+    }
+}
+
 impl Estimator for MonteCarloEstimator {
     fn name(&self) -> &'static str {
         "MonteCarlo"
+    }
+
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        Box::new(PreparedMonteCarlo {
+            est: *self,
+            prepared: prepared.clone(),
+            psucc: Vec::new(),
+            last_std_error: None,
+        })
     }
 
     fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {

@@ -23,19 +23,20 @@
 //! Task durations enter as their exact 2-state mean/variance
 //! (`E = a(2−p)`, `Var = a²p(1−p)`), matching the paper's description of
 //! approximating the *discrete* 2-state duration by a normal of the same
-//! mean and variance.
+//! mean and variance. The per-node moments come from a
+//! [`DurationTable`] built once per (graph, model) pair; prepared
+//! estimators rebuild the table in place per model and reuse the shared
+//! topological order of their [`PreparedDag`].
 
-use crate::estimator::Estimator;
+use crate::estimator::{Estimator, PreparedEstimator};
 use crate::model::FailureModel;
-use stochdag_dag::{topological_order, Dag, NodeId};
-use stochdag_dist::{clark_max_moments, two_state_moments, Normal};
+use stochdag_dag::{topological_order, Dag, NodeId, PreparedDag};
+use stochdag_dist::{clark_max_moments, DurationTable, Normal};
 
-/// Normal of a task's 2-state duration under `model`.
-fn duration_normal(dag: &Dag, model: &FailureModel, i: NodeId) -> Normal {
-    let a = dag.weight(i);
-    let p = model.psuccess_of_weight(a);
-    let (mean, var) = two_state_moments(a, p);
-    Normal::from_mean_var(mean, var)
+/// Duration table for `dag` under `model` — the one-shot path's
+/// per-call construction (prepared paths rebuild a scratch table).
+fn duration_table(dag: &Dag, model: &FailureModel) -> DurationTable {
+    DurationTable::new(model.lambda, &dag.weights())
 }
 
 // ---------------------------------------------------------------------
@@ -47,47 +48,78 @@ fn duration_normal(dag: &Dag, model: &FailureModel, i: NodeId) -> Normal {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SculliEstimator;
 
+fn sculli_with(dag: &Dag, topo: &[NodeId], sinks: &[NodeId], table: &DurationTable) -> f64 {
+    if dag.node_count() == 0 {
+        return 0.0;
+    }
+    let mut completion = vec![Normal::new(0.0, 0.0); dag.node_count()];
+    for &v in topo {
+        let mut start = Normal::new(0.0, 0.0);
+        let mut first = true;
+        for &p in dag.preds(v) {
+            let c = completion[p.index()];
+            start = if first {
+                first = false;
+                c
+            } else {
+                let m = clark_max_moments(start, c, 0.0);
+                Normal::from_mean_var(m.mean, m.var)
+            };
+        }
+        let d = table.two_state_normal(v.index());
+        completion[v.index()] = Normal::from_mean_var(start.mean + d.mean, start.var() + d.var());
+    }
+    let mut makespan = Normal::new(0.0, 0.0);
+    let mut first = true;
+    for &v in sinks {
+        let c = completion[v.index()];
+        makespan = if first {
+            first = false;
+            c
+        } else {
+            let m = clark_max_moments(makespan, c, 0.0);
+            Normal::from_mean_var(m.mean, m.var)
+        };
+    }
+    makespan.mean
+}
+
+struct PreparedSculli {
+    prepared: PreparedDag,
+    table: DurationTable,
+}
+
+impl PreparedEstimator for PreparedSculli {
+    fn name(&self) -> &'static str {
+        "Sculli"
+    }
+
+    fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
+        self.table.rebuild(model.lambda, self.prepared.weights());
+        sculli_with(
+            self.prepared.dag(),
+            self.prepared.topo_order(),
+            self.prepared.sinks(),
+            &self.table,
+        )
+    }
+}
+
 impl Estimator for SculliEstimator {
     fn name(&self) -> &'static str {
         "Sculli"
     }
 
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        Box::new(PreparedSculli {
+            prepared: prepared.clone(),
+            table: DurationTable::default(),
+        })
+    }
+
     fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
-        if dag.node_count() == 0 {
-            return 0.0;
-        }
         let topo = topological_order(dag).expect("estimators require acyclic graphs");
-        let mut completion = vec![Normal::new(0.0, 0.0); dag.node_count()];
-        for &v in &topo {
-            let mut start = Normal::new(0.0, 0.0);
-            let mut first = true;
-            for &p in dag.preds(v) {
-                let c = completion[p.index()];
-                start = if first {
-                    first = false;
-                    c
-                } else {
-                    let m = clark_max_moments(start, c, 0.0);
-                    Normal::from_mean_var(m.mean, m.var)
-                };
-            }
-            let d = duration_normal(dag, model, v);
-            completion[v.index()] =
-                Normal::from_mean_var(start.mean + d.mean, start.var() + d.var());
-        }
-        let mut makespan = Normal::new(0.0, 0.0);
-        let mut first = true;
-        for v in dag.nodes().filter(|&v| dag.out_degree(v) == 0) {
-            let c = completion[v.index()];
-            makespan = if first {
-                first = false;
-                c
-            } else {
-                let m = clark_max_moments(makespan, c, 0.0);
-                Normal::from_mean_var(m.mean, m.var)
-            };
-        }
-        makespan.mean
+        sculli_with(dag, &topo, &dag.sinks(), &duration_table(dag, model))
     }
 }
 
@@ -151,79 +183,111 @@ impl CanonicalTree {
     }
 }
 
-impl Estimator for CorLcaEstimator {
-    fn name(&self) -> &'static str {
-        "CorLCA"
+fn corlca_with(dag: &Dag, topo: &[NodeId], sinks: &[NodeId], table: &DurationTable) -> f64 {
+    if dag.node_count() == 0 {
+        return 0.0;
     }
-
-    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
-        if dag.node_count() == 0 {
-            return 0.0;
-        }
-        let topo = topological_order(dag).expect("estimators require acyclic graphs");
-        let n = dag.node_count();
-        let mut completion = vec![Normal::new(0.0, 0.0); n];
-        let mut tree = CanonicalTree::new(n);
-        for &v in &topo {
-            let mut start = Normal::new(0.0, 0.0);
-            let mut rep: Option<u32> = None;
-            for &p in dag.preds(v) {
-                let c = completion[p.index()];
-                match rep {
-                    None => {
-                        start = c;
-                        rep = Some(p.index() as u32);
-                    }
-                    Some(r) => {
-                        let cov = tree.cov(r, p.index() as u32);
-                        let denom = start.sd * c.sd;
-                        let rho = if denom > 0.0 {
-                            (cov / denom).clamp(-1.0, 1.0)
-                        } else {
-                            0.0
-                        };
-                        let m = clark_max_moments(start, c, rho);
-                        // Canonical branch: the maximand more likely to
-                        // realize the max.
-                        if m.phi_alpha < 0.5 {
-                            rep = Some(p.index() as u32);
-                        }
-                        start = Normal::from_mean_var(m.mean, m.var);
-                    }
-                }
-            }
-            let d = duration_normal(dag, model, v);
-            let c_v = Normal::from_mean_var(start.mean + d.mean, start.var() + d.var());
-            completion[v.index()] = c_v;
-            tree.attach(v.index() as u32, rep, c_v.var());
-        }
-        // Final max over exit tasks, with the same covariance heuristic.
-        let mut makespan = Normal::new(0.0, 0.0);
+    let n = dag.node_count();
+    let mut completion = vec![Normal::new(0.0, 0.0); n];
+    let mut tree = CanonicalTree::new(n);
+    for &v in topo {
+        let mut start = Normal::new(0.0, 0.0);
         let mut rep: Option<u32> = None;
-        for v in dag.nodes().filter(|&v| dag.out_degree(v) == 0) {
-            let c = completion[v.index()];
+        for &p in dag.preds(v) {
+            let c = completion[p.index()];
             match rep {
                 None => {
-                    makespan = c;
-                    rep = Some(v.index() as u32);
+                    start = c;
+                    rep = Some(p.index() as u32);
                 }
                 Some(r) => {
-                    let cov = tree.cov(r, v.index() as u32);
-                    let denom = makespan.sd * c.sd;
+                    let cov = tree.cov(r, p.index() as u32);
+                    let denom = start.sd * c.sd;
                     let rho = if denom > 0.0 {
                         (cov / denom).clamp(-1.0, 1.0)
                     } else {
                         0.0
                     };
-                    let m = clark_max_moments(makespan, c, rho);
+                    let m = clark_max_moments(start, c, rho);
+                    // Canonical branch: the maximand more likely to
+                    // realize the max.
                     if m.phi_alpha < 0.5 {
-                        rep = Some(v.index() as u32);
+                        rep = Some(p.index() as u32);
                     }
-                    makespan = Normal::from_mean_var(m.mean, m.var);
+                    start = Normal::from_mean_var(m.mean, m.var);
                 }
             }
         }
-        makespan.mean
+        let d = table.two_state_normal(v.index());
+        let c_v = Normal::from_mean_var(start.mean + d.mean, start.var() + d.var());
+        completion[v.index()] = c_v;
+        tree.attach(v.index() as u32, rep, c_v.var());
+    }
+    // Final max over exit tasks, with the same covariance heuristic.
+    let mut makespan = Normal::new(0.0, 0.0);
+    let mut rep: Option<u32> = None;
+    for &v in sinks {
+        let c = completion[v.index()];
+        match rep {
+            None => {
+                makespan = c;
+                rep = Some(v.index() as u32);
+            }
+            Some(r) => {
+                let cov = tree.cov(r, v.index() as u32);
+                let denom = makespan.sd * c.sd;
+                let rho = if denom > 0.0 {
+                    (cov / denom).clamp(-1.0, 1.0)
+                } else {
+                    0.0
+                };
+                let m = clark_max_moments(makespan, c, rho);
+                if m.phi_alpha < 0.5 {
+                    rep = Some(v.index() as u32);
+                }
+                makespan = Normal::from_mean_var(m.mean, m.var);
+            }
+        }
+    }
+    makespan.mean
+}
+
+struct PreparedCorLca {
+    prepared: PreparedDag,
+    table: DurationTable,
+}
+
+impl PreparedEstimator for PreparedCorLca {
+    fn name(&self) -> &'static str {
+        "CorLCA"
+    }
+
+    fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
+        self.table.rebuild(model.lambda, self.prepared.weights());
+        corlca_with(
+            self.prepared.dag(),
+            self.prepared.topo_order(),
+            self.prepared.sinks(),
+            &self.table,
+        )
+    }
+}
+
+impl Estimator for CorLcaEstimator {
+    fn name(&self) -> &'static str {
+        "CorLCA"
+    }
+
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        Box::new(PreparedCorLca {
+            prepared: prepared.clone(),
+            table: DurationTable::default(),
+        })
+    }
+
+    fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
+        let topo = topological_order(dag).expect("estimators require acyclic graphs");
+        corlca_with(dag, &topo, &dag.sinks(), &duration_table(dag, model))
     }
 }
 
@@ -237,91 +301,147 @@ impl Estimator for CorLcaEstimator {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CovarianceNormalEstimator;
 
+/// Reusable `O(|V|²)` workspace of the covariance propagation.
+#[derive(Default)]
+struct CovScratch {
+    /// `cov[i*n + j] = Cov(C_i, C_j)`, filled in topological order.
+    cov: Vec<f64>,
+    /// `mean[i] = E[C_i]`.
+    mean: Vec<f64>,
+    /// Scratch row: `Cov(partial max M, C_z)` for all `z`.
+    row: Vec<f64>,
+}
+
+fn covariance_with(
+    dag: &Dag,
+    topo: &[NodeId],
+    sinks: &[NodeId],
+    table: &DurationTable,
+    scratch: &mut CovScratch,
+) -> f64 {
+    if dag.node_count() == 0 {
+        return 0.0;
+    }
+    let n = dag.node_count();
+    scratch.cov.clear();
+    scratch.cov.resize(n * n, 0.0);
+    scratch.mean.clear();
+    scratch.mean.resize(n, 0.0);
+    scratch.row.clear();
+    scratch.row.resize(n, 0.0);
+    let (cov, mean, row) = (&mut scratch.cov, &mut scratch.mean, &mut scratch.row);
+    for &v in topo {
+        let vi = v.index();
+        // Sequential Clark max over predecessors.
+        let mut m = Normal::new(0.0, 0.0);
+        let mut first = true;
+        row.iter_mut().for_each(|x| *x = 0.0);
+        for &p in dag.preds(v) {
+            let pi = p.index();
+            let c = Normal::from_mean_var(mean[pi], cov[pi * n + pi]);
+            if first {
+                first = false;
+                m = c;
+                row.copy_from_slice(&cov[pi * n..(pi + 1) * n]);
+            } else {
+                let cov_mc = row[pi];
+                let denom = m.sd * c.sd;
+                let rho = if denom > 0.0 {
+                    (cov_mc / denom).clamp(-1.0, 1.0)
+                } else {
+                    0.0
+                };
+                let mm = clark_max_moments(m, c, rho);
+                let (w1, w2) = (mm.phi_alpha, 1.0 - mm.phi_alpha);
+                let crow = &cov[pi * n..(pi + 1) * n];
+                for (r, &cz) in row.iter_mut().zip(crow.iter()) {
+                    *r = w1 * *r + w2 * cz;
+                }
+                m = Normal::from_mean_var(mm.mean, mm.var);
+            }
+        }
+        let d = table.two_state_normal(vi);
+        mean[vi] = m.mean + d.mean;
+        let var_v = m.var() + d.var();
+        // Write Cov(C_v, ·): the duration is independent of
+        // everything else, so it contributes only to the diagonal.
+        for z in 0..n {
+            let c = row[z];
+            cov[vi * n + z] = c;
+            cov[z * n + vi] = c;
+        }
+        cov[vi * n + vi] = var_v;
+    }
+    // Max over exit tasks with the same covariance updates.
+    let s0 = sinks[0].index();
+    let mut m = Normal::from_mean_var(mean[s0], cov[s0 * n + s0]);
+    row.copy_from_slice(&cov[s0 * n..(s0 + 1) * n]);
+    for &s in &sinks[1..] {
+        let si = s.index();
+        let c = Normal::from_mean_var(mean[si], cov[si * n + si]);
+        let cov_mc = row[si];
+        let denom = m.sd * c.sd;
+        let rho = if denom > 0.0 {
+            (cov_mc / denom).clamp(-1.0, 1.0)
+        } else {
+            0.0
+        };
+        let mm = clark_max_moments(m, c, rho);
+        let (w1, w2) = (mm.phi_alpha, 1.0 - mm.phi_alpha);
+        let crow = &cov[si * n..(si + 1) * n];
+        for (r, &cz) in row.iter_mut().zip(crow.iter()) {
+            *r = w1 * *r + w2 * cz;
+        }
+        m = Normal::from_mean_var(mm.mean, mm.var);
+    }
+    m.mean
+}
+
+struct PreparedCovariance {
+    prepared: PreparedDag,
+    table: DurationTable,
+    scratch: CovScratch,
+}
+
+impl PreparedEstimator for PreparedCovariance {
+    fn name(&self) -> &'static str {
+        "Normal(cov)"
+    }
+
+    fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
+        self.table.rebuild(model.lambda, self.prepared.weights());
+        covariance_with(
+            self.prepared.dag(),
+            self.prepared.topo_order(),
+            self.prepared.sinks(),
+            &self.table,
+            &mut self.scratch,
+        )
+    }
+}
+
 impl Estimator for CovarianceNormalEstimator {
     fn name(&self) -> &'static str {
         "Normal(cov)"
     }
 
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        Box::new(PreparedCovariance {
+            prepared: prepared.clone(),
+            table: DurationTable::default(),
+            scratch: CovScratch::default(),
+        })
+    }
+
     fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
-        if dag.node_count() == 0 {
-            return 0.0;
-        }
         let topo = topological_order(dag).expect("estimators require acyclic graphs");
-        let n = dag.node_count();
-        // cov[i*n + j] = Cov(C_i, C_j); filled progressively in
-        // topological order. mean[i] = E[C_i].
-        let mut cov = vec![0.0f64; n * n];
-        let mut mean = vec![0.0f64; n];
-        // Scratch row: Cov(partial max M, C_z) for all z.
-        let mut row = vec![0.0f64; n];
-        for &v in &topo {
-            let vi = v.index();
-            // Sequential Clark max over predecessors.
-            let mut m = Normal::new(0.0, 0.0);
-            let mut first = true;
-            row.iter_mut().for_each(|x| *x = 0.0);
-            for &p in dag.preds(v) {
-                let pi = p.index();
-                let c = Normal::from_mean_var(mean[pi], cov[pi * n + pi]);
-                if first {
-                    first = false;
-                    m = c;
-                    row.copy_from_slice(&cov[pi * n..(pi + 1) * n]);
-                } else {
-                    let cov_mc = row[pi];
-                    let denom = m.sd * c.sd;
-                    let rho = if denom > 0.0 {
-                        (cov_mc / denom).clamp(-1.0, 1.0)
-                    } else {
-                        0.0
-                    };
-                    let mm = clark_max_moments(m, c, rho);
-                    let (w1, w2) = (mm.phi_alpha, 1.0 - mm.phi_alpha);
-                    let crow = &cov[pi * n..(pi + 1) * n];
-                    for (r, &cz) in row.iter_mut().zip(crow.iter()) {
-                        *r = w1 * *r + w2 * cz;
-                    }
-                    m = Normal::from_mean_var(mm.mean, mm.var);
-                }
-            }
-            let d = duration_normal(dag, model, v);
-            mean[vi] = m.mean + d.mean;
-            let var_v = m.var() + d.var();
-            // Write Cov(C_v, ·): the duration is independent of
-            // everything else, so it contributes only to the diagonal.
-            for z in 0..n {
-                let c = row[z];
-                cov[vi * n + z] = c;
-                cov[z * n + vi] = c;
-            }
-            cov[vi * n + vi] = var_v;
-        }
-        // Max over exit tasks with the same covariance updates.
-        let sinks: Vec<usize> = dag
-            .nodes()
-            .filter(|&v| dag.out_degree(v) == 0)
-            .map(|v| v.index())
-            .collect();
-        let mut m = Normal::from_mean_var(mean[sinks[0]], cov[sinks[0] * n + sinks[0]]);
-        row.copy_from_slice(&cov[sinks[0] * n..(sinks[0] + 1) * n]);
-        for &si in &sinks[1..] {
-            let c = Normal::from_mean_var(mean[si], cov[si * n + si]);
-            let cov_mc = row[si];
-            let denom = m.sd * c.sd;
-            let rho = if denom > 0.0 {
-                (cov_mc / denom).clamp(-1.0, 1.0)
-            } else {
-                0.0
-            };
-            let mm = clark_max_moments(m, c, rho);
-            let (w1, w2) = (mm.phi_alpha, 1.0 - mm.phi_alpha);
-            let crow = &cov[si * n..(si + 1) * n];
-            for (r, &cz) in row.iter_mut().zip(crow.iter()) {
-                *r = w1 * *r + w2 * cz;
-            }
-            m = Normal::from_mean_var(mm.mean, mm.var);
-        }
-        m.mean
+        covariance_with(
+            dag,
+            &topo,
+            &dag.sinks(),
+            &duration_table(dag, model),
+            &mut CovScratch::default(),
+        )
     }
 }
 
@@ -447,6 +567,29 @@ mod tests {
             let v = est.expected_makespan(&g, &model);
             let rel = ((v - mc.mean) / mc.mean).abs();
             assert!(rel < 0.01, "{name}: {v} vs MC {} (rel {rel})", mc.mean);
+        }
+    }
+
+    #[test]
+    fn prepared_matches_one_shot_across_models() {
+        let g = diamond();
+        let prepared = PreparedDag::new(g.clone());
+        let models = [
+            FailureModel::new(0.05),
+            FailureModel::failure_free(),
+            FailureModel::new(0.2),
+        ];
+        for (name, est) in all_normals() {
+            let mut prep = est.prepare(&prepared);
+            for m in &models {
+                let a = prep.expected_makespan_for(m);
+                let b = est.expected_makespan(&g, m);
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name}: prepared {a} vs one-shot {b}"
+                );
+            }
         }
     }
 

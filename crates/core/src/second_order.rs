@@ -32,20 +32,121 @@
 //!
 //! Total cost `O(|V|·(|V| + |E|))` time and `O(|V|²)` memory.
 
-use crate::estimator::Estimator;
+use crate::estimator::{Estimator, PreparedEstimator};
 use crate::model::FailureModel;
-use stochdag_dag::{AllPairsLongestPaths, Dag, LevelInfo};
+use stochdag_dag::{AllPairsLongestPaths, Dag, LevelInfo, PreparedDag};
 
 /// Second-order approximation of the expected makespan under the
 /// geometric re-execution model.
 pub fn second_order_expected_makespan(dag: &Dag, model: &FailureModel) -> f64 {
+    if dag.node_count() == 0 {
+        return 0.0;
+    }
+    second_order_with(
+        dag,
+        &LevelInfo::compute(dag),
+        &AllPairsLongestPaths::compute(dag),
+        model,
+    )
+}
+
+/// [`second_order_expected_makespan`] with the level decomposition and
+/// the all-pairs longest paths supplied by the caller — the shared core
+/// of the one-shot and prepared paths. Both inputs are
+/// model-independent and dominate the cost (`O(|V|·(|V| + |E|))`), so a
+/// prepared estimator computes them once per graph.
+pub fn second_order_with(
+    dag: &Dag,
+    levels: &LevelInfo,
+    ap: &AllPairsLongestPaths,
+    model: &FailureModel,
+) -> f64 {
+    if dag.node_count() == 0 {
+        return 0.0;
+    }
+    second_order_from_tables(dag, &SecondOrderTables::compute(dag, levels, ap), model)
+}
+
+/// The model-independent half of the second-order expansion: every
+/// longest-path value the coefficient sums touch, precomputed once per
+/// graph. `O(|V|²)` memory (like the all-pairs matrix it is derived
+/// from, which can be dropped afterwards); evaluation against any λ is
+/// then pure coefficient arithmetic ([`second_order_from_tables`]).
+pub struct SecondOrderTables {
+    /// `d(G)`.
+    d_g: f64,
+    /// `d(Gᵢ)` per node (task `i` doubled).
+    d_gi: Vec<f64>,
+    /// `d(Gᵢ³)` per node (task `i` tripled).
+    d_gi3: Vec<f64>,
+    /// `d(G_{ij})` for `i < j`, packed upper triangle in row-major
+    /// order: entry `(i, j)` lives at `i·n − i(i+1)/2 + (j − i − 1)`.
+    d_gij: Vec<f64>,
+}
+
+impl SecondOrderTables {
+    /// Precompute all longest-path values of the expansion.
+    pub fn compute(dag: &Dag, levels: &LevelInfo, ap: &AllPairsLongestPaths) -> SecondOrderTables {
+        let n = dag.node_count();
+        let d_g = levels.makespan;
+        let mut d_gi = Vec::with_capacity(n);
+        let mut d_gi3 = Vec::with_capacity(n);
+        for i in dag.nodes() {
+            d_gi.push(levels.makespan_with_scaled_node(dag, i, 2.0));
+            d_gi3.push(levels.makespan_with_scaled_node(dag, i, 3.0));
+        }
+        let mut d_gij = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+        for i in dag.nodes() {
+            let through_i = levels.path_through(i) + dag.weight(i);
+            for j in dag.nodes().skip(i.index() + 1) {
+                let through_j = levels.path_through(j) + dag.weight(j);
+                let mut d = d_g.max(through_i).max(through_j);
+                // Path through both, i before j (or j before i).
+                if ap.reaches(i, j) {
+                    let both = levels.top[i.index()]
+                        + ap.get(i, j)
+                        + levels.bot[j.index()]
+                        + dag.weight(i);
+                    d = d.max(both);
+                } else if ap.reaches(j, i) {
+                    let both = levels.top[j.index()]
+                        + ap.get(j, i)
+                        + levels.bot[i.index()]
+                        + dag.weight(j);
+                    d = d.max(both);
+                }
+                d_gij.push(d);
+            }
+        }
+        SecondOrderTables {
+            d_g,
+            d_gi,
+            d_gi3,
+            d_gij,
+        }
+    }
+
+    /// Packed index of pair `(i, j)` with `i < j`.
+    #[inline]
+    fn pair(&self, n: usize, i: usize, j: usize) -> f64 {
+        self.d_gij[i * n - i * (i + 1) / 2 + (j - i - 1)]
+    }
+}
+
+/// The model-dependent half of the second-order expansion: coefficient
+/// sums over precomputed [`SecondOrderTables`], `O(|V|²)` multiply-adds
+/// with no graph traversal. The summation order is identical to the
+/// historical single-pass implementation, so results are bit-identical.
+pub fn second_order_from_tables(
+    dag: &Dag,
+    tables: &SecondOrderTables,
+    model: &FailureModel,
+) -> f64 {
     let n = dag.node_count();
     if n == 0 {
         return 0.0;
     }
-    let levels = LevelInfo::compute(dag);
-    let ap = AllPairsLongestPaths::compute(dag);
-    let d_g = levels.makespan;
+    let d_g = tables.d_g;
     let lambda = model.lambda;
 
     let x: Vec<f64> = dag.nodes().map(|i| lambda * dag.weight(i)).collect();
@@ -58,42 +159,24 @@ pub fn second_order_expected_makespan(dag: &Dag, model: &FailureModel) -> f64 {
     let mut e = c_empty * d_g;
 
     // Single-failure and double-failure-of-one-task terms.
-    for i in dag.nodes() {
-        let xi = x[i.index()];
+    for (i, &xi) in x.iter().enumerate() {
         if xi == 0.0 {
             continue;
         }
-        let d_gi = levels.makespan_with_scaled_node(dag, i, 2.0);
-        let d_gi3 = levels.makespan_with_scaled_node(dag, i, 3.0);
         let c_i = xi - 1.5 * xi * xi - xi * (sum_x - xi);
-        e += c_i * d_gi + xi * xi * d_gi3;
+        e += c_i * tables.d_gi[i] + xi * xi * tables.d_gi3[i];
     }
 
     // Distinct-pair single failures.
-    for i in dag.nodes() {
-        let xi = x[i.index()];
+    for (i, &xi) in x.iter().enumerate() {
         if xi == 0.0 {
             continue;
         }
-        let through_i = levels.path_through(i) + dag.weight(i);
-        for j in dag.nodes().skip(i.index() + 1) {
-            let xj = x[j.index()];
+        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
             if xj == 0.0 {
                 continue;
             }
-            let through_j = levels.path_through(j) + dag.weight(j);
-            let mut d_gij = d_g.max(through_i).max(through_j);
-            // Path through both, i before j (or j before i).
-            if ap.reaches(i, j) {
-                let both =
-                    levels.top[i.index()] + ap.get(i, j) + levels.bot[j.index()] + dag.weight(i);
-                d_gij = d_gij.max(both);
-            } else if ap.reaches(j, i) {
-                let both =
-                    levels.top[j.index()] + ap.get(j, i) + levels.bot[i.index()] + dag.weight(j);
-                d_gij = d_gij.max(both);
-            }
-            e += xi * xj * d_gij;
+            e += xi * xj * tables.pair(n, i, j);
         }
     }
     e
@@ -103,9 +186,37 @@ pub fn second_order_expected_makespan(dag: &Dag, model: &FailureModel) -> f64 {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SecondOrderEstimator;
 
+/// Second-order estimator bound to one prepared graph: the
+/// `O(|V|·(|V| + |E|))` all-pairs computation and every longest-path
+/// value of the expansion are hoisted into [`SecondOrderTables`] at
+/// prepare time (the all-pairs matrix itself is dropped immediately),
+/// leaving only the λ-dependent coefficient sums per model.
+struct PreparedSecondOrder {
+    prepared: PreparedDag,
+    tables: SecondOrderTables,
+}
+
+impl PreparedEstimator for PreparedSecondOrder {
+    fn name(&self) -> &'static str {
+        "SecondOrder"
+    }
+
+    fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
+        second_order_from_tables(self.prepared.dag(), &self.tables, model)
+    }
+}
+
 impl Estimator for SecondOrderEstimator {
     fn name(&self) -> &'static str {
         "SecondOrder"
+    }
+
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        let ap = AllPairsLongestPaths::compute(prepared.dag());
+        Box::new(PreparedSecondOrder {
+            tables: SecondOrderTables::compute(prepared.dag(), prepared.levels(), &ap),
+            prepared: prepared.clone(),
+        })
     }
 
     fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {

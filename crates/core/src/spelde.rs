@@ -18,10 +18,10 @@
 //! picture next to Dodin and the normal-propagation family, and it
 //! exercises the `k_longest_paths` substrate.
 
-use crate::estimator::Estimator;
+use crate::estimator::{Estimator, PreparedEstimator};
 use crate::model::FailureModel;
-use stochdag_dag::{k_longest_paths, Dag};
-use stochdag_dist::{clark_max_moments, two_state_moments, Normal};
+use stochdag_dag::{k_longest_paths, CriticalPath, Dag, PreparedDag};
+use stochdag_dist::{clark_max_moments, DurationTable, Normal};
 
 /// Path-based estimator: independent-normal max over the `K` longest
 /// (failure-free) paths, with per-task 2-state moments.
@@ -58,9 +58,68 @@ impl SpeldeEstimator {
     }
 }
 
+/// Independent-normal max over an already-extracted path set — the
+/// shared core of the one-shot and prepared paths. The path extraction
+/// is model-independent (it uses failure-free weights), so a prepared
+/// estimator computes it once per graph; only this cheap per-path
+/// moment summation runs per model.
+fn spelde_with(paths: &[CriticalPath], table: &DurationTable) -> f64 {
+    let mut max: Option<Normal> = None;
+    for path in paths {
+        let mut mean = 0.0;
+        let mut var = 0.0;
+        for &v in &path.nodes {
+            mean += table.two_state_mean(v.index());
+            var += table.two_state_var(v.index());
+        }
+        let n = Normal::from_mean_var(mean, var);
+        max = Some(match max {
+            None => n,
+            Some(cur) => {
+                let m = clark_max_moments(cur, n, 0.0);
+                Normal::from_mean_var(m.mean, m.var)
+            }
+        });
+    }
+    max.expect("a non-empty DAG has at least one path").mean
+}
+
+struct PreparedSpelde {
+    prepared: PreparedDag,
+    paths: Vec<CriticalPath>,
+    table: DurationTable,
+}
+
+impl PreparedEstimator for PreparedSpelde {
+    fn name(&self) -> &'static str {
+        "Spelde"
+    }
+
+    fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
+        if self.prepared.node_count() == 0 {
+            return 0.0;
+        }
+        self.table.rebuild(model.lambda, self.prepared.weights());
+        spelde_with(&self.paths, &self.table)
+    }
+}
+
 impl Estimator for SpeldeEstimator {
     fn name(&self) -> &'static str {
         "Spelde"
+    }
+
+    fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        let paths = if prepared.node_count() == 0 {
+            Vec::new()
+        } else {
+            k_longest_paths(prepared.dag(), self.paths)
+        };
+        Box::new(PreparedSpelde {
+            prepared: prepared.clone(),
+            paths,
+            table: DurationTable::default(),
+        })
     }
 
     fn expected_makespan(&self, dag: &Dag, model: &FailureModel) -> f64 {
@@ -68,26 +127,8 @@ impl Estimator for SpeldeEstimator {
             return 0.0;
         }
         let paths = k_longest_paths(dag, self.paths);
-        let mut max: Option<Normal> = None;
-        for path in &paths {
-            let mut mean = 0.0;
-            let mut var = 0.0;
-            for &v in &path.nodes {
-                let a = dag.weight(v);
-                let (m, s2) = two_state_moments(a, model.psuccess_of_weight(a));
-                mean += m;
-                var += s2;
-            }
-            let n = Normal::from_mean_var(mean, var);
-            max = Some(match max {
-                None => n,
-                Some(cur) => {
-                    let m = clark_max_moments(cur, n, 0.0);
-                    Normal::from_mean_var(m.mean, m.var)
-                }
-            });
-        }
-        max.expect("a non-empty DAG has at least one path").mean
+        let table = DurationTable::new(model.lambda, &dag.weights());
+        spelde_with(&paths, &table)
     }
 }
 
@@ -95,6 +136,7 @@ impl Estimator for SpeldeEstimator {
 mod tests {
     use super::*;
     use crate::monte_carlo::{MonteCarloEstimator, SamplingModel};
+    use stochdag_dist::two_state_moments;
 
     fn diamond() -> Dag {
         let mut g = Dag::new();

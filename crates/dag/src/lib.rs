@@ -34,6 +34,7 @@ mod hash;
 pub mod io;
 mod longest_path;
 mod paths;
+mod prepared;
 mod topo;
 mod transitive;
 mod validate;
@@ -46,6 +47,7 @@ pub use longest_path::{
     longest_path_length, AllPairsLongestPaths, CriticalPath, LevelInfo, LongestPaths,
 };
 pub use paths::k_longest_paths;
+pub use prepared::{prepared_dag_build_count, PreparedDag};
 pub use topo::{topological_layers, topological_order};
 pub use transitive::{transitive_closure, transitive_reduction, Reachability};
 pub use validate::{validate_acyclic, DagError};

@@ -1,0 +1,243 @@
+//! Shared, immutable per-graph preparation.
+//!
+//! Every estimator in the workspace needs the same handful of
+//! model-independent artifacts before it can evaluate anything: the
+//! frozen CSR adjacency, a topological order, the weight vector, the
+//! source/sink sets, and — for the sweep engine's content-addressed
+//! cache — the Weisfeiler–Lehman structural hash. Before this module
+//! existed each estimator recomputed those internally on every call, so
+//! a sweep of M failure models × E estimators over one graph paid for
+//! the same preprocessing `M × E` times.
+//!
+//! [`PreparedDag`] computes each artifact **exactly once per graph** and
+//! hands out cheap shared handles: the type is a thin [`Arc`] wrapper,
+//! so cloning it (as every prepared estimator does) is a reference-count
+//! bump, never a recomputation. The two artifacts not every consumer
+//! needs — the structural hash and the level decomposition — are
+//! materialized lazily on first use and then shared by all handles.
+//!
+//! The module also counts constructions ([`prepared_dag_build_count`])
+//! so integration tests can assert that a sweep campaign builds each DAG
+//! source exactly once.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::graph::{Dag, FrozenDag, NodeId};
+use crate::longest_path::LevelInfo;
+
+/// Process-global count of [`PreparedDag`] constructions.
+static BUILD_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of [`PreparedDag`] values built by this process so far.
+///
+/// A monotone counter incremented by every [`PreparedDag::new`] call.
+/// Tests diff it around a sweep campaign to prove the engine prepares
+/// each DAG source exactly once (note that test binaries run their
+/// tests in parallel threads, so a meaningful delta must be measured
+/// within a single `#[test]`).
+pub fn prepared_dag_build_count() -> usize {
+    BUILD_COUNT.load(Ordering::Relaxed)
+}
+
+#[derive(Debug)]
+struct Inner {
+    dag: Dag,
+    frozen: FrozenDag,
+    topo: Vec<NodeId>,
+    /// Lazy: no current estimator consumes the source set, so it is
+    /// materialized only on demand (shared by all clones, like the
+    /// hash and the levels).
+    sources: OnceLock<Vec<NodeId>>,
+    sinks: Vec<NodeId>,
+    hash: OnceLock<u128>,
+    levels: OnceLock<LevelInfo>,
+}
+
+/// A DAG bundled with its shared preprocessing (see module docs).
+///
+/// `PreparedDag` is immutable and cheap to clone (`Arc` internally):
+/// prepared estimators hold a clone and borrow the graph, the frozen
+/// CSR view, the topological order, and the source/sink sets from it.
+///
+/// # Panics
+/// [`PreparedDag::new`] panics on cyclic input, like every longest-path
+/// consumer in this crate.
+#[derive(Clone, Debug)]
+pub struct PreparedDag {
+    inner: Arc<Inner>,
+}
+
+impl PreparedDag {
+    /// Prepare a graph: freeze the CSR view, compute one topological
+    /// order and the source/sink sets. The structural hash and the
+    /// level decomposition are deferred until first requested.
+    pub fn new(dag: Dag) -> PreparedDag {
+        let frozen = dag.freeze();
+        let topo = frozen
+            .topo
+            .iter()
+            .map(|&i| NodeId::from_index(i as usize))
+            .collect();
+        let sinks = dag.sinks();
+        BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
+        PreparedDag {
+            inner: Arc::new(Inner {
+                dag,
+                frozen,
+                topo,
+                sources: OnceLock::new(),
+                sinks,
+                hash: OnceLock::new(),
+                levels: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn dag(&self) -> &Dag {
+        &self.inner.dag
+    }
+
+    /// The frozen CSR adjacency snapshot.
+    #[inline]
+    pub fn frozen(&self) -> &FrozenDag {
+        &self.inner.frozen
+    }
+
+    /// Node weights, indexed by `NodeId::index()`.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.inner.frozen.weights
+    }
+
+    /// The precomputed topological order.
+    #[inline]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.inner.topo
+    }
+
+    /// Entry tasks (no predecessors), in id order; computed on first
+    /// call and shared by all clones.
+    pub fn sources(&self) -> &[NodeId] {
+        self.inner.sources.get_or_init(|| self.inner.dag.sources())
+    }
+
+    /// Exit tasks (no successors), in id order.
+    #[inline]
+    pub fn sinks(&self) -> &[NodeId] {
+        &self.inner.sinks
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.inner.dag.node_count()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.inner.dag.edge_count()
+    }
+
+    /// The Weisfeiler–Lehman structural hash (see
+    /// [`crate::structural_hash`]), computed on first call and cached
+    /// for the lifetime of the preparation — all clones share it.
+    pub fn structural_hash(&self) -> u128 {
+        *self
+            .inner
+            .hash
+            .get_or_init(|| crate::hash::structural_hash(&self.inner.dag))
+    }
+
+    /// The level decomposition (top/bottom levels, failure-free
+    /// makespan), computed on first call and shared by all clones.
+    pub fn levels(&self) -> &LevelInfo {
+        self.inner
+            .levels
+            .get_or_init(|| LevelInfo::compute(&self.inner.dag))
+    }
+
+    /// Whether two handles share one preparation (same `Arc`).
+    pub fn same_preparation(&self, other: &PreparedDag) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Display for PreparedDag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PreparedDag({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::structural_hash;
+    use crate::topo::topological_order;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new();
+        let a = g.add_node(1.0);
+        let b = g.add_node(2.0);
+        let c = g.add_node(3.0);
+        let d = g.add_node(1.0);
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    #[test]
+    fn bundles_match_fresh_computation() {
+        let g = diamond();
+        let p = PreparedDag::new(g.clone());
+        assert_eq!(p.node_count(), 4);
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.weights(), g.weights().as_slice());
+        assert_eq!(p.topo_order(), topological_order(&g).unwrap().as_slice());
+        assert_eq!(p.sources(), g.sources().as_slice());
+        assert_eq!(p.sinks(), g.sinks().as_slice());
+        assert_eq!(p.structural_hash(), structural_hash(&g));
+        assert_eq!(p.levels().makespan, 5.0);
+        assert!((p.frozen().longest_path() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_the_preparation() {
+        let p = PreparedDag::new(diamond());
+        let q = p.clone();
+        assert!(p.same_preparation(&q));
+        assert_eq!(p.structural_hash(), q.structural_hash());
+        assert!(!p.same_preparation(&PreparedDag::new(diamond())));
+    }
+
+    #[test]
+    fn build_counter_counts_constructions_not_clones() {
+        let before = prepared_dag_build_count();
+        let p = PreparedDag::new(diamond());
+        let _q = p.clone();
+        let _r = p.clone();
+        // Other tests may build preparations concurrently, so only a
+        // lower bound plus "clones are free" can be asserted here; the
+        // exact-count assertion lives in the engine integration test.
+        assert!(prepared_dag_build_count() > before);
+    }
+
+    #[test]
+    fn empty_graph_prepares() {
+        let p = PreparedDag::new(Dag::new());
+        assert_eq!(p.node_count(), 0);
+        assert!(p.topo_order().is_empty());
+        assert_eq!(p.levels().makespan, 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-task duration tables under an exponential silent-error rate.
+//!
+//! Every estimator derives the same per-node quantities from a weight
+//! vector and a rate λ: the per-attempt success probability
+//! `pᵢ = e^{−λaᵢ}`, its complement `1 − e^{−λaᵢ}` (computed via
+//! `expm1` for accuracy at small rates), and the exact 2-state duration
+//! moments `E = a(2 − p)`, `Var = a²p(1 − p)`. [`DurationTable`] hoists
+//! those into one table built once per (graph, model) pair, so an
+//! estimator's inner loops become plain array lookups and a prepared
+//! estimator evaluating many models can rebuild the table in place
+//! without reallocating.
+//!
+//! The formulas here are byte-for-byte the ones the estimators used
+//! inline before the table existed — prepared and one-shot evaluation
+//! paths must stay bit-identical.
+
+use crate::dist::DiscreteDist;
+use crate::normal::Normal;
+use crate::{failure_probability, two_state_moments, TaskDurationModel};
+
+/// Per-node duration quantities for one (weights, λ) pair.
+#[derive(Clone, Debug, Default)]
+pub struct DurationTable {
+    lambda: f64,
+    weights: Vec<f64>,
+    psuccess: Vec<f64>,
+    pfail: Vec<f64>,
+    mean: Vec<f64>,
+    var: Vec<f64>,
+}
+
+impl DurationTable {
+    /// Build a table for the given weights under rate `lambda`.
+    ///
+    /// # Panics
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn new(lambda: f64, weights: &[f64]) -> DurationTable {
+        let mut t = DurationTable::default();
+        t.rebuild(lambda, weights);
+        t
+    }
+
+    /// Refill the table in place for new inputs, reusing the existing
+    /// allocations (the prepared-estimator hot path: one scratch table
+    /// per preparation, rebuilt per failure model).
+    pub fn rebuild(&mut self, lambda: f64, weights: &[f64]) {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "lambda must be finite and non-negative, got {lambda}"
+        );
+        self.lambda = lambda;
+        self.weights.clear();
+        self.weights.extend_from_slice(weights);
+        self.psuccess.clear();
+        self.pfail.clear();
+        self.mean.clear();
+        self.var.clear();
+        for &a in weights {
+            let p = (-lambda * a).exp();
+            let (m, v) = two_state_moments(a, p);
+            self.psuccess.push(p);
+            self.pfail.push(failure_probability(lambda, a));
+            self.mean.push(m);
+            self.var.push(v);
+        }
+    }
+
+    /// The rate λ this table was built for.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight `aᵢ` of task `i`.
+    #[inline]
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Per-attempt success probability `e^{−λaᵢ}` of task `i`.
+    #[inline]
+    pub fn psuccess(&self, i: usize) -> f64 {
+        self.psuccess[i]
+    }
+
+    /// Per-attempt failure probability `1 − e^{−λaᵢ}` of task `i`.
+    #[inline]
+    pub fn pfail(&self, i: usize) -> f64 {
+        self.pfail[i]
+    }
+
+    /// All success probabilities, indexed by task.
+    #[inline]
+    pub fn psuccess_all(&self) -> &[f64] {
+        &self.psuccess
+    }
+
+    /// All failure probabilities, indexed by task.
+    #[inline]
+    pub fn pfail_all(&self) -> &[f64] {
+        &self.pfail
+    }
+
+    /// Mean of the 2-state duration of task `i`: `aᵢ(2 − pᵢ)`.
+    #[inline]
+    pub fn two_state_mean(&self, i: usize) -> f64 {
+        self.mean[i]
+    }
+
+    /// Variance of the 2-state duration of task `i`: `aᵢ²pᵢ(1 − pᵢ)`.
+    #[inline]
+    pub fn two_state_var(&self, i: usize) -> f64 {
+        self.var[i]
+    }
+
+    /// Normal of the same mean/variance as task `i`'s 2-state duration
+    /// — the per-task input of the normal-propagation estimators.
+    #[inline]
+    pub fn two_state_normal(&self, i: usize) -> Normal {
+        Normal::from_mean_var(self.mean[i], self.var[i])
+    }
+
+    /// Discrete duration distribution of task `i` under `model`.
+    pub fn duration_dist(&self, i: usize, model: TaskDurationModel) -> DiscreteDist {
+        model.duration_dist(self.weights[i], self.psuccess[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_inline_formulas() {
+        let weights = [0.0, 0.5, 2.0];
+        let lambda = 0.3;
+        let t = DurationTable::new(lambda, &weights);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lambda(), lambda);
+        for (i, &a) in weights.iter().enumerate() {
+            let p = (-lambda * a).exp();
+            assert_eq!(t.weight(i), a);
+            assert_eq!(t.psuccess(i), p, "psuccess must be the exp() value");
+            assert_eq!(
+                t.pfail(i),
+                failure_probability(lambda, a),
+                "pfail must be the expm1 value"
+            );
+            let (m, v) = two_state_moments(a, p);
+            assert_eq!(t.two_state_mean(i), m);
+            assert_eq!(t.two_state_var(i), v);
+            let n = t.two_state_normal(i);
+            assert_eq!(n.mean, m);
+            assert_eq!(n.var(), Normal::from_mean_var(m, v).var());
+        }
+        assert_eq!(t.psuccess_all().len(), 3);
+        assert_eq!(t.pfail_all().len(), 3);
+    }
+
+    #[test]
+    fn rebuild_reuses_and_overwrites() {
+        let mut t = DurationTable::new(0.1, &[1.0, 2.0, 3.0]);
+        t.rebuild(0.2, &[4.0]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.weight(0), 4.0);
+        assert_eq!(t.psuccess(0), (-0.2f64 * 4.0).exp());
+        let fresh = DurationTable::new(0.2, &[4.0]);
+        assert_eq!(t.pfail(0), fresh.pfail(0));
+    }
+
+    #[test]
+    fn duration_dists_match_model_dispatch() {
+        let t = DurationTable::new(0.4, &[1.5]);
+        let two = t.duration_dist(0, TaskDurationModel::TwoState);
+        assert_eq!(
+            two,
+            crate::two_state(1.5, (-0.4f64 * 1.5).exp()),
+            "table dispatch must equal the inline construction"
+        );
+        let geo = t.duration_dist(0, TaskDurationModel::GeometricTruncated { tail_eps: 1e-9 });
+        assert!(geo.len() > 2);
+    }
+
+    #[test]
+    fn failure_free_is_deterministic() {
+        let t = DurationTable::new(0.0, &[1.0, 2.0]);
+        assert_eq!(t.psuccess(0), 1.0);
+        assert_eq!(t.pfail(1), 0.0);
+        assert_eq!(t.two_state_var(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn negative_lambda_rejected() {
+        DurationTable::new(-1.0, &[1.0]);
+    }
+}

@@ -14,13 +14,18 @@
 //!   succeeds an attempt with probability `p`, so its duration is `a`
 //!   w.p. `p` and `2a` otherwise (2-state), or `k·a` w.p.
 //!   `p(1−p)^{k−1}` (geometric re-execution).
+//! * [`DurationTable`] — the per-node success/failure probabilities and
+//!   2-state moments for a whole weight vector, built once per
+//!   (graph, model) pair and shared by an estimator's inner loops.
 //! * [`failure_probability`] / [`lambda_for_failure_probability`] /
 //!   [`mtbf`] — the paper's exponential-rate calibration (Section V-C).
 
 mod dist;
+mod duration;
 mod normal;
 
 pub use dist::DiscreteDist;
+pub use duration::DurationTable;
 pub use normal::{clark_max_moments, erf, normal_cdf, normal_pdf, ClarkMoments, Normal};
 
 /// Per-attempt failure probability `1 − e^{−λa}` of a task of weight

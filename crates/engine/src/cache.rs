@@ -10,12 +10,19 @@
 //! Two tiers: an in-memory map (always on) and an optional on-disk
 //! layer (`<dir>/<k[0..2]>/<key>.json`, written atomically via a
 //! temp-file rename) that persists across processes.
+//!
+//! The on-disk tier supports LRU garbage collection
+//! ([`ResultCache::gc_disk`]): every disk hit refreshes the entry's
+//! modification time, so after a campaign the cache can be pruned to a
+//! byte budget by evicting the least-recently-used entries first.
 
 use crate::keys::StableHasher;
 use std::collections::HashMap;
+use std::fs::FileTimes;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::SystemTime;
 use stochdag_core::Estimate;
 
 /// Bump when cached payload semantics change (invalidates old entries).
@@ -30,6 +37,19 @@ pub fn cell_key(dag_hash: u128, lambda: f64, estimator_id: &str, seed: u64) -> S
         .write_str(estimator_id)
         .write_u64(seed);
     h.finish_hex()
+}
+
+/// Outcome of one [`ResultCache::gc_disk`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheGcStats {
+    /// Entries surviving the pass.
+    pub kept_files: usize,
+    /// Total payload bytes surviving the pass.
+    pub kept_bytes: u64,
+    /// Entries (and stray temp files) deleted.
+    pub evicted_files: usize,
+    /// Bytes reclaimed.
+    pub evicted_bytes: u64,
 }
 
 /// Two-tier content-addressed cache of [`Estimate`]s.
@@ -76,6 +96,14 @@ impl ResultCache {
             if let Ok(text) = std::fs::read_to_string(&path) {
                 match serde::json::from_str::<Estimate>(&text) {
                     Ok(est) => {
+                        // Refresh the entry's mtime so LRU eviction
+                        // (`gc_disk`) sees it as recently used.
+                        let _ = std::fs::File::options()
+                            .append(true)
+                            .open(&path)
+                            .and_then(|f| {
+                                f.set_times(FileTimes::new().set_modified(SystemTime::now()))
+                            });
                         self.mem
                             .lock()
                             .expect("cache poisoned")
@@ -115,6 +143,98 @@ impl ResultCache {
                 eprintln!("warning: cannot persist cache entry {path:?}: {e}");
             }
         }
+    }
+
+    /// Whether `key` is present (memory or disk) **without** touching
+    /// the hit/miss counters, loading the payload, or refreshing LRU
+    /// recency. This is the primitive behind `sweep --resume-report`:
+    /// diff a spec against the cache without perturbing it.
+    pub fn probe(&self, key: &str) -> bool {
+        if self.mem.lock().expect("cache poisoned").contains_key(key) {
+            return true;
+        }
+        match self.path_of(key) {
+            Some(path) => path.is_file(),
+            None => false,
+        }
+    }
+
+    /// Prune the on-disk tier to at most `max_bytes` of payload by
+    /// deleting least-recently-used entries first (oldest modification
+    /// time; ties broken by path for determinism). Stray `.json.tmp`
+    /// files from interrupted writes are always removed. A cache
+    /// without a disk tier returns empty stats.
+    ///
+    /// The in-memory tier is unaffected: it is per-process and cheap,
+    /// while the byte budget governs what persists across campaigns.
+    pub fn gc_disk(&self, max_bytes: u64) -> std::io::Result<CacheGcStats> {
+        // Another process may gc or rewrite the shared directory while
+        // this pass iterates; a file vanishing between listing and
+        // stat/unlink means its reclamation goal is already met, so
+        // `NotFound` is success, never an error.
+        fn remove_if_present(path: &std::path::Path) -> std::io::Result<bool> {
+            match std::fs::remove_file(path) {
+                Ok(()) => Ok(true),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+                Err(e) => Err(e),
+            }
+        }
+        let mut stats = CacheGcStats::default();
+        let Some(dir) = &self.dir else {
+            return Ok(stats);
+        };
+        if !dir.is_dir() {
+            return Ok(stats);
+        }
+        let mut entries: Vec<(SystemTime, PathBuf, u64)> = Vec::new();
+        for shard in std::fs::read_dir(dir)? {
+            let shard = shard?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            for file in std::fs::read_dir(&shard)? {
+                let path = file?.path();
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name.ends_with(".json.tmp") {
+                    // Leftover of an interrupted atomic write: never a
+                    // valid entry, always reclaim.
+                    let len = path.metadata().map(|m| m.len()).unwrap_or(0);
+                    if remove_if_present(&path)? {
+                        stats.evicted_files += 1;
+                        stats.evicted_bytes += len;
+                    }
+                    continue;
+                }
+                if !name.ends_with(".json") {
+                    continue;
+                }
+                let meta = match path.metadata() {
+                    Ok(m) => m,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                    Err(e) => return Err(e),
+                };
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                entries.push((mtime, path, meta.len()));
+            }
+        }
+        let mut total: u64 = entries.iter().map(|&(_, _, len)| len).sum();
+        stats.kept_files = entries.len();
+        // Oldest first; path tiebreak keeps eviction order deterministic
+        // when mtimes collide (coarse filesystem timestamps).
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (_, path, len) in entries {
+            if total <= max_bytes {
+                break;
+            }
+            if remove_if_present(&path)? {
+                stats.evicted_files += 1;
+                stats.evicted_bytes += len;
+            }
+            total -= len;
+            stats.kept_files -= 1;
+        }
+        stats.kept_bytes = total;
+        Ok(stats)
     }
 
     /// Hits counted since construction.
@@ -192,6 +312,121 @@ mod tests {
         assert_eq!(got.value, 7.5);
         assert_eq!(got.std_error, Some(0.25));
         assert_eq!(got.elapsed, Duration::from_millis(12));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_sees_memory_and_disk_without_counting() {
+        let dir = tmp_dir("probe");
+        let key = cell_key(9, 0.5, "sculli", 2);
+        let c = ResultCache::on_disk(&dir);
+        assert!(!c.probe(&key));
+        c.store(&key, &sample(2.0));
+        assert!(c.probe(&key), "memory tier visible");
+        let fresh = ResultCache::on_disk(&dir);
+        assert!(fresh.probe(&key), "disk tier visible");
+        assert_eq!(fresh.hits() + fresh.misses(), 0, "probe never counts");
+        let none = ResultCache::in_memory();
+        assert!(!none.probe(&key));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn backdate(dir: &std::path::Path, key: &str, secs_ago: u64) {
+        let path = dir.join(&key[..2]).join(format!("{key}.json"));
+        let when = std::time::SystemTime::now() - Duration::from_secs(secs_ago);
+        std::fs::File::options()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .set_times(super::FileTimes::new().set_modified(when))
+            .unwrap();
+    }
+
+    fn on_disk_file(dir: &std::path::Path, key: &str) -> bool {
+        dir.join(&key[..2]).join(format!("{key}.json")).is_file()
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_first() {
+        let dir = tmp_dir("gc_lru");
+        let c = ResultCache::on_disk(&dir);
+        let keys: Vec<String> = (0..3).map(|i| cell_key(i, 0.1, "first-order", 0)).collect();
+        for (i, k) in keys.iter().enumerate() {
+            c.store(k, &sample(i as f64));
+        }
+        // Recency order (oldest -> newest): keys[1], keys[0], keys[2].
+        backdate(&dir, &keys[1], 300);
+        backdate(&dir, &keys[0], 200);
+        backdate(&dir, &keys[2], 100);
+        let entry_len = dir
+            .join(&keys[0][..2])
+            .join(format!("{}.json", keys[0]))
+            .metadata()
+            .unwrap()
+            .len();
+        // Budget for exactly two entries: the oldest (keys[1]) must go.
+        let stats = c.gc_disk(2 * entry_len + entry_len / 2).unwrap();
+        assert_eq!(stats.evicted_files, 1);
+        assert_eq!(stats.kept_files, 2);
+        assert!(stats.kept_bytes <= 2 * entry_len + entry_len / 2);
+        assert!(!on_disk_file(&dir, &keys[1]), "LRU entry evicted");
+        assert!(on_disk_file(&dir, &keys[0]));
+        assert!(on_disk_file(&dir, &keys[2]));
+        // Budget 0 clears the rest.
+        let stats = c.gc_disk(0).unwrap();
+        assert_eq!(stats.evicted_files, 2);
+        assert_eq!(stats.kept_files, 0);
+        assert_eq!(stats.kept_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_hits_refresh_recency() {
+        let dir = tmp_dir("gc_touch");
+        let k_old = cell_key(1, 0.1, "sculli", 0);
+        let k_new = cell_key(2, 0.1, "sculli", 0);
+        {
+            let c = ResultCache::on_disk(&dir);
+            c.store(&k_old, &sample(1.0));
+            c.store(&k_new, &sample(2.0));
+        }
+        backdate(&dir, &k_old, 500);
+        backdate(&dir, &k_new, 100);
+        // A fresh instance reads k_old from disk, touching its mtime.
+        let c = ResultCache::on_disk(&dir);
+        assert!(c.lookup(&k_old).is_some());
+        let entry_len = dir
+            .join(&k_old[..2])
+            .join(format!("{k_old}.json"))
+            .metadata()
+            .unwrap()
+            .len();
+        let stats = c.gc_disk(entry_len + entry_len / 2).unwrap();
+        assert_eq!(stats.evicted_files, 1);
+        assert!(
+            on_disk_file(&dir, &k_old),
+            "recently-read entry must survive"
+        );
+        assert!(!on_disk_file(&dir, &k_new), "stale entry evicted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_removes_stray_tmp_files_and_tolerates_no_disk() {
+        let dir = tmp_dir("gc_tmp");
+        let c = ResultCache::on_disk(&dir);
+        let key = cell_key(5, 0.2, "corlca", 1);
+        c.store(&key, &sample(3.0));
+        let tmp = dir.join(&key[..2]).join(format!("{key}.json.tmp"));
+        std::fs::write(&tmp, "partial").unwrap();
+        let stats = c.gc_disk(u64::MAX).unwrap();
+        assert_eq!(stats.evicted_files, 1, "only the stray tmp is removed");
+        assert!(!tmp.exists());
+        assert!(on_disk_file(&dir, &key));
+        assert_eq!(
+            ResultCache::in_memory().gc_disk(0).unwrap(),
+            CacheGcStats::default()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

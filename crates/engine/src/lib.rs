@@ -61,10 +61,10 @@ mod runner;
 mod sink;
 mod spec;
 
-pub use cache::{cell_key, ResultCache};
+pub use cache::{cell_key, CacheGcStats, ResultCache};
 pub use keys::StableHasher;
 pub use registry::{BuildContext, EstimatorRegistry};
-pub use runner::{run_sweep, SweepOutcome};
+pub use runner::{resume_report, run_sweep, ResumeEstimatorReport, ResumeReport, SweepOutcome};
 pub use sink::{
     summarize, CsvSink, JsonlSink, Reorderer, ResultSink, SummaryRow, SweepRow, VecSink,
 };

@@ -1,21 +1,30 @@
 //! The parallel sweep executor.
 //!
-//! Expands a [`SweepSpec`] into scenarios (DAG × failure model) and
-//! cells (scenario × estimator), then runs:
+//! Expands a [`SweepSpec`] into DAG instances, failure models, and
+//! estimator cells, then runs the campaign **grouped by DAG source**:
+//! every instance is wrapped in a [`PreparedDag`] exactly once per
+//! campaign (one freeze, one topological sort, one structural hash —
+//! asserted by the `prepared_once` integration test via
+//! [`stochdag_dag::prepared_dag_build_count`]), and every
+//! (instance × estimator) pair prepares once and evaluates all failure
+//! models against that preparation:
 //!
-//! 1. **Reference phase** — one Monte-Carlo reference per scenario,
-//!    cells distributed over all cores (work-stealing chunks via the
-//!    parallel-iterator layer), each consulting the content-addressed
-//!    [`ResultCache`] first.
-//! 2. **Cell phase** — every estimator cell in parallel, again
-//!    cache-first. Completions stream through a dedicated writer thread
-//!    that re-sequences them into deterministic cell order and feeds
-//!    the sinks row by row while later cells are still computing.
+//! 1. **Reference phase** — one Monte-Carlo reference per (instance,
+//!    model) scenario; instances are distributed over all cores and
+//!    each instance's models share one prepared reference estimator,
+//!    reseeded deterministically per scenario. Cache-first.
+//! 2. **Cell phase** — (instance × estimator) work units in parallel,
+//!    again cache-first, each iterating its models against one
+//!    preparation. Completions stream through a dedicated writer
+//!    thread that re-sequences them into deterministic cell order and
+//!    feeds the sinks row by row while later cells are still computing.
 //!
 //! Determinism: cell seeds derive from the spec seed and the cell's
 //! content (DAG hash, λ, estimator id) — never from position or time —
 //! so a re-run, a resumed run, and a differently-parallel run all
-//! produce byte-identical sink output.
+//! produce byte-identical sink output. The `--jobs` knob
+//! ([`SweepSpec::jobs`]) only caps worker threads; it cannot change any
+//! value.
 
 use crate::cache::{cell_key, ResultCache};
 use crate::keys::{mix, StableHasher};
@@ -26,17 +35,8 @@ use rayon::prelude::*;
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use stochdag_core::{Estimate, Estimator, FailureModel, MonteCarloEstimator};
-use stochdag_dag::structural_hash;
-
-/// One (DAG, failure model) scenario.
-struct Scenario<'a> {
-    dag: &'a DagInstance,
-    dag_hash: u128,
-    model: FailureModel,
-    label: String,
-    reference: Estimate,
-}
+use stochdag_core::{Estimate, Estimator, FailureModel, MonteCarloEstimator, PreparedEstimator};
+use stochdag_dag::{structural_hash, PreparedDag};
 
 /// Outcome of a finished sweep.
 #[derive(Clone, Debug)]
@@ -76,15 +76,22 @@ fn derive_seed(spec_seed: u64, dag_hash: u128, lambda: f64, unit: &str) -> u64 {
     mix(h.finish() as u64) & ((1u64 << 53) - 1)
 }
 
-/// Run a sweep, streaming rows into `sinks` (all sinks receive every
-/// row, in order). Returns the collected outcome.
-pub fn run_sweep(
-    spec: &SweepSpec,
-    registry: &EstimatorRegistry,
-    cache: &ResultCache,
-    sinks: &mut [&mut dyn ResultSink],
-) -> Result<SweepOutcome, String> {
-    let start = Instant::now();
+/// A validated, fully-expanded campaign — the shared front half of
+/// [`run_sweep`] and [`resume_report`].
+struct Expansion {
+    /// `(spec string, canonical id)` per estimator, in spec order.
+    estimator_ids: Vec<(String, String)>,
+    /// Materialized DAG instances, in spec order.
+    instances: Vec<DagInstance>,
+    /// Per-instance failure models with their row labels (pfails first,
+    /// then lambdas — the pfail calibration depends on the instance's
+    /// mean task weight).
+    models: Vec<Vec<(FailureModel, String)>>,
+    /// Canonical id of the Monte-Carlo reference configuration.
+    reference_id: String,
+}
+
+fn expand(spec: &SweepSpec, registry: &EstimatorRegistry) -> Result<Expansion, String> {
     spec.validate()?;
     // Resolve estimator ids up front so bad specs fail before any work.
     let estimator_ids: Vec<(String, String)> = spec
@@ -104,9 +111,6 @@ pub fn run_sweep(
             }
         }
     }
-    cache.reset_counters();
-
-    // Materialize DAG instances and hash each once.
     let mut instances: Vec<DagInstance> = Vec::new();
     for d in &spec.dags {
         instances.extend(d.materialize()?);
@@ -133,31 +137,25 @@ pub fn run_sweep(
             }
         }
     }
-    let hashes: Vec<u128> = instances.iter().map(|i| structural_hash(&i.dag)).collect();
-
-    // Scenario skeletons: (instance, model, label) pairs.
-    let proto: Vec<(usize, FailureModel, String)> = instances
+    let models: Vec<Vec<(FailureModel, String)>> = instances
         .iter()
-        .enumerate()
-        .flat_map(|(i, inst)| {
-            let pfails = spec.pfails.iter().map(move |&p| {
-                (
-                    FailureModel::from_pfail_for_dag(p, &inst.dag),
-                    format!("pfail={p}"),
-                )
-            });
-            let lambdas = spec
-                .lambdas
+        .map(|inst| {
+            spec.pfails
                 .iter()
-                .map(|&l| (FailureModel::new(l), format!("lambda={l}")));
-            pfails
-                .chain(lambdas)
-                .map(move |(m, label)| (i, m, label))
-                .collect::<Vec<_>>()
+                .map(|&p| {
+                    (
+                        FailureModel::from_pfail_for_dag(p, &inst.dag),
+                        format!("pfail={p}"),
+                    )
+                })
+                .chain(
+                    spec.lambdas
+                        .iter()
+                        .map(|&l| (FailureModel::new(l), format!("lambda={l}"))),
+                )
+                .collect()
         })
         .collect();
-
-    // Phase 1: Monte-Carlo references, parallel and cache-first.
     let reference_id = format!(
         "mc-reference:{}:{}",
         spec.reference_trials,
@@ -166,39 +164,130 @@ pub fn run_sweep(
             stochdag_core::SamplingModel::TwoState => "two-state",
         }
     );
-    let references: Vec<Estimate> = (0..proto.len())
-        .into_par_iter()
-        .map(|s| {
-            let (inst_idx, model, _) = &proto[s];
-            let dag_hash = hashes[*inst_idx];
-            let seed = derive_seed(spec.seed, dag_hash, model.lambda, &reference_id);
-            let key = cell_key(dag_hash, model.lambda, &reference_id, seed);
-            if let Some(found) = cache.lookup(&key) {
-                return found;
-            }
-            let est = MonteCarloEstimator::new(spec.reference_trials)
-                .with_seed(seed)
-                .with_sampling(spec.reference_sampling)
-                .estimate(&instances[*inst_idx].dag, model);
-            cache.store(&key, &est);
-            est
-        })
-        .collect();
+    Ok(Expansion {
+        estimator_ids,
+        instances,
+        models,
+        reference_id,
+    })
+}
 
-    let scenarios: Vec<Scenario<'_>> = proto
+/// Run a sweep, streaming rows into `sinks` (all sinks receive every
+/// row, in order). Returns the collected outcome.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    registry: &EstimatorRegistry,
+    cache: &ResultCache,
+    sinks: &mut [&mut dyn ResultSink],
+) -> Result<SweepOutcome, String> {
+    let start = Instant::now();
+    let Expansion {
+        estimator_ids,
+        instances,
+        models,
+        reference_id,
+    } = expand(spec, registry)?;
+    // `jobs = N` caps the worker threads for this campaign. Like real
+    // rayon's global pool, the cap is process-wide while it is in
+    // effect; the previous value is restored when the guard drops (on
+    // every exit path), and capped campaigns are serialized against
+    // each other so concurrent save/restore pairs cannot interleave
+    // and strand a stale cap.
+    struct CapGuard(usize);
+    impl Drop for CapGuard {
+        fn drop(&mut self) {
+            let _ = rayon::ThreadPoolBuilder::new()
+                .num_threads(self.0)
+                .build_global();
+        }
+    }
+    static CAPPED_CAMPAIGNS: Mutex<()> = Mutex::new(());
+    // Declaration order matters: the serialization guard is declared
+    // first so the cap is restored (reverse drop order) before the
+    // next capped campaign may proceed.
+    let _jobs_serial;
+    let _cap_guard = match spec.jobs {
+        Some(jobs) => {
+            _jobs_serial = Some(
+                CAPPED_CAMPAIGNS
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            );
+            let previous = rayon::current_thread_cap();
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(jobs)
+                .build_global()
+                .map_err(|e| format!("configuring {jobs} worker(s): {e}"))?;
+            Some(CapGuard(previous))
+        }
+        None => {
+            _jobs_serial = None;
+            None
+        }
+    };
+    cache.reset_counters();
+
+    // Build, freeze, and hash each DAG source exactly once; every
+    // estimator preparation and cache key below shares these.
+    let prepared: Vec<(String, PreparedDag)> = instances
         .into_iter()
-        .zip(references)
-        .map(|((inst_idx, model, label), reference)| Scenario {
-            dag: &instances[inst_idx],
-            dag_hash: hashes[inst_idx],
-            model,
-            label,
-            reference,
+        .map(|i| (i.id, PreparedDag::new(i.dag)))
+        .collect();
+    let hashes: Vec<u128> = prepared.iter().map(|(_, p)| p.structural_hash()).collect();
+    let n_inst = prepared.len();
+    let m_count = spec.pfails.len() + spec.lambdas.len();
+    let e_count = estimator_ids.len();
+
+    // Phase 1: Monte-Carlo references, grouped by instance so each
+    // instance's models share one preparation; parallel and cache-first.
+    let reference_trials = spec.reference_trials;
+    let reference_sampling = spec.reference_sampling;
+    let references: Vec<Vec<Estimate>> = (0..n_inst)
+        .into_par_iter()
+        .map(|i| {
+            let (_, pdag) = &prepared[i];
+            let dag_hash = hashes[i];
+            let mut prep: Option<Box<dyn PreparedEstimator>> = None;
+            let mut out = Vec::with_capacity(m_count);
+            for (model, _) in &models[i] {
+                let seed = derive_seed(spec.seed, dag_hash, model.lambda, &reference_id);
+                let key = cell_key(dag_hash, model.lambda, &reference_id, seed);
+                let est = match cache.lookup(&key) {
+                    Some(found) => found,
+                    None => {
+                        // Attribute the one-time preparation cost to the
+                        // scenario that triggered it, so per-row timings
+                        // still account for all compute spent.
+                        let prep_cost = if prep.is_none() {
+                            let t0 = Instant::now();
+                            prep = Some(
+                                MonteCarloEstimator::new(reference_trials)
+                                    .with_sampling(reference_sampling)
+                                    .prepare(pdag),
+                            );
+                            t0.elapsed()
+                        } else {
+                            Duration::ZERO
+                        };
+                        let p = prep.as_mut().expect("prepared above");
+                        p.reseed(seed);
+                        let mut est = p.estimate_for(model);
+                        est.elapsed += prep_cost;
+                        cache.store(&key, &est);
+                        est
+                    }
+                };
+                out.push(est);
+            }
+            out
         })
         .collect();
 
-    // Phase 2: estimator cells, parallel, streaming into the sinks.
-    let n_cells = scenarios.len() * estimator_ids.len();
+    // Phase 2: estimator cells. One parallel work unit per
+    // (instance × estimator) pair: prepare lazily on the first cache
+    // miss, then evaluate every model against that preparation,
+    // streaming rows into the sinks in deterministic cell order.
+    let n_cells = n_inst * m_count * e_count;
     for sink in sinks.iter_mut() {
         sink.begin().map_err(|e| format!("sink begin: {e}"))?;
     }
@@ -230,42 +319,66 @@ pub fn run_sweep(
             rows
         });
 
-        (0..n_cells).into_par_iter().for_each(|cell| {
-            let scenario = &scenarios[cell / estimator_ids.len()];
-            let (spec_str, canonical) = &estimator_ids[cell % estimator_ids.len()];
-            let lambda = scenario.model.lambda;
-            let seed = derive_seed(spec.seed, scenario.dag_hash, lambda, canonical);
-            let key = cell_key(scenario.dag_hash, lambda, canonical, seed);
-            let est = match cache.lookup(&key) {
-                Some(found) => found,
-                None => {
-                    let built = registry
-                        .build(spec_str, seed)
-                        .expect("estimator specs validated before launch");
-                    let est = built.estimate(&scenario.dag.dag, &scenario.model);
-                    cache.store(&key, &est);
-                    est
-                }
-            };
-            let reference = scenario.reference.value;
-            let row = SweepRow {
-                dag: scenario.dag.id.clone(),
-                tasks: scenario.dag.dag.node_count(),
-                edges: scenario.dag.dag.edge_count(),
-                model: scenario.label.clone(),
-                lambda,
-                estimator: canonical.clone(),
-                value: est.value,
-                reference,
-                reference_std_error: scenario.reference.std_error.unwrap_or(0.0),
-                rel_error: (est.value - reference) / reference,
-                elapsed_s: est.elapsed.as_secs_f64(),
-                seed,
-            };
-            tx.lock()
-                .expect("sender poisoned")
-                .send((cell, row))
-                .expect("writer alive until senders drop");
+        (0..n_inst * e_count).into_par_iter().for_each(|unit| {
+            let i = unit / e_count;
+            let e = unit % e_count;
+            let (id, pdag) = &prepared[i];
+            let dag_hash = hashes[i];
+            let (spec_str, canonical) = &estimator_ids[e];
+            let mut prep: Option<Box<dyn PreparedEstimator>> = None;
+            for (m, (model, label)) in models[i].iter().enumerate() {
+                // Scenario-major cell order, identical to the
+                // per-cell executor this grouping replaced.
+                let cell = (i * m_count + m) * e_count + e;
+                let seed = derive_seed(spec.seed, dag_hash, model.lambda, canonical);
+                let key = cell_key(dag_hash, model.lambda, canonical, seed);
+                let est = match cache.lookup(&key) {
+                    Some(found) => found,
+                    None => {
+                        // The first computed cell of the group carries
+                        // the one-time preparation cost, so the summary's
+                        // total_time keeps the paper's "full wall-clock
+                        // per estimator" semantics.
+                        let prep_cost = if prep.is_none() {
+                            let t0 = Instant::now();
+                            prep = Some(
+                                registry
+                                    .build(spec_str, seed)
+                                    .expect("estimator specs validated before launch")
+                                    .prepare(pdag),
+                            );
+                            t0.elapsed()
+                        } else {
+                            Duration::ZERO
+                        };
+                        let p = prep.as_mut().expect("prepared above");
+                        p.reseed(seed);
+                        let mut est = p.estimate_for(model);
+                        est.elapsed += prep_cost;
+                        cache.store(&key, &est);
+                        est
+                    }
+                };
+                let reference = &references[i][m];
+                let row = SweepRow {
+                    dag: id.clone(),
+                    tasks: pdag.node_count(),
+                    edges: pdag.edge_count(),
+                    model: label.clone(),
+                    lambda: model.lambda,
+                    estimator: canonical.clone(),
+                    value: est.value,
+                    reference: reference.value,
+                    reference_std_error: reference.std_error.unwrap_or(0.0),
+                    rel_error: (est.value - reference.value) / reference.value,
+                    elapsed_s: est.elapsed.as_secs_f64(),
+                    seed,
+                };
+                tx.lock()
+                    .expect("sender poisoned")
+                    .send((cell, row))
+                    .expect("writer alive until senders drop");
+            }
         });
         drop(tx);
         writer.join().expect("writer thread panicked")
@@ -282,12 +395,104 @@ pub fn run_sweep(
     }
     Ok(SweepOutcome {
         cells: n_cells,
-        references: scenarios.len(),
+        references: n_inst * m_count,
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
         wall: start.elapsed(),
         rows,
         summary,
+    })
+}
+
+/// Per-estimator cache coverage of a spec (see [`resume_report`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumeEstimatorReport {
+    /// Canonical estimator id.
+    pub estimator: String,
+    /// Cells already present in the cache.
+    pub hits: usize,
+    /// Cells that a run would have to compute.
+    pub misses: usize,
+}
+
+/// Outcome of [`resume_report`]: what a sweep would find in the cache,
+/// without running anything.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumeReport {
+    /// Coverage per estimator, in spec order.
+    pub estimators: Vec<ResumeEstimatorReport>,
+    /// Monte-Carlo reference scenarios already cached.
+    pub reference_hits: usize,
+    /// Reference scenarios a run would have to compute.
+    pub reference_misses: usize,
+}
+
+impl ResumeReport {
+    /// Total cached work units (cells + references).
+    pub fn total_hits(&self) -> usize {
+        self.reference_hits + self.estimators.iter().map(|e| e.hits).sum::<usize>()
+    }
+
+    /// Total uncached work units (cells + references).
+    pub fn total_misses(&self) -> usize {
+        self.reference_misses + self.estimators.iter().map(|e| e.misses).sum::<usize>()
+    }
+
+    /// Whether a run would complete entirely from the cache.
+    pub fn fully_cached(&self) -> bool {
+        self.total_misses() == 0
+    }
+}
+
+/// Diff a spec against the cache: for every cell and reference the
+/// sweep would execute, probe whether its content key is already
+/// present (memory or disk), **without computing anything** and without
+/// touching the cache's counters or LRU recency. This is the engine
+/// behind `sweep --resume-report`.
+pub fn resume_report(
+    spec: &SweepSpec,
+    registry: &EstimatorRegistry,
+    cache: &ResultCache,
+) -> Result<ResumeReport, String> {
+    let Expansion {
+        estimator_ids,
+        instances,
+        models,
+        reference_id,
+    } = expand(spec, registry)?;
+    let hashes: Vec<u128> = instances.iter().map(|i| structural_hash(&i.dag)).collect();
+    let mut estimators: Vec<ResumeEstimatorReport> = estimator_ids
+        .iter()
+        .map(|(_, canonical)| ResumeEstimatorReport {
+            estimator: canonical.clone(),
+            hits: 0,
+            misses: 0,
+        })
+        .collect();
+    let mut reference_hits = 0;
+    let mut reference_misses = 0;
+    for (i, inst_models) in models.iter().enumerate() {
+        for (model, _) in inst_models {
+            let seed = derive_seed(spec.seed, hashes[i], model.lambda, &reference_id);
+            if cache.probe(&cell_key(hashes[i], model.lambda, &reference_id, seed)) {
+                reference_hits += 1;
+            } else {
+                reference_misses += 1;
+            }
+            for (e, (_, canonical)) in estimator_ids.iter().enumerate() {
+                let seed = derive_seed(spec.seed, hashes[i], model.lambda, canonical);
+                if cache.probe(&cell_key(hashes[i], model.lambda, canonical, seed)) {
+                    estimators[e].hits += 1;
+                } else {
+                    estimators[e].misses += 1;
+                }
+            }
+        }
+    }
+    Ok(ResumeReport {
+        estimators,
+        reference_hits,
+        reference_misses,
     })
 }
 
@@ -307,6 +512,7 @@ mod tests {
             estimators: vec!["first-order".into(), "sculli".into()],
             reference_trials: 1500,
             reference_sampling: stochdag_core::SamplingModel::Geometric,
+            jobs: None,
             dags: vec![
                 DagSpec::Factorization {
                     class: FactorizationClass::Cholesky,
@@ -367,6 +573,45 @@ mod tests {
     }
 
     #[test]
+    fn jobs_knob_does_not_change_results() {
+        let mut spec = tiny_spec();
+        let registry = EstimatorRegistry::standard();
+        let run = |spec: &SweepSpec| {
+            let cache = ResultCache::in_memory();
+            let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+            run_sweep(spec, &registry, &cache, &mut sinks).unwrap()
+        };
+        let wide = run(&spec);
+        let cap_before = rayon::current_thread_cap();
+        spec.jobs = Some(1);
+        let narrow = run(&spec);
+        assert_eq!(
+            rayon::current_thread_cap(),
+            cap_before,
+            "run_sweep must restore the global worker cap"
+        );
+        // Everything but the wall-clock timing must be identical.
+        let values = |o: &SweepOutcome| {
+            o.rows
+                .iter()
+                .map(|r| {
+                    (
+                        r.dag.clone(),
+                        r.estimator.clone(),
+                        r.value.to_bits(),
+                        r.seed,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(values(&narrow), values(&wide), "worker cap changed rows");
+        spec.jobs = Some(0);
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+        let err = run_sweep(&spec, &registry, &ResultCache::in_memory(), &mut sinks).unwrap_err();
+        assert!(err.contains("jobs"), "{err}");
+    }
+
+    #[test]
     fn seeds_differ_across_cells_but_not_runs() {
         let a = derive_seed(1, 42, 0.01, "first-order");
         assert_eq!(a, derive_seed(1, 42, 0.01, "first-order"));
@@ -385,5 +630,44 @@ mod tests {
         let err = run_sweep(&spec, &registry, &cache, &mut sinks).unwrap_err();
         assert!(err.contains("warp-drive"), "{err}");
         assert_eq!(cache.hits() + cache.misses(), 0, "no work was attempted");
+    }
+
+    #[test]
+    fn resume_report_diffs_spec_against_cache() {
+        let spec = tiny_spec();
+        let registry = EstimatorRegistry::standard();
+        let cache = ResultCache::in_memory();
+        let fresh = resume_report(&spec, &registry, &cache).unwrap();
+        assert!(!fresh.fully_cached());
+        assert_eq!(fresh.total_hits(), 0);
+        assert_eq!(fresh.reference_misses, 6);
+        assert_eq!(fresh.estimators.len(), 2);
+        assert!(fresh
+            .estimators
+            .iter()
+            .all(|e| e.misses == 6 && e.hits == 0));
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            0,
+            "reporting must not perturb cache counters"
+        );
+
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+        run_sweep(&spec, &registry, &cache, &mut sinks).unwrap();
+        let after = resume_report(&spec, &registry, &cache).unwrap();
+        assert!(after.fully_cached());
+        assert_eq!(after.reference_hits, 6);
+        assert!(after
+            .estimators
+            .iter()
+            .all(|e| e.hits == 6 && e.misses == 0));
+
+        // A different seed shifts every statistical cell key; the
+        // deterministic estimators' keys ignore the seed only through
+        // derive_seed, so everything misses again.
+        let mut reseeded = spec.clone();
+        reseeded.seed = 99;
+        let shifted = resume_report(&reseeded, &registry, &cache).unwrap();
+        assert_eq!(shifted.total_hits(), 0, "new seed means new keys");
     }
 }

@@ -183,6 +183,10 @@ pub struct SweepSpec {
     pub reference_trials: usize,
     /// Sampling model of the reference.
     pub reference_sampling: SamplingModel,
+    /// Worker-thread cap for the campaign (`None` = all cores). Results
+    /// are deterministic regardless of this knob; it only bounds
+    /// parallelism (the CLI's `--jobs`).
+    pub jobs: Option<usize>,
     /// DAG sources.
     pub dags: Vec<DagSpec>,
 }
@@ -197,6 +201,7 @@ impl Default for SweepSpec {
             estimators: Vec::new(),
             reference_trials: 100_000,
             reference_sampling: SamplingModel::Geometric,
+            jobs: None,
             dags: Vec::new(),
         }
     }
@@ -226,6 +231,9 @@ impl SweepSpec {
         }
         if self.reference_trials == 0 {
             return Err("reference_trials must be positive".into());
+        }
+        if self.jobs == Some(0) {
+            return Err("jobs must be positive when set".into());
         }
         Ok(())
     }
@@ -407,6 +415,10 @@ impl Deserialize for SweepSpec {
             estimators: Vec::deserialize(v.require("estimators")?)?,
             reference_trials: num_field(v, "reference_trials", defaults.reference_trials)?,
             reference_sampling: sampling,
+            jobs: match v.get("jobs") {
+                None => None,
+                Some(j) => Some(usize::deserialize(j)?),
+            },
             dags: Vec::deserialize(v.require("dags")?)?,
         })
     }
@@ -414,7 +426,7 @@ impl Deserialize for SweepSpec {
 
 impl Serialize for SweepSpec {
     fn serialize(&self) -> Value {
-        Value::obj([
+        let mut pairs = vec![
             ("name", self.name.serialize()),
             ("seed", self.seed.serialize()),
             ("pfails", self.pfails.serialize()),
@@ -432,7 +444,11 @@ impl Serialize for SweepSpec {
                 ),
             ),
             ("dags", self.dags.serialize()),
-        ])
+        ];
+        if let Some(jobs) = self.jobs {
+            pairs.push(("jobs", jobs.serialize()));
+        }
+        Value::obj(pairs)
     }
 }
 
@@ -692,6 +708,23 @@ seed = 7
         )
         .unwrap_err();
         assert!(err.contains("unknown DAG kind"), "{err}");
+    }
+
+    #[test]
+    fn jobs_round_trip_and_validation() {
+        let mut spec = SweepSpec::from_str_auto(SAMPLE).unwrap();
+        assert_eq!(spec.jobs, None, "jobs defaults to uncapped");
+        spec.jobs = Some(4);
+        spec.validate().unwrap();
+        let back = SweepSpec::from_str_auto(&serde::json::to_string(&spec)).unwrap();
+        assert_eq!(back.jobs, Some(4));
+        spec.jobs = Some(0);
+        assert!(spec.validate().is_err(), "jobs = 0 is rejected");
+        let toml = SweepSpec::from_str_auto(
+            "jobs = 2\nestimators = [\"first-order\"]\npfails = [0.1]\n[[dags]]\nkind = \"fork-join\"",
+        )
+        .unwrap();
+        assert_eq!(toml.jobs, Some(2));
     }
 
     #[test]

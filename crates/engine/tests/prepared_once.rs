@@ -1,0 +1,72 @@
+//! The sweep engine must build, freeze, and hash each DAG source
+//! exactly once per campaign, no matter how many failure models and
+//! estimators fan out over it. The hook is the process-global
+//! [`stochdag_dag::prepared_dag_build_count`] counter, incremented by
+//! every `PreparedDag` construction — which is why this file holds a
+//! single `#[test]`: a second test in this binary would race the
+//! counter.
+
+use stochdag_engine::{
+    resume_report, run_sweep, EstimatorRegistry, ResultCache, ResultSink, SweepSpec, VecSink,
+};
+
+const SPEC: &str = r#"
+name = "prepared-once"
+seed = 7
+pfails = [0.01, 0.001]
+lambdas = [0.05]
+estimators = ["first-order", "sculli", "spelde:4", "mc:400"]
+reference_trials = 800
+[[dags]]
+kind = "cholesky"
+ks = [2, 3]
+[[dags]]
+kind = "fork-join"
+width = 3
+depth = 2
+"#;
+
+#[test]
+fn campaign_builds_each_dag_source_exactly_once() {
+    let spec = SweepSpec::from_str_auto(SPEC).unwrap();
+    let registry = EstimatorRegistry::standard();
+    let cache = ResultCache::in_memory();
+
+    // 3 instances × 3 models × 4 estimators = 36 cells, 9 references.
+    let before = stochdag_dag::prepared_dag_build_count();
+    let mut sink = VecSink::default();
+    let outcome = {
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut sink];
+        run_sweep(&spec, &registry, &cache, &mut sinks).unwrap()
+    };
+    let after = stochdag_dag::prepared_dag_build_count();
+    assert_eq!(outcome.cells, 36);
+    assert_eq!(outcome.references, 9);
+    assert_eq!(
+        after - before,
+        3,
+        "one PreparedDag per DAG source, not per cell"
+    );
+
+    // A fully-cached re-run still prepares once per source (the
+    // preparation is per-campaign state), and nothing more.
+    let before = after;
+    let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+    let again = run_sweep(&spec, &registry, &cache, &mut sinks).unwrap();
+    assert!(again.fully_cached());
+    assert_eq!(
+        stochdag_dag::prepared_dag_build_count() - before,
+        3,
+        "cached campaign still prepares each source exactly once"
+    );
+
+    // resume-report hashes directly and must not build preparations.
+    let before = stochdag_dag::prepared_dag_build_count();
+    let report = resume_report(&spec, &registry, &cache).unwrap();
+    assert!(report.fully_cached());
+    assert_eq!(
+        stochdag_dag::prepared_dag_build_count(),
+        before,
+        "resume-report computes no preparations"
+    );
+}

@@ -11,6 +11,11 @@
 //! are combined sequentially in chunk order, so `collect` and `reduce`
 //! are deterministic regardless of thread interleaving — the property
 //! the Monte-Carlo and scheduling statistics rely on.
+//!
+//! [`ThreadPoolBuilder`] mirrors rayon's global pool configuration as a
+//! process-wide worker cap (the `--jobs` knob of the sweep engine);
+//! because results are order-deterministic, changing the cap never
+//! changes any computed value.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -21,12 +26,79 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// Number of worker threads for a job of `len` items.
-fn worker_count(len: usize) -> usize {
+/// Global worker-count cap set by [`ThreadPoolBuilder::build_global`];
+/// `0` means "no cap" (use all hardware parallelism).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Error type of [`ThreadPoolBuilder::build_global`], mirroring
+/// `rayon::ThreadPoolBuildError`. The shim never actually fails, but
+/// callers written against real rayon expect a `Result`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("global thread pool configuration failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global worker configuration, mirroring
+/// `rayon::ThreadPoolBuilder`.
+///
+/// Divergence from upstream: the shim has no persistent pool, only a
+/// worker cap consulted when each parallel job spawns its scoped
+/// threads, so repeated [`ThreadPoolBuilder::build_global`] calls
+/// *reconfigure* the cap instead of erroring. The sweep engine relies
+/// on that to apply a per-campaign `--jobs` knob.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Builder with the default configuration (no cap).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Cap the number of worker threads; `0` restores "use all cores".
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the configuration globally.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        MAX_THREADS.store(self.num_threads, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// The raw global worker cap (`0` = uncapped) — a shim extension with
+/// no upstream rayon equivalent, letting callers that reconfigure the
+/// cap temporarily (the sweep engine's per-campaign `--jobs`) save and
+/// restore the previous value.
+pub fn current_thread_cap() -> usize {
+    MAX_THREADS.load(Ordering::SeqCst)
+}
+
+/// Number of threads a saturating parallel job would use right now,
+/// mirroring `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    hw.min(len.max(1))
+    match MAX_THREADS.load(Ordering::SeqCst) {
+        0 => hw,
+        cap => hw.min(cap),
+    }
+}
+
+/// Number of worker threads for a job of `len` items.
+fn worker_count(len: usize) -> usize {
+    current_num_threads().min(len.max(1))
 }
 
 /// Run `produce(chunk_range)` over dynamic chunks of `0..len` on a
@@ -392,5 +464,24 @@ mod tests {
     fn empty_input() {
         let v: Vec<u64> = (0..0u64).into_par_iter().map(|i| i).collect();
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn global_thread_cap_applies_and_clears() {
+        // Runs alongside other tests in this binary; the cap only
+        // changes how many workers spawn, never the (deterministic)
+        // results, so briefly capping is safe.
+        crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), 1);
+        let v: Vec<u64> = (0..100u64).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v[99], 100);
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(crate::current_num_threads() >= 1);
     }
 }

@@ -50,20 +50,21 @@ pub mod prelude {
         first_order_expected_makespan_fast, first_order_expected_makespan_naive,
         second_order_expected_makespan, CorLcaEstimator, CovarianceNormalEstimator, DodinEstimator,
         Estimate, Estimator, ExactEstimator, FailureModel, FirstOrderEstimator, FirstOrderResult,
-        MonteCarloEstimator, MonteCarloResult, SamplingModel, SculliEstimator,
+        MonteCarloEstimator, MonteCarloResult, PreparedEstimator, SamplingModel, SculliEstimator,
         SecondOrderEstimator, SpeldeEstimator,
     };
     pub use stochdag_dag::{
         dot_string, longest_path_length, structural_hash, topological_layers, topological_order,
-        Dag, DagBuilder, LevelInfo, LongestPaths, NodeId,
+        Dag, DagBuilder, LevelInfo, LongestPaths, NodeId, PreparedDag,
     };
     pub use stochdag_dist::{
         clark_max_moments, failure_probability, geometric_truncated,
-        lambda_for_failure_probability, two_state, DiscreteDist, Normal, TaskDurationModel,
+        lambda_for_failure_probability, two_state, DiscreteDist, DurationTable, Normal,
+        TaskDurationModel,
     };
     pub use stochdag_engine::{
-        run_sweep, CsvSink, EstimatorRegistry, JsonlSink, ResultCache, ResultSink, SweepOutcome,
-        SweepSpec, VecSink,
+        resume_report, run_sweep, CsvSink, EstimatorRegistry, JsonlSink, ResultCache, ResultSink,
+        ResumeReport, SweepOutcome, SweepSpec, VecSink,
     };
     pub use stochdag_sched::{
         compare_policies, heft_schedule, list_schedule, simulate_execution, Priority, Schedule,

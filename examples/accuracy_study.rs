@@ -26,6 +26,7 @@ fn main() {
         estimators: vec!["first-order".into()],
         reference_trials: 400_000,
         reference_sampling: SamplingModel::TwoState,
+        jobs: None,
         dags: vec![
             DagSpec::Layered {
                 layers: vec![6],

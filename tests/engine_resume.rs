@@ -22,6 +22,7 @@ fn campaign() -> SweepSpec {
         estimators: vec!["first-order".into(), "corlca".into(), "mc:800".into()],
         reference_trials: 2_000,
         reference_sampling: stochdag::core::SamplingModel::Geometric,
+        jobs: None,
         dags: vec![
             DagSpec::Factorization {
                 class: FactorizationClass::Cholesky,
