@@ -1,0 +1,109 @@
+//! Distributed-executor primitives: the per-cell cost of deterministic
+//! shard assignment, the wire-protocol encode/decode round trip, and a
+//! full in-process shard execution vs the single-process runner on the
+//! same campaign (both cold — the shard path's overhead is the
+//! partition scan plus event emission).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stochdag::prelude::*;
+use stochdag_engine::{
+    decode_event, encode_event, run_shard, shard_of, DagSpec, SweepRow, WorkerEvent,
+};
+
+fn campaign() -> SweepSpec {
+    SweepSpec {
+        name: "bench-dist".into(),
+        seed: 1,
+        pfails: vec![0.01, 0.001],
+        lambdas: vec![],
+        estimators: vec!["first-order".into(), "sculli".into(), "corlca".into()],
+        reference_trials: 5_000,
+        reference_sampling: stochdag::core::SamplingModel::Geometric,
+        jobs: None,
+        dags: vec![DagSpec::Factorization {
+            class: FactorizationClass::Cholesky,
+            ks: vec![4, 6, 8],
+        }],
+    }
+}
+
+fn bench_shard_assignment(c: &mut Criterion) {
+    let keys: Vec<String> = (0..4096).map(|i| format!("{i:032x}")).collect();
+    let mut group = c.benchmark_group("shard_assignment");
+    group.bench_function("shard_of_4096_keys_mod8", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in &keys {
+                acc += shard_of(black_box(k), 8);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let event = WorkerEvent::Cell {
+        index: 1234,
+        cached: false,
+        row: SweepRow {
+            dag: "cholesky:k=8".into(),
+            tasks: 120,
+            edges: 354,
+            model: "pfail=0.01".into(),
+            lambda: 0.00213,
+            estimator: "first-order".into(),
+            value: 412.75,
+            reference: 411.9,
+            reference_std_error: 0.11,
+            rel_error: 0.00206,
+            elapsed_s: 0.0031,
+            seed: 991,
+        },
+    };
+    let line = encode_event(&event);
+    let mut group = c.benchmark_group("shard_protocol");
+    group.bench_function("encode_cell_event", |b| {
+        b.iter(|| encode_event(black_box(&event)))
+    });
+    group.bench_function("decode_cell_event", |b| {
+        b.iter(|| decode_event(black_box(&line)).expect("round trip"))
+    });
+    group.finish();
+}
+
+fn bench_shard_vs_single(c: &mut Criterion) {
+    let spec = campaign();
+    let registry = EstimatorRegistry::standard();
+    let mut group = c.benchmark_group("sweep_18cells_cold");
+    group.sample_size(3);
+    group.bench_function("single_process", |b| {
+        b.iter(|| {
+            let cache = ResultCache::in_memory();
+            let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+            run_sweep(&spec, &registry, &cache, &mut sinks)
+                .expect("sweep runs")
+                .cells
+        })
+    });
+    group.bench_function("one_shard_of_one", |b| {
+        b.iter(|| {
+            let cache = ResultCache::in_memory();
+            run_shard(&spec, &registry, &cache, 0, 1, &|ev| {
+                black_box(ev);
+                Ok(())
+            })
+            .expect("shard runs")
+            .cells
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shard_assignment,
+    bench_protocol,
+    bench_shard_vs_single
+);
+criterion_main!(benches);

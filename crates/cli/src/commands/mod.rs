@@ -8,6 +8,7 @@ pub mod info;
 pub mod sched;
 pub mod second_order;
 pub mod sweep;
+pub mod sweep_worker;
 pub mod table1;
 
 use stochdag::prelude::*;

@@ -10,12 +10,24 @@
 //! any setting), `--resume-report` diffs the spec against the cache
 //! without running anything, and `--cache-max-bytes B` LRU-prunes the
 //! on-disk cache after the campaign.
+//!
+//! `--workers N` distributes the campaign over N `sweep-worker`
+//! processes sharing the on-disk cache: cells are partitioned
+//! deterministically by cache key, workers stream per-cell events back
+//! over their stdout pipes, and this coordinator merges the streams
+//! into the same byte-identical CSV/JSONL a single-process run writes
+//! — rendering live progress/ETA on stderr (`--progress
+//! none|plain|live`).
 
 use crate::args::Options;
 use crate::report::{fmt_duration, Table};
-use std::path::PathBuf;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
 use stochdag::prelude::*;
-use stochdag_engine::{resume_report, DagSpec};
+use stochdag_engine::{
+    coordinate, resume_report, sharded_resume_report, DagSpec, ProgressMode, ProgressReporter,
+};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let opts = Options::parse(argv)?;
@@ -29,24 +41,40 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     for est in &spec.estimators {
         registry.canonical_id(est)?;
     }
+    let cache_dir: PathBuf = opts.get("cache").unwrap_or(".stochdag-cache").into();
     let cache = if opts.flag("no-cache") {
         ResultCache::in_memory()
     } else {
-        ResultCache::on_disk(opts.get("cache").unwrap_or(".stochdag-cache"))
+        ResultCache::on_disk(&cache_dir)
     };
-    // Parse the GC budget before any work: a malformed value must fail
-    // up front, not after an hours-long campaign.
+    // Parse every knob before any work: a malformed value must fail up
+    // front, not after an hours-long campaign.
     let cache_budget: Option<u64> = opts
         .get("cache-max-bytes")
         .map(str::parse)
         .transpose()
         .map_err(|_| "bad --cache-max-bytes".to_string())?;
+    let workers: Option<usize> = opts
+        .get("workers")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| "bad --workers".to_string())?;
+    if workers == Some(0) {
+        return Err("--workers must be positive".into());
+    }
+    let progress = match opts.get("progress") {
+        None => ProgressMode::Plain,
+        Some(mode) => ProgressMode::parse(mode)?,
+    };
+    if workers.is_none() && opts.get("progress").is_some() && progress != ProgressMode::None {
+        eprintln!("note: --progress only renders for distributed runs; pass --workers N");
+    }
 
     if opts.flag("resume-report") {
         if cache_budget.is_some() {
             eprintln!("note: --cache-max-bytes has no effect with --resume-report (nothing runs)");
         }
-        return print_resume_report(&spec, &registry, &cache);
+        return print_resume_report(&spec, &registry, &cache, workers);
     }
 
     let csv_path = out_dir.join(format!("{}.csv", spec.name));
@@ -56,15 +84,29 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         JsonlSink::create(&jsonl_path).map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
 
     eprintln!(
-        "sweep {:?}: {} estimator(s) x {} model(s), reference mc={} trials",
+        "sweep {:?}: {} estimator(s) x {} model(s), reference mc={} trials{}",
         spec.name,
         spec.estimators.len(),
         spec.pfails.len() + spec.lambdas.len(),
-        spec.reference_trials
+        spec.reference_trials,
+        match workers {
+            Some(n) => format!(", distributed over {n} worker(s)"),
+            None => String::new(),
+        }
     );
     let outcome = {
         let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv, &mut jsonl];
-        run_sweep(&spec, &registry, &cache, &mut sinks)?
+        match workers {
+            None => run_sweep(&spec, &registry, &cache, &mut sinks)?,
+            Some(n) => {
+                let shared_cache = if opts.flag("no-cache") {
+                    None
+                } else {
+                    Some(cache_dir.as_path())
+                };
+                run_distributed(&spec, n, progress, shared_cache, &mut sinks)?
+            }
+        }
     };
 
     let mut table = Table::new(&[
@@ -120,14 +162,118 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `sweep --workers N`: spawn N `sweep-worker` processes over the
+/// shared cache, merge their event streams into the sinks, and render
+/// progress on stderr. The merged output is byte-identical to what a
+/// single-process run over the same cache would write.
+fn run_distributed(
+    spec: &SweepSpec,
+    workers: usize,
+    progress: ProgressMode,
+    shared_cache: Option<&Path>,
+    sinks: &mut [&mut dyn ResultSink],
+) -> Result<SweepOutcome, String> {
+    // Hand the (flag-merged) spec to the workers as a temp JSON file —
+    // the workers re-derive the identical cell partition from it.
+    // Without an explicit --jobs, split the machine's cores across the
+    // worker processes (an uncapped worker would build a full-size
+    // thread pool, oversubscribing the host N-fold); with --jobs J,
+    // the cap is per worker. Either way results are identical — the
+    // thread count cannot change any value.
+    let mut worker_spec = spec.clone();
+    if worker_spec.jobs.is_none() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        worker_spec.jobs = Some((cores / workers).max(1));
+    }
+    // Named by pid only: spec.name is user-controlled and may contain
+    // path separators (legal for output files, which create parent
+    // dirs), and one coordinator process runs one campaign at a time.
+    let spec_path = std::env::temp_dir().join(format!("stochdag-spec-{}.json", std::process::id()));
+    std::fs::write(&spec_path, serde::json::to_string(&worker_spec))
+        .map_err(|e| format!("writing worker spec {}: {e}", spec_path.display()))?;
+    let exe = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
+
+    let mut children: Vec<Child> = Vec::with_capacity(workers);
+    for shard in 0..workers {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("sweep-worker")
+            .arg("--spec-json")
+            .arg(&spec_path)
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--of")
+            .arg(workers.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        match shared_cache {
+            Some(dir) => cmd.arg("--cache").arg(dir),
+            None => cmd.arg("--no-cache"),
+        };
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                // Don't leave earlier workers running against a
+                // campaign that will never be merged.
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                let _ = std::fs::remove_file(&spec_path);
+                return Err(format!("spawning sweep worker {shard}: {e}"));
+            }
+        }
+    }
+    let readers: Vec<BufReader<std::process::ChildStdout>> = children
+        .iter_mut()
+        .map(|c| BufReader::new(c.stdout.take().expect("stdout piped")))
+        .collect();
+    let mut reporter = ProgressReporter::new(progress, Box::new(std::io::stderr()));
+    let merged = coordinate(readers, sinks, &mut reporter);
+    // Reap every worker before surfacing the merge result; a non-zero
+    // worker trumps an apparently clean merge.
+    let mut worker_failure = None;
+    for (shard, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                worker_failure.get_or_insert(format!("sweep worker {shard} failed ({status})"));
+            }
+            Err(e) => {
+                worker_failure.get_or_insert(format!("waiting for sweep worker {shard}: {e}"));
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&spec_path);
+    match (merged, worker_failure) {
+        (Err(e), _) => Err(e),
+        (Ok(_), Some(e)) => Err(e),
+        (Ok(mut outcome), None) => {
+            // Worker hellos count a reference scenario once per shard
+            // that needs it; report the deduplicated campaign total so
+            // the summary line means the same thing as a
+            // single-process run's. Every scenario has exactly one
+            // cell per estimator, so the unique scenario count falls
+            // out of the merged cell count.
+            outcome.references = outcome.cells / spec.estimators.len().max(1);
+            Ok(outcome)
+        }
+    }
+}
+
 /// `sweep --resume-report`: diff the spec against the cache and print
-/// hit/miss counts per estimator without running anything.
+/// hit/miss counts per estimator — plus per-shard counts under
+/// `--workers N` — without running anything.
 fn print_resume_report(
     spec: &SweepSpec,
     registry: &EstimatorRegistry,
     cache: &ResultCache,
+    workers: Option<usize>,
 ) -> Result<(), String> {
-    let report = resume_report(spec, registry, cache)?;
+    let report = match workers {
+        None => resume_report(spec, registry, cache)?,
+        Some(n) => sharded_resume_report(spec, registry, cache, n)?,
+    };
     println!(
         "# resume report for {:?}: {} of {} work units cached",
         spec.name,
@@ -148,6 +294,17 @@ fn print_resume_report(
         ]);
     }
     print!("{}", table.to_text());
+    if workers.is_some() {
+        let mut shards = Table::new(&["shard", "cached", "to compute"]);
+        for s in &report.shards {
+            shards.row(vec![
+                format!("{}/{}", s.shard, report.shards.len()),
+                s.hits.to_string(),
+                s.misses.to_string(),
+            ]);
+        }
+        print!("{}", shards.to_text());
+    }
     if report.fully_cached() {
         println!("a run would complete entirely from cache");
     } else {

@@ -1,0 +1,58 @@
+//! `sweep-worker` — the hidden worker half of `sweep --workers N`.
+//!
+//! Spawned by the coordinator, one process per shard. Executes the
+//! cells [`stochdag_engine::shard_of`] assigns to `--shard` out of
+//! `--of`, sharing the coordinator's on-disk result cache, and streams
+//! line-delimited JSON [`stochdag_engine::WorkerEvent`]s on **stdout**
+//! (which therefore stays machine-readable; diagnostics go to stderr).
+//! Not listed in `stochdag help`: the protocol is an internal contract
+//! with the coordinator, not a user interface — though a replayed event
+//! log is valid input to the coordinator's merge, which is what makes
+//! campaigns debuggable post-hoc.
+
+use crate::args::Options;
+use std::io::Write;
+use stochdag::prelude::*;
+use stochdag_engine::{encode_event, run_shard, WorkerEvent};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let opts = Options::parse(argv)?;
+    let spec_path = opts.require("spec-json")?;
+    let shard: usize = opts
+        .require("shard")?
+        .parse()
+        .map_err(|_| "bad --shard".to_string())?;
+    let of: usize = opts
+        .require("of")?
+        .parse()
+        .map_err(|_| "bad --of".to_string())?;
+    let spec = SweepSpec::from_file(spec_path)?;
+    let registry = EstimatorRegistry::standard();
+    let cache = if opts.flag("no-cache") {
+        ResultCache::in_memory()
+    } else {
+        ResultCache::on_disk(opts.get("cache").unwrap_or(".stochdag-cache"))
+    };
+
+    // One event per line, flushed immediately: the coordinator renders
+    // live progress from this stream, so events must not sit in a
+    // buffer until the shard finishes.
+    let emit = |ev: &WorkerEvent| -> Result<(), String> {
+        let mut out = std::io::stdout().lock();
+        writeln!(out, "{}", encode_event(ev))
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("writing event to coordinator: {e}"))
+    };
+    match run_shard(&spec, &registry, &cache, shard, of, &emit) {
+        Ok(_) => Ok(()),
+        Err(message) => {
+            // Best effort: tell the coordinator why before exiting
+            // non-zero (if the pipe is gone, the exit status still
+            // carries the failure).
+            let _ = emit(&WorkerEvent::Error {
+                message: message.clone(),
+            });
+            Err(message)
+        }
+    }
+}

@@ -33,6 +33,10 @@ fn run(argv: &[String]) -> Result<(), String> {
         "analyze" => commands::analyze::run(rest),
         "all-figures" => commands::figure::run_all(rest),
         "sweep" => commands::sweep::run(rest),
+        // Internal worker half of `sweep --workers N` (hidden from
+        // help): executes one shard, speaks the line-delimited JSON
+        // protocol on stdout.
+        "sweep-worker" => commands::sweep_worker::run(rest),
         "table1" => commands::table1::run(rest),
         "dot" => commands::dot::run(rest),
         "sched" => commands::sched::run(rest),
@@ -70,14 +74,19 @@ COMMANDS:
                    [--trials 100000] [--seed 0] [--name sweep] [--jobs N]
                    [--out results] [--cache .stochdag-cache] [--no-cache]
                    [--resume-report] [--cache-max-bytes B]
+                   [--workers N] [--progress none|plain|live]
                  caches every cell content-addressed: re-runs and resumed
                  campaigns skip finished cells and emit identical CSV/JSONL.
                  each DAG source is built/frozen/hashed once per campaign
                  and shared across all models x estimators. --jobs caps
                  worker threads (results identical at any setting);
                  --resume-report prints per-estimator cache hit/miss
-                 counts without running; --cache-max-bytes LRU-prunes
-                 the on-disk cache after the campaign
+                 counts without running (per-shard with --workers);
+                 --cache-max-bytes LRU-prunes the on-disk cache after
+                 the campaign. --workers N distributes cells over N
+                 processes sharing the cache; merged CSV/JSONL is
+                 byte-identical to a single-process run, with live
+                 progress/ETA on stderr (--progress)
   table1         LU k=20 error + wall-clock comparison (paper Table I),
                  executed as an engine sweep (cache-aware)
                    [--k 20] [--trials 300000] [--seed 0] [--fast]

@@ -1,0 +1,232 @@
+//! End-to-end tests of distributed sweeps: the `sweep --workers N`
+//! coordinator, the hidden `sweep-worker` protocol, and the acceptance
+//! guarantee that a distributed campaign's merged CSV/JSONL is
+//! byte-identical to the single-process path over the same cache.
+
+use std::path::PathBuf;
+use std::process::Command;
+use stochdag_engine::{decode_event, WorkerEvent};
+
+fn stochdag(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stochdag"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The 24-cell acceptance campaign (2 DAG kinds × 3 sizes × 2
+/// estimators × 2 failure probabilities) — the same file CI's
+/// distributed-sweep-smoke job runs, so editing the example cannot
+/// silently diverge CI from the byte-identity guarantee tested here.
+const CAMPAIGN: &str = include_str!("../../../examples/ci_smoke_campaign.toml");
+
+fn scratch(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("stochdag_cli_dist_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("campaign.toml");
+    std::fs::write(&spec, CAMPAIGN).unwrap();
+    (dir, spec)
+}
+
+#[test]
+fn distributed_output_is_byte_identical_to_single_process() {
+    // Acceptance criterion: for N ∈ {1, 2, 4}, a fresh distributed run
+    // followed by a single-process run over the same cache produces
+    // byte-identical CSV and JSONL (the single-process run is served
+    // entirely from what the workers computed and stored).
+    for n in ["1", "2", "4"] {
+        let (dir, spec) = scratch(&format!("accept{n}"));
+        let cache = dir.join("cache");
+        let dist_out = dir.join("dist");
+        let single_out = dir.join("single");
+
+        let (ok, stdout, stderr) = stochdag(&[
+            "sweep",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--workers",
+            n,
+            "--progress",
+            "plain",
+            "--out",
+            dist_out.to_str().unwrap(),
+            "--cache",
+            cache.to_str().unwrap(),
+        ]);
+        assert!(ok, "workers={n}: {stdout}\n{stderr}");
+        assert!(stdout.contains("24 cells"), "{stdout}");
+        assert!(
+            stderr.contains("cells 24/24") && stderr.contains("eta done"),
+            "progress on stderr: {stderr}"
+        );
+
+        let (ok, stdout, stderr) = stochdag(&[
+            "sweep",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--out",
+            single_out.to_str().unwrap(),
+            "--cache",
+            cache.to_str().unwrap(),
+        ]);
+        assert!(ok, "{stdout}\n{stderr}");
+        assert!(
+            stdout.contains("(fully cached)"),
+            "workers={n} must have computed every work unit: {stdout}"
+        );
+        for ext in ["csv", "jsonl"] {
+            assert_eq!(
+                std::fs::read(dist_out.join(format!("ci-smoke.{ext}"))).unwrap(),
+                std::fs::read(single_out.join(format!("ci-smoke.{ext}"))).unwrap(),
+                "workers={n}: merged {ext} differs from single-process {ext}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn sweep_worker_speaks_the_shard_protocol() {
+    let (dir, spec_toml) = scratch("proto");
+    // Workers take the spec as JSON (what the coordinator hands them);
+    // TOML also parses, but exercise the real handshake format.
+    let spec = stochdag_engine::SweepSpec::from_file(spec_toml.to_str().unwrap()).unwrap();
+    let spec_json = dir.join("campaign.json");
+    std::fs::write(&spec_json, serde::json::to_string(&spec)).unwrap();
+    let cache = dir.join("cache");
+
+    let mut all_cells = std::collections::BTreeSet::new();
+    let mut total = 0usize;
+    for shard in ["0", "1"] {
+        let (ok, stdout, stderr) = stochdag(&[
+            "sweep-worker",
+            "--spec-json",
+            spec_json.to_str().unwrap(),
+            "--shard",
+            shard,
+            "--of",
+            "2",
+            "--cache",
+            cache.to_str().unwrap(),
+        ]);
+        assert!(ok, "{stderr}");
+        let events: Vec<WorkerEvent> = stdout
+            .lines()
+            .map(|l| decode_event(l).unwrap_or_else(|e| panic!("{e}")))
+            .collect();
+        match events.first() {
+            Some(WorkerEvent::Hello {
+                shard_count, cells, ..
+            }) => {
+                assert_eq!(*shard_count, 2);
+                total += cells;
+            }
+            other => panic!("expected hello first, got {other:?}"),
+        }
+        assert!(
+            matches!(events.last(), Some(WorkerEvent::Done { .. })),
+            "done last"
+        );
+        for ev in &events {
+            if let WorkerEvent::Cell { index, row, .. } = ev {
+                assert!(all_cells.insert(*index), "cell {index} on both shards");
+                assert!(row.value > 0.0 && row.rel_error.abs() < 0.5);
+            }
+        }
+    }
+    assert_eq!(total, 24, "hello totals cover the campaign");
+    assert_eq!(all_cells.len(), 24, "shards partition the 24 cells");
+
+    // A worker asked for an impossible shard fails cleanly, and its
+    // final stdout line is a protocol `error` event.
+    let (ok, stdout, stderr) = stochdag(&[
+        "sweep-worker",
+        "--spec-json",
+        spec_json.to_str().unwrap(),
+        "--shard",
+        "5",
+        "--of",
+        "2",
+        "--no-cache",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("out of range"), "{stderr}");
+    assert!(
+        matches!(
+            decode_event(stdout.lines().last().unwrap()),
+            Ok(WorkerEvent::Error { .. })
+        ),
+        "{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_report_shows_per_shard_coverage() {
+    let (dir, spec) = scratch("resume");
+    let cache = dir.join("cache");
+    let base = [
+        "sweep",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+    ];
+
+    // Run the campaign once (single process), then ask how the cached
+    // cells would split over 2 workers.
+    let out = dir.join("out");
+    let mut run_args = base.to_vec();
+    run_args.extend(["--out", out.to_str().unwrap()]);
+    let (ok, stdout, stderr) = stochdag(&run_args);
+    assert!(ok, "{stdout}\n{stderr}");
+
+    let mut report_args = base.to_vec();
+    report_args.extend(["--resume-report", "--workers", "2"]);
+    let (ok, stdout, _) = stochdag(&report_args);
+    assert!(ok, "{stdout}");
+    // 24 cells + 12 reference scenarios.
+    assert!(stdout.contains("36 of 36 work units cached"), "{stdout}");
+    assert!(stdout.contains("shard"), "{stdout}");
+    assert!(stdout.contains("0/2"), "{stdout}");
+    assert!(stdout.contains("1/2"), "{stdout}");
+    assert!(stdout.contains("entirely from cache"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_worker_counts_fail_before_any_work() {
+    let (dir, spec) = scratch("badn");
+    let (ok, _, stderr) = stochdag(&[
+        "sweep",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--workers",
+        "0",
+        "--no-cache",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--workers"), "{stderr}");
+
+    let (ok, _, stderr) = stochdag(&[
+        "sweep",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--workers",
+        "two",
+        "--no-cache",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("bad --workers"), "{stderr}");
+    assert!(
+        !dir.join("results").exists(),
+        "no output files before validation"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,7 +9,10 @@
 //!
 //! Two tiers: an in-memory map (always on) and an optional on-disk
 //! layer (`<dir>/<k[0..2]>/<key>.json`, written atomically via a
-//! temp-file rename) that persists across processes.
+//! per-process-unique temp-file rename) that persists across processes
+//! — and is safe to **share between concurrent worker processes**:
+//! racing writers of the same key each rename a complete payload into
+//! place, so readers never observe a torn entry (see `sweep --workers`).
 //!
 //! The on-disk tier supports LRU garbage collection
 //! ([`ResultCache::gc_disk`]): every disk hit refreshes the entry's
@@ -27,6 +30,11 @@ use stochdag_core::Estimate;
 
 /// Bump when cached payload semantics change (invalidates old entries).
 const CACHE_VERSION: u64 = 1;
+
+/// Temp files younger than this survive [`ResultCache::gc_disk`]: they
+/// may be a concurrent writer's in-flight payload (see `store`), not an
+/// interrupted write's leftover.
+const TMP_GRACE: std::time::Duration = std::time::Duration::from_secs(60);
 
 /// Compute the content key of one estimation cell.
 pub fn cell_key(dag_hash: u128, lambda: f64, estimator_id: &str, seed: u64) -> String {
@@ -124,7 +132,14 @@ impl ResultCache {
     }
 
     /// Store a result under a key (memory + disk when configured).
+    ///
+    /// Concurrent-writer safe: the payload is written to a temp name
+    /// unique per (process, store call) and atomically renamed into
+    /// place, so two worker processes sharing the directory can race on
+    /// the same key without a reader ever observing a torn file — the
+    /// rename is last-writer-wins over complete payloads only.
     pub fn store(&self, key: &str, est: &Estimate) {
+        static STORE_SEQ: AtomicUsize = AtomicUsize::new(0);
         self.mem
             .lock()
             .expect("cache poisoned")
@@ -135,7 +150,11 @@ impl ResultCache {
                 eprintln!("warning: cannot create cache dir {parent:?}: {e}");
                 return;
             }
-            let tmp = path.with_extension("json.tmp");
+            let tmp = path.with_extension(format!(
+                "json.tmp.{}.{}",
+                std::process::id(),
+                STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
             let payload = serde::json::to_string(est);
             if let Err(e) =
                 std::fs::write(&tmp, &payload).and_then(|()| std::fs::rename(&tmp, &path))
@@ -195,10 +214,27 @@ impl ResultCache {
             for file in std::fs::read_dir(&shard)? {
                 let path = file?.path();
                 let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-                if name.ends_with(".json.tmp") {
-                    // Leftover of an interrupted atomic write: never a
-                    // valid entry, always reclaim.
-                    let len = path.metadata().map(|m| m.len()).unwrap_or(0);
+                if name.contains(".json.tmp") {
+                    // Temp file of an atomic write (`<key>.json.tmp.
+                    // <pid>.<seq>`) — either an interrupted write's
+                    // leftover (reclaim) or a concurrent writer's
+                    // in-flight payload about to be renamed (leave it:
+                    // deleting it would lose that writer's entry). The
+                    // two are distinguished by age; a live write-then-
+                    // rename completes in well under the grace period.
+                    // A future mtime (clock stepped backward) makes
+                    // elapsed() fail — treat that as fresh: deleting a
+                    // live writer's tmp loses its entry, keeping a
+                    // stale one only wastes bytes until the next GC.
+                    let meta = path.metadata().ok();
+                    let fresh = meta
+                        .as_ref()
+                        .and_then(|m| m.modified().ok())
+                        .is_some_and(|t| t.elapsed().map_or(true, |age| age < TMP_GRACE));
+                    if fresh {
+                        continue;
+                    }
+                    let len = meta.map(|m| m.len()).unwrap_or(0);
                     if remove_if_present(&path)? {
                         stats.evicted_files += 1;
                         stats.evicted_bytes += len;
@@ -417,16 +453,107 @@ mod tests {
         let c = ResultCache::on_disk(&dir);
         let key = cell_key(5, 0.2, "corlca", 1);
         c.store(&key, &sample(3.0));
-        let tmp = dir.join(&key[..2]).join(format!("{key}.json.tmp"));
+        let tmp = dir.join(&key[..2]).join(format!("{key}.json.tmp.999.0"));
         std::fs::write(&tmp, "partial").unwrap();
+        // A fresh tmp could be a concurrent writer's in-flight payload:
+        // GC must leave it alone.
         let stats = c.gc_disk(u64::MAX).unwrap();
-        assert_eq!(stats.evicted_files, 1, "only the stray tmp is removed");
+        assert_eq!(stats.evicted_files, 0, "in-flight tmp survives");
+        assert!(tmp.exists());
+        // A future mtime (clock stepped backward since the write) must
+        // also read as in-flight, not stale.
+        let future = std::time::SystemTime::now() + Duration::from_secs(300);
+        std::fs::File::options()
+            .append(true)
+            .open(&tmp)
+            .unwrap()
+            .set_times(FileTimes::new().set_modified(future))
+            .unwrap();
+        let stats = c.gc_disk(u64::MAX).unwrap();
+        assert_eq!(stats.evicted_files, 0, "future-dated tmp survives");
+        assert!(tmp.exists());
+        // Once older than the grace period it is an interrupted write's
+        // leftover and gets reclaimed.
+        let stale = std::time::SystemTime::now() - Duration::from_secs(300);
+        std::fs::File::options()
+            .append(true)
+            .open(&tmp)
+            .unwrap()
+            .set_times(FileTimes::new().set_modified(stale))
+            .unwrap();
+        let stats = c.gc_disk(u64::MAX).unwrap();
+        assert_eq!(stats.evicted_files, 1, "only the stale tmp is removed");
         assert!(!tmp.exists());
         assert!(on_disk_file(&dir, &key));
         assert_eq!(
             ResultCache::in_memory().gc_disk(0).unwrap(),
             CacheGcStats::default()
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_reads() {
+        // Two ResultCache instances over one directory model two worker
+        // processes sharing a disk tier (each process has its own
+        // memory tier). Writers hammer an overlapping key set while a
+        // reader polls with fresh instances (cold memory tier, so every
+        // hit is a disk read) and a GC pass prunes mid-campaign. A read
+        // must only ever observe a complete payload or nothing.
+        let dir = tmp_dir("concurrent");
+        let keys: Vec<String> = (0..24u64)
+            .map(|i| cell_key(i as u128, 0.1, "first-order", i))
+            .collect();
+        let expected = |i: usize| 100.0 + i as f64;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let dir = dir.clone();
+                let keys = keys.clone();
+                scope.spawn(move || {
+                    let c = ResultCache::on_disk(&dir);
+                    for round in 0..6 {
+                        for (i, k) in keys.iter().enumerate() {
+                            c.store(k, &sample(expected(i)));
+                            if round % 2 == 0 {
+                                c.lookup(k);
+                            }
+                        }
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..40 {
+                    let fresh = ResultCache::on_disk(&dir);
+                    for (i, k) in keys.iter().enumerate() {
+                        if let Some(est) = fresh.lookup(k) {
+                            assert_eq!(est.value, expected(i), "torn or mixed payload for {k}");
+                        }
+                    }
+                }
+            });
+            scope.spawn(|| {
+                // Mid-campaign GC with a byte budget must tolerate
+                // concurrent writers (files appearing/vanishing) and
+                // must never surface an error.
+                let c = ResultCache::on_disk(&dir);
+                for _ in 0..10 {
+                    c.gc_disk(4096).expect("gc during writes");
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // After the dust settles, every key must be durable and intact.
+        let settled = ResultCache::on_disk(&dir);
+        for (i, k) in keys.iter().enumerate() {
+            settled.store(k, &sample(expected(i)));
+        }
+        let fresh = ResultCache::on_disk(&dir);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(fresh.lookup(k).expect("durable entry").value, expected(i));
+        }
+        // No stray temp files survive a final GC pass.
+        let stats = fresh.gc_disk(u64::MAX).unwrap();
+        assert_eq!(stats.kept_files, keys.len());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -54,17 +54,39 @@
 //! assert_eq!(again.rows, outcome.rows);
 //! ```
 
+//!
+//! ## Distributed campaigns
+//!
+//! Cells can also be executed by **multiple worker processes** sharing
+//! one on-disk cache: [`shard_of`] deterministically partitions the
+//! cell list by cache key, [`run_shard`] executes one shard and streams
+//! [`WorkerEvent`]s (line-delimited JSON), and [`coordinate`] merges
+//! the event streams back into ordered sink output that is
+//! byte-identical to a single-process run over the same cache — with
+//! live progress/ETA rendered by a [`ProgressReporter`]. See the
+//! [`shard`](crate::shard_of) and [`protocol`](crate::WorkerEvent)
+//! docs; the `stochdag sweep --workers N` CLI drives the whole loop.
+
 mod cache;
 mod keys;
+mod progress;
+mod protocol;
 mod registry;
 mod runner;
+mod shard;
 mod sink;
 mod spec;
 
 pub use cache::{cell_key, CacheGcStats, ResultCache};
 pub use keys::StableHasher;
+pub use progress::{ProgressMode, ProgressReporter};
+pub use protocol::{decode_event, encode_event, WorkerEvent};
 pub use registry::{BuildContext, EstimatorRegistry};
-pub use runner::{resume_report, run_sweep, ResumeEstimatorReport, ResumeReport, SweepOutcome};
+pub use runner::{
+    resume_report, run_sweep, sharded_resume_report, ResumeEstimatorReport, ResumeReport,
+    ShardCoverage, SweepOutcome,
+};
+pub use shard::{coordinate, run_shard, shard_of, ShardOutcome};
 pub use sink::{
     summarize, CsvSink, JsonlSink, Reorderer, ResultSink, SummaryRow, SweepRow, VecSink,
 };

@@ -1,0 +1,223 @@
+//! The coordinator ↔ worker wire protocol of distributed sweeps.
+//!
+//! A campaign distributed over N processes needs no network and no
+//! shared memory: the coordinator spawns N `sweep-worker` processes,
+//! each worker executes its shard (see [`crate::shard`]) and streams
+//! **line-delimited JSON events** on stdout, and the coordinator merges
+//! the streams. One event per line, one JSON object per event, tagged
+//! by an `"event"` field — trivially greppable, replayable from a log
+//! file, and append-safe (a crashed worker leaves a readable prefix).
+//!
+//! The event vocabulary is small by design:
+//!
+//! | event | direction | meaning |
+//! |-------|-----------|---------|
+//! | `hello` | worker → coordinator | shard accepted; sizes follow |
+//! | `reference` | worker → coordinator | one MC reference scenario done |
+//! | `cell` | worker → coordinator | one estimator cell done (full row) |
+//! | `done` | worker → coordinator | shard complete; cache totals |
+//! | `error` | worker → coordinator | shard aborted with a message |
+//!
+//! `cell` events carry the complete [`SweepRow`], so the coordinator
+//! can re-sequence rows into deterministic cell order and write the
+//! exact same CSV/JSONL a single-process run would — workers never
+//! touch the sink files.
+
+use crate::sink::SweepRow;
+use serde::{Deserialize, Serialize, Value};
+
+/// One protocol event sent by a sweep worker (see module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerEvent {
+    /// First event of a shard: the worker validated the spec and
+    /// reports how much work it owns.
+    Hello {
+        /// Shard index (0-based).
+        shard: usize,
+        /// Total shard count of the campaign.
+        shard_count: usize,
+        /// Estimator cells assigned to this shard.
+        cells: usize,
+        /// Monte-Carlo reference scenarios this shard needs (scenarios
+        /// touched by at least one assigned cell; scenarios shared with
+        /// other shards are counted by each of them).
+        references: usize,
+    },
+    /// One reference scenario finished (cached or computed).
+    Reference {
+        /// Whether the result came from the shared cache.
+        cached: bool,
+    },
+    /// One estimator cell finished; carries the complete result row.
+    Cell {
+        /// Global deterministic cell index (scenario-major order) —
+        /// the coordinator's re-sequencing key.
+        index: usize,
+        /// Whether the result came from the shared cache.
+        cached: bool,
+        /// The full result row, ready for the sinks.
+        row: SweepRow,
+    },
+    /// Last event of a successful shard.
+    Done {
+        /// Cache hits across this shard's references + cells.
+        hits: usize,
+        /// Cache misses (computed fresh).
+        misses: usize,
+        /// Worker wall-clock seconds for the shard.
+        wall_s: f64,
+    },
+    /// The shard failed; the coordinator aborts the campaign.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl Serialize for WorkerEvent {
+    fn serialize(&self) -> Value {
+        match self {
+            WorkerEvent::Hello {
+                shard,
+                shard_count,
+                cells,
+                references,
+            } => Value::obj([
+                ("event", Value::Str("hello".into())),
+                ("shard", shard.serialize()),
+                ("shard_count", shard_count.serialize()),
+                ("cells", cells.serialize()),
+                ("references", references.serialize()),
+            ]),
+            WorkerEvent::Reference { cached } => Value::obj([
+                ("event", Value::Str("reference".into())),
+                ("cached", cached.serialize()),
+            ]),
+            WorkerEvent::Cell { index, cached, row } => Value::obj([
+                ("event", Value::Str("cell".into())),
+                ("index", index.serialize()),
+                ("cached", cached.serialize()),
+                ("row", row.serialize()),
+            ]),
+            WorkerEvent::Done {
+                hits,
+                misses,
+                wall_s,
+            } => Value::obj([
+                ("event", Value::Str("done".into())),
+                ("hits", hits.serialize()),
+                ("misses", misses.serialize()),
+                ("wall_s", wall_s.serialize()),
+            ]),
+            WorkerEvent::Error { message } => Value::obj([
+                ("event", Value::Str("error".into())),
+                ("message", message.serialize()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for WorkerEvent {
+    fn deserialize(v: &Value) -> Result<WorkerEvent, serde::Error> {
+        let tag = String::deserialize(v.require("event")?)?;
+        match tag.as_str() {
+            "hello" => Ok(WorkerEvent::Hello {
+                shard: usize::deserialize(v.require("shard")?)?,
+                shard_count: usize::deserialize(v.require("shard_count")?)?,
+                cells: usize::deserialize(v.require("cells")?)?,
+                references: usize::deserialize(v.require("references")?)?,
+            }),
+            "reference" => Ok(WorkerEvent::Reference {
+                cached: bool::deserialize(v.require("cached")?)?,
+            }),
+            "cell" => Ok(WorkerEvent::Cell {
+                index: usize::deserialize(v.require("index")?)?,
+                cached: bool::deserialize(v.require("cached")?)?,
+                row: SweepRow::deserialize(v.require("row")?)?,
+            }),
+            "done" => Ok(WorkerEvent::Done {
+                hits: usize::deserialize(v.require("hits")?)?,
+                misses: usize::deserialize(v.require("misses")?)?,
+                wall_s: f64::deserialize(v.require("wall_s")?)?,
+            }),
+            "error" => Ok(WorkerEvent::Error {
+                message: String::deserialize(v.require("message")?)?,
+            }),
+            other => Err(serde::Error::new(format!("unknown worker event {other:?}"))),
+        }
+    }
+}
+
+/// Encode an event as one protocol line (no trailing newline).
+pub fn encode_event(ev: &WorkerEvent) -> String {
+    serde::json::to_string(ev)
+}
+
+/// Decode one protocol line. Empty lines are a protocol violation (the
+/// writer never emits them), reported as an error with the offending
+/// text so a truncated or interleaved stream is diagnosable.
+pub fn decode_event(line: &str) -> Result<WorkerEvent, String> {
+    serde::json::from_str::<WorkerEvent>(line.trim_end())
+        .map_err(|e| format!("bad worker event {line:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row() -> SweepRow {
+        SweepRow {
+            dag: "lu:k=4".into(),
+            tasks: 30,
+            edges: 55,
+            model: "pfail=0.01".into(),
+            lambda: 0.0021,
+            estimator: "first-order".into(),
+            value: 102.5,
+            reference: 101.9,
+            reference_std_error: 0.04,
+            rel_error: 0.0058,
+            elapsed_s: 0.003,
+            seed: 717,
+        }
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        let events = [
+            WorkerEvent::Hello {
+                shard: 1,
+                shard_count: 4,
+                cells: 6,
+                references: 3,
+            },
+            WorkerEvent::Reference { cached: true },
+            WorkerEvent::Cell {
+                index: 17,
+                cached: false,
+                row: sample_row(),
+            },
+            WorkerEvent::Done {
+                hits: 5,
+                misses: 4,
+                wall_s: 1.25,
+            },
+            WorkerEvent::Error {
+                message: "disk on fire".into(),
+            },
+        ];
+        for ev in &events {
+            let line = encode_event(ev);
+            assert!(!line.contains('\n'), "one event per line: {line:?}");
+            assert_eq!(&decode_event(&line).unwrap(), ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_event("").is_err());
+        assert!(decode_event("{not json").is_err());
+        assert!(decode_event("{\"event\":\"warp\"}").is_err());
+        assert!(decode_event("{\"event\":\"cell\",\"index\":0}").is_err());
+    }
+}

@@ -67,7 +67,7 @@ impl SweepOutcome {
 /// Derive the deterministic seed of a work unit from the spec seed and
 /// the unit's content identity. Masked to 53 bits so seeds survive the
 /// JSON number model (JSONL rows, cached payloads) exactly.
-fn derive_seed(spec_seed: u64, dag_hash: u128, lambda: f64, unit: &str) -> u64 {
+pub(crate) fn derive_seed(spec_seed: u64, dag_hash: u128, lambda: f64, unit: &str) -> u64 {
     let mut h = StableHasher::new("stochdag-seed");
     h.write_u64(spec_seed)
         .write_u128(dag_hash)
@@ -77,21 +77,28 @@ fn derive_seed(spec_seed: u64, dag_hash: u128, lambda: f64, unit: &str) -> u64 {
 }
 
 /// A validated, fully-expanded campaign — the shared front half of
-/// [`run_sweep`] and [`resume_report`].
-struct Expansion {
+/// [`run_sweep`], [`resume_report`], and the shard executor.
+pub(crate) struct Expansion {
     /// `(spec string, canonical id)` per estimator, in spec order.
-    estimator_ids: Vec<(String, String)>,
+    pub(crate) estimator_ids: Vec<(String, String)>,
     /// Materialized DAG instances, in spec order.
-    instances: Vec<DagInstance>,
+    pub(crate) instances: Vec<DagInstance>,
     /// Per-instance failure models with their row labels (pfails first,
     /// then lambdas — the pfail calibration depends on the instance's
     /// mean task weight).
-    models: Vec<Vec<(FailureModel, String)>>,
+    pub(crate) models: Vec<Vec<(FailureModel, String)>>,
     /// Canonical id of the Monte-Carlo reference configuration.
-    reference_id: String,
+    pub(crate) reference_id: String,
 }
 
-fn expand(spec: &SweepSpec, registry: &EstimatorRegistry) -> Result<Expansion, String> {
+/// Deterministic global index of a cell: scenario-major, estimator
+/// fastest. The single source of truth shared by the in-process runner
+/// and the shard executor — the coordinator's re-sequencing key.
+pub(crate) fn cell_index(i: usize, m: usize, e: usize, m_count: usize, e_count: usize) -> usize {
+    (i * m_count + m) * e_count + e
+}
+
+pub(crate) fn expand(spec: &SweepSpec, registry: &EstimatorRegistry) -> Result<Expansion, String> {
     spec.validate()?;
     // Resolve estimator ids up front so bad specs fail before any work.
     let estimator_ids: Vec<(String, String)> = spec
@@ -172,6 +179,125 @@ fn expand(spec: &SweepSpec, registry: &EstimatorRegistry) -> Result<Expansion, S
     })
 }
 
+/// RAII guard of the campaign worker-thread cap (`--jobs`).
+///
+/// `jobs = N` caps the worker threads for a campaign. Like real rayon's
+/// global pool, the cap is process-wide while it is in effect; the
+/// previous value is restored when the guard drops (on every exit
+/// path), and capped campaigns are serialized against each other so
+/// concurrent save/restore pairs cannot interleave and strand a stale
+/// cap.
+pub(crate) struct JobsCap {
+    // Declaration order matters: the cap restorer is declared first so
+    // the cap is restored (fields drop in declaration order) before the
+    // serialization lock releases and the next capped campaign may
+    // proceed.
+    _restore: Option<CapRestore>,
+    _serial: Option<std::sync::MutexGuard<'static, ()>>,
+}
+
+struct CapRestore(usize);
+
+impl Drop for CapRestore {
+    fn drop(&mut self) {
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.0)
+            .build_global();
+    }
+}
+
+static CAPPED_CAMPAIGNS: Mutex<()> = Mutex::new(());
+
+/// Apply a worker-thread cap for the lifetime of the returned guard
+/// (`None` = leave the pool uncapped; shared by [`run_sweep`] and the
+/// shard executor).
+pub(crate) fn apply_jobs_cap(jobs: Option<usize>) -> Result<JobsCap, String> {
+    match jobs {
+        None => Ok(JobsCap {
+            _restore: None,
+            _serial: None,
+        }),
+        Some(jobs) => {
+            let serial = CAPPED_CAMPAIGNS
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let previous = rayon::current_thread_cap();
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(jobs)
+                .build_global()
+                .map_err(|e| format!("configuring {jobs} worker(s): {e}"))?;
+            Ok(JobsCap {
+                _restore: Some(CapRestore(previous)),
+                _serial: Some(serial),
+            })
+        }
+    }
+}
+
+/// Cache-first evaluation of one work unit against a lazily-created
+/// group preparation. On a miss, the first computed unit of the group
+/// carries the one-time preparation cost, so the summary's total_time
+/// keeps the paper's "full wall-clock per estimator" semantics.
+/// Returns the estimate and whether it came from the cache.
+///
+/// Single source of truth shared by the in-process runner and the
+/// shard executor: the distributed byte-identity guarantee depends on
+/// both paths computing and caching cells identically.
+pub(crate) fn evaluate_unit(
+    cache: &ResultCache,
+    key: &str,
+    seed: u64,
+    model: &FailureModel,
+    prep: &mut Option<Box<dyn PreparedEstimator>>,
+    prepare: impl FnOnce() -> Box<dyn PreparedEstimator>,
+) -> (Estimate, bool) {
+    if let Some(found) = cache.lookup(key) {
+        return (found, true);
+    }
+    let prep_cost = if prep.is_none() {
+        let t0 = Instant::now();
+        *prep = Some(prepare());
+        t0.elapsed()
+    } else {
+        Duration::ZERO
+    };
+    let p = prep.as_mut().expect("prepared above");
+    p.reseed(seed);
+    let mut est = p.estimate_for(model);
+    est.elapsed += prep_cost;
+    cache.store(key, &est);
+    (est, false)
+}
+
+/// Build the result row of one finished cell — like [`evaluate_unit`],
+/// the single definition both execution paths share.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn make_row(
+    id: &str,
+    pdag: &PreparedDag,
+    label: &str,
+    model: &FailureModel,
+    canonical: &str,
+    est: &Estimate,
+    reference: &Estimate,
+    seed: u64,
+) -> SweepRow {
+    SweepRow {
+        dag: id.to_string(),
+        tasks: pdag.node_count(),
+        edges: pdag.edge_count(),
+        model: label.to_string(),
+        lambda: model.lambda,
+        estimator: canonical.to_string(),
+        value: est.value,
+        reference: reference.value,
+        reference_std_error: reference.std_error.unwrap_or(0.0),
+        rel_error: (est.value - reference.value) / reference.value,
+        elapsed_s: est.elapsed.as_secs_f64(),
+        seed,
+    }
+}
+
 /// Run a sweep, streaming rows into `sinks` (all sinks receive every
 /// row, in order). Returns the collected outcome.
 pub fn run_sweep(
@@ -187,44 +313,7 @@ pub fn run_sweep(
         models,
         reference_id,
     } = expand(spec, registry)?;
-    // `jobs = N` caps the worker threads for this campaign. Like real
-    // rayon's global pool, the cap is process-wide while it is in
-    // effect; the previous value is restored when the guard drops (on
-    // every exit path), and capped campaigns are serialized against
-    // each other so concurrent save/restore pairs cannot interleave
-    // and strand a stale cap.
-    struct CapGuard(usize);
-    impl Drop for CapGuard {
-        fn drop(&mut self) {
-            let _ = rayon::ThreadPoolBuilder::new()
-                .num_threads(self.0)
-                .build_global();
-        }
-    }
-    static CAPPED_CAMPAIGNS: Mutex<()> = Mutex::new(());
-    // Declaration order matters: the serialization guard is declared
-    // first so the cap is restored (reverse drop order) before the
-    // next capped campaign may proceed.
-    let _jobs_serial;
-    let _cap_guard = match spec.jobs {
-        Some(jobs) => {
-            _jobs_serial = Some(
-                CAPPED_CAMPAIGNS
-                    .lock()
-                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
-            );
-            let previous = rayon::current_thread_cap();
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(jobs)
-                .build_global()
-                .map_err(|e| format!("configuring {jobs} worker(s): {e}"))?;
-            Some(CapGuard(previous))
-        }
-        None => {
-            _jobs_serial = None;
-            None
-        }
-    };
+    let _jobs_cap = apply_jobs_cap(spec.jobs)?;
     cache.reset_counters();
 
     // Build, freeze, and hash each DAG source exactly once; every
@@ -252,31 +341,11 @@ pub fn run_sweep(
             for (model, _) in &models[i] {
                 let seed = derive_seed(spec.seed, dag_hash, model.lambda, &reference_id);
                 let key = cell_key(dag_hash, model.lambda, &reference_id, seed);
-                let est = match cache.lookup(&key) {
-                    Some(found) => found,
-                    None => {
-                        // Attribute the one-time preparation cost to the
-                        // scenario that triggered it, so per-row timings
-                        // still account for all compute spent.
-                        let prep_cost = if prep.is_none() {
-                            let t0 = Instant::now();
-                            prep = Some(
-                                MonteCarloEstimator::new(reference_trials)
-                                    .with_sampling(reference_sampling)
-                                    .prepare(pdag),
-                            );
-                            t0.elapsed()
-                        } else {
-                            Duration::ZERO
-                        };
-                        let p = prep.as_mut().expect("prepared above");
-                        p.reseed(seed);
-                        let mut est = p.estimate_for(model);
-                        est.elapsed += prep_cost;
-                        cache.store(&key, &est);
-                        est
-                    }
-                };
+                let (est, _) = evaluate_unit(cache, &key, seed, model, &mut prep, || {
+                    MonteCarloEstimator::new(reference_trials)
+                        .with_sampling(reference_sampling)
+                        .prepare(pdag)
+                });
                 out.push(est);
             }
             out
@@ -329,51 +398,25 @@ pub fn run_sweep(
             for (m, (model, label)) in models[i].iter().enumerate() {
                 // Scenario-major cell order, identical to the
                 // per-cell executor this grouping replaced.
-                let cell = (i * m_count + m) * e_count + e;
+                let cell = cell_index(i, m, e, m_count, e_count);
                 let seed = derive_seed(spec.seed, dag_hash, model.lambda, canonical);
                 let key = cell_key(dag_hash, model.lambda, canonical, seed);
-                let est = match cache.lookup(&key) {
-                    Some(found) => found,
-                    None => {
-                        // The first computed cell of the group carries
-                        // the one-time preparation cost, so the summary's
-                        // total_time keeps the paper's "full wall-clock
-                        // per estimator" semantics.
-                        let prep_cost = if prep.is_none() {
-                            let t0 = Instant::now();
-                            prep = Some(
-                                registry
-                                    .build(spec_str, seed)
-                                    .expect("estimator specs validated before launch")
-                                    .prepare(pdag),
-                            );
-                            t0.elapsed()
-                        } else {
-                            Duration::ZERO
-                        };
-                        let p = prep.as_mut().expect("prepared above");
-                        p.reseed(seed);
-                        let mut est = p.estimate_for(model);
-                        est.elapsed += prep_cost;
-                        cache.store(&key, &est);
-                        est
-                    }
-                };
-                let reference = &references[i][m];
-                let row = SweepRow {
-                    dag: id.clone(),
-                    tasks: pdag.node_count(),
-                    edges: pdag.edge_count(),
-                    model: label.clone(),
-                    lambda: model.lambda,
-                    estimator: canonical.clone(),
-                    value: est.value,
-                    reference: reference.value,
-                    reference_std_error: reference.std_error.unwrap_or(0.0),
-                    rel_error: (est.value - reference.value) / reference.value,
-                    elapsed_s: est.elapsed.as_secs_f64(),
+                let (est, _) = evaluate_unit(cache, &key, seed, model, &mut prep, || {
+                    registry
+                        .build(spec_str, seed)
+                        .expect("estimator specs validated before launch")
+                        .prepare(pdag)
+                });
+                let row = make_row(
+                    id,
+                    pdag,
+                    label,
+                    model,
+                    canonical,
+                    &est,
+                    &references[i][m],
                     seed,
-                };
+                );
                 tx.lock()
                     .expect("sender poisoned")
                     .send((cell, row))
@@ -415,12 +458,28 @@ pub struct ResumeEstimatorReport {
     pub misses: usize,
 }
 
+/// Cache coverage of the cells one shard would own under
+/// `--workers N` (see [`sharded_resume_report`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardCoverage {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Assigned cells already present in the cache.
+    pub hits: usize,
+    /// Assigned cells a run would have to compute.
+    pub misses: usize,
+}
+
 /// Outcome of [`resume_report`]: what a sweep would find in the cache,
 /// without running anything.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ResumeReport {
     /// Coverage per estimator, in spec order.
     pub estimators: Vec<ResumeEstimatorReport>,
+    /// Per-shard cell coverage under the requested worker count
+    /// (one entry per shard; a single entry covering every cell when
+    /// the report was not sharded).
+    pub shards: Vec<ShardCoverage>,
     /// Monte-Carlo reference scenarios already cached.
     pub reference_hits: usize,
     /// Reference scenarios a run would have to compute.
@@ -454,6 +513,24 @@ pub fn resume_report(
     registry: &EstimatorRegistry,
     cache: &ResultCache,
 ) -> Result<ResumeReport, String> {
+    sharded_resume_report(spec, registry, cache, 1)
+}
+
+/// [`resume_report`] under `--workers N` sharding: additionally splits
+/// the per-cell coverage by the shard each cell would be assigned to
+/// (the same deterministic [`crate::shard_of`] assignment the
+/// distributed executor uses), so a resumed distributed campaign can
+/// predict per-worker load. References stay global — every shard
+/// probes the references its cells need from the shared cache.
+pub fn sharded_resume_report(
+    spec: &SweepSpec,
+    registry: &EstimatorRegistry,
+    cache: &ResultCache,
+    shard_count: usize,
+) -> Result<ResumeReport, String> {
+    if shard_count == 0 {
+        return Err("shard count must be positive".into());
+    }
     let Expansion {
         estimator_ids,
         instances,
@@ -465,6 +542,13 @@ pub fn resume_report(
         .iter()
         .map(|(_, canonical)| ResumeEstimatorReport {
             estimator: canonical.clone(),
+            hits: 0,
+            misses: 0,
+        })
+        .collect();
+    let mut shards: Vec<ShardCoverage> = (0..shard_count)
+        .map(|shard| ShardCoverage {
+            shard,
             hits: 0,
             misses: 0,
         })
@@ -481,16 +565,21 @@ pub fn resume_report(
             }
             for (e, (_, canonical)) in estimator_ids.iter().enumerate() {
                 let seed = derive_seed(spec.seed, hashes[i], model.lambda, canonical);
-                if cache.probe(&cell_key(hashes[i], model.lambda, canonical, seed)) {
+                let key = cell_key(hashes[i], model.lambda, canonical, seed);
+                let shard = crate::shard::shard_of(&key, shard_count);
+                if cache.probe(&key) {
                     estimators[e].hits += 1;
+                    shards[shard].hits += 1;
                 } else {
                     estimators[e].misses += 1;
+                    shards[shard].misses += 1;
                 }
             }
         }
     }
     Ok(ResumeReport {
         estimators,
+        shards,
         reference_hits,
         reference_misses,
     })

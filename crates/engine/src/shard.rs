@@ -1,0 +1,410 @@
+//! Multi-process distributed campaign execution.
+//!
+//! A sweep's cells are embarrassingly parallel and content-addressed,
+//! so distributing them needs no scheduler state: every process can
+//! derive the **same** deterministic partition from the spec alone.
+//! [`shard_of`] assigns each cell to a shard by stable-hashing its
+//! cache key — relabeling-invariant, machine-independent, and balanced
+//! across shards without coordination.
+//!
+//! Three pieces cooperate (the wire format lives in
+//! [`crate::protocol`]):
+//!
+//! * [`run_shard`] — the **worker** half. Executes exactly the cells
+//!   assigned to one shard (plus the Monte-Carlo references those cells
+//!   need), cache-first against the shared on-disk [`ResultCache`], and
+//!   emits one [`WorkerEvent`] per completion.
+//! * [`coordinate`] — the **coordinator** half. Merges N worker event
+//!   streams, re-sequences rows into deterministic global cell order
+//!   through the same [`Reorderer`] the in-process runner uses, and
+//!   feeds the sinks — so the merged CSV/JSONL is byte-identical to
+//!   what a single-process run over the same cache would write.
+//! * [`ProgressReporter`](crate::ProgressReporter) — fed from the same
+//!   event stream, renders per-cell counters, throughput, cache-hit
+//!   rate, and an ETA.
+//!
+//! Workers share results only through the content-addressed cache: a
+//! reference scenario touched by cells on two shards is looked up by
+//! both, computed by whichever misses first, and (being seeded
+//! deterministically) is bit-identical no matter which worker computed
+//! it.
+
+use crate::cache::{cell_key, ResultCache};
+use crate::keys::StableHasher;
+use crate::progress::ProgressReporter;
+use crate::protocol::{decode_event, WorkerEvent};
+use crate::registry::EstimatorRegistry;
+use crate::runner::{
+    apply_jobs_cap, cell_index, derive_seed, evaluate_unit, expand, make_row, Expansion,
+    SweepOutcome,
+};
+use crate::sink::{summarize, Reorderer, ResultSink, SweepRow};
+use crate::spec::SweepSpec;
+use rayon::prelude::*;
+use std::io::BufRead;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use stochdag_core::{Estimate, Estimator, MonteCarloEstimator, PreparedEstimator};
+use stochdag_dag::{structural_hash, PreparedDag};
+
+/// Deterministic shard assignment of a cell: stable-hash its cache key,
+/// reduce modulo the shard count. Every process derives the identical
+/// partition from the spec alone; no shard list ever crosses the wire.
+pub fn shard_of(key: &str, shard_count: usize) -> usize {
+    debug_assert!(shard_count > 0, "shard_count must be positive");
+    let mut h = StableHasher::new("stochdag-shard");
+    h.write_str(key);
+    (h.finish() % shard_count as u128) as usize
+}
+
+/// Outcome of one worker's [`run_shard`].
+#[derive(Clone, Debug)]
+pub struct ShardOutcome {
+    /// Shard index this worker executed (0-based).
+    pub shard: usize,
+    /// Total shard count of the campaign.
+    pub shard_count: usize,
+    /// Estimator cells assigned to (and completed by) this shard.
+    pub cells: usize,
+    /// Reference scenarios this shard needed.
+    pub references: usize,
+    /// Cache hits across this shard's references + cells.
+    pub cache_hits: usize,
+    /// Cache misses (computed fresh).
+    pub cache_misses: usize,
+    /// Wall-clock time of the shard.
+    pub wall: Duration,
+}
+
+/// Execute one shard of a campaign (the `sweep-worker` process body).
+///
+/// Expands the spec exactly as [`crate::run_sweep`] would, keeps only
+/// the cells [`shard_of`] assigns to `shard`, and runs them grouped by
+/// (instance × estimator) with the same lazy one-preparation-per-group
+/// strategy as the in-process runner. Only DAG instances owning at
+/// least one assigned cell are frozen into [`PreparedDag`]s.
+///
+/// `emit` receives every protocol event in completion order ([`Hello`]
+/// first, [`Done`] last on success) and must be callable from worker
+/// threads; implementations that write to a shared stream must
+/// serialize internally (one event per call — never split). An `emit`
+/// error aborts the shard.
+///
+/// [`Hello`]: WorkerEvent::Hello
+/// [`Done`]: WorkerEvent::Done
+pub fn run_shard(
+    spec: &SweepSpec,
+    registry: &EstimatorRegistry,
+    cache: &ResultCache,
+    shard: usize,
+    shard_count: usize,
+    emit: &(dyn Fn(&WorkerEvent) -> Result<(), String> + Sync),
+) -> Result<ShardOutcome, String> {
+    let start = Instant::now();
+    if shard_count == 0 {
+        return Err("shard count must be positive".into());
+    }
+    if shard >= shard_count {
+        return Err(format!("shard {shard} out of range (of {shard_count})"));
+    }
+    let Expansion {
+        estimator_ids,
+        instances,
+        models,
+        reference_id,
+    } = expand(spec, registry)?;
+    let _jobs_cap = apply_jobs_cap(spec.jobs)?;
+    cache.reset_counters();
+
+    let n_inst = instances.len();
+    let m_count = spec.pfails.len() + spec.lambdas.len();
+    let e_count = estimator_ids.len();
+    let hashes: Vec<u128> = instances.iter().map(|i| structural_hash(&i.dag)).collect();
+
+    // Deterministic partition: per (instance × estimator) group, the
+    // list of owned model indices with their global cell index, seed,
+    // and key; plus the reference scenarios those cells need.
+    let mut owned: Vec<Vec<(usize, usize, u64, String)>> = vec![Vec::new(); n_inst * e_count];
+    let mut scenario_needed: Vec<Vec<bool>> = vec![vec![false; m_count]; n_inst];
+    let mut n_cells = 0usize;
+    for i in 0..n_inst {
+        for (m, (model, _)) in models[i].iter().enumerate() {
+            for (e, (_, canonical)) in estimator_ids.iter().enumerate() {
+                let seed = derive_seed(spec.seed, hashes[i], model.lambda, canonical);
+                let key = cell_key(hashes[i], model.lambda, canonical, seed);
+                if shard_of(&key, shard_count) == shard {
+                    owned[i * e_count + e].push((
+                        m,
+                        cell_index(i, m, e, m_count, e_count),
+                        seed,
+                        key,
+                    ));
+                    scenario_needed[i][m] = true;
+                    n_cells += 1;
+                }
+            }
+        }
+    }
+    let n_refs: usize = scenario_needed
+        .iter()
+        .map(|s| s.iter().filter(|&&b| b).count())
+        .sum();
+
+    // Freeze only the instances this shard touches.
+    let prepared: Vec<(String, Option<PreparedDag>)> = instances
+        .into_iter()
+        .enumerate()
+        .map(|(i, inst)| {
+            let touched = scenario_needed[i].iter().any(|&b| b);
+            (inst.id, touched.then(|| PreparedDag::new(inst.dag)))
+        })
+        .collect();
+
+    emit(&WorkerEvent::Hello {
+        shard,
+        shard_count,
+        cells: n_cells,
+        references: n_refs,
+    })?;
+    // First emit failure wins; later parallel completions still finish
+    // (their results land in the cache) but stop reporting.
+    let emit_error: Mutex<Option<String>> = Mutex::new(None);
+    let send = |ev: WorkerEvent| {
+        if let Err(e) = emit(&ev) {
+            emit_error.lock().expect("emit error slot").get_or_insert(e);
+        }
+    };
+
+    // Phase 1: the Monte-Carlo references this shard's cells compare
+    // against — same grouping and prep-cost attribution as run_sweep,
+    // restricted to needed scenarios. Cache-first: a reference another
+    // shard already stored is a hit here.
+    let reference_trials = spec.reference_trials;
+    let reference_sampling = spec.reference_sampling;
+    let references: Vec<Vec<Option<Estimate>>> = (0..n_inst)
+        .into_par_iter()
+        .map(|i| {
+            let mut prep: Option<Box<dyn PreparedEstimator>> = None;
+            let mut out: Vec<Option<Estimate>> = vec![None; m_count];
+            for (m, (model, _)) in models[i].iter().enumerate() {
+                if !scenario_needed[i][m] {
+                    continue;
+                }
+                let pdag = prepared[i].1.as_ref().expect("touched instances frozen");
+                let seed = derive_seed(spec.seed, hashes[i], model.lambda, &reference_id);
+                let key = cell_key(hashes[i], model.lambda, &reference_id, seed);
+                let (est, cached) = evaluate_unit(cache, &key, seed, model, &mut prep, || {
+                    MonteCarloEstimator::new(reference_trials)
+                        .with_sampling(reference_sampling)
+                        .prepare(pdag)
+                });
+                out[m] = Some(est);
+                send(WorkerEvent::Reference { cached });
+            }
+            out
+        })
+        .collect();
+    if let Some(e) = emit_error.lock().expect("emit error slot").take() {
+        return Err(e);
+    }
+
+    // Phase 2: assigned estimator cells, one parallel work unit per
+    // non-empty (instance × estimator) group.
+    (0..n_inst * e_count).into_par_iter().for_each(|unit| {
+        let cells = &owned[unit];
+        if cells.is_empty() {
+            return;
+        }
+        let i = unit / e_count;
+        let e = unit % e_count;
+        let (id, pdag) = &prepared[i];
+        let pdag = pdag.as_ref().expect("touched instances frozen");
+        let (spec_str, canonical) = &estimator_ids[e];
+        let mut prep: Option<Box<dyn PreparedEstimator>> = None;
+        for &(m, cell, seed, ref key) in cells {
+            let (model, label) = &models[i][m];
+            let (est, cached) = evaluate_unit(cache, key, seed, model, &mut prep, || {
+                registry
+                    .build(spec_str, seed)
+                    .expect("estimator specs validated before launch")
+                    .prepare(pdag)
+            });
+            let reference = references[i][m]
+                .as_ref()
+                .expect("needed scenarios computed");
+            let row = make_row(id, pdag, label, model, canonical, &est, reference, seed);
+            send(WorkerEvent::Cell {
+                index: cell,
+                cached,
+                row,
+            });
+        }
+    });
+    if let Some(e) = emit_error.lock().expect("emit error slot").take() {
+        return Err(e);
+    }
+
+    let outcome = ShardOutcome {
+        shard,
+        shard_count,
+        cells: n_cells,
+        references: n_refs,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        wall: start.elapsed(),
+    };
+    emit(&WorkerEvent::Done {
+        hits: outcome.cache_hits,
+        misses: outcome.cache_misses,
+        wall_s: outcome.wall.as_secs_f64(),
+    })?;
+    Ok(outcome)
+}
+
+/// Merge N worker event streams into ordered sink output (the
+/// coordinator half of a distributed sweep).
+///
+/// Each reader is one worker's stdout (or a replayed event log). Rows
+/// arrive tagged with their global cell index and are re-sequenced
+/// through a [`Reorderer`], so the sinks observe the exact same ordered
+/// row stream — and therefore write the exact same bytes — as a
+/// single-process [`crate::run_sweep`] over the same cache. Progress
+/// events feed `progress` as they arrive.
+///
+/// Fails if any stream reports [`WorkerEvent::Error`], is malformed,
+/// ends before its [`WorkerEvent::Done`], or if the merged rows do not
+/// cover every announced cell exactly once.
+pub fn coordinate<R: BufRead + Send>(
+    workers: Vec<R>,
+    sinks: &mut [&mut dyn ResultSink],
+    progress: &mut ProgressReporter,
+) -> Result<SweepOutcome, String> {
+    let start = Instant::now();
+    if workers.is_empty() {
+        return Err("distributed sweep needs at least one worker".into());
+    }
+    let n_workers = workers.len();
+    for sink in sinks.iter_mut() {
+        sink.begin().map_err(|e| format!("sink begin: {e}"))?;
+    }
+
+    let mut total_cells = 0usize;
+    let mut total_refs = 0usize;
+    let mut hellos = 0usize;
+    let mut dones = 0usize;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+    let mut first_error: Option<String> = None;
+    let mut reorder = Reorderer::new();
+    let mut rows: Vec<SweepRow> = Vec::new();
+
+    let (tx, rx) = mpsc::channel::<(usize, Result<WorkerEvent, String>)>();
+    std::thread::scope(|scope| {
+        for (w, reader) in workers.into_iter().enumerate() {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                // After a corrupt line the stream is untrusted, but it
+                // is still drained to EOF: closing the pipe early would
+                // kill a live worker mid-write (EPIPE) instead of
+                // letting it finish its shard — whose results are in
+                // the shared cache regardless — and exit cleanly.
+                let mut corrupt = false;
+                for line in reader.lines() {
+                    let Ok(line) = line else {
+                        // Pipe torn down mid-stream; the worker is
+                        // gone and the completeness checks will fail.
+                        let _ = tx.send((w, Err(format!("worker {w} stream broke mid-read"))));
+                        return;
+                    };
+                    if corrupt {
+                        continue;
+                    }
+                    let event = decode_event(&line);
+                    corrupt = event.is_err();
+                    if tx.send((w, event)).is_err() {
+                        return; // coordinator stopped listening
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        for (w, event) in rx {
+            let event = match event {
+                Ok(ev) => ev,
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                    continue;
+                }
+            };
+            progress.observe(&event);
+            match event {
+                WorkerEvent::Hello {
+                    cells, references, ..
+                } => {
+                    hellos += 1;
+                    total_cells += cells;
+                    total_refs += references;
+                }
+                WorkerEvent::Reference { .. } => {}
+                WorkerEvent::Cell { index, row, .. } => {
+                    let emit_result = reorder.push(index, row, |r| {
+                        rows.push(r.clone());
+                        for sink in sinks.iter_mut() {
+                            sink.row(r)?;
+                        }
+                        Ok(())
+                    });
+                    if let Err(e) = emit_result {
+                        first_error.get_or_insert(format!("sink row: {e}"));
+                    }
+                }
+                WorkerEvent::Done { hits, misses, .. } => {
+                    dones += 1;
+                    cache_hits += hits;
+                    cache_misses += misses;
+                }
+                WorkerEvent::Error { message } => {
+                    first_error.get_or_insert(format!("worker {w}: {message}"));
+                }
+            }
+        }
+    });
+    progress.finish();
+
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    if hellos != n_workers || dones != n_workers {
+        return Err(format!(
+            "only {dones} of {n_workers} worker(s) completed their shard \
+             ({hellos} started) — a worker crashed or was killed"
+        ));
+    }
+    if reorder.pending() != 0 || rows.len() != total_cells {
+        return Err(format!(
+            "merged {} of {} announced cells ({} out-of-sequence) — \
+             shards overlapped or dropped cells",
+            rows.len(),
+            total_cells,
+            reorder.pending()
+        ));
+    }
+
+    let summary = summarize(&rows);
+    for sink in sinks.iter_mut() {
+        sink.summary(&summary)
+            .and_then(|()| sink.finish())
+            .map_err(|e| format!("sink summary: {e}"))?;
+    }
+    Ok(SweepOutcome {
+        cells: total_cells,
+        references: total_refs,
+        cache_hits,
+        cache_misses,
+        wall: start.elapsed(),
+        rows,
+        summary,
+    })
+}

@@ -185,6 +185,11 @@ impl<W: Write + Send> CsvSink<W> {
     pub fn new(w: W) -> Self {
         CsvSink { w }
     }
+
+    /// Recover the underlying writer (e.g. a byte buffer in tests).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
 }
 
 impl<W: Write + Send> ResultSink for CsvSink<W> {
@@ -261,6 +266,11 @@ impl<W: Write + Send> JsonlSink<W> {
     /// JSONL sink over any writer.
     pub fn new(w: W) -> Self {
         JsonlSink { w }
+    }
+
+    /// Recover the underlying writer (e.g. a byte buffer in tests).
+    pub fn into_inner(self) -> W {
+        self.w
     }
 }
 

@@ -1,0 +1,248 @@
+//! Distributed execution invariants, exercised in-process: the shard
+//! partition is deterministic and exhaustive, worker shards sharing a
+//! disk cache jointly compute exactly what a single-process run would,
+//! and the coordinator's merge of replayed event streams is
+//! byte-identical to the single-process sink output.
+
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use stochdag_engine::{
+    coordinate, decode_event, encode_event, run_shard, run_sweep, shard_of, sharded_resume_report,
+    CsvSink, EstimatorRegistry, ProgressReporter, ResultCache, ResultSink, SweepSpec, VecSink,
+    WorkerEvent,
+};
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("stochdag_dist_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn campaign() -> SweepSpec {
+    SweepSpec::from_str_auto(
+        r#"
+name = "dist"
+seed = 11
+pfails = [0.01, 0.001]
+estimators = ["first-order", "sculli", "mc:600"]
+reference_trials = 1500
+
+[[dags]]
+kind = "cholesky"
+ks = [2, 3]
+
+[[dags]]
+kind = "fork-join"
+width = 3
+depth = 2
+"#,
+    )
+    .unwrap()
+}
+
+/// Run one shard, collecting its protocol lines (as a worker's stdout
+/// would carry them).
+fn shard_lines(spec: &SweepSpec, cache_dir: &PathBuf, shard: usize, of: usize) -> Vec<String> {
+    let registry = EstimatorRegistry::standard();
+    let cache = ResultCache::on_disk(cache_dir);
+    let lines = Mutex::new(Vec::new());
+    run_shard(spec, &registry, &cache, shard, of, &|ev| {
+        lines.lock().unwrap().push(encode_event(ev));
+        Ok(())
+    })
+    .unwrap();
+    lines.into_inner().unwrap()
+}
+
+fn csv_of_coordinate(streams: Vec<Vec<String>>) -> (Vec<u8>, stochdag_engine::SweepOutcome) {
+    let readers: Vec<Cursor<Vec<u8>>> = streams
+        .into_iter()
+        .map(|lines| Cursor::new((lines.join("\n") + "\n").into_bytes()))
+        .collect();
+    let mut csv = CsvSink::new(Vec::new());
+    let outcome = {
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv];
+        coordinate(readers, &mut sinks, &mut ProgressReporter::disabled()).unwrap()
+    };
+    (csv.into_inner(), outcome)
+}
+
+#[test]
+fn shard_assignment_is_deterministic_and_partitions() {
+    let keys: Vec<String> = (0..97).map(|i| format!("{i:032x}")).collect();
+    for n in [1, 2, 4, 7] {
+        let mut counts = vec![0usize; n];
+        for k in &keys {
+            let s = shard_of(k, n);
+            assert_eq!(s, shard_of(k, n), "deterministic");
+            assert!(s < n);
+            counts[s] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), keys.len(), "partition");
+        if n > 1 {
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "balanced enough that no shard starves: {counts:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shards_jointly_match_single_process_byte_for_byte() {
+    let spec = campaign();
+    let registry = EstimatorRegistry::standard();
+
+    for workers in [1usize, 2, 4] {
+        let dir = scratch(&format!("w{workers}"));
+        let cache_dir = dir.join("cache");
+
+        // Distributed fresh run: each "process" is a fresh ResultCache
+        // over the shared directory, executed shard by shard.
+        let streams: Vec<Vec<String>> = (0..workers)
+            .map(|s| shard_lines(&spec, &cache_dir, s, workers))
+            .collect();
+        let (merged_csv, merged) = csv_of_coordinate(streams);
+        assert_eq!(merged.cells, 18, "3 DAGs x 2 pfails x 3 estimators");
+
+        // Single-process run over the same cache: must be fully served
+        // from what the shards stored, with identical bytes.
+        let mut csv = CsvSink::new(Vec::new());
+        let mut sink = VecSink::default();
+        let single = {
+            let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv, &mut sink];
+            run_sweep(
+                &spec,
+                &registry,
+                &ResultCache::on_disk(&cache_dir),
+                &mut sinks,
+            )
+            .unwrap()
+        };
+        assert!(
+            single.fully_cached(),
+            "{workers} shard(s) must have computed every work unit ({} misses)",
+            single.cache_misses
+        );
+        assert_eq!(merged.rows, single.rows, "merged rows = single rows");
+        assert_eq!(merged_csv, csv.into_inner(), "byte-identical CSV");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn shard_streams_cover_every_cell_exactly_once() {
+    let spec = campaign();
+    let dir = scratch("cover");
+    let cache_dir = dir.join("cache");
+    let mut seen = std::collections::BTreeSet::new();
+    let mut hello_cells = 0usize;
+    for s in 0..3 {
+        let lines = shard_lines(&spec, &cache_dir, s, 3);
+        let events: Vec<WorkerEvent> = lines.iter().map(|l| decode_event(l).unwrap()).collect();
+        assert!(
+            matches!(events.first(), Some(WorkerEvent::Hello { .. })),
+            "hello first"
+        );
+        assert!(
+            matches!(events.last(), Some(WorkerEvent::Done { .. })),
+            "done last"
+        );
+        for ev in events {
+            match ev {
+                WorkerEvent::Hello { cells, .. } => hello_cells += cells,
+                WorkerEvent::Cell { index, .. } => {
+                    assert!(seen.insert(index), "cell {index} owned by two shards");
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(seen.len(), 18, "union of shards covers the campaign");
+    assert_eq!(hello_cells, 18);
+    assert_eq!(*seen.iter().next_back().unwrap(), 17, "contiguous indices");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn coordinator_rejects_broken_streams() {
+    let spec = campaign();
+    let dir = scratch("broken");
+    let cache_dir = dir.join("cache");
+    let good = shard_lines(&spec, &cache_dir, 0, 1);
+
+    let run = |streams: Vec<Vec<String>>| {
+        let readers: Vec<Cursor<Vec<u8>>> = streams
+            .into_iter()
+            .map(|l| Cursor::new((l.join("\n") + "\n").into_bytes()))
+            .collect();
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
+        coordinate(readers, &mut sinks, &mut ProgressReporter::disabled())
+    };
+
+    // A stream that ends before its `done` event (crashed worker).
+    let truncated = good[..good.len() - 2].to_vec();
+    let err = run(vec![truncated]).unwrap_err();
+    assert!(err.contains("worker"), "{err}");
+
+    // An explicit worker error aborts the merge.
+    let failed = vec![
+        good[0].clone(),
+        encode_event(&WorkerEvent::Error {
+            message: "shard exploded".into(),
+        }),
+    ];
+    let err = run(vec![failed]).unwrap_err();
+    assert!(err.contains("shard exploded"), "{err}");
+
+    // Garbage on the wire is a hard protocol error.
+    let garbage = vec![good[0].clone(), "{not an event".into()];
+    let err = run(vec![garbage]).unwrap_err();
+    assert!(err.contains("bad worker event"), "{err}");
+
+    // No workers at all is refused.
+    let err = run(vec![]).unwrap_err();
+    assert!(err.contains("at least one worker"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sharded_resume_report_splits_cells_by_shard() {
+    let spec = campaign();
+    let dir = scratch("resume");
+    let cache = ResultCache::on_disk(dir.join("cache"));
+    let registry = EstimatorRegistry::standard();
+
+    let fresh = sharded_resume_report(&spec, &registry, &cache, 2).unwrap();
+    assert_eq!(fresh.shards.len(), 2);
+    assert_eq!(
+        fresh.shards.iter().map(|s| s.misses).sum::<usize>(),
+        18,
+        "shard misses partition the cells"
+    );
+    assert!(fresh.shards.iter().all(|s| s.hits == 0));
+
+    // Compute shard 0 only, then the report shows exactly that shard
+    // as cached and shard 1 as pending.
+    let lines = Mutex::new(Vec::new());
+    let shard0 = run_shard(&spec, &registry, &cache, 0, 2, &|ev| {
+        lines.lock().unwrap().push(encode_event(ev));
+        Ok(())
+    })
+    .unwrap();
+    let after = sharded_resume_report(&spec, &registry, &cache, 2).unwrap();
+    assert_eq!(after.shards[0].hits, shard0.cells);
+    assert_eq!(after.shards[0].misses, 0);
+    assert_eq!(after.shards[1].hits, 0);
+    assert_eq!(after.shards[1].misses, 18 - shard0.cells);
+    assert_eq!(
+        after.reference_hits, shard0.references,
+        "shard 0 cached the references it needed"
+    );
+
+    // Invalid shard counts are rejected up front.
+    assert!(sharded_resume_report(&spec, &registry, &cache, 0).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
