@@ -1,13 +1,15 @@
 //! Distributed-executor primitives: the per-cell cost of deterministic
 //! shard assignment, the wire-protocol encode/decode round trip, and a
-//! full in-process shard execution vs the single-process runner on the
-//! same campaign (both cold — the shard path's overhead is the
+//! full in-process shard execution vs the in-process campaign backend
+//! on the same campaign (both cold — the shard path's overhead is the
 //! partition scan plus event emission).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
 use stochdag::prelude::*;
 use stochdag_engine::{
-    decode_event, encode_event, run_shard, shard_of, DagSpec, SweepRow, WorkerEvent,
+    decode_event, encode_event, Campaign, CampaignEvent, DagSpec, EstimatorSpec, FnObserver,
+    SweepRow,
 };
 
 fn campaign() -> SweepSpec {
@@ -16,7 +18,11 @@ fn campaign() -> SweepSpec {
         seed: 1,
         pfails: vec![0.01, 0.001],
         lambdas: vec![],
-        estimators: vec!["first-order".into(), "sculli".into(), "corlca".into()],
+        estimators: vec![
+            EstimatorSpec::FirstOrder,
+            EstimatorSpec::Sculli,
+            EstimatorSpec::CorLca,
+        ],
         reference_trials: 5_000,
         reference_sampling: stochdag::core::SamplingModel::Geometric,
         jobs: None,
@@ -34,7 +40,7 @@ fn bench_shard_assignment(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0usize;
             for k in &keys {
-                acc += shard_of(black_box(k), 8);
+                acc += stochdag_engine::shard_of(black_box(k), 8);
             }
             acc
         })
@@ -43,7 +49,7 @@ fn bench_shard_assignment(c: &mut Criterion) {
 }
 
 fn bench_protocol(c: &mut Criterion) {
-    let event = WorkerEvent::Cell {
+    let event = CampaignEvent::Cell {
         index: 1234,
         cached: false,
         row: SweepRow {
@@ -74,27 +80,31 @@ fn bench_protocol(c: &mut Criterion) {
 
 fn bench_shard_vs_single(c: &mut Criterion) {
     let spec = campaign();
-    let registry = EstimatorRegistry::standard();
     let mut group = c.benchmark_group("sweep_18cells_cold");
     group.sample_size(3);
     group.bench_function("single_process", |b| {
         b.iter(|| {
-            let cache = ResultCache::in_memory();
-            let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-            run_sweep(&spec, &registry, &cache, &mut sinks)
+            Campaign::builder(spec.clone())
+                .cache(Arc::new(ResultCache::in_memory()))
+                .build()
+                .expect("valid campaign")
+                .run()
                 .expect("sweep runs")
                 .cells
         })
     });
     group.bench_function("one_shard_of_one", |b| {
         b.iter(|| {
-            let cache = ResultCache::in_memory();
-            run_shard(&spec, &registry, &cache, 0, 1, &|ev| {
-                black_box(ev);
-                Ok(())
-            })
-            .expect("shard runs")
-            .cells
+            Campaign::builder(spec.clone())
+                .cache(Arc::new(ResultCache::in_memory()))
+                .observer(FnObserver(|ev: &CampaignEvent| {
+                    black_box(ev);
+                }))
+                .build()
+                .expect("valid campaign")
+                .run_shard(0, 1)
+                .expect("shard runs")
+                .cells
         })
     });
     group.finish();

@@ -2,9 +2,10 @@
 //! cached) campaign throughput, and the content-hash primitives.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
 use stochdag::prelude::*;
 use stochdag_bench::paper_dag;
-use stochdag_engine::DagSpec;
+use stochdag_engine::{Campaign, DagSpec, EstimatorSpec};
 
 fn small_campaign() -> SweepSpec {
     SweepSpec {
@@ -12,7 +13,11 @@ fn small_campaign() -> SweepSpec {
         seed: 1,
         pfails: vec![0.01, 0.001],
         lambdas: vec![],
-        estimators: vec!["first-order".into(), "sculli".into(), "corlca".into()],
+        estimators: vec![
+            EstimatorSpec::FirstOrder,
+            EstimatorSpec::Sculli,
+            EstimatorSpec::CorLca,
+        ],
         reference_trials: 5_000,
         reference_sampling: stochdag::core::SamplingModel::Geometric,
         jobs: None,
@@ -23,29 +28,30 @@ fn small_campaign() -> SweepSpec {
     }
 }
 
+fn run_campaign(spec: &SweepSpec, cache: &Arc<ResultCache>) -> SweepOutcome {
+    Campaign::builder(spec.clone())
+        .cache(cache.clone())
+        .build()
+        .expect("valid campaign")
+        .run()
+        .expect("sweep runs")
+}
+
 fn bench_sweep(c: &mut Criterion) {
     let spec = small_campaign();
-    let registry = EstimatorRegistry::standard();
     let mut group = c.benchmark_group("sweep_cholesky_18cells");
     group.sample_size(3);
     group.bench_function("cold_cache", |b| {
         b.iter(|| {
-            let cache = ResultCache::in_memory();
-            let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-            run_sweep(&spec, &registry, &cache, &mut sinks)
-                .expect("sweep runs")
-                .cells
+            let cache = Arc::new(ResultCache::in_memory());
+            run_campaign(&spec, &cache).cells
         })
     });
-    let warm = ResultCache::in_memory();
-    {
-        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-        run_sweep(&spec, &registry, &warm, &mut sinks).expect("warmup");
-    }
+    let warm = Arc::new(ResultCache::in_memory());
+    run_campaign(&spec, &warm);
     group.bench_function("warm_cache", |b| {
         b.iter(|| {
-            let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-            let outcome = run_sweep(&spec, &registry, &warm, &mut sinks).expect("sweep runs");
+            let outcome = run_campaign(&spec, &warm);
             assert!(outcome.fully_cached());
             outcome.cells
         })

@@ -15,6 +15,7 @@ const BARE_FLAGS: &[&str] = &[
     "--csv-only",
     "--no-cache",
     "--resume-report",
+    "--dry-run",
 ];
 
 impl Options {

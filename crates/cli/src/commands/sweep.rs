@@ -1,6 +1,6 @@
-//! `sweep` — run a declarative scenario campaign on the parallel
-//! engine, with content-addressed caching and streaming CSV/JSONL
-//! sinks.
+//! `sweep` — run a declarative scenario campaign on the engine's
+//! [`Campaign`] facade, with content-addressed caching and streaming
+//! CSV/JSONL sinks.
 //!
 //! The campaign comes from a spec file (`--spec camp.toml|.json`) or is
 //! assembled from flags (`--classes`, `--ks`, `--pfails`,
@@ -8,26 +8,23 @@
 //! `--cache` directory completes from cache with byte-identical output
 //! files. `--jobs N` caps the worker threads (results are identical at
 //! any setting), `--resume-report` diffs the spec against the cache
-//! without running anything, and `--cache-max-bytes B` LRU-prunes the
-//! on-disk cache after the campaign.
+//! without running anything, `--dry-run` prints the expansion without
+//! executing, and `--cache-max-bytes B` LRU-prunes the on-disk cache
+//! after the campaign.
 //!
-//! `--workers N` distributes the campaign over N `sweep-worker`
-//! processes sharing the on-disk cache: cells are partitioned
-//! deterministically by cache key, workers stream per-cell events back
-//! over their stdout pipes, and this coordinator merges the streams
-//! into the same byte-identical CSV/JSONL a single-process run writes
-//! — rendering live progress/ETA on stderr (`--progress
-//! none|plain|live`).
+//! `--workers N` selects the engine's [`MultiProcess`] backend: the
+//! campaign distributes over N `sweep-worker` processes sharing the
+//! on-disk cache, a crashed worker's shard is retried once
+//! cache-first, and the merged CSV/JSONL is byte-identical to an
+//! in-process run. `--progress none|plain|live` renders progress on
+//! stderr for either backend.
 
 use crate::args::Options;
 use crate::report::{fmt_duration, Table};
-use std::io::BufReader;
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
+use std::path::PathBuf;
+use std::sync::Arc;
 use stochdag::prelude::*;
-use stochdag_engine::{
-    coordinate, resume_report, sharded_resume_report, DagSpec, ProgressMode, ProgressReporter,
-};
+use stochdag_engine::{Campaign, DagSpec, EstimatorSpec, MultiProcess, ProgressMode};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let opts = Options::parse(argv)?;
@@ -35,18 +32,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     spec.validate()?;
 
     let out_dir: PathBuf = opts.get("out").unwrap_or("results").into();
-    let registry = EstimatorRegistry::standard();
-    // Resolve estimator specs before touching the filesystem so a typo
-    // does not leave empty output files behind.
-    for est in &spec.estimators {
-        registry.canonical_id(est)?;
-    }
     let cache_dir: PathBuf = opts.get("cache").unwrap_or(".stochdag-cache").into();
-    let cache = if opts.flag("no-cache") {
+    let cache = Arc::new(if opts.flag("no-cache") {
         ResultCache::in_memory()
     } else {
         ResultCache::on_disk(&cache_dir)
-    };
+    });
     // Parse every knob before any work: a malformed value must fail up
     // front, not after an hours-long campaign.
     let cache_budget: Option<u64> = opts
@@ -63,25 +54,35 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         return Err("--workers must be positive".into());
     }
     let progress = match opts.get("progress") {
-        None => ProgressMode::Plain,
+        None => {
+            if workers.is_some() {
+                ProgressMode::Plain
+            } else {
+                ProgressMode::None
+            }
+        }
         Some(mode) => ProgressMode::parse(mode)?,
     };
-    if workers.is_none() && opts.get("progress").is_some() && progress != ProgressMode::None {
-        eprintln!("note: --progress only renders for distributed runs; pass --workers N");
+
+    let mut builder = Campaign::builder(spec.clone()).cache(cache.clone());
+    if let Some(n) = workers {
+        builder = builder.backend(MultiProcess::new(n));
     }
 
+    if opts.flag("dry-run") {
+        return print_dry_run(builder.build()?);
+    }
     if opts.flag("resume-report") {
         if cache_budget.is_some() {
             eprintln!("note: --cache-max-bytes has no effect with --resume-report (nothing runs)");
         }
-        return print_resume_report(&spec, &registry, &cache, workers);
+        return print_resume_report(builder.build()?, workers.is_some());
     }
 
     let csv_path = out_dir.join(format!("{}.csv", spec.name));
     let jsonl_path = out_dir.join(format!("{}.jsonl", spec.name));
-    let mut csv = CsvSink::create(&csv_path).map_err(|e| format!("{}: {e}", csv_path.display()))?;
-    let mut jsonl =
-        JsonlSink::create(&jsonl_path).map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
+    let csv = CsvSink::create(&csv_path).map_err(|e| e.to_string())?;
+    let jsonl = JsonlSink::create(&jsonl_path).map_err(|e| e.to_string())?;
 
     eprintln!(
         "sweep {:?}: {} estimator(s) x {} model(s), reference mc={} trials{}",
@@ -94,20 +95,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             None => String::new(),
         }
     );
-    let outcome = {
-        let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv, &mut jsonl];
-        match workers {
-            None => run_sweep(&spec, &registry, &cache, &mut sinks)?,
-            Some(n) => {
-                let shared_cache = if opts.flag("no-cache") {
-                    None
-                } else {
-                    Some(cache_dir.as_path())
-                };
-                run_distributed(&spec, n, progress, shared_cache, &mut sinks)?
-            }
-        }
-    };
+    let outcome = builder
+        .sink(csv)
+        .sink(jsonl)
+        .progress(progress)
+        .build()?
+        .run()?;
 
     let mut table = Table::new(&[
         "estimator",
@@ -150,9 +143,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         if opts.flag("no-cache") {
             eprintln!("note: --cache-max-bytes has no effect with --no-cache");
         } else {
-            let stats = cache
-                .gc_disk(budget)
-                .map_err(|e| format!("cache gc: {e}"))?;
+            let stats = cache.gc_disk(budget)?;
             println!(
                 "cache gc: kept {} entries ({} B), evicted {} ({} B) to fit {budget} B",
                 stats.kept_files, stats.kept_bytes, stats.evicted_files, stats.evicted_bytes
@@ -162,121 +153,45 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `sweep --workers N`: spawn N `sweep-worker` processes over the
-/// shared cache, merge their event streams into the sinks, and render
-/// progress on stderr. The merged output is byte-identical to what a
-/// single-process run over the same cache would write.
-fn run_distributed(
-    spec: &SweepSpec,
-    workers: usize,
-    progress: ProgressMode,
-    shared_cache: Option<&Path>,
-    sinks: &mut [&mut dyn ResultSink],
-) -> Result<SweepOutcome, String> {
-    // Hand the (flag-merged) spec to the workers as a temp JSON file —
-    // the workers re-derive the identical cell partition from it.
-    // Without an explicit --jobs, split the machine's cores across the
-    // worker processes (an uncapped worker would build a full-size
-    // thread pool, oversubscribing the host N-fold); with --jobs J,
-    // the cap is per worker. Either way results are identical — the
-    // thread count cannot change any value.
-    let mut worker_spec = spec.clone();
-    if worker_spec.jobs.is_none() {
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        worker_spec.jobs = Some((cores / workers).max(1));
+/// `sweep --dry-run`: print the campaign's expansion — instances,
+/// estimators, cell/reference counts, per-shard loads — without
+/// executing or probing anything.
+fn print_dry_run(campaign: Campaign) -> Result<(), String> {
+    let dry = campaign.dry_run()?;
+    println!(
+        "# dry run {:?} on {}: {} cells + {} references",
+        dry.name, dry.backend, dry.cells, dry.references
+    );
+    let mut table = Table::new(&["dag", "tasks", "edges"]);
+    for inst in &dry.instances {
+        table.row(vec![
+            inst.id.clone(),
+            inst.tasks.to_string(),
+            inst.edges.to_string(),
+        ]);
     }
-    // Named by pid only: spec.name is user-controlled and may contain
-    // path separators (legal for output files, which create parent
-    // dirs), and one coordinator process runs one campaign at a time.
-    let spec_path = std::env::temp_dir().join(format!("stochdag-spec-{}.json", std::process::id()));
-    std::fs::write(&spec_path, serde::json::to_string(&worker_spec))
-        .map_err(|e| format!("writing worker spec {}: {e}", spec_path.display()))?;
-    let exe = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
-
-    let mut children: Vec<Child> = Vec::with_capacity(workers);
-    for shard in 0..workers {
-        let mut cmd = Command::new(&exe);
-        cmd.arg("sweep-worker")
-            .arg("--spec-json")
-            .arg(&spec_path)
-            .arg("--shard")
-            .arg(shard.to_string())
-            .arg("--of")
-            .arg(workers.to_string())
-            .stdin(Stdio::null())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
-        match shared_cache {
-            Some(dir) => cmd.arg("--cache").arg(dir),
-            None => cmd.arg("--no-cache"),
-        };
-        match cmd.spawn() {
-            Ok(child) => children.push(child),
-            Err(e) => {
-                // Don't leave earlier workers running against a
-                // campaign that will never be merged.
-                for mut c in children {
-                    let _ = c.kill();
-                    let _ = c.wait();
-                }
-                let _ = std::fs::remove_file(&spec_path);
-                return Err(format!("spawning sweep worker {shard}: {e}"));
-            }
+    print!("{}", table.to_text());
+    println!(
+        "{} failure model(s) x estimators: {}",
+        dry.models,
+        dry.estimators.join(", ")
+    );
+    if dry.shard_cells.len() > 1 {
+        for (shard, cells) in dry.shard_cells.iter().enumerate() {
+            println!("shard {shard}/{}: {cells} cell(s)", dry.shard_cells.len());
         }
     }
-    let readers: Vec<BufReader<std::process::ChildStdout>> = children
-        .iter_mut()
-        .map(|c| BufReader::new(c.stdout.take().expect("stdout piped")))
-        .collect();
-    let mut reporter = ProgressReporter::new(progress, Box::new(std::io::stderr()));
-    let merged = coordinate(readers, sinks, &mut reporter);
-    // Reap every worker before surfacing the merge result; a non-zero
-    // worker trumps an apparently clean merge.
-    let mut worker_failure = None;
-    for (shard, mut child) in children.into_iter().enumerate() {
-        match child.wait() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                worker_failure.get_or_insert(format!("sweep worker {shard} failed ({status})"));
-            }
-            Err(e) => {
-                worker_failure.get_or_insert(format!("waiting for sweep worker {shard}: {e}"));
-            }
-        }
-    }
-    let _ = std::fs::remove_file(&spec_path);
-    match (merged, worker_failure) {
-        (Err(e), _) => Err(e),
-        (Ok(_), Some(e)) => Err(e),
-        (Ok(mut outcome), None) => {
-            // Worker hellos count a reference scenario once per shard
-            // that needs it; report the deduplicated campaign total so
-            // the summary line means the same thing as a
-            // single-process run's. Every scenario has exactly one
-            // cell per estimator, so the unique scenario count falls
-            // out of the merged cell count.
-            outcome.references = outcome.cells / spec.estimators.len().max(1);
-            Ok(outcome)
-        }
-    }
+    Ok(())
 }
 
 /// `sweep --resume-report`: diff the spec against the cache and print
 /// hit/miss counts per estimator — plus per-shard counts under
 /// `--workers N` — without running anything.
-fn print_resume_report(
-    spec: &SweepSpec,
-    registry: &EstimatorRegistry,
-    cache: &ResultCache,
-    workers: Option<usize>,
-) -> Result<(), String> {
-    let report = match workers {
-        None => resume_report(spec, registry, cache)?,
-        Some(n) => sharded_resume_report(spec, registry, cache, n)?,
-    };
+fn print_resume_report(campaign: Campaign, sharded: bool) -> Result<(), String> {
+    let report = campaign.resume_report()?;
     println!(
         "# resume report for {:?}: {} of {} work units cached",
-        spec.name,
+        campaign.spec().name,
         report.total_hits(),
         report.total_hits() + report.total_misses()
     );
@@ -294,7 +209,7 @@ fn print_resume_report(
         ]);
     }
     print!("{}", table.to_text());
-    if workers.is_some() {
+    if sharded {
         let mut shards = Table::new(&["shard", "cached", "to compute"]);
         for s in &report.shards {
             shards.row(vec![
@@ -311,6 +226,12 @@ fn print_resume_report(
         println!("{} work unit(s) would be computed", report.total_misses());
     }
     Ok(())
+}
+
+fn parse_estimators(list: &str) -> Result<Vec<EstimatorSpec>, String> {
+    list.split(',')
+        .map(|s| s.trim().parse::<EstimatorSpec>())
+        .collect()
 }
 
 fn load_spec(opts: &Options) -> Result<SweepSpec, String> {
@@ -355,12 +276,10 @@ fn load_spec(opts: &Options) -> Result<SweepSpec, String> {
             })
             .collect::<Result<_, _>>()?,
     };
-    let estimators = opts
-        .get("estimators")
-        .unwrap_or("first-order,sculli,corlca,dodin")
-        .split(',')
-        .map(|s| s.trim().to_string())
-        .collect();
+    let estimators = parse_estimators(
+        opts.get("estimators")
+            .unwrap_or("first-order,sculli,corlca,dodin"),
+    )?;
     Ok(SweepSpec {
         name: opts.get("name").unwrap_or("sweep").to_string(),
         seed: opts.get_or("seed", 0)?,

@@ -1,19 +1,71 @@
 //! `sweep-worker` — the hidden worker half of `sweep --workers N`.
 //!
-//! Spawned by the coordinator, one process per shard. Executes the
-//! cells [`stochdag_engine::shard_of`] assigns to `--shard` out of
-//! `--of`, sharing the coordinator's on-disk result cache, and streams
-//! line-delimited JSON [`stochdag_engine::WorkerEvent`]s on **stdout**
-//! (which therefore stays machine-readable; diagnostics go to stderr).
-//! Not listed in `stochdag help`: the protocol is an internal contract
-//! with the coordinator, not a user interface — though a replayed event
-//! log is valid input to the coordinator's merge, which is what makes
+//! Spawned by the engine's [`MultiProcess`] backend, one process per
+//! shard. Executes the cells [`stochdag_engine::shard_of`] assigns to
+//! `--shard` out of `--of` via [`Campaign::run_shard`], sharing the
+//! coordinator's on-disk result cache, and subscribes a
+//! [`WireObserver`] so every [`stochdag_engine::CampaignEvent`] goes
+//! out as one line of JSON on **stdout** (which therefore stays
+//! machine-readable; diagnostics go to stderr). Not listed in
+//! `stochdag help`: the protocol is an internal contract with the
+//! coordinator, not a user interface — though a captured event log is
+//! valid input to the coordinator's merge, which is what makes
 //! campaigns debuggable post-hoc.
+//!
+//! [`MultiProcess`]: stochdag_engine::MultiProcess
+//! [`Campaign::run_shard`]: stochdag_engine::Campaign::run_shard
+//! [`WireObserver`]: stochdag_engine::WireObserver
 
 use crate::args::Options;
-use std::io::Write;
+use std::sync::Arc;
 use stochdag::prelude::*;
-use stochdag_engine::{encode_event, run_shard, WorkerEvent};
+use stochdag_engine::{encode_event, Campaign, CampaignEvent, WireObserver};
+#[cfg(debug_assertions)]
+use stochdag_engine::{CampaignObserver, EngineError};
+
+/// Fault-injection hook for the coordinator's kill-a-worker test: when
+/// `STOCHDAG_SWEEP_WORKER_CRASH_FILE` names a file whose content is
+/// this worker's shard index, the worker deletes the file (so its
+/// retry survives) and hard-exits mid-stream after a few events.
+/// Debug builds only (what `cargo test` runs) — release workers ship
+/// without the hook.
+#[cfg(debug_assertions)]
+struct CrashAfterEvents {
+    remaining: usize,
+}
+
+#[cfg(debug_assertions)]
+impl CampaignObserver for CrashAfterEvents {
+    fn on_event(&mut self, _event: &CampaignEvent) -> Result<(), EngineError> {
+        if self.remaining == 0 {
+            // Simulates a worker dying mid-shard: some events are
+            // already on the wire, the stream has no `done`, and the
+            // exit status is non-zero.
+            std::process::exit(87);
+        }
+        self.remaining -= 1;
+        Ok(())
+    }
+}
+
+#[cfg(debug_assertions)]
+fn crash_armed(shard: usize) -> bool {
+    let Ok(path) = std::env::var("STOCHDAG_SWEEP_WORKER_CRASH_FILE") else {
+        return false;
+    };
+    match std::fs::read_to_string(&path) {
+        Ok(content) if content.trim() == shard.to_string() => {
+            // Disarm before crashing so the coordinator's single retry
+            // of this shard runs clean — unless the test wants the
+            // retry to die too (`…_CRASH_REARM`).
+            if std::env::var_os("STOCHDAG_SWEEP_WORKER_CRASH_REARM").is_none() {
+                let _ = std::fs::remove_file(&path);
+            }
+            true
+        }
+        _ => false,
+    }
+}
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let opts = Options::parse(argv)?;
@@ -26,33 +78,42 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .require("of")?
         .parse()
         .map_err(|_| "bad --of".to_string())?;
-    let spec = SweepSpec::from_file(spec_path)?;
-    let registry = EstimatorRegistry::standard();
-    let cache = if opts.flag("no-cache") {
-        ResultCache::in_memory()
-    } else {
-        ResultCache::on_disk(opts.get("cache").unwrap_or(".stochdag-cache"))
-    };
+    let result: Result<(), String> = (|| {
+        let spec = SweepSpec::from_file(spec_path)?;
+        let cache = Arc::new(if opts.flag("no-cache") {
+            ResultCache::in_memory()
+        } else {
+            ResultCache::on_disk(opts.get("cache").unwrap_or(".stochdag-cache"))
+        });
 
-    // One event per line, flushed immediately: the coordinator renders
-    // live progress from this stream, so events must not sit in a
-    // buffer until the shard finishes.
-    let emit = |ev: &WorkerEvent| -> Result<(), String> {
-        let mut out = std::io::stdout().lock();
-        writeln!(out, "{}", encode_event(ev))
-            .and_then(|()| out.flush())
-            .map_err(|e| format!("writing event to coordinator: {e}"))
-    };
-    match run_shard(&spec, &registry, &cache, shard, of, &emit) {
-        Ok(_) => Ok(()),
-        Err(message) => {
-            // Best effort: tell the coordinator why before exiting
-            // non-zero (if the pipe is gone, the exit status still
-            // carries the failure).
-            let _ = emit(&WorkerEvent::Error {
-                message: message.clone(),
-            });
-            Err(message)
+        // One event per line on stdout, flushed immediately: the
+        // coordinator renders live progress from this stream, so events
+        // must not sit in a buffer until the shard finishes.
+        #[allow(unused_mut)]
+        let mut builder = Campaign::builder(spec)
+            .cache(cache)
+            .observer(WireObserver::new(std::io::stdout()));
+        #[cfg(debug_assertions)]
+        if crash_armed(shard) {
+            builder = builder.observer(CrashAfterEvents { remaining: 3 });
         }
+        builder.build()?.run_shard(shard, of)?;
+        Ok(())
+    })();
+    if let Err(message) = &result {
+        // Best effort, covering every failure from spec loading through
+        // shard execution: tell the coordinator why before exiting
+        // non-zero. If the pipe is already gone the write fails
+        // silently — never panic here — and the exit status still
+        // carries the failure.
+        use std::io::Write;
+        let _ = writeln!(
+            std::io::stdout(),
+            "{}",
+            encode_event(&CampaignEvent::Error {
+                message: message.clone(),
+            })
+        );
     }
+    result
 }

@@ -8,9 +8,10 @@
 
 use crate::args::Options;
 use crate::report::{fmt_duration, fmt_rel, Table};
+use std::sync::Arc;
 use std::time::Duration;
 use stochdag::prelude::*;
-use stochdag_engine::DagSpec;
+use stochdag_engine::{Campaign, DagSpec};
 
 /// Table I's estimator panel, in the paper's presentation order.
 const PANEL: &[&str] = &[
@@ -34,7 +35,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         seed,
         pfails: vec![pfail],
         lambdas: Vec::new(),
-        estimators: PANEL.iter().map(|s| s.to_string()).collect(),
+        estimators: PANEL
+            .iter()
+            .map(|s| s.parse().expect("panel specs are registered"))
+            .collect(),
         reference_trials: trials,
         reference_sampling: stochdag::core::SamplingModel::Geometric,
         jobs: opts
@@ -48,16 +52,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }],
     };
 
-    let registry = EstimatorRegistry::standard();
-    let cache = match opts.get("cache") {
+    let cache = Arc::new(match opts.get("cache") {
         Some(dir) => ResultCache::on_disk(dir),
         None => ResultCache::in_memory(),
-    };
+    });
     eprintln!("LU k={k}: running Monte Carlo reference ({trials} trials) + estimator panel...");
-    let outcome = {
-        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-        run_sweep(&spec, &registry, &cache, &mut sinks)?
-    };
+    let outcome = Campaign::builder(spec).cache(cache).build()?.run()?;
 
     let reference = outcome.rows.first().map(|r| r.reference).unwrap_or(0.0);
     let ref_se = outcome

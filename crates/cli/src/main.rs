@@ -73,7 +73,7 @@ COMMANDS:
                    [--estimators first-order,sculli,corlca,dodin]
                    [--trials 100000] [--seed 0] [--name sweep] [--jobs N]
                    [--out results] [--cache .stochdag-cache] [--no-cache]
-                   [--resume-report] [--cache-max-bytes B]
+                   [--resume-report] [--dry-run] [--cache-max-bytes B]
                    [--workers N] [--progress none|plain|live]
                  caches every cell content-addressed: re-runs and resumed
                  campaigns skip finished cells and emit identical CSV/JSONL.
@@ -82,11 +82,15 @@ COMMANDS:
                  worker threads (results identical at any setting);
                  --resume-report prints per-estimator cache hit/miss
                  counts without running (per-shard with --workers);
+                 --dry-run prints the expansion (instances, cells,
+                 per-shard loads) without executing anything;
                  --cache-max-bytes LRU-prunes the on-disk cache after
                  the campaign. --workers N distributes cells over N
-                 processes sharing the cache; merged CSV/JSONL is
-                 byte-identical to a single-process run, with live
-                 progress/ETA on stderr (--progress)
+                 processes sharing the cache; a crashed worker's shard
+                 is retried once cache-first, and merged CSV/JSONL is
+                 byte-identical to a single-process run. --progress
+                 renders counters/ETA on stderr for either backend
+                 (default: plain with --workers, none otherwise)
   table1         LU k=20 error + wall-clock comparison (paper Table I),
                  executed as an engine sweep (cache-aware)
                    [--k 20] [--trials 300000] [--seed 0] [--fast]

@@ -5,18 +5,39 @@
 
 use std::path::PathBuf;
 use std::process::Command;
-use stochdag_engine::{decode_event, WorkerEvent};
+use stochdag_engine::{decode_event, CampaignEvent};
 
 fn stochdag(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_stochdag"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    stochdag_env(args, &[])
+}
+
+fn stochdag_env(args: &[&str], env: &[(&str, &str)]) -> (bool, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_stochdag"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
+}
+
+/// Recursively copy a directory (the committed fixture cache into a
+/// scratch dir, so tests never mutate repo files).
+fn copy_dir(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let target = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).unwrap();
+        }
+    }
 }
 
 /// The 24-cell acceptance campaign (2 DAG kinds × 3 sizes × 2
@@ -92,6 +113,161 @@ fn distributed_output_is_byte_identical_to_single_process() {
 }
 
 #[test]
+fn crashed_worker_shard_is_retried_once_and_output_stays_identical() {
+    // Kill-a-worker: a crash file arms the fault-injection hook in
+    // `sweep-worker` — the worker owning shard 0 emits a few events,
+    // deletes the file, and hard-exits mid-stream (non-zero, no `done`).
+    // The coordinator must retry that shard once (cache-first over the
+    // shared cache) and still produce byte-identical output.
+    let (dir, spec) = scratch("retry");
+    let cache = dir.join("cache");
+    let crash_file = dir.join("crash-shard");
+    std::fs::write(&crash_file, "0").unwrap();
+
+    let dist_out = dir.join("dist");
+    let (ok, stdout, stderr) = stochdag_env(
+        &[
+            "sweep",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--progress",
+            "plain",
+            "--out",
+            dist_out.to_str().unwrap(),
+            "--cache",
+            cache.to_str().unwrap(),
+        ],
+        &[(
+            "STOCHDAG_SWEEP_WORKER_CRASH_FILE",
+            crash_file.to_str().unwrap(),
+        )],
+    );
+    assert!(ok, "campaign must survive one worker crash: {stderr}");
+    assert!(
+        stderr.contains("retrying its shard once"),
+        "coordinator reports the retry: {stderr}"
+    );
+    assert!(stdout.contains("24 cells"), "{stdout}");
+    assert!(!crash_file.exists(), "the crashing worker disarms the hook");
+    // The crashed attempt's duplicate events must not skew progress:
+    // the final line reports exactly the campaign's 24 cells — not a
+    // double-counted retry total — and reaches a finished ETA.
+    assert!(
+        stderr.contains("cells 24/24 (100%)") && stderr.contains("eta done"),
+        "progress counters stay exact across the retry: {stderr}"
+    );
+
+    // The merged output must match a clean single-process run.
+    let single_out = dir.join("single");
+    let (ok, stdout, stderr) = stochdag(&[
+        "sweep",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--out",
+        single_out.to_str().unwrap(),
+        "--cache",
+        cache.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("(fully cached)"), "{stdout}");
+    for ext in ["csv", "jsonl"] {
+        assert_eq!(
+            std::fs::read(dist_out.join(format!("ci-smoke.{ext}"))).unwrap(),
+            std::fs::read(single_out.join(format!("ci-smoke.{ext}"))).unwrap(),
+            "retried campaign {ext} differs from single-process {ext}"
+        );
+    }
+
+    // A shard that crashes on the retry too fails the campaign.
+    std::fs::write(&crash_file, "1").unwrap();
+    let twice = dir.join("twice-crash");
+    // Arm a second crash for the same shard: the retried worker reads
+    // the re-created file again and dies again.
+    let (ok2, _, stderr2) = stochdag_env(
+        &[
+            "sweep",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--out",
+            twice.to_str().unwrap(),
+            "--cache",
+            dir.join("cache2").to_str().unwrap(),
+        ],
+        &[
+            (
+                "STOCHDAG_SWEEP_WORKER_CRASH_FILE",
+                crash_file.to_str().unwrap(),
+            ),
+            ("STOCHDAG_SWEEP_WORKER_CRASH_REARM", "1"),
+        ],
+    );
+    assert!(!ok2, "a shard failing twice must fail the campaign");
+    assert!(stderr2.contains("shard failed twice"), "{stderr2}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_replays_byte_identically_from_a_pre_redesign_cache() {
+    // Acceptance criterion: the 24-cell acceptance campaign, run
+    // against a cache directory written by the PR-4 (pre-Campaign)
+    // code, is served fully from cache — cache keys unchanged — and
+    // regenerates byte-identical CSV/JSONL through both the InProcess
+    // and MultiProcess{2} backends.
+    let fixture = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/pr4_acceptance"
+    ));
+    let expected_csv = std::fs::read(fixture.join("ci-smoke.csv")).unwrap();
+    let expected_jsonl = std::fs::read(fixture.join("ci-smoke.jsonl")).unwrap();
+
+    for workers in [None, Some("2")] {
+        let (dir, spec) = scratch(&format!("pr4cache{}", workers.unwrap_or("1")));
+        let cache = dir.join("cache");
+        copy_dir(&fixture.join("cache"), &cache);
+        let out = dir.join("out");
+        let mut args = vec![
+            "sweep",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--cache",
+            cache.to_str().unwrap(),
+        ];
+        if let Some(n) = workers {
+            args.extend(["--workers", n]);
+        }
+        let (ok, stdout, stderr) = stochdag(&args);
+        assert!(ok, "{stdout}\n{stderr}");
+        // Single-process probes each of the 36 work units once; with
+        // workers, a reference needed by both shards is (cache-)hit by
+        // each. Either way nothing may be recomputed.
+        assert!(
+            stdout.contains("(fully cached)"),
+            "every cell and reference must hit the PR-4 cache (workers={workers:?}): {stdout}"
+        );
+        if workers.is_none() {
+            assert!(stdout.contains("cache: 36/36 hits"), "{stdout}");
+        }
+        assert_eq!(
+            std::fs::read(out.join("ci-smoke.csv")).unwrap(),
+            expected_csv,
+            "CSV differs from the pre-redesign output (workers={workers:?})"
+        );
+        assert_eq!(
+            std::fs::read(out.join("ci-smoke.jsonl")).unwrap(),
+            expected_jsonl,
+            "JSONL differs from the pre-redesign output (workers={workers:?})"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn sweep_worker_speaks_the_shard_protocol() {
     let (dir, spec_toml) = scratch("proto");
     // Workers take the spec as JSON (what the coordinator hands them);
@@ -116,12 +292,12 @@ fn sweep_worker_speaks_the_shard_protocol() {
             cache.to_str().unwrap(),
         ]);
         assert!(ok, "{stderr}");
-        let events: Vec<WorkerEvent> = stdout
+        let events: Vec<CampaignEvent> = stdout
             .lines()
             .map(|l| decode_event(l).unwrap_or_else(|e| panic!("{e}")))
             .collect();
         match events.first() {
-            Some(WorkerEvent::Hello {
+            Some(CampaignEvent::Hello {
                 shard_count, cells, ..
             }) => {
                 assert_eq!(*shard_count, 2);
@@ -130,11 +306,11 @@ fn sweep_worker_speaks_the_shard_protocol() {
             other => panic!("expected hello first, got {other:?}"),
         }
         assert!(
-            matches!(events.last(), Some(WorkerEvent::Done { .. })),
+            matches!(events.last(), Some(CampaignEvent::Done { .. })),
             "done last"
         );
         for ev in &events {
-            if let WorkerEvent::Cell { index, row, .. } = ev {
+            if let CampaignEvent::Cell { index, row, .. } = ev {
                 assert!(all_cells.insert(*index), "cell {index} on both shards");
                 assert!(row.value > 0.0 && row.rel_error.abs() < 0.5);
             }
@@ -160,7 +336,7 @@ fn sweep_worker_speaks_the_shard_protocol() {
     assert!(
         matches!(
             decode_event(stdout.lines().last().unwrap()),
-            Ok(WorkerEvent::Error { .. })
+            Ok(CampaignEvent::Error { .. })
         ),
         "{stdout}"
     );

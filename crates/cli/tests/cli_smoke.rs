@@ -269,6 +269,58 @@ fn sweep_flag_spec_and_errors() {
 }
 
 #[test]
+fn sweep_dry_run_expands_without_executing() {
+    let dir = std::env::temp_dir().join(format!("stochdag_cli_dryrun_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = dir.join("results");
+    let (ok, stdout, stderr) = stochdag(&[
+        "sweep",
+        "--classes",
+        "cholesky,lu",
+        "--ks",
+        "2,3",
+        "--pfails",
+        "0.01,0.001",
+        "--estimators",
+        "first-order,dodin",
+        "--out",
+        out.to_str().unwrap(),
+        "--no-cache",
+        "--dry-run",
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    // 4 instances x 2 models x 2 estimators.
+    assert!(stdout.contains("16 cells + 8 references"), "{stdout}");
+    assert!(stdout.contains("cholesky:k=2"), "{stdout}");
+    assert!(
+        stdout.contains("dodin:128"),
+        "canonical estimator ids: {stdout}"
+    );
+    assert!(!out.exists(), "dry run must not create output files");
+
+    // With --workers, the dry run predicts per-shard cell loads.
+    let (ok, stdout, _) = stochdag(&[
+        "sweep",
+        "--classes",
+        "cholesky",
+        "--ks",
+        "2,3",
+        "--pfails",
+        "0.01",
+        "--estimators",
+        "first-order,sculli",
+        "--no-cache",
+        "--dry-run",
+        "--workers",
+        "2",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("shard 0/2"), "{stdout}");
+    assert!(stdout.contains("shard 1/2"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sweep_resume_report_jobs_and_cache_gc() {
     let dir = std::env::temp_dir().join(format!("stochdag_cli_resume_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -83,6 +83,7 @@ mod model;
 mod monte_carlo;
 mod normal;
 mod second_order;
+mod spec;
 mod spelde;
 
 pub mod dvfs;
@@ -103,5 +104,8 @@ pub use normal::{CorLcaEstimator, CovarianceNormalEstimator, SculliEstimator};
 pub use second_order::{
     second_order_expected_makespan, second_order_from_tables, second_order_with,
     SecondOrderEstimator, SecondOrderTables,
+};
+pub use spec::{
+    EstimatorSpec, DEFAULT_DODIN_ATOMS, DEFAULT_MC_TRIALS, DEFAULT_SPELDE_PATHS, ESTIMATOR_FAMILIES,
 };
 pub use spelde::SpeldeEstimator;

@@ -87,6 +87,13 @@ impl ResultCache {
         }
     }
 
+    /// The on-disk tier's directory, when one is configured. This is
+    /// what multi-process backends hand to worker processes so every
+    /// shard shares one content-addressed store.
+    pub fn disk_dir(&self) -> Option<&std::path::Path> {
+        self.dir.as_deref()
+    }
+
     fn path_of(&self, key: &str) -> Option<PathBuf> {
         self.dir.as_ref().map(|d| {
             let shard = &key[..2];
@@ -186,7 +193,19 @@ impl ResultCache {
     ///
     /// The in-memory tier is unaffected: it is per-process and cheap,
     /// while the byte budget governs what persists across campaigns.
-    pub fn gc_disk(&self, max_bytes: u64) -> std::io::Result<CacheGcStats> {
+    pub fn gc_disk(&self, max_bytes: u64) -> Result<CacheGcStats, crate::EngineError> {
+        self.gc_disk_inner(max_bytes).map_err(|e| {
+            crate::EngineError::cache(format!(
+                "gc of {}: {e}",
+                self.dir
+                    .as_deref()
+                    .unwrap_or(std::path::Path::new("?"))
+                    .display()
+            ))
+        })
+    }
+
+    fn gc_disk_inner(&self, max_bytes: u64) -> std::io::Result<CacheGcStats> {
         // Another process may gc or rewrite the shared directory while
         // this pass iterates; a file vanishing between listing and
         // stat/unlink means its reclamation goal is already met, so

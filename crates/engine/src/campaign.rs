@@ -1,0 +1,933 @@
+//! The [`Campaign`] facade: one typed, embeddable entry point for the
+//! whole engine.
+//!
+//! A campaign is the paper's evaluation unit — a grid of
+//! (DAG × failure model × estimator) cells compared against Monte-Carlo
+//! references — and this module gives it a single lifecycle:
+//!
+//! ```text
+//! Campaign::builder(spec)      // typed SweepSpec, typed EstimatorSpecs
+//!     .cache(...)              // shared content-addressed ResultCache
+//!     .sink(...)               // ordered row consumers (CSV/JSONL/…)
+//!     .observer(...)           // completion-order event subscribers
+//!     .backend(...)            // how cells execute (see ExecBackend)
+//!     .build()?                // validates everything up front
+//!     .run()?                  // or .resume_report() / .dry_run()
+//! ```
+//!
+//! Every backend reports work through the same
+//! [`CampaignEvent`] stream; the campaign core merges that stream once
+//! — re-sequencing rows for the sinks, feeding observers, enforcing
+//! completeness — so output bytes are identical no matter which
+//! backend produced the events.
+
+use crate::cache::{cell_key, ResultCache};
+use crate::error::EngineError;
+use crate::observer::CampaignObserver;
+use crate::progress::{ProgressMode, ProgressReporter};
+use crate::protocol::{decode_event, CampaignEvent};
+use crate::registry::EstimatorRegistry;
+use crate::runner::{
+    derive_seed, expand, resume_report_impl, Expansion, ResumeReport, SweepOutcome,
+};
+use crate::shard::{execute_shard, shard_of, ShardOutcome};
+use crate::sink::{summarize, Reorderer, ResultSink, SweepRow};
+use crate::spec::SweepSpec;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+use stochdag_dag::structural_hash;
+
+/// What a backend needs to execute a campaign: the validated spec and
+/// the shared estimator registry and result cache.
+pub struct BackendContext<'a> {
+    /// The validated campaign spec.
+    pub spec: &'a SweepSpec,
+    /// Estimator factory.
+    pub registry: &'a EstimatorRegistry,
+    /// Shared result cache (multi-process backends hand its
+    /// [`ResultCache::disk_dir`] to worker processes).
+    pub cache: &'a ResultCache,
+}
+
+/// Event delivery callback handed to backends: `(source shard, event)`.
+/// Must be callable from any backend thread.
+pub type Deliver<'a> = dyn Fn(usize, CampaignEvent) -> Result<(), EngineError> + Sync + 'a;
+
+/// An execution strategy for a campaign's cells.
+///
+/// This trait is the **extension seam of the engine**: a backend owns
+/// *where and how* cells run, and reports everything it does through
+/// the one [`CampaignEvent`] vocabulary — `Hello` when a shard accepts
+/// work, `Reference`/`Cell` per completion, `Done` per finished shard.
+/// The campaign core is backend-agnostic: it merges events, re-orders
+/// rows, and checks completeness identically for every implementation,
+/// which is what makes backend outputs byte-identical.
+///
+/// Shipped backends:
+///
+/// * [`InProcess`] — the work-stealing parallel runner in this
+///   process (one shard covering every cell).
+/// * [`MultiProcess`] — N `sweep-worker` processes on this machine
+///   sharing the on-disk cache, with single-retry of crashed shards.
+///
+/// A future **cross-host** backend slots in here without touching the
+/// core: it would spawn workers over ssh (or poll a shared
+/// filesystem), point them at a shared cache directory, and forward
+/// their protocol streams to `deliver` — exactly what [`MultiProcess`]
+/// does with local pipes. Nothing outside the backend changes, because
+/// the wire format ([`crate::encode_event`]) already is the event
+/// type.
+pub trait ExecBackend: Send + Sync {
+    /// Human-readable backend name (diagnostics, dry runs).
+    fn name(&self) -> String;
+
+    /// How many shards the campaign's cells are partitioned into.
+    fn worker_count(&self) -> usize;
+
+    /// Execute every cell, delivering each event (tagged with its
+    /// source shard) as it happens. Must deliver a `Hello` and a
+    /// `Done` for every shard in `0..worker_count()`.
+    fn execute(&self, ctx: &BackendContext<'_>, deliver: &Deliver<'_>) -> Result<(), EngineError>;
+}
+
+/// Execute the campaign on this process's thread pool (the
+/// work-stealing parallel runner): one shard covering every cell,
+/// grouped by DAG source so each instance freezes once and each
+/// (instance × estimator) pair prepares once.
+pub struct InProcess;
+
+impl ExecBackend for InProcess {
+    fn name(&self) -> String {
+        "in-process".into()
+    }
+
+    fn worker_count(&self) -> usize {
+        1
+    }
+
+    fn execute(&self, ctx: &BackendContext<'_>, deliver: &Deliver<'_>) -> Result<(), EngineError> {
+        execute_shard(ctx.spec, ctx.registry, ctx.cache, 0, 1, &|ev| {
+            deliver(0, ev)
+        })
+        .map(|_| ())
+    }
+}
+
+/// Distribute the campaign over N worker **processes** on this machine.
+///
+/// Cells are partitioned deterministically by cache key
+/// ([`shard_of`]); each worker executes one shard cache-first against
+/// the shared on-disk cache and streams line-delimited JSON
+/// [`CampaignEvent`]s back over its stdout pipe. A shard whose worker
+/// fails — non-zero exit, torn or corrupt stream, missing `Done` — is
+/// **re-spawned once**: the retry runs cache-first, so cells the
+/// crashed worker already finished are served from the shared cache
+/// and only the remainder recomputes. Events the failed attempt
+/// already delivered are deduplicated by the campaign core (they are
+/// deterministic, so the retry's copies are identical).
+///
+/// Workers default to `current_exe()` + `sweep-worker` (correct when
+/// the embedding binary is the `stochdag` CLI); embedders point
+/// [`MultiProcess::launcher`] at a `stochdag` binary instead.
+pub struct MultiProcess {
+    workers: usize,
+    launcher: Option<(PathBuf, Vec<String>)>,
+}
+
+impl MultiProcess {
+    /// Backend spawning `workers` processes.
+    pub fn new(workers: usize) -> MultiProcess {
+        MultiProcess {
+            workers,
+            launcher: None,
+        }
+    }
+
+    /// Use `program args…` as the worker command instead of
+    /// `current_exe() sweep-worker`. The backend appends
+    /// `--spec-json PATH --shard I --of N` plus `--cache DIR` /
+    /// `--no-cache`.
+    pub fn launcher(mut self, program: impl Into<PathBuf>, args: Vec<String>) -> MultiProcess {
+        self.launcher = Some((program.into(), args));
+        self
+    }
+
+    fn spawn_worker(
+        &self,
+        ctx: &BackendContext<'_>,
+        spec_path: &std::path::Path,
+        shard: usize,
+    ) -> Result<Child, EngineError> {
+        let (program, base_args) = match &self.launcher {
+            Some((p, a)) => (p.clone(), a.clone()),
+            None => (
+                std::env::current_exe().map_err(|e| EngineError::io("locating own binary", e))?,
+                vec!["sweep-worker".to_string()],
+            ),
+        };
+        let mut cmd = Command::new(program);
+        cmd.args(base_args)
+            .arg("--spec-json")
+            .arg(spec_path)
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--of")
+            .arg(self.workers.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        match ctx.cache.disk_dir() {
+            Some(dir) => {
+                cmd.arg("--cache").arg(dir);
+            }
+            None => {
+                cmd.arg("--no-cache");
+            }
+        }
+        cmd.spawn()
+            .map_err(|e| EngineError::worker(shard, format!("spawning sweep worker: {e}")))
+    }
+
+    /// Run one wave of workers over `shards`; returns the shards that
+    /// failed, each with a description. Worker `Error` events are
+    /// converted into failures (not delivered) so a retried shard does
+    /// not abort the merge.
+    fn run_wave(
+        &self,
+        ctx: &BackendContext<'_>,
+        deliver: &Deliver<'_>,
+        spec_path: &std::path::Path,
+        shards: &[usize],
+    ) -> Result<Vec<(usize, String)>, EngineError> {
+        let mut children: Vec<(usize, Child)> = Vec::with_capacity(shards.len());
+        for &shard in shards {
+            match self.spawn_worker(ctx, spec_path, shard) {
+                Ok(child) => children.push((shard, child)),
+                Err(e) => {
+                    // Don't leave earlier workers running against a
+                    // campaign that will never be merged.
+                    for (_, mut c) in children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let deliver_error: Mutex<Option<EngineError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for (shard, child) in children.iter_mut() {
+                let shard = *shard;
+                let stdout = child.stdout.take().expect("stdout piped");
+                let failures = &failures;
+                let deliver_error = &deliver_error;
+                scope.spawn(move || {
+                    // After a corrupt line the stream is untrusted, but
+                    // it is still drained to EOF: closing the pipe
+                    // early would kill a live worker mid-write (EPIPE)
+                    // instead of letting it finish — its results are in
+                    // the shared cache regardless.
+                    let mut saw_done = false;
+                    let mut fail: Option<String> = None;
+                    for line in std::io::BufReader::new(stdout).lines() {
+                        let Ok(line) = line else {
+                            fail.get_or_insert("stream broke mid-read".into());
+                            break;
+                        };
+                        if fail.is_some() {
+                            continue;
+                        }
+                        match decode_event(&line) {
+                            Err(e) => {
+                                fail = Some(e);
+                            }
+                            Ok(CampaignEvent::Error { message }) => {
+                                fail = Some(message);
+                            }
+                            Ok(ev) => {
+                                saw_done |= matches!(ev, CampaignEvent::Done { .. });
+                                if let Err(e) = deliver(shard, ev) {
+                                    deliver_error
+                                        .lock()
+                                        .expect("deliver error slot")
+                                        .get_or_insert(e);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    if fail.is_none() && !saw_done {
+                        fail = Some("stream ended before its done event".into());
+                    }
+                    if let Some(f) = fail {
+                        failures.lock().expect("failure list").push((shard, f));
+                    }
+                });
+            }
+        });
+        let mut failures = failures.into_inner().expect("failure list");
+        for (shard, mut child) in children {
+            match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => {
+                    if !failures.iter().any(|(s, _)| *s == shard) {
+                        failures.push((shard, format!("exited with {status}")));
+                    }
+                }
+                Err(e) => failures.push((shard, format!("wait failed: {e}"))),
+            }
+        }
+        if let Some(e) = deliver_error.into_inner().expect("deliver error slot") {
+            return Err(e);
+        }
+        failures.sort_by_key(|(s, _)| *s);
+        failures.dedup_by_key(|(s, _)| *s);
+        Ok(failures)
+    }
+}
+
+impl ExecBackend for MultiProcess {
+    fn name(&self) -> String {
+        format!("multi-process ({} workers)", self.workers)
+    }
+
+    fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    fn execute(&self, ctx: &BackendContext<'_>, deliver: &Deliver<'_>) -> Result<(), EngineError> {
+        if self.workers == 0 {
+            return Err(EngineError::spec("worker count must be positive"));
+        }
+        // Hand the spec to the workers as a temp JSON file — they
+        // re-derive the identical cell partition from it. Without an
+        // explicit --jobs, split the machine's cores across the worker
+        // processes (an uncapped worker would build a full-size thread
+        // pool, oversubscribing the host N-fold); with --jobs J, the
+        // cap is per worker. Either way results are identical — the
+        // thread count cannot change any value.
+        let mut worker_spec = ctx.spec.clone();
+        if worker_spec.jobs.is_none() {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            worker_spec.jobs = Some((cores / self.workers).max(1));
+        }
+        // Named by (pid, campaign counter) — not spec.name, which is
+        // user-controlled and may contain path separators. The counter
+        // matters for embedders: two concurrent `Campaign::run()`s in
+        // one process must not clobber (or delete) each other's spec.
+        static SPEC_SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let spec_path = std::env::temp_dir().join(format!(
+            "stochdag-spec-{}-{}.json",
+            std::process::id(),
+            SPEC_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::write(&spec_path, serde::json::to_string(&worker_spec)).map_err(|e| {
+            EngineError::io(format!("writing worker spec {}", spec_path.display()), e)
+        })?;
+        let result = (|| {
+            let first = self.run_wave(
+                ctx,
+                deliver,
+                &spec_path,
+                &(0..self.workers).collect::<Vec<_>>(),
+            )?;
+            if first.is_empty() {
+                return Ok(());
+            }
+            // Single retry, cache-first: cells the crashed worker
+            // already finished are served from the shared cache.
+            for (shard, why) in &first {
+                eprintln!("sweep worker {shard} failed ({why}); retrying its shard once");
+            }
+            let retry_shards: Vec<usize> = first.iter().map(|(s, _)| *s).collect();
+            let second = self.run_wave(ctx, deliver, &spec_path, &retry_shards)?;
+            match second.into_iter().next() {
+                None => Ok(()),
+                Some((shard, why)) => Err(EngineError::worker(
+                    shard,
+                    format!("shard failed twice (last: {why})"),
+                )),
+            }
+        })();
+        let _ = std::fs::remove_file(&spec_path);
+        result
+    }
+}
+
+/// Merges a campaign's event stream: per-shard bookkeeping, row
+/// re-sequencing into the sinks, first-error capture, and the
+/// completeness checks that make backend outputs interchangeable.
+///
+/// `dedup` mode (the [`Campaign`] core) tolerates a shard delivering
+/// events twice — what a [`MultiProcess`] retry produces — by keeping
+/// the first copy of every cell and counting each shard's totals once.
+/// Strict mode (the legacy [`crate::coordinate`]) treats any repeat as
+/// a protocol violation.
+pub(crate) struct Merge {
+    dedup: bool,
+    reorder: Reorderer,
+    rows: Vec<SweepRow>,
+    hellos: usize,
+    dones: usize,
+    hello_shards: BTreeMap<usize, (usize, usize)>,
+    done_shards: BTreeSet<usize>,
+    seen_cells: HashSet<usize>,
+    refs_seen: BTreeMap<usize, usize>,
+    total_cells: usize,
+    total_refs: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    first_error: Option<EngineError>,
+}
+
+impl Merge {
+    pub(crate) fn new(dedup: bool) -> Merge {
+        Merge {
+            dedup,
+            reorder: Reorderer::new(),
+            rows: Vec::new(),
+            hellos: 0,
+            dones: 0,
+            hello_shards: BTreeMap::new(),
+            done_shards: BTreeSet::new(),
+            seen_cells: HashSet::new(),
+            refs_seen: BTreeMap::new(),
+            total_cells: 0,
+            total_refs: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            first_error: None,
+        }
+    }
+
+    pub(crate) fn record_error(&mut self, e: EngineError) {
+        self.first_error.get_or_insert(e);
+    }
+
+    pub(crate) fn has_error(&self) -> bool {
+        self.first_error.is_some()
+    }
+
+    /// Dedup gate (dedup mode only): returns `true` when this event
+    /// re-delivers something already merged — a retried shard's
+    /// duplicate — so neither observers (progress counters!) nor the
+    /// row pipeline see it twice. References carry no index, so they
+    /// are capped at the count the shard's `Hello` announced.
+    pub(crate) fn is_duplicate(&mut self, source: usize, event: &CampaignEvent) -> bool {
+        if !self.dedup {
+            return false;
+        }
+        match event {
+            CampaignEvent::Hello { shard, .. } => self.hello_shards.contains_key(shard),
+            CampaignEvent::Reference { .. } => {
+                let cap = self
+                    .hello_shards
+                    .get(&source)
+                    .map_or(usize::MAX, |&(_, refs)| refs);
+                let seen = self.refs_seen.entry(source).or_insert(0);
+                if *seen >= cap {
+                    true
+                } else {
+                    *seen += 1;
+                    false
+                }
+            }
+            CampaignEvent::Cell { index, .. } => self.seen_cells.contains(index),
+            CampaignEvent::Done { .. } => self.done_shards.contains(&source),
+            CampaignEvent::Error { .. } => false,
+        }
+    }
+
+    pub(crate) fn observe(
+        &mut self,
+        source: usize,
+        event: CampaignEvent,
+        sinks: &mut [&mut dyn ResultSink],
+    ) {
+        match event {
+            CampaignEvent::Hello {
+                shard,
+                cells,
+                references,
+                ..
+            } => {
+                self.hellos += 1;
+                if self.dedup {
+                    // A retried shard re-announces identical totals;
+                    // count each shard once.
+                    self.hello_shards
+                        .entry(shard)
+                        .or_insert((cells, references));
+                } else {
+                    self.total_cells += cells;
+                    self.total_refs += references;
+                }
+            }
+            CampaignEvent::Reference { .. } => {}
+            CampaignEvent::Cell { index, row, .. } => {
+                if self.dedup && !self.seen_cells.insert(index) {
+                    return;
+                }
+                let rows = &mut self.rows;
+                let mut failed_cell: Option<String> = None;
+                let emit_result = self.reorder.push(index, row, |r| {
+                    // Collect first: a sink failure aborts the sweep
+                    // with an error, but the row set stays complete.
+                    rows.push(r.clone());
+                    for sink in sinks.iter_mut() {
+                        if let Err(e) = sink.row(r) {
+                            failed_cell =
+                                Some(format!("{} / {} / {}", r.dag, r.model, r.estimator));
+                            return Err(e);
+                        }
+                    }
+                    Ok(())
+                });
+                if let Err(e) = emit_result {
+                    self.first_error
+                        .get_or_insert(EngineError::sink(failed_cell, format!("sink row: {e}")));
+                }
+            }
+            CampaignEvent::Done { hits, misses, .. } => {
+                self.dones += 1;
+                if !self.dedup || self.done_shards.insert(source) {
+                    self.cache_hits += hits;
+                    self.cache_misses += misses;
+                }
+            }
+            CampaignEvent::Error { message } => {
+                self.first_error
+                    .get_or_insert(EngineError::worker(source, message));
+            }
+        }
+    }
+
+    /// Final completeness checks; on success returns
+    /// `(cells, references, cache_hits, cache_misses)`.
+    pub(crate) fn finalize(
+        mut self,
+        expected_workers: usize,
+    ) -> Result<(Vec<SweepRow>, usize, usize, usize, usize), EngineError> {
+        if let Some(e) = self.first_error.take() {
+            return Err(e);
+        }
+        let (started, completed) = if self.dedup {
+            (self.hello_shards.len(), self.done_shards.len())
+        } else {
+            (self.hellos, self.dones)
+        };
+        if started != expected_workers || completed != expected_workers {
+            return Err(EngineError::worker(
+                None,
+                format!(
+                    "only {completed} of {expected_workers} worker(s) completed their shard \
+                     ({started} started) — a worker crashed or was killed"
+                ),
+            ));
+        }
+        if self.dedup {
+            self.total_cells = self.hello_shards.values().map(|&(c, _)| c).sum();
+            self.total_refs = self.hello_shards.values().map(|&(_, r)| r).sum();
+        }
+        if self.reorder.pending() != 0 || self.rows.len() != self.total_cells {
+            return Err(EngineError::worker(
+                None,
+                format!(
+                    "merged {} of {} announced cells ({} out-of-sequence) — \
+                     shards overlapped or dropped cells",
+                    self.rows.len(),
+                    self.total_cells,
+                    self.reorder.pending()
+                ),
+            ));
+        }
+        Ok((
+            self.rows,
+            self.total_cells,
+            self.total_refs,
+            self.cache_hits,
+            self.cache_misses,
+        ))
+    }
+}
+
+/// One concrete DAG instance in a [`DryRun`] report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DryRunInstance {
+    /// Instance id (e.g. `"lu:k=8"`).
+    pub id: String,
+    /// Task count.
+    pub tasks: usize,
+    /// Edge count.
+    pub edges: usize,
+}
+
+/// What a campaign *would* execute — the full expansion, without
+/// running (or probing) anything. See [`Campaign::dry_run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DryRun {
+    /// Campaign name.
+    pub name: String,
+    /// Backend description.
+    pub backend: String,
+    /// Canonical estimator ids, in spec order.
+    pub estimators: Vec<String>,
+    /// Materialized DAG instances, in spec order.
+    pub instances: Vec<DryRunInstance>,
+    /// Failure models per instance.
+    pub models: usize,
+    /// Total estimator cells.
+    pub cells: usize,
+    /// Monte-Carlo reference scenarios.
+    pub references: usize,
+    /// Cells each shard would own under the backend's worker count.
+    pub shard_cells: Vec<usize>,
+}
+
+/// A fully-configured campaign: the one handle behind `sweep`-style
+/// executions, resume reports, and dry runs (see the
+/// crate docs and [`Campaign::builder`]).
+pub struct Campaign {
+    spec: SweepSpec,
+    registry: EstimatorRegistry,
+    cache: Arc<ResultCache>,
+    backend: Box<dyn ExecBackend>,
+    sinks: Vec<Box<dyn ResultSink>>,
+    observers: Vec<Box<dyn CampaignObserver>>,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("spec", &self.spec.name)
+            .field("backend", &self.backend.name())
+            .field("sinks", &self.sinks.len())
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl Campaign {
+    /// Start configuring a campaign for `spec`. Defaults: the standard
+    /// registry, an in-memory cache, the [`InProcess`] backend, no
+    /// sinks, no observers.
+    pub fn builder(spec: SweepSpec) -> CampaignBuilder {
+        CampaignBuilder {
+            spec,
+            registry: EstimatorRegistry::standard(),
+            cache: Arc::new(ResultCache::in_memory()),
+            backend: Box::new(InProcess),
+            sinks: Vec::new(),
+            observers: Vec::new(),
+            jobs: None,
+        }
+    }
+
+    /// The campaign's validated spec.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// The campaign's result cache (e.g. for a post-run
+    /// [`ResultCache::gc_disk`]).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Execute every cell on the configured backend, streaming ordered
+    /// rows into the sinks and raw events into the observers.
+    pub fn run(self) -> Result<SweepOutcome, EngineError> {
+        let Campaign {
+            spec,
+            registry,
+            cache,
+            backend,
+            mut sinks,
+            mut observers,
+        } = self;
+        let mut sink_refs: Vec<&mut dyn ResultSink> = sinks
+            .iter_mut()
+            .map(|b| &mut **b as &mut dyn ResultSink)
+            .collect();
+        Campaign::run_borrowed(
+            &spec,
+            &registry,
+            &cache,
+            backend.as_ref(),
+            &mut observers,
+            &mut sink_refs,
+        )
+    }
+
+    /// Diff the spec against the cache — per-estimator and per-shard
+    /// hit/miss counts under the configured backend's worker count —
+    /// without computing anything or perturbing the cache.
+    pub fn resume_report(&self) -> Result<ResumeReport, EngineError> {
+        resume_report_impl(
+            &self.spec,
+            &self.registry,
+            &self.cache,
+            self.backend.worker_count(),
+        )
+    }
+
+    /// Expand the campaign — instances, models, estimators, cell and
+    /// reference counts, per-shard cell loads — without executing or
+    /// probing anything.
+    pub fn dry_run(&self) -> Result<DryRun, EngineError> {
+        let Expansion {
+            estimator_ids,
+            instances,
+            models,
+            ..
+        } = expand(&self.spec, &self.registry)?;
+        let shard_count = self.backend.worker_count().max(1);
+        let e_count = estimator_ids.len();
+        let hashes: Vec<u128> = instances.iter().map(|i| structural_hash(&i.dag)).collect();
+        let mut shard_cells = vec![0usize; shard_count];
+        for (i, inst_models) in models.iter().enumerate() {
+            for (model, _) in inst_models {
+                for (_, canonical) in &estimator_ids {
+                    let seed = derive_seed(self.spec.seed, hashes[i], model.lambda, canonical);
+                    let key = cell_key(hashes[i], model.lambda, canonical, seed);
+                    shard_cells[shard_of(&key, shard_count)] += 1;
+                }
+            }
+        }
+        let m_count = self.spec.pfails.len() + self.spec.lambdas.len();
+        Ok(DryRun {
+            name: self.spec.name.clone(),
+            backend: self.backend.name(),
+            estimators: estimator_ids.into_iter().map(|(_, id)| id).collect(),
+            instances: instances
+                .iter()
+                .map(|i| DryRunInstance {
+                    id: i.id.clone(),
+                    tasks: i.dag.node_count(),
+                    edges: i.dag.edge_count(),
+                })
+                .collect(),
+            models: m_count,
+            cells: instances.len() * m_count * e_count,
+            references: instances.len() * m_count,
+            shard_cells,
+        })
+    }
+
+    /// Execute one shard of the campaign in this process (the worker
+    /// half of a distributed run): events go to the configured
+    /// observers — a worker process attaches a
+    /// [`WireObserver`](crate::WireObserver) on stdout — and rows
+    /// cross back to the coordinator as events, so sinks are not fed.
+    pub fn run_shard(
+        mut self,
+        shard: usize,
+        shard_count: usize,
+    ) -> Result<ShardOutcome, EngineError> {
+        let observers = Mutex::new(std::mem::take(&mut self.observers));
+        let result = execute_shard(
+            &self.spec,
+            &self.registry,
+            &self.cache,
+            shard,
+            shard_count,
+            &|ev| {
+                let mut observers = observers.lock().expect("observer list");
+                for o in observers.iter_mut() {
+                    o.on_event(&ev)?;
+                }
+                Ok(())
+            },
+        );
+        for o in observers.into_inner().expect("observer list").iter_mut() {
+            let _ = o.on_finish();
+        }
+        result
+    }
+
+    /// The engine room shared by [`Campaign::run`] and the deprecated
+    /// [`crate::run_sweep`] wrapper (which still borrows its sinks).
+    pub(crate) fn run_borrowed(
+        spec: &SweepSpec,
+        registry: &EstimatorRegistry,
+        cache: &ResultCache,
+        backend: &dyn ExecBackend,
+        observers: &mut [Box<dyn CampaignObserver>],
+        sinks: &mut [&mut dyn ResultSink],
+    ) -> Result<SweepOutcome, EngineError> {
+        let start = Instant::now();
+        spec.validate()?;
+        let expected = backend.worker_count();
+        if expected == 0 {
+            return Err(EngineError::spec("backend needs at least one worker"));
+        }
+        for sink in sinks.iter_mut() {
+            sink.begin()
+                .map_err(|e| EngineError::sink(None, format!("sink begin: {e}")))?;
+        }
+        let mut merge = Merge::new(true);
+        let (tx, rx) = mpsc::channel::<(usize, CampaignEvent)>();
+        let ctx = BackendContext {
+            spec,
+            registry,
+            cache,
+        };
+        let backend_result = std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                let deliver = move |source: usize, ev: CampaignEvent| {
+                    tx.send((source, ev))
+                        .map_err(|_| EngineError::worker(None, "event channel closed"))
+                };
+                backend.execute(&ctx, &deliver)
+            });
+            for (source, event) in rx {
+                // After the first error (a sink or observer failure)
+                // the campaign's fate is sealed: stop dispatching to
+                // observers and sinks and just drain the channel. The
+                // backend cannot be cancelled mid-cell — completed
+                // cells still land in the shared cache — but no
+                // further downstream work happens.
+                if merge.has_error() {
+                    continue;
+                }
+                // A retried shard re-delivers events its crashed
+                // attempt already sent; drop them before observers so
+                // progress counters and custom monitors stay exact.
+                if merge.is_duplicate(source, &event) {
+                    continue;
+                }
+                for obs in observers.iter_mut() {
+                    if let Err(e) = obs.on_event(&event) {
+                        merge.record_error(e);
+                    }
+                }
+                merge.observe(source, event, sinks);
+            }
+            handle.join().expect("backend thread panicked")
+        });
+        for obs in observers.iter_mut() {
+            if let Err(e) = obs.on_finish() {
+                merge.record_error(e);
+            }
+        }
+        backend_result?;
+        let (rows, cells, _refs, cache_hits, cache_misses) = merge.finalize(expected)?;
+        let summary = summarize(&rows);
+        for sink in sinks.iter_mut() {
+            sink.summary(&summary)
+                .and_then(|()| sink.finish())
+                .map_err(|e| EngineError::sink(None, format!("sink summary: {e}")))?;
+        }
+        Ok(SweepOutcome {
+            cells,
+            // Worker hellos count a reference scenario once per shard
+            // that needs it; report the deduplicated campaign total
+            // (every scenario has exactly one cell per estimator, so
+            // the unique count falls out of the merged cell count).
+            references: cells / spec.estimators.len().max(1),
+            cache_hits,
+            cache_misses,
+            wall: start.elapsed(),
+            rows,
+            summary,
+        })
+    }
+}
+
+/// Configures a [`Campaign`] (see [`Campaign::builder`]).
+pub struct CampaignBuilder {
+    spec: SweepSpec,
+    registry: EstimatorRegistry,
+    cache: Arc<ResultCache>,
+    backend: Box<dyn ExecBackend>,
+    sinks: Vec<Box<dyn ResultSink>>,
+    observers: Vec<Box<dyn CampaignObserver>>,
+    jobs: Option<usize>,
+}
+
+impl CampaignBuilder {
+    /// Replace the estimator registry (default: the standard one).
+    pub fn registry(mut self, registry: EstimatorRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Use this result cache (an owned [`ResultCache`] or a shared
+    /// `Arc<ResultCache>` — pass a clone of the `Arc` to keep a handle
+    /// for post-run maintenance like [`ResultCache::gc_disk`]).
+    pub fn cache(mut self, cache: impl Into<Arc<ResultCache>>) -> Self {
+        self.cache = cache.into();
+        self
+    }
+
+    /// Select the execution backend (default: [`InProcess`]).
+    pub fn backend(mut self, backend: impl ExecBackend + 'static) -> Self {
+        self.backend = Box::new(backend);
+        self
+    }
+
+    /// Cap the campaign's worker threads (overrides the spec's `jobs`;
+    /// results are identical at any setting).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// Attach an ordered row consumer (every sink receives every row,
+    /// in deterministic cell order).
+    pub fn sink(mut self, sink: impl ResultSink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Subscribe a completion-order event observer.
+    pub fn observer(mut self, observer: impl CampaignObserver + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Render progress (counters, throughput, cache-hit rate, ETA) to
+    /// stderr in the given mode — shorthand for subscribing a
+    /// [`ProgressReporter`].
+    pub fn progress(self, mode: ProgressMode) -> Self {
+        self.observer(ProgressReporter::new(mode, Box::new(std::io::stderr())))
+    }
+
+    /// Validate the configuration and produce the campaign handle.
+    /// Spec problems (empty axes, bad estimator knobs, `jobs = 0`)
+    /// fail here, before any filesystem or process work.
+    pub fn build(self) -> Result<Campaign, EngineError> {
+        let CampaignBuilder {
+            mut spec,
+            registry,
+            cache,
+            backend,
+            sinks,
+            observers,
+            jobs,
+        } = self;
+        if let Some(jobs) = jobs {
+            spec.jobs = Some(jobs);
+        }
+        spec.validate()?;
+        for est in &spec.estimators {
+            registry.build(est, 0)?; // constructors are cheap; reject bad knobs now
+        }
+        if backend.worker_count() == 0 {
+            return Err(EngineError::spec("backend needs at least one worker"));
+        }
+        Ok(Campaign {
+            spec,
+            registry,
+            cache,
+            backend,
+            sinks,
+            observers,
+        })
+    }
+}

@@ -3,27 +3,30 @@
 //! The paper's evaluation is a *campaign*: estimator accuracy measured
 //! over grids of (DAG family, size, failure probability) against a
 //! Monte-Carlo ground truth. This crate turns that pattern into a
-//! declarative, parallel, cached subsystem:
+//! declarative, parallel, cached subsystem behind **one facade**:
 //!
-//! * [`EstimatorRegistry`] — every estimator in `stochdag-core` behind
-//!   an object-safe, name-addressable handle (`"first-order"`,
-//!   `"dodin:64"`, `"mc:10000"`, …).
-//! * [`SweepSpec`] — the Cartesian product of DAG sources × failure
-//!   models × estimators, loadable from TOML or JSON.
-//! * [`run_sweep`] — a work-stealing parallel executor with
-//!   deterministic per-cell seeding and a content-addressed
-//!   [`ResultCache`] (in-memory + on-disk), so repeated or resumed
-//!   campaigns skip every finished cell.
-//! * [`CsvSink`] / [`JsonlSink`] — streaming sinks fed in
-//!   deterministic order with relative-error-vs-MC rows and a
-//!   per-estimator summary; re-runs produce byte-identical files.
+//! * [`Campaign`] — build with [`Campaign::builder`], configure
+//!   typed estimators ([`EstimatorSpec`]), a content-addressed
+//!   [`ResultCache`], streaming sinks, observers, and an execution
+//!   [`ExecBackend`]; then [`run`](Campaign::run),
+//!   [`resume_report`](Campaign::resume_report), or
+//!   [`dry_run`](Campaign::dry_run).
+//! * [`ExecBackend`] — where cells execute: [`InProcess`]
+//!   (work-stealing threads) or [`MultiProcess`] (N worker processes
+//!   sharing the on-disk cache, crashed shards retried once); the
+//!   trait is the seam where a cross-host backend slots in.
+//! * [`CampaignObserver`] — one event-subscription API for progress
+//!   ([`ProgressReporter`]), custom monitors, and the distributed wire
+//!   protocol ([`CampaignEvent`] + [`WireObserver`]).
+//! * [`CsvSink`] / [`JsonlSink`] — ordered streaming sinks; re-runs
+//!   and every backend produce byte-identical files.
+//! * Structured [`EngineError`]s throughout (spec, I/O with paths,
+//!   cache, worker, sink-with-cell variants).
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use stochdag_engine::{
-//!     run_sweep, EstimatorRegistry, ResultCache, ResultSink, SweepSpec, VecSink,
-//! };
+//! use stochdag_engine::{Campaign, SweepSpec, VecSink};
 //!
 //! let spec = SweepSpec::from_str_auto(r#"
 //!     name = "doc"
@@ -35,40 +38,43 @@
 //!     ks = [2]
 //! "#).unwrap();
 //!
-//! let registry = EstimatorRegistry::standard();
-//! let cache = ResultCache::in_memory();
-//! let mut sink = VecSink::default();
-//! let outcome = {
-//!     let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut sink];
-//!     run_sweep(&spec, &registry, &cache, &mut sinks).unwrap()
-//! };
+//! let outcome = Campaign::builder(spec.clone())
+//!     .sink(VecSink::default())
+//!     .build().unwrap()
+//!     .run().unwrap();
 //! assert_eq!(outcome.cells, 2); // 1 DAG × 1 pfail × 2 estimators
 //! assert!(outcome.rows.iter().all(|r| r.rel_error.abs() < 0.2));
 //!
-//! // Re-running the same spec is served entirely from the cache.
-//! let again = {
-//!     let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-//!     run_sweep(&spec, &registry, &cache, &mut sinks).unwrap()
-//! };
+//! // Campaigns sharing a cache skip every finished cell; with the
+//! // default in-memory cache each run is independent, so share one:
+//! use std::sync::Arc;
+//! use stochdag_engine::ResultCache;
+//! let cache = Arc::new(ResultCache::in_memory());
+//! let first = Campaign::builder(spec.clone()).cache(cache.clone())
+//!     .build().unwrap().run().unwrap();
+//! let again = Campaign::builder(spec).cache(cache.clone())
+//!     .build().unwrap().run().unwrap();
 //! assert!(again.fully_cached());
-//! assert_eq!(again.rows, outcome.rows);
+//! assert_eq!(again.rows, first.rows);
 //! ```
-
 //!
 //! ## Distributed campaigns
 //!
-//! Cells can also be executed by **multiple worker processes** sharing
-//! one on-disk cache: [`shard_of`] deterministically partitions the
-//! cell list by cache key, [`run_shard`] executes one shard and streams
-//! [`WorkerEvent`]s (line-delimited JSON), and [`coordinate`] merges
-//! the event streams back into ordered sink output that is
-//! byte-identical to a single-process run over the same cache — with
-//! live progress/ETA rendered by a [`ProgressReporter`]. See the
-//! [`shard`](crate::shard_of) and [`protocol`](crate::WorkerEvent)
-//! docs; the `stochdag sweep --workers N` CLI drives the whole loop.
+//! Swap the backend and nothing else changes: [`MultiProcess`] spawns
+//! N `sweep-worker` processes sharing one on-disk cache, cells are
+//! partitioned deterministically by cache key ([`shard_of`]), workers
+//! stream line-delimited JSON [`CampaignEvent`]s back over their
+//! stdout pipes, and the campaign core merges the streams into sink
+//! output **byte-identical** to an [`InProcess`] run over the same
+//! cache — with live progress/ETA from a [`ProgressReporter`] and
+//! single-retry of crashed shards. The `stochdag sweep --workers N`
+//! CLI is a thin shell over exactly this.
 
 mod cache;
+mod campaign;
+mod error;
 mod keys;
+mod observer;
 mod progress;
 mod protocol;
 mod registry;
@@ -78,16 +84,31 @@ mod sink;
 mod spec;
 
 pub use cache::{cell_key, CacheGcStats, ResultCache};
-pub use keys::StableHasher;
-pub use progress::{ProgressMode, ProgressReporter};
-pub use protocol::{decode_event, encode_event, WorkerEvent};
-pub use registry::{BuildContext, EstimatorRegistry};
-pub use runner::{
-    resume_report, run_sweep, sharded_resume_report, ResumeEstimatorReport, ResumeReport,
-    ShardCoverage, SweepOutcome,
+pub use campaign::{
+    BackendContext, Campaign, CampaignBuilder, Deliver, DryRun, DryRunInstance, ExecBackend,
+    InProcess, MultiProcess,
 };
-pub use shard::{coordinate, run_shard, shard_of, ShardOutcome};
+pub use error::EngineError;
+pub use keys::StableHasher;
+pub use observer::{CampaignObserver, FnObserver};
+pub use progress::{ProgressMode, ProgressReporter};
+pub use protocol::{decode_event, encode_event, CampaignEvent, WireObserver};
+pub use registry::EstimatorRegistry;
+pub use runner::{ResumeEstimatorReport, ResumeReport, ShardCoverage, SweepOutcome};
+pub use shard::{shard_of, ShardOutcome};
 pub use sink::{
     summarize, CsvSink, JsonlSink, Reorderer, ResultSink, SummaryRow, SweepRow, VecSink,
 };
 pub use spec::{parse_toml, DagInstance, DagSpec, SweepSpec};
+// Re-exported so embedders can construct typed specs without adding a
+// stochdag-core dependency.
+pub use stochdag_core::EstimatorSpec;
+
+// Deprecated legacy entry points, kept as thin wrappers for one
+// release (see the README's migration notes).
+#[allow(deprecated)]
+pub use protocol::WorkerEvent;
+#[allow(deprecated)]
+pub use runner::{resume_report, run_sweep, sharded_resume_report};
+#[allow(deprecated)]
+pub use shard::{coordinate, run_shard};

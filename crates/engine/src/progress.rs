@@ -1,7 +1,7 @@
 //! Live campaign progress, fed from the worker event stream.
 //!
 //! The coordinator owns the only terminal, so progress is rendered
-//! coordinator-side from the same [`WorkerEvent`]s it merges anyway:
+//! coordinator-side from the same [`CampaignEvent`]s it merges anyway:
 //! per-cell counters, throughput (cells/sec), cache-hit rate, and an
 //! ETA extrapolated from the observed rate. Three render modes keep CI
 //! logs clean (`--progress=none|plain|live`):
@@ -17,7 +17,7 @@
 //! passes stderr, so stdout stays machine-readable); rendering is
 //! advisory and never fails the sweep — write errors are ignored.
 
-use crate::protocol::WorkerEvent;
+use crate::protocol::CampaignEvent;
 use std::io::Write;
 use std::time::Instant;
 
@@ -44,7 +44,7 @@ impl ProgressMode {
     }
 }
 
-/// Renders campaign progress from observed [`WorkerEvent`]s.
+/// Renders campaign progress from observed [`CampaignEvent`]s.
 pub struct ProgressReporter {
     mode: ProgressMode,
     out: Box<dyn Write + Send>,
@@ -90,26 +90,26 @@ impl ProgressReporter {
     }
 
     /// Fold one worker event into the counters and maybe re-render.
-    pub fn observe(&mut self, event: &WorkerEvent) {
+    pub fn observe(&mut self, event: &CampaignEvent) {
         match event {
-            WorkerEvent::Hello {
+            CampaignEvent::Hello {
                 cells, references, ..
             } => {
                 self.workers += 1;
                 self.total_cells += cells;
                 self.total_refs += references;
             }
-            WorkerEvent::Reference { cached } => {
+            CampaignEvent::Reference { cached } => {
                 self.done_refs += 1;
                 self.lookups += 1;
                 self.cache_hits += usize::from(*cached);
             }
-            WorkerEvent::Cell { cached, .. } => {
+            CampaignEvent::Cell { cached, .. } => {
                 self.done_cells += 1;
                 self.lookups += 1;
                 self.cache_hits += usize::from(*cached);
             }
-            WorkerEvent::Done { .. } | WorkerEvent::Error { .. } => {}
+            CampaignEvent::Done { .. } | CampaignEvent::Error { .. } => {}
         }
         self.render(false);
     }
@@ -208,6 +208,23 @@ impl ProgressReporter {
     }
 }
 
+impl crate::observer::CampaignObserver for ProgressReporter {
+    /// Progress is an ordinary event subscriber: attach one with
+    /// [`CampaignBuilder::progress`](crate::CampaignBuilder::progress)
+    /// (or `observer(...)`) and it renders from the same stream every
+    /// other observer sees. Rendering is advisory — it never fails the
+    /// campaign.
+    fn on_event(&mut self, event: &CampaignEvent) -> Result<(), crate::EngineError> {
+        self.observe(event);
+        Ok(())
+    }
+
+    fn on_finish(&mut self) -> Result<(), crate::EngineError> {
+        self.finish();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,15 +250,15 @@ mod tests {
     }
 
     fn feed(reporter: &mut ProgressReporter, cells: usize) {
-        reporter.observe(&WorkerEvent::Hello {
+        reporter.observe(&CampaignEvent::Hello {
             shard: 0,
             shard_count: 1,
             cells,
             references: 1,
         });
-        reporter.observe(&WorkerEvent::Reference { cached: false });
+        reporter.observe(&CampaignEvent::Reference { cached: false });
         for i in 0..cells {
-            reporter.observe(&WorkerEvent::Cell {
+            reporter.observe(&CampaignEvent::Cell {
                 index: i,
                 cached: i % 2 == 0,
                 row: crate::sink::SweepRow {

@@ -23,12 +23,28 @@
 //! exact same CSV/JSONL a single-process run would — workers never
 //! touch the sink files.
 
+use crate::error::EngineError;
+use crate::observer::CampaignObserver;
 use crate::sink::SweepRow;
 use serde::{Deserialize, Serialize, Value};
 
-/// One protocol event sent by a sweep worker (see module docs).
+/// Legacy name of [`CampaignEvent`], from when the type described only
+/// the distributed wire protocol.
+#[deprecated(since = "0.2.0", note = "renamed to CampaignEvent")]
+pub type WorkerEvent = CampaignEvent;
+
+/// One campaign progress event (see module docs).
+///
+/// This is the **single event vocabulary** of the engine: every
+/// execution backend ([`ExecBackend`](crate::ExecBackend)) reports its
+/// work through these events, every
+/// [`CampaignObserver`](crate::CampaignObserver) subscribes to them,
+/// and the distributed wire protocol is nothing but their
+/// line-delimited JSON encoding ([`encode_event`]/[`decode_event`]) —
+/// a worker process is an observer whose subscription happens to cross
+/// a pipe (see [`WireObserver`]).
 #[derive(Clone, Debug, PartialEq)]
-pub enum WorkerEvent {
+pub enum CampaignEvent {
     /// First event of a shard: the worker validated the spec and
     /// reports how much work it owns.
     Hello {
@@ -74,10 +90,10 @@ pub enum WorkerEvent {
     },
 }
 
-impl Serialize for WorkerEvent {
+impl Serialize for CampaignEvent {
     fn serialize(&self) -> Value {
         match self {
-            WorkerEvent::Hello {
+            CampaignEvent::Hello {
                 shard,
                 shard_count,
                 cells,
@@ -89,17 +105,17 @@ impl Serialize for WorkerEvent {
                 ("cells", cells.serialize()),
                 ("references", references.serialize()),
             ]),
-            WorkerEvent::Reference { cached } => Value::obj([
+            CampaignEvent::Reference { cached } => Value::obj([
                 ("event", Value::Str("reference".into())),
                 ("cached", cached.serialize()),
             ]),
-            WorkerEvent::Cell { index, cached, row } => Value::obj([
+            CampaignEvent::Cell { index, cached, row } => Value::obj([
                 ("event", Value::Str("cell".into())),
                 ("index", index.serialize()),
                 ("cached", cached.serialize()),
                 ("row", row.serialize()),
             ]),
-            WorkerEvent::Done {
+            CampaignEvent::Done {
                 hits,
                 misses,
                 wall_s,
@@ -109,7 +125,7 @@ impl Serialize for WorkerEvent {
                 ("misses", misses.serialize()),
                 ("wall_s", wall_s.serialize()),
             ]),
-            WorkerEvent::Error { message } => Value::obj([
+            CampaignEvent::Error { message } => Value::obj([
                 ("event", Value::Str("error".into())),
                 ("message", message.serialize()),
             ]),
@@ -117,30 +133,30 @@ impl Serialize for WorkerEvent {
     }
 }
 
-impl Deserialize for WorkerEvent {
-    fn deserialize(v: &Value) -> Result<WorkerEvent, serde::Error> {
+impl Deserialize for CampaignEvent {
+    fn deserialize(v: &Value) -> Result<CampaignEvent, serde::Error> {
         let tag = String::deserialize(v.require("event")?)?;
         match tag.as_str() {
-            "hello" => Ok(WorkerEvent::Hello {
+            "hello" => Ok(CampaignEvent::Hello {
                 shard: usize::deserialize(v.require("shard")?)?,
                 shard_count: usize::deserialize(v.require("shard_count")?)?,
                 cells: usize::deserialize(v.require("cells")?)?,
                 references: usize::deserialize(v.require("references")?)?,
             }),
-            "reference" => Ok(WorkerEvent::Reference {
+            "reference" => Ok(CampaignEvent::Reference {
                 cached: bool::deserialize(v.require("cached")?)?,
             }),
-            "cell" => Ok(WorkerEvent::Cell {
+            "cell" => Ok(CampaignEvent::Cell {
                 index: usize::deserialize(v.require("index")?)?,
                 cached: bool::deserialize(v.require("cached")?)?,
                 row: SweepRow::deserialize(v.require("row")?)?,
             }),
-            "done" => Ok(WorkerEvent::Done {
+            "done" => Ok(CampaignEvent::Done {
                 hits: usize::deserialize(v.require("hits")?)?,
                 misses: usize::deserialize(v.require("misses")?)?,
                 wall_s: f64::deserialize(v.require("wall_s")?)?,
             }),
-            "error" => Ok(WorkerEvent::Error {
+            "error" => Ok(CampaignEvent::Error {
                 message: String::deserialize(v.require("message")?)?,
             }),
             other => Err(serde::Error::new(format!("unknown worker event {other:?}"))),
@@ -149,16 +165,40 @@ impl Deserialize for WorkerEvent {
 }
 
 /// Encode an event as one protocol line (no trailing newline).
-pub fn encode_event(ev: &WorkerEvent) -> String {
+pub fn encode_event(ev: &CampaignEvent) -> String {
     serde::json::to_string(ev)
 }
 
 /// Decode one protocol line. Empty lines are a protocol violation (the
 /// writer never emits them), reported as an error with the offending
 /// text so a truncated or interleaved stream is diagnosable.
-pub fn decode_event(line: &str) -> Result<WorkerEvent, String> {
-    serde::json::from_str::<WorkerEvent>(line.trim_end())
+pub fn decode_event(line: &str) -> Result<CampaignEvent, String> {
+    serde::json::from_str::<CampaignEvent>(line.trim_end())
         .map_err(|e| format!("bad worker event {line:?}: {e}"))
+}
+
+/// A [`CampaignObserver`] that forwards every event as one encoded
+/// protocol line — the worker half of a distributed campaign. Each
+/// event is written and flushed immediately, so a coordinator reading
+/// the other end of the pipe can render live progress.
+pub struct WireObserver<W: std::io::Write + Send> {
+    w: W,
+}
+
+impl<W: std::io::Write + Send> WireObserver<W> {
+    /// Observer writing protocol lines to `w` (a worker passes its
+    /// locked stdout).
+    pub fn new(w: W) -> Self {
+        WireObserver { w }
+    }
+}
+
+impl<W: std::io::Write + Send> CampaignObserver for WireObserver<W> {
+    fn on_event(&mut self, event: &CampaignEvent) -> Result<(), EngineError> {
+        writeln!(self.w, "{}", encode_event(event))
+            .and_then(|()| self.w.flush())
+            .map_err(|e| EngineError::io("writing event to coordinator", e))
+    }
 }
 
 #[cfg(test)]
@@ -185,24 +225,24 @@ mod tests {
     #[test]
     fn every_event_round_trips() {
         let events = [
-            WorkerEvent::Hello {
+            CampaignEvent::Hello {
                 shard: 1,
                 shard_count: 4,
                 cells: 6,
                 references: 3,
             },
-            WorkerEvent::Reference { cached: true },
-            WorkerEvent::Cell {
+            CampaignEvent::Reference { cached: true },
+            CampaignEvent::Cell {
                 index: 17,
                 cached: false,
                 row: sample_row(),
             },
-            WorkerEvent::Done {
+            CampaignEvent::Done {
                 hits: 5,
                 misses: 4,
                 wall_s: 1.25,
             },
-            WorkerEvent::Error {
+            CampaignEvent::Error {
                 message: "disk on fire".into(),
             },
         ];

@@ -1,50 +1,31 @@
 //! Name-addressable estimator registry.
 //!
 //! Every estimator in `stochdag-core` behind an object-safe handle
-//! ([`BoxedEstimator`]), addressable by a *spec string*:
+//! ([`BoxedEstimator`](stochdag_core::BoxedEstimator)), addressed by a
+//! typed [`EstimatorSpec`]. The registry is the factory seam between a
+//! campaign's declarative spec and concrete estimator instances: the
+//! runner calls [`EstimatorRegistry::build`] once per
+//! (DAG × estimator) group with the cell's deterministic seed.
 //!
-//! | Spec | Estimator |
-//! |------|-----------|
-//! | `first-order` | [`FirstOrderEstimator::fast`] |
-//! | `first-order-naive` | [`FirstOrderEstimator::naive`] |
-//! | `second-order` | [`SecondOrderEstimator`] |
-//! | `sculli` | [`SculliEstimator`] |
-//! | `corlca` | [`CorLcaEstimator`] |
-//! | `normal-cov` | [`CovarianceNormalEstimator`] |
-//! | `dodin[:ATOMS]` | [`DodinEstimator::scalable`] (forward surrogate) |
-//! | `dodin-dup[:ATOMS]` | [`DodinEstimator::new`] (faithful duplication) |
-//! | `spelde[:PATHS]` | [`SpeldeEstimator`] |
-//! | `exact` | [`ExactEstimator`] (≤ 24 tasks) |
-//! | `mc[:TRIALS]` | [`MonteCarloEstimator`] (seeded per cell) |
-//!
-//! The optional `:arg` suffix carries the one numeric knob an estimator
-//! family exposes to sweeps. [`EstimatorRegistry::canonical_id`]
-//! normalizes a spec (filling in defaults) so cache keys are stable
-//! under spelling variations.
+//! String spellings (`"first-order"`, `"dodin:64"`, `"mc:10000"`)
+//! parse through [`EstimatorRegistry::parse`]; the canonical id —
+//! [`EstimatorSpec`]'s `Display`, defaults spelled out — is the
+//! identity used in cache keys and result rows, byte-compatible with
+//! the stringly-typed registry this one replaced.
 
+use crate::error::EngineError;
 use std::collections::BTreeMap;
 use stochdag_core::{
-    BoxedEstimator, CorLcaEstimator, CovarianceNormalEstimator, DodinEstimator, ExactEstimator,
-    FirstOrderEstimator, MonteCarloEstimator, SculliEstimator, SecondOrderEstimator,
-    SpeldeEstimator,
+    BoxedEstimator, CorLcaEstimator, CovarianceNormalEstimator, DodinEstimator, EstimatorSpec,
+    ExactEstimator, FirstOrderEstimator, MonteCarloEstimator, SculliEstimator,
+    SecondOrderEstimator, SpeldeEstimator,
 };
 
-/// Parameters available to an estimator builder.
-#[derive(Clone, Debug)]
-pub struct BuildContext {
-    /// Optional `:arg` from the spec string.
-    pub arg: Option<u64>,
-    /// Deterministic per-cell seed (used by statistical estimators).
-    pub seed: u64,
-}
-
-type Builder = fn(&BuildContext) -> Result<BoxedEstimator, String>;
+type Builder = fn(&EstimatorSpec, u64) -> BoxedEstimator;
 
 /// One registry entry.
 struct Entry {
     build: Builder,
-    /// Default value of the `:arg` knob, if the family has one.
-    default_arg: Option<u64>,
     about: &'static str,
 }
 
@@ -57,103 +38,74 @@ impl EstimatorRegistry {
     /// Registry with every estimator in `stochdag-core`.
     pub fn standard() -> EstimatorRegistry {
         let mut entries: BTreeMap<&'static str, Entry> = BTreeMap::new();
-        let mut add =
-            |name: &'static str, default_arg: Option<u64>, about: &'static str, build: Builder| {
-                entries.insert(
-                    name,
-                    Entry {
-                        build,
-                        default_arg,
-                        about,
-                    },
-                );
-            };
+        let mut add = |name: &'static str, about: &'static str, build: Builder| {
+            entries.insert(name, Entry { build, about });
+        };
         add(
             "first-order",
-            None,
             "the paper's O(V+E) first-order approximation",
-            |_| Ok(Box::new(FirstOrderEstimator::fast())),
+            |_, _| Box::new(FirstOrderEstimator::fast()),
         );
         add(
             "first-order-naive",
-            None,
             "first-order via per-task longest-path recomputation",
-            |_| Ok(Box::new(FirstOrderEstimator::naive())),
+            |_, _| Box::new(FirstOrderEstimator::naive()),
         );
         add(
             "second-order",
-            None,
             "O(lambda^2)-exact second-order extension",
-            |_| Ok(Box::new(SecondOrderEstimator)),
+            |_, _| Box::new(SecondOrderEstimator),
         );
         add(
             "sculli",
-            None,
             "Sculli's independent-normal propagation",
-            |_| Ok(Box::new(SculliEstimator)),
+            |_, _| Box::new(SculliEstimator),
         );
         add(
             "corlca",
-            None,
             "Canon-Jeannot canonical-ancestor correlation heuristic",
-            |_| Ok(Box::new(CorLcaEstimator)),
+            |_, _| Box::new(CorLcaEstimator),
         );
         add(
             "normal-cov",
-            None,
             "full covariance-propagating normal estimator",
-            |_| Ok(Box::new(CovarianceNormalEstimator)),
+            |_, _| Box::new(CovarianceNormalEstimator),
         );
         add(
             "dodin",
-            Some(128),
             "Dodin forward surrogate; arg = support-atom cap",
-            |ctx| {
-                Ok(Box::new(
-                    DodinEstimator::scalable().with_max_atoms(require_atoms(ctx)?),
-                ))
+            |spec, _| {
+                let atoms = spec.arg().expect("dodin has an atom cap");
+                Box::new(DodinEstimator::scalable().with_max_atoms(atoms))
             },
         );
         add(
             "dodin-dup",
-            Some(128),
             "faithful Dodin duplication engine; arg = support-atom cap",
-            |ctx| {
-                Ok(Box::new(
-                    DodinEstimator::new().with_max_atoms(require_atoms(ctx)?),
-                ))
+            |spec, _| {
+                let atoms = spec.arg().expect("dodin-dup has an atom cap");
+                Box::new(DodinEstimator::new().with_max_atoms(atoms))
             },
         );
         add(
             "spelde",
-            Some(16),
             "Spelde path-based bound; arg = number of dominant paths",
-            |ctx| {
-                let paths = ctx.arg.unwrap_or(16);
-                if paths == 0 {
-                    return Err("spelde needs at least one path".into());
-                }
-                Ok(Box::new(SpeldeEstimator::new(paths as usize)))
+            |spec, _| {
+                let paths = spec.arg().expect("spelde has a path count");
+                Box::new(SpeldeEstimator::new(paths))
             },
         );
         add(
             "exact",
-            None,
             "exhaustive 2-state oracle (<= 24 tasks)",
-            |_| Ok(Box::new(ExactEstimator)),
+            |_, _| Box::new(ExactEstimator),
         );
         add(
             "mc",
-            Some(10_000),
             "Monte Carlo with the cell's deterministic seed; arg = trials",
-            |ctx| {
-                let trials = ctx.arg.unwrap_or(10_000);
-                if trials == 0 {
-                    return Err("mc needs at least one trial".into());
-                }
-                Ok(Box::new(
-                    MonteCarloEstimator::new(trials as usize).with_seed(ctx.seed),
-                ))
+            |spec, seed| {
+                let trials = spec.arg().expect("mc has a trial count");
+                Box::new(MonteCarloEstimator::new(trials).with_seed(seed))
             },
         );
         EstimatorRegistry { entries }
@@ -169,64 +121,45 @@ impl EstimatorRegistry {
         self.entries.get(name).map(|e| e.about)
     }
 
-    /// Split a spec string into `(base, arg)`.
-    fn parse(spec: &str) -> Result<(&str, Option<u64>), String> {
-        match spec.split_once(':') {
-            None => Ok((spec, None)),
-            Some((base, arg)) => {
-                let n: u64 = arg
-                    .parse()
-                    .map_err(|_| format!("estimator spec {spec:?}: bad argument {arg:?}"))?;
-                Ok((base, Some(n)))
-            }
-        }
-    }
-
-    /// Canonical form of a spec (defaults filled in) — the identity
-    /// used in cache keys and result rows, stable across spellings.
-    ///
-    /// Also exercises the builder (constructors are cheap), so a spec
-    /// whose *argument* is invalid (`mc:0`, `dodin:1`, `spelde:0`) is
-    /// rejected here, before a sweep launches any work.
-    pub fn canonical_id(&self, spec: &str) -> Result<String, String> {
-        let (base, arg) = Self::parse(spec)?;
-        let entry = self.entries.get(base).ok_or_else(|| {
-            format!(
-                "unknown estimator {base:?} (known: {})",
+    /// Parse a spec string into a typed [`EstimatorSpec`], rejecting
+    /// families this registry does not carry. The round trip
+    /// `parse(s)?.to_string()` is the canonical id.
+    pub fn parse(&self, spec: &str) -> Result<EstimatorSpec, EngineError> {
+        let parsed: EstimatorSpec = spec.parse().map_err(EngineError::spec)?;
+        if !self.entries.contains_key(parsed.family()) {
+            return Err(EngineError::spec(format!(
+                "unknown estimator {:?} (known: {})",
+                parsed.family(),
                 self.entries.keys().copied().collect::<Vec<_>>().join(", ")
-            )
-        })?;
-        let id = match (entry.default_arg, arg) {
-            (None, Some(_)) => return Err(format!("estimator {base:?} takes no argument")),
-            (None, None) => base.to_string(),
-            (Some(d), None) => format!("{base}:{d}"),
-            (Some(_), Some(a)) => format!("{base}:{a}"),
-        };
-        self.build(spec, 0)?;
-        Ok(id)
+            )));
+        }
+        Ok(parsed)
     }
 
-    /// Build an estimator from a spec string and a per-cell seed.
-    pub fn build(&self, spec: &str, seed: u64) -> Result<BoxedEstimator, String> {
-        let (base, arg) = Self::parse(spec)?;
+    /// Build an estimator from a typed spec and a per-cell seed.
+    pub fn build(&self, spec: &EstimatorSpec, seed: u64) -> Result<BoxedEstimator, EngineError> {
+        spec.validate().map_err(EngineError::spec)?;
         let entry = self
             .entries
-            .get(base)
-            .ok_or_else(|| format!("unknown estimator {base:?}"))?;
-        let ctx = BuildContext {
-            arg: arg.or(entry.default_arg),
-            seed,
-        };
-        (entry.build)(&ctx)
+            .get(spec.family())
+            .ok_or_else(|| EngineError::spec(format!("unknown estimator {:?}", spec.family())))?;
+        Ok((entry.build)(spec, seed))
     }
-}
 
-fn require_atoms(ctx: &BuildContext) -> Result<usize, String> {
-    let atoms = ctx.arg.unwrap_or(128);
-    if atoms < 2 {
-        return Err("dodin needs at least two support atoms".into());
+    /// Canonical form of a string spec (defaults filled in).
+    #[deprecated(since = "0.2.0", note = "use `parse(spec)?.to_string()`")]
+    pub fn canonical_id(&self, spec: &str) -> Result<String, String> {
+        Ok(self.parse(spec)?.to_string())
     }
-    Ok(atoms as usize)
+
+    /// Build an estimator from a string spec and a per-cell seed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `parse` + `build` with a typed EstimatorSpec"
+    )]
+    pub fn build_str(&self, spec: &str, seed: u64) -> Result<BoxedEstimator, String> {
+        Ok(self.build(&self.parse(spec)?, seed)?)
+    }
 }
 
 impl Default for EstimatorRegistry {
@@ -262,7 +195,10 @@ mod tests {
         let d_g = 5.0;
         for name in reg.names().collect::<Vec<_>>() {
             let spec = if name == "mc" { "mc:500" } else { name };
-            let est = reg.build(spec, 7).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let spec = reg.parse(spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let est = reg
+                .build(&spec, 7)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             let v = est.expected_makespan(&g, &m);
             assert!(
                 v >= d_g - 1e-9 && v.is_finite(),
@@ -272,23 +208,58 @@ mod tests {
     }
 
     #[test]
-    fn canonical_ids_fill_defaults() {
+    fn registry_covers_exactly_the_spec_families() {
         let reg = EstimatorRegistry::standard();
-        assert_eq!(reg.canonical_id("first-order").unwrap(), "first-order");
-        assert_eq!(reg.canonical_id("dodin").unwrap(), "dodin:128");
-        assert_eq!(reg.canonical_id("dodin:64").unwrap(), "dodin:64");
-        assert_eq!(reg.canonical_id("mc:5000").unwrap(), "mc:5000");
-        assert_eq!(reg.canonical_id("spelde").unwrap(), "spelde:16");
+        let names: Vec<&str> = reg.names().collect();
+        assert_eq!(
+            names,
+            stochdag_core::ESTIMATOR_FAMILIES,
+            "registry and EstimatorSpec enumerate the same closed set"
+        );
+        for spec in EstimatorSpec::all_default() {
+            reg.build(&spec, 1)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parse_fills_defaults_into_canonical_ids() {
+        let reg = EstimatorRegistry::standard();
+        let canon = |s: &str| reg.parse(s).unwrap().to_string();
+        assert_eq!(canon("first-order"), "first-order");
+        assert_eq!(canon("dodin"), "dodin:128");
+        assert_eq!(canon("dodin:64"), "dodin:64");
+        assert_eq!(canon("mc:5000"), "mc:5000");
+        assert_eq!(canon("spelde"), "spelde:16");
     }
 
     #[test]
     fn bad_specs_are_rejected() {
         let reg = EstimatorRegistry::standard();
+        assert!(reg.parse("nope").is_err());
+        assert!(reg.parse("sculli:3").is_err());
+        assert!(reg.parse("mc:x").is_err());
+        assert!(reg.parse("mc:0").is_err());
+        assert!(reg.parse("dodin:1").is_err());
+        assert!(
+            reg.build(&EstimatorSpec::Mc { trials: 0 }, 1).is_err(),
+            "typed specs validate at build time too"
+        );
+    }
+
+    #[test]
+    fn deprecated_string_entry_points_still_work() {
+        #![allow(deprecated)]
+        let reg = EstimatorRegistry::standard();
+        assert_eq!(reg.canonical_id("dodin").unwrap(), "dodin:128");
         assert!(reg.canonical_id("nope").is_err());
-        assert!(reg.canonical_id("sculli:3").is_err());
-        assert!(reg.canonical_id("mc:x").is_err());
-        assert!(reg.build("mc:0", 1).is_err());
-        assert!(reg.build("dodin:1", 1).is_err());
+        let g = diamond();
+        let m = FailureModel::new(0.05);
+        let v = reg
+            .build_str("mc:2000", 11)
+            .unwrap()
+            .expected_makespan(&g, &m);
+        assert!(v.is_finite());
     }
 
     #[test]
@@ -296,9 +267,10 @@ mod tests {
         let reg = EstimatorRegistry::standard();
         let g = diamond();
         let m = FailureModel::new(0.05);
-        let a = reg.build("mc:2000", 11).unwrap().expected_makespan(&g, &m);
-        let b = reg.build("mc:2000", 11).unwrap().expected_makespan(&g, &m);
-        let c = reg.build("mc:2000", 12).unwrap().expected_makespan(&g, &m);
+        let spec = reg.parse("mc:2000").unwrap();
+        let a = reg.build(&spec, 11).unwrap().expected_makespan(&g, &m);
+        let b = reg.build(&spec, 11).unwrap().expected_makespan(&g, &m);
+        let c = reg.build(&spec, 12).unwrap().expected_makespan(&g, &m);
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -1,41 +1,34 @@
-//! The parallel sweep executor.
+//! Campaign expansion and the shared cell-evaluation machinery.
 //!
-//! Expands a [`SweepSpec`] into DAG instances, failure models, and
-//! estimator cells, then runs the campaign **grouped by DAG source**:
-//! every instance is wrapped in a [`PreparedDag`] exactly once per
-//! campaign (one freeze, one topological sort, one structural hash —
-//! asserted by the `prepared_once` integration test via
-//! [`stochdag_dag::prepared_dag_build_count`]), and every
-//! (instance × estimator) pair prepares once and evaluates all failure
-//! models against that preparation:
+//! This module holds the *engine room* every execution path shares:
 //!
-//! 1. **Reference phase** — one Monte-Carlo reference per (instance,
-//!    model) scenario; instances are distributed over all cores and
-//!    each instance's models share one prepared reference estimator,
-//!    reseeded deterministically per scenario. Cache-first.
-//! 2. **Cell phase** — (instance × estimator) work units in parallel,
-//!    again cache-first, each iterating its models against one
-//!    preparation. Completions stream through a dedicated writer
-//!    thread that re-sequences them into deterministic cell order and
-//!    feeds the sinks row by row while later cells are still computing.
+//! * [`expand`] — validate a [`SweepSpec`] and expand it into DAG
+//!   instances, per-instance failure models, and canonical estimator
+//!   ids. Every entry point (in-process, sharded, resume reports,
+//!   dry runs) derives the identical cell universe from this one
+//!   function.
+//! * [`derive_seed`] / [`cell_index`] / [`evaluate_unit`] /
+//!   [`make_row`] — the deterministic identities and cache-first
+//!   evaluation shared by the in-process and multi-process backends;
+//!   the distributed byte-identity guarantee depends on both paths
+//!   computing cells through these exact definitions.
+//! * [`resume_report_impl`] — diff a spec against the cache without
+//!   computing anything.
 //!
-//! Determinism: cell seeds derive from the spec seed and the cell's
-//! content (DAG hash, λ, estimator id) — never from position or time —
-//! so a re-run, a resumed run, and a differently-parallel run all
-//! produce byte-identical sink output. The `--jobs` knob
-//! ([`SweepSpec::jobs`]) only caps worker threads; it cannot change any
-//! value.
+//! The public entry points live on [`Campaign`](crate::Campaign);
+//! [`run_sweep`], [`resume_report`], and [`sharded_resume_report`]
+//! remain as thin deprecated wrappers for embedders migrating from the
+//! free-function API.
 
 use crate::cache::{cell_key, ResultCache};
+use crate::campaign::{Campaign, InProcess};
+use crate::error::EngineError;
 use crate::keys::{mix, StableHasher};
 use crate::registry::EstimatorRegistry;
-use crate::sink::{summarize, Reorderer, ResultSink, SummaryRow, SweepRow};
+use crate::sink::{ResultSink, SummaryRow, SweepRow};
 use crate::spec::{DagInstance, SweepSpec};
-use rayon::prelude::*;
-use std::sync::mpsc;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use stochdag_core::{Estimate, Estimator, FailureModel, MonteCarloEstimator, PreparedEstimator};
+use stochdag_core::{Estimate, EstimatorSpec, FailureModel, PreparedEstimator};
 use stochdag_dag::{structural_hash, PreparedDag};
 
 /// Outcome of a finished sweep.
@@ -77,10 +70,10 @@ pub(crate) fn derive_seed(spec_seed: u64, dag_hash: u128, lambda: f64, unit: &st
 }
 
 /// A validated, fully-expanded campaign — the shared front half of
-/// [`run_sweep`], [`resume_report`], and the shard executor.
+/// every execution and reporting path.
 pub(crate) struct Expansion {
-    /// `(spec string, canonical id)` per estimator, in spec order.
-    pub(crate) estimator_ids: Vec<(String, String)>,
+    /// `(typed spec, canonical id)` per estimator, in spec order.
+    pub(crate) estimator_ids: Vec<(EstimatorSpec, String)>,
     /// Materialized DAG instances, in spec order.
     pub(crate) instances: Vec<DagInstance>,
     /// Per-instance failure models with their row labels (pfails first,
@@ -98,23 +91,29 @@ pub(crate) fn cell_index(i: usize, m: usize, e: usize, m_count: usize, e_count: 
     (i * m_count + m) * e_count + e
 }
 
-pub(crate) fn expand(spec: &SweepSpec, registry: &EstimatorRegistry) -> Result<Expansion, String> {
+pub(crate) fn expand(
+    spec: &SweepSpec,
+    registry: &EstimatorRegistry,
+) -> Result<Expansion, EngineError> {
     spec.validate()?;
     // Resolve estimator ids up front so bad specs fail before any work.
-    let estimator_ids: Vec<(String, String)> = spec
+    let estimator_ids: Vec<(EstimatorSpec, String)> = spec
         .estimators
         .iter()
-        .map(|s| registry.canonical_id(s).map(|id| (s.clone(), id)))
-        .collect::<Result<_, _>>()?;
+        .map(|est| {
+            registry.build(est, 0)?; // constructors are cheap; reject bad knobs here
+            Ok((est.clone(), est.to_string()))
+        })
+        .collect::<Result<_, EngineError>>()?;
     {
         let mut ids: Vec<&str> = estimator_ids.iter().map(|(_, id)| id.as_str()).collect();
         ids.sort_unstable();
         for pair in ids.windows(2) {
             if pair[0] == pair[1] {
-                return Err(format!(
+                return Err(EngineError::spec(format!(
                     "duplicate estimator {:?} in spec (canonical ids must be unique)",
                     pair[0]
-                ));
+                )));
             }
         }
     }
@@ -127,20 +126,23 @@ pub(crate) fn expand(spec: &SweepSpec, registry: &EstimatorRegistry) -> Result<E
         ids.sort_unstable();
         ids.dedup();
         if ids.len() != instances.len() {
-            return Err("duplicate DAG instances in spec".into());
+            return Err(EngineError::spec("duplicate DAG instances in spec"));
         }
     }
     // The exhaustive oracle panics past its node cap; surface that as
     // a spec error before any cell launches.
-    if estimator_ids.iter().any(|(_, id)| id == "exact") {
+    if estimator_ids
+        .iter()
+        .any(|(est, _)| matches!(est, EstimatorSpec::Exact))
+    {
         for inst in &instances {
             if inst.dag.node_count() > stochdag_core::MAX_EXACT_NODES {
-                return Err(format!(
+                return Err(EngineError::spec(format!(
                     "estimator \"exact\" needs <= {} tasks, but {} has {}",
                     stochdag_core::MAX_EXACT_NODES,
                     inst.id,
                     inst.dag.node_count()
-                ));
+                )));
             }
         }
     }
@@ -206,12 +208,12 @@ impl Drop for CapRestore {
     }
 }
 
-static CAPPED_CAMPAIGNS: Mutex<()> = Mutex::new(());
+static CAPPED_CAMPAIGNS: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 /// Apply a worker-thread cap for the lifetime of the returned guard
-/// (`None` = leave the pool uncapped; shared by [`run_sweep`] and the
-/// shard executor).
-pub(crate) fn apply_jobs_cap(jobs: Option<usize>) -> Result<JobsCap, String> {
+/// (`None` = leave the pool uncapped; shared by the in-process and
+/// shard executors).
+pub(crate) fn apply_jobs_cap(jobs: Option<usize>) -> Result<JobsCap, EngineError> {
     match jobs {
         None => Ok(JobsCap {
             _restore: None,
@@ -225,7 +227,7 @@ pub(crate) fn apply_jobs_cap(jobs: Option<usize>) -> Result<JobsCap, String> {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(jobs)
                 .build_global()
-                .map_err(|e| format!("configuring {jobs} worker(s): {e}"))?;
+                .map_err(|e| EngineError::spec(format!("configuring {jobs} worker(s): {e}")))?;
             Ok(JobsCap {
                 _restore: Some(CapRestore(previous)),
                 _serial: Some(serial),
@@ -240,9 +242,9 @@ pub(crate) fn apply_jobs_cap(jobs: Option<usize>) -> Result<JobsCap, String> {
 /// keeps the paper's "full wall-clock per estimator" semantics.
 /// Returns the estimate and whether it came from the cache.
 ///
-/// Single source of truth shared by the in-process runner and the
-/// shard executor: the distributed byte-identity guarantee depends on
-/// both paths computing and caching cells identically.
+/// Single source of truth shared by the in-process and multi-process
+/// backends: the distributed byte-identity guarantee depends on both
+/// paths computing and caching cells identically.
 pub(crate) fn evaluate_unit(
     cache: &ResultCache,
     key: &str,
@@ -298,156 +300,30 @@ pub(crate) fn make_row(
     }
 }
 
-/// Run a sweep, streaming rows into `sinks` (all sinks receive every
-/// row, in order). Returns the collected outcome.
+/// Run a sweep in-process, streaming rows into `sinks` (all sinks
+/// receive every row, in order). Returns the collected outcome.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Campaign::builder(spec).sink(...).build()?.run()"
+)]
 pub fn run_sweep(
     spec: &SweepSpec,
     registry: &EstimatorRegistry,
     cache: &ResultCache,
     sinks: &mut [&mut dyn ResultSink],
 ) -> Result<SweepOutcome, String> {
-    let start = Instant::now();
-    let Expansion {
-        estimator_ids,
-        instances,
-        models,
-        reference_id,
-    } = expand(spec, registry)?;
-    let _jobs_cap = apply_jobs_cap(spec.jobs)?;
-    cache.reset_counters();
-
-    // Build, freeze, and hash each DAG source exactly once; every
-    // estimator preparation and cache key below shares these.
-    let prepared: Vec<(String, PreparedDag)> = instances
-        .into_iter()
-        .map(|i| (i.id, PreparedDag::new(i.dag)))
-        .collect();
-    let hashes: Vec<u128> = prepared.iter().map(|(_, p)| p.structural_hash()).collect();
-    let n_inst = prepared.len();
-    let m_count = spec.pfails.len() + spec.lambdas.len();
-    let e_count = estimator_ids.len();
-
-    // Phase 1: Monte-Carlo references, grouped by instance so each
-    // instance's models share one preparation; parallel and cache-first.
-    let reference_trials = spec.reference_trials;
-    let reference_sampling = spec.reference_sampling;
-    let references: Vec<Vec<Estimate>> = (0..n_inst)
-        .into_par_iter()
-        .map(|i| {
-            let (_, pdag) = &prepared[i];
-            let dag_hash = hashes[i];
-            let mut prep: Option<Box<dyn PreparedEstimator>> = None;
-            let mut out = Vec::with_capacity(m_count);
-            for (model, _) in &models[i] {
-                let seed = derive_seed(spec.seed, dag_hash, model.lambda, &reference_id);
-                let key = cell_key(dag_hash, model.lambda, &reference_id, seed);
-                let (est, _) = evaluate_unit(cache, &key, seed, model, &mut prep, || {
-                    MonteCarloEstimator::new(reference_trials)
-                        .with_sampling(reference_sampling)
-                        .prepare(pdag)
-                });
-                out.push(est);
-            }
-            out
-        })
-        .collect();
-
-    // Phase 2: estimator cells. One parallel work unit per
-    // (instance × estimator) pair: prepare lazily on the first cache
-    // miss, then evaluate every model against that preparation,
-    // streaming rows into the sinks in deterministic cell order.
-    let n_cells = n_inst * m_count * e_count;
-    for sink in sinks.iter_mut() {
-        sink.begin().map_err(|e| format!("sink begin: {e}"))?;
-    }
-    let (tx, rx) = mpsc::channel::<(usize, SweepRow)>();
-    let tx = Mutex::new(tx);
-    let write_error: Mutex<Option<String>> = Mutex::new(None);
-    let rows: Vec<SweepRow> = std::thread::scope(|scope| {
-        let writer = scope.spawn(|| {
-            let mut reorder = Reorderer::new();
-            let mut rows: Vec<SweepRow> = Vec::with_capacity(n_cells);
-            for (idx, row) in rx {
-                let emit_result = reorder.push(idx, row, |r| {
-                    // Collect first: a sink failure aborts the sweep
-                    // with an error, but the row set stays complete.
-                    rows.push(r.clone());
-                    for sink in sinks.iter_mut() {
-                        sink.row(r)?;
-                    }
-                    Ok(())
-                });
-                if let Err(e) = emit_result {
-                    let mut slot = write_error.lock().expect("error slot poisoned");
-                    if slot.is_none() {
-                        *slot = Some(format!("sink row: {e}"));
-                    }
-                }
-            }
-            debug_assert_eq!(reorder.pending(), 0, "all cells completed");
-            rows
-        });
-
-        (0..n_inst * e_count).into_par_iter().for_each(|unit| {
-            let i = unit / e_count;
-            let e = unit % e_count;
-            let (id, pdag) = &prepared[i];
-            let dag_hash = hashes[i];
-            let (spec_str, canonical) = &estimator_ids[e];
-            let mut prep: Option<Box<dyn PreparedEstimator>> = None;
-            for (m, (model, label)) in models[i].iter().enumerate() {
-                // Scenario-major cell order, identical to the
-                // per-cell executor this grouping replaced.
-                let cell = cell_index(i, m, e, m_count, e_count);
-                let seed = derive_seed(spec.seed, dag_hash, model.lambda, canonical);
-                let key = cell_key(dag_hash, model.lambda, canonical, seed);
-                let (est, _) = evaluate_unit(cache, &key, seed, model, &mut prep, || {
-                    registry
-                        .build(spec_str, seed)
-                        .expect("estimator specs validated before launch")
-                        .prepare(pdag)
-                });
-                let row = make_row(
-                    id,
-                    pdag,
-                    label,
-                    model,
-                    canonical,
-                    &est,
-                    &references[i][m],
-                    seed,
-                );
-                tx.lock()
-                    .expect("sender poisoned")
-                    .send((cell, row))
-                    .expect("writer alive until senders drop");
-            }
-        });
-        drop(tx);
-        writer.join().expect("writer thread panicked")
-    });
-    if let Some(e) = write_error.into_inner().expect("error slot poisoned") {
-        return Err(e);
-    }
-
-    let summary = summarize(&rows);
-    for sink in sinks.iter_mut() {
-        sink.summary(&summary)
-            .and_then(|()| sink.finish())
-            .map_err(|e| format!("sink summary: {e}"))?;
-    }
-    Ok(SweepOutcome {
-        cells: n_cells,
-        references: n_inst * m_count,
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
-        wall: start.elapsed(),
-        rows,
-        summary,
-    })
+    Ok(Campaign::run_borrowed(
+        spec,
+        registry,
+        cache,
+        &InProcess,
+        &mut [],
+        sinks,
+    )?)
 }
 
-/// Per-estimator cache coverage of a spec (see [`resume_report`]).
+/// Per-estimator cache coverage of a spec (see
+/// [`Campaign::resume_report`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ResumeEstimatorReport {
     /// Canonical estimator id.
@@ -458,8 +334,8 @@ pub struct ResumeEstimatorReport {
     pub misses: usize,
 }
 
-/// Cache coverage of the cells one shard would own under
-/// `--workers N` (see [`sharded_resume_report`]).
+/// Cache coverage of the cells one shard would own under a
+/// multi-process backend (see [`Campaign::resume_report`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardCoverage {
     /// Shard index (0-based).
@@ -470,15 +346,15 @@ pub struct ShardCoverage {
     pub misses: usize,
 }
 
-/// Outcome of [`resume_report`]: what a sweep would find in the cache,
-/// without running anything.
+/// Outcome of [`Campaign::resume_report`]: what a sweep would find in
+/// the cache, without running anything.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ResumeReport {
     /// Coverage per estimator, in spec order.
     pub estimators: Vec<ResumeEstimatorReport>,
-    /// Per-shard cell coverage under the requested worker count
-    /// (one entry per shard; a single entry covering every cell when
-    /// the report was not sharded).
+    /// Per-shard cell coverage under the backend's worker count
+    /// (one entry per shard; a single entry covering every cell for an
+    /// in-process report).
     pub shards: Vec<ShardCoverage>,
     /// Monte-Carlo reference scenarios already cached.
     pub reference_hits: usize,
@@ -506,30 +382,20 @@ impl ResumeReport {
 /// Diff a spec against the cache: for every cell and reference the
 /// sweep would execute, probe whether its content key is already
 /// present (memory or disk), **without computing anything** and without
-/// touching the cache's counters or LRU recency. This is the engine
-/// behind `sweep --resume-report`.
-pub fn resume_report(
-    spec: &SweepSpec,
-    registry: &EstimatorRegistry,
-    cache: &ResultCache,
-) -> Result<ResumeReport, String> {
-    sharded_resume_report(spec, registry, cache, 1)
-}
-
-/// [`resume_report`] under `--workers N` sharding: additionally splits
-/// the per-cell coverage by the shard each cell would be assigned to
-/// (the same deterministic [`crate::shard_of`] assignment the
-/// distributed executor uses), so a resumed distributed campaign can
-/// predict per-worker load. References stay global — every shard
-/// probes the references its cells need from the shared cache.
-pub fn sharded_resume_report(
+/// touching the cache's counters or LRU recency. Per-cell coverage is
+/// additionally split by the shard each cell would be assigned to
+/// under `shard_count` workers (the same deterministic
+/// [`crate::shard_of`] assignment the distributed executor uses).
+/// References stay global — every shard probes the references its
+/// cells need from the shared cache.
+pub(crate) fn resume_report_impl(
     spec: &SweepSpec,
     registry: &EstimatorRegistry,
     cache: &ResultCache,
     shard_count: usize,
-) -> Result<ResumeReport, String> {
+) -> Result<ResumeReport, EngineError> {
     if shard_count == 0 {
-        return Err("shard count must be positive".into());
+        return Err(EngineError::spec("shard count must be positive"));
     }
     let Expansion {
         estimator_ids,
@@ -585,20 +451,50 @@ pub fn sharded_resume_report(
     })
 }
 
+/// Diff a spec against the cache without running anything.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Campaign::builder(spec).build()?.resume_report()"
+)]
+pub fn resume_report(
+    spec: &SweepSpec,
+    registry: &EstimatorRegistry,
+    cache: &ResultCache,
+) -> Result<ResumeReport, String> {
+    Ok(resume_report_impl(spec, registry, cache, 1)?)
+}
+
+/// Diff a spec against the cache, splitting cell coverage over
+/// `shard_count` workers.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Campaign::builder(spec).backend(MultiProcess::new(n)).build()?.resume_report()"
+)]
+pub fn sharded_resume_report(
+    spec: &SweepSpec,
+    registry: &EstimatorRegistry,
+    cache: &ResultCache,
+    shard_count: usize,
+) -> Result<ResumeReport, String> {
+    Ok(resume_report_impl(spec, registry, cache, shard_count)?)
+}
+
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // this module covers the legacy wrappers
+
     use super::*;
     use crate::sink::VecSink;
     use crate::spec::DagSpec;
     use stochdag_taskgraphs::FactorizationClass;
 
-    fn tiny_spec() -> SweepSpec {
+    pub(crate) fn tiny_spec() -> SweepSpec {
         SweepSpec {
             name: "tiny".into(),
             seed: 1,
             pfails: vec![0.01, 0.001],
             lambdas: vec![],
-            estimators: vec!["first-order".into(), "sculli".into()],
+            estimators: vec![EstimatorSpec::FirstOrder, EstimatorSpec::Sculli],
             reference_trials: 1500,
             reference_sampling: stochdag_core::SamplingModel::Geometric,
             jobs: None,
@@ -712,13 +608,18 @@ mod tests {
     #[test]
     fn bad_estimator_fails_before_work() {
         let mut spec = tiny_spec();
-        spec.estimators.push("warp-drive".into());
+        spec.estimators.push(EstimatorSpec::Mc { trials: 0 });
         let registry = EstimatorRegistry::standard();
         let cache = ResultCache::in_memory();
         let mut sinks: Vec<&mut dyn ResultSink> = vec![];
         let err = run_sweep(&spec, &registry, &cache, &mut sinks).unwrap_err();
-        assert!(err.contains("warp-drive"), "{err}");
+        assert!(err.contains("mc"), "{err}");
         assert_eq!(cache.hits() + cache.misses(), 0, "no work was attempted");
+
+        spec.estimators.pop();
+        spec.estimators.push(EstimatorSpec::Sculli);
+        let err = run_sweep(&spec, &registry, &cache, &mut sinks).unwrap_err();
+        assert!(err.contains("duplicate estimator"), "{err}");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Multi-process distributed campaign execution.
+//! Deterministic cell sharding and the worker-side shard executor.
 //!
 //! A sweep's cells are embarrassingly parallel and content-addressed,
 //! so distributing them needs no scheduler state: every process can
@@ -7,43 +7,40 @@
 //! cache key — relabeling-invariant, machine-independent, and balanced
 //! across shards without coordination.
 //!
-//! Three pieces cooperate (the wire format lives in
-//! [`crate::protocol`]):
-//!
-//! * [`run_shard`] — the **worker** half. Executes exactly the cells
-//!   assigned to one shard (plus the Monte-Carlo references those cells
-//!   need), cache-first against the shared on-disk [`ResultCache`], and
-//!   emits one [`WorkerEvent`] per completion.
-//! * [`coordinate`] — the **coordinator** half. Merges N worker event
-//!   streams, re-sequences rows into deterministic global cell order
-//!   through the same [`Reorderer`] the in-process runner uses, and
-//!   feeds the sinks — so the merged CSV/JSONL is byte-identical to
-//!   what a single-process run over the same cache would write.
-//! * [`ProgressReporter`](crate::ProgressReporter) — fed from the same
-//!   event stream, renders per-cell counters, throughput, cache-hit
-//!   rate, and an ETA.
+//! The worker half ([`execute_shard`], surfaced as
+//! [`Campaign::run_shard`](crate::Campaign::run_shard)) executes
+//! exactly the cells assigned to one shard (plus the Monte-Carlo
+//! references those cells need), cache-first against the shared
+//! on-disk [`ResultCache`], and reports one [`CampaignEvent`] per
+//! completion. The coordinator half lives in the
+//! [`Campaign`](crate::Campaign) core (the [`MultiProcess`]
+//! backend + event merge); [`coordinate`] remains as the legacy
+//! stream-merging entry point.
 //!
 //! Workers share results only through the content-addressed cache: a
 //! reference scenario touched by cells on two shards is looked up by
 //! both, computed by whichever misses first, and (being seeded
 //! deterministically) is bit-identical no matter which worker computed
 //! it.
+//!
+//! [`MultiProcess`]: crate::MultiProcess
 
 use crate::cache::{cell_key, ResultCache};
+use crate::campaign::Merge;
+use crate::error::EngineError;
 use crate::keys::StableHasher;
 use crate::progress::ProgressReporter;
-use crate::protocol::{decode_event, WorkerEvent};
+use crate::protocol::{decode_event, CampaignEvent};
 use crate::registry::EstimatorRegistry;
 use crate::runner::{
     apply_jobs_cap, cell_index, derive_seed, evaluate_unit, expand, make_row, Expansion,
     SweepOutcome,
 };
-use crate::sink::{summarize, Reorderer, ResultSink, SweepRow};
+use crate::sink::{summarize, ResultSink};
 use crate::spec::SweepSpec;
 use rayon::prelude::*;
 use std::io::BufRead;
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 use stochdag_core::{Estimate, Estimator, MonteCarloEstimator, PreparedEstimator};
 use stochdag_dag::{structural_hash, PreparedDag};
@@ -58,7 +55,7 @@ pub fn shard_of(key: &str, shard_count: usize) -> usize {
     (h.finish() % shard_count as u128) as usize
 }
 
-/// Outcome of one worker's [`run_shard`].
+/// Outcome of one worker's shard execution.
 #[derive(Clone, Debug)]
 pub struct ShardOutcome {
     /// Shard index this worker executed (0-based).
@@ -77,36 +74,38 @@ pub struct ShardOutcome {
     pub wall: Duration,
 }
 
-/// Execute one shard of a campaign (the `sweep-worker` process body).
+/// Execute one shard of a campaign (the body behind
+/// [`Campaign::run_shard`](crate::Campaign::run_shard) and the
+/// [`InProcess`](crate::InProcess) backend, which runs shard 0 of 1).
 ///
-/// Expands the spec exactly as [`crate::run_sweep`] would, keeps only
-/// the cells [`shard_of`] assigns to `shard`, and runs them grouped by
-/// (instance × estimator) with the same lazy one-preparation-per-group
-/// strategy as the in-process runner. Only DAG instances owning at
-/// least one assigned cell are frozen into [`PreparedDag`]s.
+/// Expands the spec exactly as every other path does, keeps only the
+/// cells [`shard_of`] assigns to `shard`, and runs them grouped by
+/// (instance × estimator) with the same lazy
+/// one-preparation-per-group strategy throughout. Only DAG instances
+/// owning at least one assigned cell are frozen into [`PreparedDag`]s.
 ///
-/// `emit` receives every protocol event in completion order ([`Hello`]
-/// first, [`Done`] last on success) and must be callable from worker
-/// threads; implementations that write to a shared stream must
-/// serialize internally (one event per call — never split). An `emit`
-/// error aborts the shard.
+/// `emit` receives every event in completion order ([`Hello`] first,
+/// [`Done`] last on success) and must be callable from worker threads.
+/// An `emit` error aborts the shard.
 ///
-/// [`Hello`]: WorkerEvent::Hello
-/// [`Done`]: WorkerEvent::Done
-pub fn run_shard(
+/// [`Hello`]: CampaignEvent::Hello
+/// [`Done`]: CampaignEvent::Done
+pub(crate) fn execute_shard(
     spec: &SweepSpec,
     registry: &EstimatorRegistry,
     cache: &ResultCache,
     shard: usize,
     shard_count: usize,
-    emit: &(dyn Fn(&WorkerEvent) -> Result<(), String> + Sync),
-) -> Result<ShardOutcome, String> {
+    emit: &(dyn Fn(CampaignEvent) -> Result<(), EngineError> + Sync),
+) -> Result<ShardOutcome, EngineError> {
     let start = Instant::now();
     if shard_count == 0 {
-        return Err("shard count must be positive".into());
+        return Err(EngineError::spec("shard count must be positive"));
     }
     if shard >= shard_count {
-        return Err(format!("shard {shard} out of range (of {shard_count})"));
+        return Err(EngineError::spec(format!(
+            "shard {shard} out of range (of {shard_count})"
+        )));
     }
     let Expansion {
         estimator_ids,
@@ -161,7 +160,7 @@ pub fn run_shard(
         })
         .collect();
 
-    emit(&WorkerEvent::Hello {
+    emit(CampaignEvent::Hello {
         shard,
         shard_count,
         cells: n_cells,
@@ -169,15 +168,15 @@ pub fn run_shard(
     })?;
     // First emit failure wins; later parallel completions still finish
     // (their results land in the cache) but stop reporting.
-    let emit_error: Mutex<Option<String>> = Mutex::new(None);
-    let send = |ev: WorkerEvent| {
-        if let Err(e) = emit(&ev) {
+    let emit_error: Mutex<Option<EngineError>> = Mutex::new(None);
+    let send = |ev: CampaignEvent| {
+        if let Err(e) = emit(ev) {
             emit_error.lock().expect("emit error slot").get_or_insert(e);
         }
     };
 
     // Phase 1: the Monte-Carlo references this shard's cells compare
-    // against — same grouping and prep-cost attribution as run_sweep,
+    // against — same grouping and prep-cost attribution everywhere,
     // restricted to needed scenarios. Cache-first: a reference another
     // shard already stored is a hit here.
     let reference_trials = spec.reference_trials;
@@ -200,7 +199,7 @@ pub fn run_shard(
                         .prepare(pdag)
                 });
                 out[m] = Some(est);
-                send(WorkerEvent::Reference { cached });
+                send(CampaignEvent::Reference { cached });
             }
             out
         })
@@ -220,13 +219,13 @@ pub fn run_shard(
         let e = unit % e_count;
         let (id, pdag) = &prepared[i];
         let pdag = pdag.as_ref().expect("touched instances frozen");
-        let (spec_str, canonical) = &estimator_ids[e];
+        let (est_spec, canonical) = &estimator_ids[e];
         let mut prep: Option<Box<dyn PreparedEstimator>> = None;
         for &(m, cell, seed, ref key) in cells {
             let (model, label) = &models[i][m];
             let (est, cached) = evaluate_unit(cache, key, seed, model, &mut prep, || {
                 registry
-                    .build(spec_str, seed)
+                    .build(est_spec, seed)
                     .expect("estimator specs validated before launch")
                     .prepare(pdag)
             });
@@ -234,7 +233,7 @@ pub fn run_shard(
                 .as_ref()
                 .expect("needed scenarios computed");
             let row = make_row(id, pdag, label, model, canonical, &est, reference, seed);
-            send(WorkerEvent::Cell {
+            send(CampaignEvent::Cell {
                 index: cell,
                 cached,
                 row,
@@ -254,7 +253,7 @@ pub fn run_shard(
         cache_misses: cache.misses(),
         wall: start.elapsed(),
     };
-    emit(&WorkerEvent::Done {
+    emit(CampaignEvent::Done {
         hits: outcome.cache_hits,
         misses: outcome.cache_misses,
         wall_s: outcome.wall.as_secs_f64(),
@@ -262,44 +261,78 @@ pub fn run_shard(
     Ok(outcome)
 }
 
-/// Merge N worker event streams into ordered sink output (the
-/// coordinator half of a distributed sweep).
+/// Execute one shard of a campaign, reporting events through a
+/// callback.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Campaign::builder(spec).observer(...).build()?.run_shard(shard, of)"
+)]
+pub fn run_shard(
+    spec: &SweepSpec,
+    registry: &EstimatorRegistry,
+    cache: &ResultCache,
+    shard: usize,
+    shard_count: usize,
+    emit: &(dyn Fn(&CampaignEvent) -> Result<(), String> + Sync),
+) -> Result<ShardOutcome, String> {
+    Ok(execute_shard(
+        spec,
+        registry,
+        cache,
+        shard,
+        shard_count,
+        &|ev| emit(&ev).map_err(|m| EngineError::worker(None, m)),
+    )?)
+}
+
+/// Merge N worker event streams into ordered sink output (the legacy
+/// coordinator entry point; a [`Campaign`](crate::Campaign) with the
+/// [`MultiProcess`](crate::MultiProcess) backend does this — plus
+/// worker lifecycle and crash retry — in one call).
 ///
 /// Each reader is one worker's stdout (or a replayed event log). Rows
-/// arrive tagged with their global cell index and are re-sequenced
-/// through a [`Reorderer`], so the sinks observe the exact same ordered
-/// row stream — and therefore write the exact same bytes — as a
-/// single-process [`crate::run_sweep`] over the same cache. Progress
-/// events feed `progress` as they arrive.
+/// arrive tagged with their global cell index and are re-sequenced, so
+/// the sinks observe the exact same ordered row stream — and therefore
+/// write the exact same bytes — as an in-process run over the same
+/// cache. Progress events feed `progress` as they arrive.
 ///
-/// Fails if any stream reports [`WorkerEvent::Error`], is malformed,
-/// ends before its [`WorkerEvent::Done`], or if the merged rows do not
-/// cover every announced cell exactly once.
+/// Fails if any stream reports [`CampaignEvent::Error`], is malformed,
+/// ends before its [`CampaignEvent::Done`], or if the merged rows do
+/// not cover every announced cell exactly once.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Campaign::builder(spec).backend(MultiProcess::new(n)).build()?.run()"
+)]
 pub fn coordinate<R: BufRead + Send>(
     workers: Vec<R>,
     sinks: &mut [&mut dyn ResultSink],
     progress: &mut ProgressReporter,
 ) -> Result<SweepOutcome, String> {
+    Ok(coordinate_impl(workers, sinks, progress)?)
+}
+
+pub(crate) fn coordinate_impl<R: BufRead + Send>(
+    workers: Vec<R>,
+    sinks: &mut [&mut dyn ResultSink],
+    progress: &mut ProgressReporter,
+) -> Result<SweepOutcome, EngineError> {
     let start = Instant::now();
     if workers.is_empty() {
-        return Err("distributed sweep needs at least one worker".into());
+        return Err(EngineError::worker(
+            None,
+            "distributed sweep needs at least one worker",
+        ));
     }
     let n_workers = workers.len();
     for sink in sinks.iter_mut() {
-        sink.begin().map_err(|e| format!("sink begin: {e}"))?;
+        sink.begin()
+            .map_err(|e| EngineError::sink(None, format!("sink begin: {e}")))?;
     }
 
-    let mut total_cells = 0usize;
-    let mut total_refs = 0usize;
-    let mut hellos = 0usize;
-    let mut dones = 0usize;
-    let mut cache_hits = 0usize;
-    let mut cache_misses = 0usize;
-    let mut first_error: Option<String> = None;
-    let mut reorder = Reorderer::new();
-    let mut rows: Vec<SweepRow> = Vec::new();
-
-    let (tx, rx) = mpsc::channel::<(usize, Result<WorkerEvent, String>)>();
+    // Strict merge: replayed streams have no retry semantics, so any
+    // repeated or overlapping delivery is a protocol violation.
+    let mut merge = Merge::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, Result<CampaignEvent, String>)>();
     std::thread::scope(|scope| {
         for (w, reader) in workers.into_iter().enumerate() {
             let tx = tx.clone();
@@ -331,76 +364,27 @@ pub fn coordinate<R: BufRead + Send>(
         drop(tx);
 
         for (w, event) in rx {
-            let event = match event {
-                Ok(ev) => ev,
-                Err(e) => {
-                    first_error.get_or_insert(e);
-                    continue;
-                }
-            };
-            progress.observe(&event);
             match event {
-                WorkerEvent::Hello {
-                    cells, references, ..
-                } => {
-                    hellos += 1;
-                    total_cells += cells;
-                    total_refs += references;
+                Ok(ev) => {
+                    progress.observe(&ev);
+                    merge.observe(w, ev, sinks);
                 }
-                WorkerEvent::Reference { .. } => {}
-                WorkerEvent::Cell { index, row, .. } => {
-                    let emit_result = reorder.push(index, row, |r| {
-                        rows.push(r.clone());
-                        for sink in sinks.iter_mut() {
-                            sink.row(r)?;
-                        }
-                        Ok(())
-                    });
-                    if let Err(e) = emit_result {
-                        first_error.get_or_insert(format!("sink row: {e}"));
-                    }
-                }
-                WorkerEvent::Done { hits, misses, .. } => {
-                    dones += 1;
-                    cache_hits += hits;
-                    cache_misses += misses;
-                }
-                WorkerEvent::Error { message } => {
-                    first_error.get_or_insert(format!("worker {w}: {message}"));
-                }
+                Err(e) => merge.record_error(EngineError::worker(None, e)),
             }
         }
     });
     progress.finish();
 
-    if let Some(e) = first_error {
-        return Err(e);
-    }
-    if hellos != n_workers || dones != n_workers {
-        return Err(format!(
-            "only {dones} of {n_workers} worker(s) completed their shard \
-             ({hellos} started) — a worker crashed or was killed"
-        ));
-    }
-    if reorder.pending() != 0 || rows.len() != total_cells {
-        return Err(format!(
-            "merged {} of {} announced cells ({} out-of-sequence) — \
-             shards overlapped or dropped cells",
-            rows.len(),
-            total_cells,
-            reorder.pending()
-        ));
-    }
-
+    let (rows, cells, references, cache_hits, cache_misses) = merge.finalize(n_workers)?;
     let summary = summarize(&rows);
     for sink in sinks.iter_mut() {
         sink.summary(&summary)
             .and_then(|()| sink.finish())
-            .map_err(|e| format!("sink summary: {e}"))?;
+            .map_err(|e| EngineError::sink(None, format!("sink summary: {e}")))?;
     }
     Ok(SweepOutcome {
-        cells: total_cells,
-        references: total_refs,
+        cells,
+        references,
         cache_hits,
         cache_misses,
         wall: start.elapsed(),

@@ -161,6 +161,20 @@ fn esc_csv(s: &str) -> String {
     }
 }
 
+/// Open a buffered file writer, creating parent directories; failures
+/// name the offending path.
+fn create_file_writer(path: &Path) -> io::Result<io::BufWriter<std::fs::File>> {
+    let with_path = |e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", path.display()));
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(with_path)?;
+        }
+    }
+    Ok(io::BufWriter::new(
+        std::fs::File::create(path).map_err(with_path)?,
+    ))
+}
+
 /// CSV sink: one header, one line per cell, `#`-prefixed summary block.
 pub struct CsvSink<W: Write + Send> {
     w: W,
@@ -168,14 +182,10 @@ pub struct CsvSink<W: Write + Send> {
 
 impl CsvSink<io::BufWriter<std::fs::File>> {
     /// CSV sink writing to a file (parent directories created).
-    pub fn create(path: &Path) -> io::Result<Self> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
+    /// Errors name the offending path.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(CsvSink {
-            w: io::BufWriter::new(std::fs::File::create(path)?),
+            w: create_file_writer(path.as_ref())?,
         })
     }
 }
@@ -250,14 +260,10 @@ pub struct JsonlSink<W: Write + Send> {
 
 impl JsonlSink<io::BufWriter<std::fs::File>> {
     /// JSONL sink writing to a file (parent directories created).
-    pub fn create(path: &Path) -> io::Result<Self> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
+    /// Errors name the offending path.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(JsonlSink {
-            w: io::BufWriter::new(std::fs::File::create(path)?),
+            w: create_file_writer(path.as_ref())?,
         })
     }
 }

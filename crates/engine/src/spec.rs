@@ -11,8 +11,9 @@
 //! scalars, `[table]`, `[[array-of-tables]]`) or JSON; both parse into
 //! the same [`serde::Value`] tree.
 
+use crate::error::EngineError;
 use serde::{Deserialize, Serialize, Value};
-use stochdag_core::SamplingModel;
+use stochdag_core::{EstimatorSpec, SamplingModel};
 use stochdag_dag::Dag;
 use stochdag_taskgraphs::{
     diamond_mesh_dag, erdos_renyi_dag, fork_join_dag, layered_random_dag, FactorizationClass,
@@ -90,7 +91,7 @@ pub enum DagSpec {
 
 impl DagSpec {
     /// Expand into concrete DAG instances.
-    pub fn materialize(&self) -> Result<Vec<DagInstance>, String> {
+    pub fn materialize(&self) -> Result<Vec<DagInstance>, EngineError> {
         match self {
             DagSpec::Factorization { class, ks } => {
                 let t = KernelTimings::paper_default();
@@ -154,9 +155,9 @@ impl DagSpec {
             }]),
             DagSpec::File { path } => {
                 let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("reading task graph {path}: {e}"))?;
+                    .map_err(|e| EngineError::io(format!("reading task graph {path}"), e))?;
                 let dag = stochdag_dag::io::parse_taskgraph(&text)
-                    .map_err(|e| format!("parsing task graph {path}: {e}"))?;
+                    .map_err(|e| EngineError::spec(format!("parsing task graph {path}: {e}")))?;
                 Ok(vec![DagInstance {
                     id: format!("file:{path}"),
                     dag,
@@ -177,8 +178,9 @@ pub struct SweepSpec {
     pub pfails: Vec<f64>,
     /// Raw error rates λ (an alternative/additional model axis).
     pub lambdas: Vec<f64>,
-    /// Estimator spec strings (see the registry docs).
-    pub estimators: Vec<String>,
+    /// Typed estimator configurations (string spellings like
+    /// `"dodin:64"` parse via [`EstimatorSpec`]'s `FromStr`).
+    pub estimators: Vec<EstimatorSpec>,
     /// Trials of the Monte-Carlo reference per scenario.
     pub reference_trials: usize,
     /// Sampling model of the reference.
@@ -209,51 +211,59 @@ impl Default for SweepSpec {
 
 impl SweepSpec {
     /// Structural sanity checks (axes non-empty, probabilities valid).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), EngineError> {
         if self.dags.is_empty() {
-            return Err("spec has no DAG sources".into());
+            return Err(EngineError::spec("spec has no DAG sources"));
         }
         if self.estimators.is_empty() {
-            return Err("spec has no estimators".into());
+            return Err(EngineError::spec("spec has no estimators"));
+        }
+        for est in &self.estimators {
+            est.validate().map_err(EngineError::spec)?;
         }
         if self.pfails.is_empty() && self.lambdas.is_empty() {
-            return Err("spec has neither pfails nor lambdas".into());
+            return Err(EngineError::spec("spec has neither pfails nor lambdas"));
         }
         for &p in &self.pfails {
             if !(0.0..1.0).contains(&p) {
-                return Err(format!("pfail {p} outside [0, 1)"));
+                return Err(EngineError::spec(format!("pfail {p} outside [0, 1)")));
             }
         }
         for &l in &self.lambdas {
             if !(l.is_finite() && l >= 0.0) {
-                return Err(format!("lambda {l} must be finite and non-negative"));
+                return Err(EngineError::spec(format!(
+                    "lambda {l} must be finite and non-negative"
+                )));
             }
         }
         if self.reference_trials == 0 {
-            return Err("reference_trials must be positive".into());
+            return Err(EngineError::spec("reference_trials must be positive"));
         }
         if self.jobs == Some(0) {
-            return Err("jobs must be positive when set".into());
+            return Err(EngineError::spec("jobs must be positive when set"));
         }
         Ok(())
     }
 
     /// Load from a file; TOML unless the content starts with `{`.
-    pub fn from_file(path: &str) -> Result<SweepSpec, String> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("reading spec {path}: {e}"))?;
-        SweepSpec::from_str_auto(&text).map_err(|e| format!("spec {path}: {e}"))
+    /// Errors name the offending path.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<SweepSpec, EngineError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| EngineError::io(format!("reading spec {}", path.display()), e))?;
+        SweepSpec::from_str_auto(&text)
+            .map_err(|e| EngineError::spec(format!("spec {}: {e}", path.display())))
     }
 
     /// Parse from TOML or JSON text (auto-detected).
-    pub fn from_str_auto(text: &str) -> Result<SweepSpec, String> {
+    pub fn from_str_auto(text: &str) -> Result<SweepSpec, EngineError> {
         let trimmed = text.trim_start();
         let value = if trimmed.starts_with('{') {
-            serde::json::parse(text).map_err(|e| e.to_string())?
+            serde::json::parse(text).map_err(|e| EngineError::spec(e.to_string()))?
         } else {
             parse_toml(text)?
         };
-        SweepSpec::deserialize(&value).map_err(|e| e.to_string())
+        SweepSpec::deserialize(&value).map_err(|e| EngineError::spec(e.to_string()))
     }
 }
 
@@ -453,7 +463,11 @@ impl Serialize for SweepSpec {
 }
 
 /// Parse the TOML subset sweep specs use (see module docs).
-pub fn parse_toml(text: &str) -> Result<Value, String> {
+pub fn parse_toml(text: &str) -> Result<Value, EngineError> {
+    parse_toml_inner(text).map_err(EngineError::spec)
+}
+
+fn parse_toml_inner(text: &str) -> Result<Value, String> {
     use std::collections::BTreeMap;
     let mut root: BTreeMap<String, Value> = BTreeMap::new();
     // Path of the table currently being filled; `None` = root.
@@ -704,10 +718,17 @@ seed = 7
         assert!(parse_toml("k = \"unterminated").is_err());
         assert!(parse_toml("k = 1\nk = 2").is_err());
         let err = SweepSpec::from_str_auto(
-            "estimators = [\"a\"]\npfails = [0.1]\n[[dags]]\nkind = \"warp\"",
+            "estimators = [\"sculli\"]\npfails = [0.1]\n[[dags]]\nkind = \"warp\"",
         )
-        .unwrap_err();
+        .unwrap_err()
+        .to_string();
         assert!(err.contains("unknown DAG kind"), "{err}");
+        let err = SweepSpec::from_str_auto(
+            "estimators = [\"warp-drive\"]\npfails = [0.1]\n[[dags]]\nkind = \"fork-join\"",
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown estimator"), "{err}");
     }
 
     #[test]
@@ -725,6 +746,19 @@ seed = 7
         )
         .unwrap();
         assert_eq!(toml.jobs, Some(2));
+    }
+
+    #[test]
+    fn from_file_accepts_path_types_and_names_path_in_errors() {
+        let p = std::env::temp_dir().join(format!("stochdag_specfile_{}.toml", std::process::id()));
+        std::fs::write(&p, SAMPLE).unwrap();
+        let a = SweepSpec::from_file(&p).unwrap(); // &PathBuf
+        let b = SweepSpec::from_file(p.to_str().unwrap()).unwrap(); // &str
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(&p);
+        let missing = p.with_extension("missing");
+        let err = SweepSpec::from_file(&missing).unwrap_err().to_string();
+        assert!(err.contains(missing.to_str().unwrap()), "{err}");
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Integration coverage of the [`Campaign`] facade: builder wiring,
+//! backend equivalence with the legacy free functions, dry runs,
+//! resume reports, observers, and the worker half.
+
+use std::sync::{Arc, Mutex};
+use stochdag_engine::{
+    decode_event, Campaign, CampaignEvent, CsvSink, EngineError, EstimatorSpec, FnObserver,
+    MultiProcess, ResultCache, SweepSpec, VecSink, WireObserver,
+};
+
+fn campaign_spec() -> SweepSpec {
+    SweepSpec::from_str_auto(
+        r#"
+name = "facade"
+seed = 11
+pfails = [0.01, 0.001]
+estimators = ["first-order", "sculli", "mc:600"]
+reference_trials = 1500
+
+[[dags]]
+kind = "cholesky"
+ks = [2, 3]
+
+[[dags]]
+kind = "fork-join"
+width = 3
+depth = 2
+"#,
+    )
+    .unwrap()
+}
+
+/// `Write` handle whose buffer outlives the boxed writer inside a sink.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn bytes(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn campaign_run_matches_the_legacy_free_function_byte_for_byte() {
+    let spec = campaign_spec();
+    let cache = Arc::new(ResultCache::in_memory());
+
+    // Facade path (owned sinks, no borrow dance) computes everything.
+    let buf = SharedBuf::default();
+    let outcome = Campaign::builder(spec.clone())
+        .cache(cache.clone())
+        .sink(CsvSink::new(buf.clone()))
+        .sink(VecSink::default())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+
+    // Legacy path (deprecated wrapper, borrowed sinks) over the same
+    // cache must be fully served and byte-identical.
+    #[allow(deprecated)]
+    let (legacy_csv, legacy) = {
+        let mut csv = CsvSink::new(Vec::new());
+        let registry = stochdag_engine::EstimatorRegistry::standard();
+        let outcome = {
+            let mut sinks: Vec<&mut dyn stochdag_engine::ResultSink> = vec![&mut csv];
+            stochdag_engine::run_sweep(&spec, &registry, &cache, &mut sinks).unwrap()
+        };
+        (csv.into_inner(), outcome)
+    };
+
+    assert!(legacy.fully_cached(), "facade run fed the legacy run");
+    assert_eq!(outcome.cells, legacy.cells);
+    assert_eq!(outcome.references, legacy.references);
+    assert_eq!(outcome.rows, legacy.rows, "rows are bit-identical");
+    assert_eq!(outcome.summary, legacy.summary);
+    assert_eq!(buf.bytes(), legacy_csv, "CSV bytes are identical");
+}
+
+#[test]
+fn dry_run_expands_without_executing() {
+    let campaign = Campaign::builder(campaign_spec()).build().unwrap();
+    let dry = campaign.dry_run().unwrap();
+    assert_eq!(dry.name, "facade");
+    assert_eq!(dry.backend, "in-process");
+    assert_eq!(dry.estimators, ["first-order", "sculli", "mc:600"]);
+    assert_eq!(dry.instances.len(), 3);
+    assert_eq!(dry.instances[0].id, "cholesky:k=2");
+    assert!(dry.instances.iter().all(|i| i.tasks > 0));
+    assert_eq!(dry.models, 2);
+    assert_eq!(dry.cells, 18);
+    assert_eq!(dry.references, 6);
+    assert_eq!(dry.shard_cells, vec![18], "one in-process shard");
+
+    let sharded = Campaign::builder(campaign_spec())
+        .backend(MultiProcess::new(3))
+        .build()
+        .unwrap();
+    let dry = sharded.dry_run().unwrap();
+    assert_eq!(dry.shard_cells.len(), 3);
+    assert_eq!(dry.shard_cells.iter().sum::<usize>(), 18);
+
+    // Nothing ran: a fresh resume report still sees zero cached cells.
+    let report = campaign.resume_report().unwrap();
+    assert_eq!(report.total_hits(), 0);
+}
+
+#[test]
+fn resume_report_follows_the_backend_worker_count() {
+    let cache = Arc::new(ResultCache::in_memory());
+    let run = Campaign::builder(campaign_spec())
+        .cache(cache.clone())
+        .build()
+        .unwrap();
+    run.run().unwrap();
+
+    let sharded = Campaign::builder(campaign_spec())
+        .cache(cache.clone())
+        .backend(MultiProcess::new(2))
+        .build()
+        .unwrap();
+    let report = sharded.resume_report().unwrap();
+    assert!(report.fully_cached());
+    assert_eq!(report.shards.len(), 2, "per-shard split under workers=2");
+    assert_eq!(report.shards.iter().map(|s| s.hits).sum::<usize>(), 18);
+}
+
+#[test]
+fn observers_see_the_full_event_stream() {
+    let events: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_events = events.clone();
+    let outcome = Campaign::builder(campaign_spec())
+        .observer(FnObserver(move |ev: &CampaignEvent| {
+            let tag = match ev {
+                CampaignEvent::Hello { .. } => "hello",
+                CampaignEvent::Reference { .. } => "reference",
+                CampaignEvent::Cell { .. } => "cell",
+                CampaignEvent::Done { .. } => "done",
+                CampaignEvent::Error { .. } => "error",
+            };
+            sink_events.lock().unwrap().push(tag.to_string());
+        }))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let seen = events.lock().unwrap();
+    assert_eq!(seen.first().map(String::as_str), Some("hello"));
+    assert_eq!(seen.last().map(String::as_str), Some("done"));
+    assert_eq!(seen.iter().filter(|t| *t == "cell").count(), outcome.cells);
+    assert_eq!(
+        seen.iter().filter(|t| *t == "reference").count(),
+        outcome.references
+    );
+}
+
+#[test]
+fn run_shard_streams_the_wire_protocol_through_observers() {
+    let buf = SharedBuf::default();
+    let outcome = Campaign::builder(campaign_spec())
+        .observer(WireObserver::new(buf.clone()))
+        .build()
+        .unwrap()
+        .run_shard(0, 2)
+        .unwrap();
+    assert_eq!(outcome.shard, 0);
+    assert_eq!(outcome.shard_count, 2);
+    assert!(outcome.cells > 0 && outcome.cells < 18, "a proper subset");
+
+    let text = String::from_utf8(buf.bytes()).unwrap();
+    let events: Vec<CampaignEvent> = text
+        .lines()
+        .map(|l| decode_event(l).unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    assert!(matches!(events.first(), Some(CampaignEvent::Hello { .. })));
+    assert!(matches!(events.last(), Some(CampaignEvent::Done { .. })));
+    let cells = events
+        .iter()
+        .filter(|e| matches!(e, CampaignEvent::Cell { .. }))
+        .count();
+    assert_eq!(cells, outcome.cells);
+}
+
+#[test]
+fn builder_rejects_bad_configurations_up_front() {
+    let err = Campaign::builder(SweepSpec::default()).build().unwrap_err();
+    assert!(matches!(err, EngineError::Spec { .. }), "{err}");
+
+    let mut spec = campaign_spec();
+    spec.estimators.push(EstimatorSpec::Dodin { atoms: 1 });
+    let err = Campaign::builder(spec).build().unwrap_err();
+    assert!(err.to_string().contains("dodin"), "{err}");
+
+    let err = Campaign::builder(campaign_spec())
+        .backend(MultiProcess::new(0))
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("worker"), "{err}");
+
+    let err = Campaign::builder(campaign_spec())
+        .jobs(0)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("jobs"), "{err}");
+}
+
+#[test]
+fn multiprocess_spawn_failures_surface_as_worker_errors() {
+    let err = Campaign::builder(campaign_spec())
+        .backend(MultiProcess::new(2).launcher("/nonexistent/stochdag-binary-for-test", vec![]))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::Worker { .. }),
+        "spawn failure is a worker error: {err}"
+    );
+    assert!(err.to_string().contains("spawning sweep worker"), "{err}");
+}

@@ -3,14 +3,19 @@
 //! disk cache jointly compute exactly what a single-process run would,
 //! and the coordinator's merge of replayed event streams is
 //! byte-identical to the single-process sink output.
+//!
+//! Deliberately exercises the deprecated free-function entry points
+//! (`run_shard`, `coordinate`, `run_sweep`, `sharded_resume_report`):
+//! they must keep their exact semantics while they remain as wrappers.
+#![allow(deprecated)]
 
 use std::io::Cursor;
 use std::path::PathBuf;
 use std::sync::Mutex;
 use stochdag_engine::{
     coordinate, decode_event, encode_event, run_shard, run_sweep, shard_of, sharded_resume_report,
-    CsvSink, EstimatorRegistry, ProgressReporter, ResultCache, ResultSink, SweepSpec, VecSink,
-    WorkerEvent,
+    CampaignEvent, CsvSink, EstimatorRegistry, ProgressReporter, ResultCache, ResultSink,
+    SweepSpec, VecSink,
 };
 
 fn scratch(tag: &str) -> PathBuf {
@@ -141,19 +146,19 @@ fn shard_streams_cover_every_cell_exactly_once() {
     let mut hello_cells = 0usize;
     for s in 0..3 {
         let lines = shard_lines(&spec, &cache_dir, s, 3);
-        let events: Vec<WorkerEvent> = lines.iter().map(|l| decode_event(l).unwrap()).collect();
+        let events: Vec<CampaignEvent> = lines.iter().map(|l| decode_event(l).unwrap()).collect();
         assert!(
-            matches!(events.first(), Some(WorkerEvent::Hello { .. })),
+            matches!(events.first(), Some(CampaignEvent::Hello { .. })),
             "hello first"
         );
         assert!(
-            matches!(events.last(), Some(WorkerEvent::Done { .. })),
+            matches!(events.last(), Some(CampaignEvent::Done { .. })),
             "done last"
         );
         for ev in events {
             match ev {
-                WorkerEvent::Hello { cells, .. } => hello_cells += cells,
-                WorkerEvent::Cell { index, .. } => {
+                CampaignEvent::Hello { cells, .. } => hello_cells += cells,
+                CampaignEvent::Cell { index, .. } => {
                     assert!(seen.insert(index), "cell {index} owned by two shards");
                 }
                 _ => {}
@@ -190,7 +195,7 @@ fn coordinator_rejects_broken_streams() {
     // An explicit worker error aborts the merge.
     let failed = vec![
         good[0].clone(),
-        encode_event(&WorkerEvent::Error {
+        encode_event(&CampaignEvent::Error {
             message: "shard exploded".into(),
         }),
     ];

@@ -6,9 +6,8 @@
 //! single `#[test]`: a second test in this binary would race the
 //! counter.
 
-use stochdag_engine::{
-    resume_report, run_sweep, EstimatorRegistry, ResultCache, ResultSink, SweepSpec, VecSink,
-};
+use std::sync::Arc;
+use stochdag_engine::{Campaign, ResultCache, SweepSpec, VecSink};
 
 const SPEC: &str = r#"
 name = "prepared-once"
@@ -29,16 +28,17 @@ depth = 2
 #[test]
 fn campaign_builds_each_dag_source_exactly_once() {
     let spec = SweepSpec::from_str_auto(SPEC).unwrap();
-    let registry = EstimatorRegistry::standard();
-    let cache = ResultCache::in_memory();
+    let cache = Arc::new(ResultCache::in_memory());
+    let campaign = |spec: &SweepSpec| Campaign::builder(spec.clone()).cache(cache.clone());
 
     // 3 instances × 3 models × 4 estimators = 36 cells, 9 references.
     let before = stochdag_dag::prepared_dag_build_count();
-    let mut sink = VecSink::default();
-    let outcome = {
-        let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut sink];
-        run_sweep(&spec, &registry, &cache, &mut sinks).unwrap()
-    };
+    let outcome = campaign(&spec)
+        .sink(VecSink::default())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     let after = stochdag_dag::prepared_dag_build_count();
     assert_eq!(outcome.cells, 36);
     assert_eq!(outcome.references, 9);
@@ -51,8 +51,7 @@ fn campaign_builds_each_dag_source_exactly_once() {
     // A fully-cached re-run still prepares once per source (the
     // preparation is per-campaign state), and nothing more.
     let before = after;
-    let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-    let again = run_sweep(&spec, &registry, &cache, &mut sinks).unwrap();
+    let again = campaign(&spec).build().unwrap().run().unwrap();
     assert!(again.fully_cached());
     assert_eq!(
         stochdag_dag::prepared_dag_build_count() - before,
@@ -62,7 +61,7 @@ fn campaign_builds_each_dag_source_exactly_once() {
 
     // resume-report hashes directly and must not build preparations.
     let before = stochdag_dag::prepared_dag_build_count();
-    let report = resume_report(&spec, &registry, &cache).unwrap();
+    let report = campaign(&spec).build().unwrap().resume_report().unwrap();
     assert!(report.fully_cached());
     assert_eq!(
         stochdag_dag::prepared_dag_build_count(),

@@ -63,9 +63,15 @@ pub mod prelude {
         TaskDurationModel,
     };
     pub use stochdag_engine::{
-        resume_report, run_sweep, CsvSink, EstimatorRegistry, JsonlSink, ResultCache, ResultSink,
-        ResumeReport, SweepOutcome, SweepSpec, VecSink,
+        Campaign, CampaignBuilder, CampaignEvent, CampaignObserver, CsvSink, DagSpec, DryRun,
+        EngineError, EstimatorRegistry, EstimatorSpec, ExecBackend, InProcess, JsonlSink,
+        MultiProcess, ProgressMode, ProgressReporter, ResultCache, ResultSink, ResumeReport,
+        SweepOutcome, SweepSpec, VecSink, WireObserver,
     };
+    // Legacy engine entry points, re-exported for embedders still
+    // migrating to the Campaign facade.
+    #[allow(deprecated)]
+    pub use stochdag_engine::{resume_report, run_sweep};
     pub use stochdag_sched::{
         compare_policies, heft_schedule, list_schedule, simulate_execution, Priority, Schedule,
         SimConfig,

@@ -12,7 +12,7 @@
 //! Run with: `cargo run -p stochdag --release --example accuracy_study`
 
 use stochdag::prelude::*;
-use stochdag_engine::DagSpec;
+use stochdag_engine::{Campaign, DagSpec, EstimatorSpec};
 
 fn main() {
     // λ = 0.05, 0.025, 0.0125, 0.00625 — each halving should divide
@@ -23,7 +23,7 @@ fn main() {
         seed: 5,
         pfails: vec![],
         lambdas: lambdas.clone(),
-        estimators: vec!["first-order".into()],
+        estimators: vec![EstimatorSpec::FirstOrder],
         reference_trials: 400_000,
         reference_sampling: SamplingModel::TwoState,
         jobs: None,
@@ -55,12 +55,11 @@ fn main() {
         ],
     };
 
-    let registry = EstimatorRegistry::standard();
-    let cache = ResultCache::in_memory();
-    let outcome = {
-        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-        run_sweep(&spec, &registry, &cache, &mut sinks).expect("sweep runs")
-    };
+    let outcome = Campaign::builder(spec)
+        .build()
+        .expect("valid campaign")
+        .run()
+        .expect("sweep runs");
 
     // Rows arrive scenario-major: for each DAG, the λ axis in order.
     for family in outcome.rows.chunks(lambdas.len()) {

@@ -3,8 +3,9 @@
 //! and (b) regenerate byte-identical output files.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use stochdag::prelude::*;
-use stochdag_engine::DagSpec;
+use stochdag_engine::{Campaign, DagSpec, EstimatorSpec};
 
 fn scratch(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("stochdag_resume_{tag}_{}", std::process::id()));
@@ -19,7 +20,11 @@ fn campaign() -> SweepSpec {
         seed: 7,
         pfails: vec![0.01, 0.001],
         lambdas: vec![],
-        estimators: vec!["first-order".into(), "corlca".into(), "mc:800".into()],
+        estimators: vec![
+            EstimatorSpec::FirstOrder,
+            EstimatorSpec::CorLca,
+            EstimatorSpec::Mc { trials: 800 },
+        ],
         reference_trials: 2_000,
         reference_sampling: stochdag::core::SamplingModel::Geometric,
         jobs: None,
@@ -36,17 +41,21 @@ fn campaign() -> SweepSpec {
     }
 }
 
-fn run_into(spec: &SweepSpec, cache: &ResultCache, csv_path: &Path) -> SweepOutcome {
-    let mut csv = CsvSink::create(csv_path).unwrap();
-    let mut jsonl = JsonlSink::create(&csv_path.with_extension("jsonl")).unwrap();
-    let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv, &mut jsonl];
-    run_sweep(spec, &EstimatorRegistry::standard(), cache, &mut sinks).unwrap()
+fn run_into(spec: &SweepSpec, cache: &Arc<ResultCache>, csv_path: &Path) -> SweepOutcome {
+    Campaign::builder(spec.clone())
+        .cache(cache.clone())
+        .sink(CsvSink::create(csv_path).unwrap())
+        .sink(JsonlSink::create(csv_path.with_extension("jsonl")).unwrap())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
 }
 
 #[test]
 fn resume_from_cache_regenerates_identical_output() {
     let dir = scratch("main");
-    let cache = ResultCache::on_disk(dir.join("cache"));
+    let cache = Arc::new(ResultCache::on_disk(dir.join("cache")));
     let csv_path = dir.join("resume.csv");
     let spec = campaign();
 
@@ -98,10 +107,18 @@ fn cache_survives_process_style_reload() {
     let dir = scratch("reload");
     let csv_path = dir.join("resume.csv");
     let spec = campaign();
-    let first = run_into(&spec, &ResultCache::on_disk(dir.join("cache")), &csv_path);
+    let first = run_into(
+        &spec,
+        &Arc::new(ResultCache::on_disk(dir.join("cache"))),
+        &csv_path,
+    );
     let bytes = std::fs::read(&csv_path).unwrap();
 
-    let second = run_into(&spec, &ResultCache::on_disk(dir.join("cache")), &csv_path);
+    let second = run_into(
+        &spec,
+        &Arc::new(ResultCache::on_disk(dir.join("cache"))),
+        &csv_path,
+    );
     assert!(second.fully_cached(), "disk tier alone must satisfy resume");
     assert_eq!(second.rows, first.rows);
     assert_eq!(std::fs::read(&csv_path).unwrap(), bytes);
@@ -111,14 +128,14 @@ fn cache_survives_process_style_reload() {
 #[test]
 fn spec_change_invalidates_only_new_cells() {
     let dir = scratch("partial");
-    let cache = ResultCache::on_disk(dir.join("cache"));
+    let cache = Arc::new(ResultCache::on_disk(dir.join("cache")));
     let csv_path = dir.join("resume.csv");
     let spec = campaign();
     let first = run_into(&spec, &cache, &csv_path);
 
     // Adding an estimator reuses every existing cell and reference.
     let mut extended = spec.clone();
-    extended.estimators.push("sculli".into());
+    extended.estimators.push(EstimatorSpec::Sculli);
     let second = run_into(&extended, &cache, &csv_path);
     assert_eq!(second.cells, first.cells + 8, "one new column of cells");
     assert_eq!(

@@ -34,15 +34,16 @@ fn arb_dag() -> impl Strategy<Value = Dag> {
     })
 }
 
-/// Concrete spec string per registered base name: bounded work for the
+/// Concrete spec per registered base name: bounded work for the
 /// statistical/path estimators so 64 proptest cases stay fast.
-fn spec_of(base: &str) -> String {
-    match base {
+fn spec_of(base: &str) -> stochdag::core::EstimatorSpec {
+    let s = match base {
         "mc" => "mc:400".into(),
         "spelde" => "spelde:4".into(),
         "dodin" | "dodin-dup" => format!("{base}:32"),
-        other => other.into(),
-    }
+        other => other.to_string(),
+    };
+    s.parse().expect("registered estimators parse")
 }
 
 proptest! {
