@@ -1,15 +1,18 @@
 //! Distributed-executor primitives: the per-cell cost of deterministic
-//! shard assignment, the wire-protocol encode/decode round trip, and a
+//! shard assignment, the wire-protocol encode/decode round trip, a
 //! full in-process shard execution vs the in-process campaign backend
 //! on the same campaign (both cold — the shard path's overhead is the
-//! partition scan plus event emission).
+//! partition scan plus event emission), and the overhead of the
+//! telemetry layer (disabled vs enabled on an identical campaign; the
+//! disabled case is the acceptance gate — it must be indistinguishable
+//! from a build without telemetry).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use stochdag::prelude::*;
 use stochdag_engine::{
     decode_event, encode_event, Campaign, CampaignEvent, DagSpec, EstimatorSpec, FnObserver,
-    SweepRow,
+    SweepRow, Telemetry,
 };
 
 fn campaign() -> SweepSpec {
@@ -52,6 +55,7 @@ fn bench_protocol(c: &mut Criterion) {
     let event = CampaignEvent::Cell {
         index: 1234,
         cached: false,
+        tier: None,
         row: SweepRow {
             dag: "cholesky:k=8".into(),
             tasks: 120,
@@ -110,10 +114,30 @@ fn bench_shard_vs_single(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let spec = campaign();
+    let run = |telemetry: Telemetry| {
+        Campaign::builder(spec.clone())
+            .cache(Arc::new(ResultCache::in_memory()))
+            .telemetry(telemetry)
+            .build()
+            .expect("valid campaign")
+            .run()
+            .expect("sweep runs")
+            .cells
+    };
+    let mut group = c.benchmark_group("telemetry_overhead_18cells");
+    group.sample_size(3);
+    group.bench_function("disabled", |b| b.iter(|| run(Telemetry::disabled())));
+    group.bench_function("enabled", |b| b.iter(|| run(Telemetry::enabled())));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_shard_assignment,
     bench_protocol,
-    bench_shard_vs_single
+    bench_shard_vs_single,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! `bench-report` — assemble the sweep bench trajectory artifact.
+//!
+//! Runs the engine-facing criterion benches (`sweep_cache`,
+//! `prepared_pipeline`, `distributed_shard`) with the criterion shim's
+//! `CRITERION_JSON` hook enabled, collects the per-benchmark JSONL
+//! records each run appends, and writes one machine-readable
+//! `BENCH_sweep.json`:
+//!
+//! ```json
+//! {"schema_version":1,"suite":"sweep","benches":[
+//!   {"bench":"distributed_shard","label":"shard_protocol/encode_cell_event",
+//!    "median_ns":1234,"samples":10}, …]}
+//! ```
+//!
+//! Entries are sorted by (bench, label) so two runs differ only in the
+//! timing numbers — diffing successive artifacts IS the perf
+//! trajectory. CI runs this binary and uploads the artifact on every
+//! push (see `.github/workflows/ci.yml`, job `bench-trajectory`).
+//!
+//! Usage: `cargo run -p stochdag-bench --release --bin bench-report
+//! [-- OUT.json]` (default `BENCH_sweep.json`).
+
+use serde::{json, Value};
+use std::process::Command;
+
+/// The benches that exercise the sweep engine end to end. Micro/ablation
+/// benches (estimators, MC convergence, …) are excluded on purpose: the
+/// trajectory tracks the engine's moving parts, not the math kernels.
+const BENCHES: &[&str] = &["sweep_cache", "prepared_pipeline", "distributed_shard"];
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("bench-report: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+
+    // (bench, label, median_ns, samples), sorted before rendering.
+    let mut records: Vec<(String, String, u64, u64)> = Vec::new();
+    for bench in BENCHES {
+        let tmp =
+            std::env::temp_dir().join(format!("criterion-{bench}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&tmp);
+        let status = Command::new(&cargo)
+            .args(["bench", "-p", "stochdag-bench", "--bench", bench])
+            .env("CRITERION_JSON", &tmp)
+            .status()
+            .map_err(|e| format!("spawning cargo bench --bench {bench}: {e}"))?;
+        if !status.success() {
+            return Err(format!("cargo bench --bench {bench} failed: {status}"));
+        }
+        let text = std::fs::read_to_string(&tmp).map_err(|e| {
+            format!(
+                "reading {} (did the bench emit records?): {e}",
+                tmp.display()
+            )
+        })?;
+        let _ = std::fs::remove_file(&tmp);
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let v = json::parse(line).map_err(|e| format!("bad record from {bench}: {e}"))?;
+            let label = v
+                .require("label")
+                .and_then(|l| {
+                    l.as_str()
+                        .ok_or_else(|| serde::Error::new("label is not a string"))
+                })
+                .map_err(|e| format!("bad record from {bench}: {e}"))?;
+            let num = |key: &str| {
+                v.require(key)
+                    .ok()
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("bad record from {bench}: missing integer {key}"))
+            };
+            records.push((
+                bench.to_string(),
+                label.to_string(),
+                num("median_ns")?,
+                num("samples")?,
+            ));
+        }
+    }
+    records.sort();
+
+    let benches = Value::Arr(
+        records
+            .into_iter()
+            .map(|(bench, label, median_ns, samples)| {
+                Value::obj([
+                    ("bench", Value::Str(bench)),
+                    ("label", Value::Str(label)),
+                    ("median_ns", Value::Num(median_ns as f64)),
+                    ("samples", Value::Num(samples as f64)),
+                ])
+            })
+            .collect(),
+    );
+    let root = Value::obj([
+        ("benches", benches),
+        ("schema_version", Value::Num(1.0)),
+        ("suite", Value::Str("sweep".to_string())),
+    ]);
+    let mut out = String::new();
+    json::write_value(&root, &mut out);
+    out.push('\n');
+    std::fs::write(&out_path, out).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}

@@ -16,6 +16,7 @@ const BARE_FLAGS: &[&str] = &[
     "--no-cache",
     "--resume-report",
     "--dry-run",
+    "--telemetry",
 ];
 
 impl Options {

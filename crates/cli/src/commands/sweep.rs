@@ -17,14 +17,26 @@
 //! on-disk cache, a crashed worker's shard is retried once
 //! cache-first, and the merged CSV/JSONL is byte-identical to an
 //! in-process run. `--progress none|plain|live` renders progress on
-//! stderr for either backend.
+//! stderr for either backend (`live` falls back to `plain` when stderr
+//! is not a terminal; `--progress-interval SECS` tunes the plain-mode
+//! throttle).
+//!
+//! Observability: `--metrics-out FILE` writes a deterministic JSON
+//! metrics report (cells by cache tier, rows, per-estimator counts,
+//! span timings, failure tallies by kind) after the campaign, and
+//! `--trace-out FILE` streams every telemetry span/counter as JSONL
+//! while it runs. See the README's "Observability" section for the
+//! schema and span glossary.
 
 use crate::args::Options;
 use crate::report::{fmt_duration, Table};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 use stochdag::prelude::*;
-use stochdag_engine::{Campaign, DagSpec, EstimatorSpec, MultiProcess, ProgressMode};
+use stochdag_engine::{
+    Campaign, DagSpec, EstimatorSpec, MultiProcess, ProgressMode, ProgressReporter, Telemetry,
+};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let opts = Options::parse(argv)?;
@@ -63,8 +75,33 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }
         Some(mode) => ProgressMode::parse(mode)?,
     };
+    let progress_interval: Option<f64> = opts
+        .get("progress-interval")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| "bad --progress-interval".to_string())?;
+    if progress_interval.is_some_and(|s| !(s.is_finite() && s >= 0.0)) {
+        return Err("--progress-interval must be a non-negative number of seconds".into());
+    }
+    let metrics_out: Option<PathBuf> = opts.get("metrics-out").map(Into::into);
+    let trace_out: Option<PathBuf> = opts.get("trace-out").map(Into::into);
 
-    let mut builder = Campaign::builder(spec.clone()).cache(cache.clone());
+    // Telemetry is pay-for-what-you-ask: off unless a report or trace
+    // was requested, so the default path records nothing and reads no
+    // clocks.
+    let telemetry = if let Some(path) = &trace_out {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("creating trace file {}: {e}", path.display()))?;
+        Telemetry::with_trace(Box::new(file))
+    } else if metrics_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
+    let mut builder = Campaign::builder(spec.clone())
+        .cache(cache.clone())
+        .telemetry(telemetry.clone());
     if let Some(n) = workers {
         builder = builder.backend(MultiProcess::new(n));
     }
@@ -95,10 +132,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             None => String::new(),
         }
     );
+    let mut reporter = ProgressReporter::stderr(progress);
+    if let Some(secs) = progress_interval {
+        reporter = reporter.with_plain_interval(Duration::from_secs_f64(secs));
+    }
     let outcome = builder
         .sink(csv)
         .sink(jsonl)
-        .progress(progress)
+        .observer(reporter)
         .build()?
         .run()?;
 
@@ -138,6 +179,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     );
     println!("wrote {}", csv_path.display());
     println!("wrote {}", jsonl_path.display());
+    if let Some(path) = &metrics_out {
+        let report = telemetry.report(&spec.name, &outcome);
+        std::fs::write(path, report.to_json() + "\n")
+            .map_err(|e| format!("writing metrics report {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &trace_out {
+        println!("wrote {}", path.display());
+    }
 
     if let Some(budget) = cache_budget {
         if opts.flag("no-cache") {

@@ -19,9 +19,11 @@
 use crate::args::Options;
 use std::sync::Arc;
 use stochdag::prelude::*;
-use stochdag_engine::{encode_event, Campaign, CampaignEvent, WireObserver};
 #[cfg(debug_assertions)]
-use stochdag_engine::{CampaignObserver, EngineError};
+use stochdag_engine::CampaignObserver;
+use stochdag_engine::{
+    encode_event, Campaign, CampaignEvent, EngineError, Telemetry, WireObserver,
+};
 
 /// Fault-injection hook for the coordinator's kill-a-worker test: when
 /// `STOCHDAG_SWEEP_WORKER_CRASH_FILE` names a file whose content is
@@ -78,7 +80,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .require("of")?
         .parse()
         .map_err(|_| "bad --of".to_string())?;
-    let result: Result<(), String> = (|| {
+    let result: Result<(), EngineError> = (|| {
         let spec = SweepSpec::from_file(spec_path)?;
         let cache = Arc::new(if opts.flag("no-cache") {
             ResultCache::in_memory()
@@ -89,10 +91,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         // One event per line on stdout, flushed immediately: the
         // coordinator renders live progress from this stream, so events
         // must not sit in a buffer until the shard finishes.
-        #[allow(unused_mut)]
         let mut builder = Campaign::builder(spec)
             .cache(cache)
             .observer(WireObserver::new(std::io::stdout()));
+        // The coordinator passes --telemetry when its own telemetry is
+        // enabled: the shard then collects spans/counters and streams a
+        // `telemetry` event home just before `done`.
+        if opts.flag("telemetry") {
+            builder = builder.telemetry(Telemetry::enabled());
+        }
         #[cfg(debug_assertions)]
         if crash_armed(shard) {
             builder = builder.observer(CrashAfterEvents { remaining: 3 });
@@ -100,20 +107,22 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         builder.build()?.run_shard(shard, of)?;
         Ok(())
     })();
-    if let Err(message) = &result {
+    if let Err(e) = &result {
         // Best effort, covering every failure from spec loading through
-        // shard execution: tell the coordinator why before exiting
-        // non-zero. If the pipe is already gone the write fails
-        // silently — never panic here — and the exit status still
-        // carries the failure.
+        // shard execution: tell the coordinator why (and what kind of
+        // failure it was, for the metrics report's errors_by_kind
+        // tally) before exiting non-zero. If the pipe is already gone
+        // the write fails silently — never panic here — and the exit
+        // status still carries the failure.
         use std::io::Write;
         let _ = writeln!(
             std::io::stdout(),
             "{}",
             encode_event(&CampaignEvent::Error {
-                message: message.clone(),
+                message: e.to_string(),
+                kind: Some(e.kind().to_string()),
             })
         );
     }
-    result
+    result.map_err(String::from)
 }

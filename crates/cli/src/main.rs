@@ -75,6 +75,8 @@ COMMANDS:
                    [--out results] [--cache .stochdag-cache] [--no-cache]
                    [--resume-report] [--dry-run] [--cache-max-bytes B]
                    [--workers N] [--progress none|plain|live]
+                   [--progress-interval SECS]
+                   [--metrics-out FILE] [--trace-out FILE]
                  caches every cell content-addressed: re-runs and resumed
                  campaigns skip finished cells and emit identical CSV/JSONL.
                  each DAG source is built/frozen/hashed once per campaign
@@ -90,7 +92,13 @@ COMMANDS:
                  is retried once cache-first, and merged CSV/JSONL is
                  byte-identical to a single-process run. --progress
                  renders counters/ETA on stderr for either backend
-                 (default: plain with --workers, none otherwise)
+                 (default: plain with --workers, none otherwise; live
+                 falls back to plain when stderr is not a terminal, and
+                 --progress-interval tunes the plain throttle).
+                 --metrics-out writes a deterministic JSON metrics
+                 report (cells by cache tier, span timings, failures
+                 by kind); --trace-out streams telemetry spans and
+                 counters as JSONL while the campaign runs
   table1         LU k=20 error + wall-clock comparison (paper Table I),
                  executed as an engine sweep (cache-aware)
                    [--k 20] [--trials 300000] [--seed 0] [--fast]

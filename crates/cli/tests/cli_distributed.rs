@@ -333,13 +333,14 @@ fn sweep_worker_speaks_the_shard_protocol() {
     ]);
     assert!(!ok);
     assert!(stderr.contains("out of range"), "{stderr}");
-    assert!(
-        matches!(
-            decode_event(stdout.lines().last().unwrap()),
-            Ok(CampaignEvent::Error { .. })
-        ),
-        "{stdout}"
-    );
+    // The error event carries the structured failure kind, so a
+    // coordinator's metrics report can tally failures by kind.
+    match decode_event(stdout.lines().last().unwrap()) {
+        Ok(CampaignEvent::Error { kind, .. }) => {
+            assert_eq!(kind.as_deref(), Some("spec"), "{stdout}")
+        }
+        other => panic!("expected error event, got {other:?}: {stdout}"),
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

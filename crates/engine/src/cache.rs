@@ -47,6 +47,34 @@ pub fn cell_key(dag_hash: u128, lambda: f64, estimator_id: &str, seed: u64) -> S
     h.finish_hex()
 }
 
+/// Which cache tier served a lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheTier {
+    /// The per-process in-memory map.
+    Memory,
+    /// The shared on-disk store.
+    Disk,
+}
+
+impl CacheTier {
+    /// Stable wire/report name (`"memory"` / `"disk"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheTier::Memory => "memory",
+            CacheTier::Disk => "disk",
+        }
+    }
+
+    /// Parse a wire name produced by [`CacheTier::as_str`].
+    pub(crate) fn parse(s: &str) -> Option<CacheTier> {
+        match s {
+            "memory" => Some(CacheTier::Memory),
+            "disk" => Some(CacheTier::Disk),
+            _ => None,
+        }
+    }
+}
+
 /// Outcome of one [`ResultCache::gc_disk`] pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheGcStats {
@@ -66,6 +94,8 @@ pub struct ResultCache {
     mem: Mutex<HashMap<String, Estimate>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    mem_hits: AtomicUsize,
+    disk_hits: AtomicUsize,
 }
 
 impl ResultCache {
@@ -76,6 +106,8 @@ impl ResultCache {
             mem: Mutex::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            mem_hits: AtomicUsize::new(0),
+            disk_hits: AtomicUsize::new(0),
         }
     }
 
@@ -103,9 +135,17 @@ impl ResultCache {
 
     /// Look a key up (memory first, then disk). Counts a hit or miss.
     pub fn lookup(&self, key: &str) -> Option<Estimate> {
+        self.lookup_tiered(key).map(|(est, _)| est)
+    }
+
+    /// Like [`lookup`](ResultCache::lookup), but also reports **which
+    /// tier** served the hit — the primitive behind per-tier telemetry
+    /// counters and the `tier` field of cell wire events.
+    pub fn lookup_tiered(&self, key: &str) -> Option<(Estimate, CacheTier)> {
         if let Some(found) = self.mem.lock().expect("cache poisoned").get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(found.clone());
+            self.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((found.clone(), CacheTier::Memory));
         }
         if let Some(path) = self.path_of(key) {
             if let Ok(text) = std::fs::read_to_string(&path) {
@@ -124,7 +164,8 @@ impl ResultCache {
                             .expect("cache poisoned")
                             .insert(key.to_string(), est.clone());
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Some(est);
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Some((est, CacheTier::Disk));
                     }
                     Err(e) => {
                         // A corrupt entry is a miss, not an error — the
@@ -302,10 +343,22 @@ impl ResultCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Hits served by the in-memory tier since construction.
+    pub fn memory_hits(&self) -> usize {
+        self.mem_hits.load(Ordering::Relaxed)
+    }
+
+    /// Hits served by the on-disk tier since construction.
+    pub fn disk_hits(&self) -> usize {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
     /// Reset the hit/miss counters (e.g. between sweep phases).
     pub fn reset_counters(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.mem_hits.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -367,6 +420,36 @@ mod tests {
         assert_eq!(got.value, 7.5);
         assert_eq!(got.std_error, Some(0.25));
         assert_eq!(got.elapsed, Duration::from_millis(12));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lookup_tiered_reports_the_serving_tier() {
+        let dir = tmp_dir("tiered");
+        let key = cell_key(4, 0.4, "first-order", 9);
+        let c = ResultCache::on_disk(&dir);
+        assert!(c.lookup_tiered(&key).is_none());
+        c.store(&key, &sample(6.0));
+        let (_, tier) = c.lookup_tiered(&key).unwrap();
+        assert_eq!(tier, CacheTier::Memory);
+        // A fresh instance has a cold memory tier: first hit is disk,
+        // the promotion makes the second hit memory.
+        let fresh = ResultCache::on_disk(&dir);
+        let (_, tier) = fresh.lookup_tiered(&key).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        let (_, tier) = fresh.lookup_tiered(&key).unwrap();
+        assert_eq!(tier, CacheTier::Memory);
+        assert_eq!(fresh.hits(), 2);
+        assert_eq!(fresh.memory_hits(), 1);
+        assert_eq!(fresh.disk_hits(), 1);
+        fresh.reset_counters();
+        assert_eq!(fresh.memory_hits() + fresh.disk_hits() + fresh.hits(), 0);
+        assert_eq!(CacheTier::parse("disk"), Some(CacheTier::Disk));
+        assert_eq!(
+            CacheTier::parse(CacheTier::Memory.as_str()),
+            Some(CacheTier::Memory)
+        );
+        assert_eq!(CacheTier::parse("l2"), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

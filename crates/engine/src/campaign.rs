@@ -33,6 +33,7 @@ use crate::runner::{
 use crate::shard::{execute_shard, shard_of, ShardOutcome};
 use crate::sink::{summarize, Reorderer, ResultSink, SweepRow};
 use crate::spec::SweepSpec;
+use crate::telemetry::Telemetry;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::io::BufRead;
 use std::path::PathBuf;
@@ -51,6 +52,11 @@ pub struct BackendContext<'a> {
     /// Shared result cache (multi-process backends hand its
     /// [`ResultCache::disk_dir`] to worker processes).
     pub cache: &'a ResultCache,
+    /// The campaign's telemetry collector (disabled by default).
+    /// Backends pass it to shard executors; multi-process backends
+    /// additionally check [`Telemetry::is_enabled`] to decide whether
+    /// workers should collect and report snapshots.
+    pub telemetry: &'a Telemetry,
 }
 
 /// Event delivery callback handed to backends: `(source shard, event)`.
@@ -110,9 +116,15 @@ impl ExecBackend for InProcess {
     }
 
     fn execute(&self, ctx: &BackendContext<'_>, deliver: &Deliver<'_>) -> Result<(), EngineError> {
-        execute_shard(ctx.spec, ctx.registry, ctx.cache, 0, 1, &|ev| {
-            deliver(0, ev)
-        })
+        execute_shard(
+            ctx.spec,
+            ctx.registry,
+            ctx.cache,
+            ctx.telemetry,
+            0,
+            1,
+            &|ev| deliver(0, ev),
+        )
         .map(|_| ())
     }
 }
@@ -150,7 +162,8 @@ impl MultiProcess {
     /// Use `program args…` as the worker command instead of
     /// `current_exe() sweep-worker`. The backend appends
     /// `--spec-json PATH --shard I --of N` plus `--cache DIR` /
-    /// `--no-cache`.
+    /// `--no-cache`, and `--telemetry` when the campaign runs with an
+    /// enabled [`Telemetry`] collector.
     pub fn launcher(mut self, program: impl Into<PathBuf>, args: Vec<String>) -> MultiProcess {
         self.launcher = Some((program.into(), args));
         self
@@ -188,6 +201,10 @@ impl MultiProcess {
                 cmd.arg("--no-cache");
             }
         }
+        if ctx.telemetry.is_enabled() {
+            cmd.arg("--telemetry");
+        }
+        ctx.telemetry.count("worker_spawns", 1);
         cmd.spawn()
             .map_err(|e| EngineError::worker(shard, format!("spawning sweep worker: {e}")))
     }
@@ -220,6 +237,7 @@ impl MultiProcess {
         }
         let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
         let deliver_error: Mutex<Option<EngineError>> = Mutex::new(None);
+        let telemetry = ctx.telemetry;
         std::thread::scope(|scope| {
             for (shard, child) in children.iter_mut() {
                 let shard = *shard;
@@ -246,7 +264,13 @@ impl MultiProcess {
                             Err(e) => {
                                 fail = Some(e);
                             }
-                            Ok(CampaignEvent::Error { message }) => {
+                            Ok(CampaignEvent::Error { message, kind }) => {
+                                // Tally every worker failure by kind —
+                                // including attempts whose shard a
+                                // retry later completes, which never
+                                // surface as a campaign error.
+                                let kind = kind.as_deref().unwrap_or("unknown");
+                                telemetry.count(&format!("errors_{kind}"), 1);
                                 fail = Some(message);
                             }
                             Ok(ev) => {
@@ -345,6 +369,8 @@ impl ExecBackend for MultiProcess {
                 eprintln!("sweep worker {shard} failed ({why}); retrying its shard once");
             }
             let retry_shards: Vec<usize> = first.iter().map(|(s, _)| *s).collect();
+            ctx.telemetry
+                .count("worker_retries", retry_shards.len() as u64);
             let second = self.run_wave(ctx, deliver, &spec_path, &retry_shards)?;
             match second.into_iter().next() {
                 None => Ok(()),
@@ -378,11 +404,29 @@ pub(crate) struct Merge {
     done_shards: BTreeSet<usize>,
     seen_cells: HashSet<usize>,
     refs_seen: BTreeMap<usize, usize>,
+    telemetry_shards: BTreeSet<usize>,
     total_cells: usize,
     total_refs: usize,
     cache_hits: usize,
     cache_misses: usize,
+    cells_computed: usize,
+    cells_memory_hits: usize,
+    cells_disk_hits: usize,
     first_error: Option<EngineError>,
+}
+
+/// What [`Merge::finalize`] produces on success: the re-sequenced rows
+/// plus the campaign totals, with the cell cache-tier tallies
+/// deduplicated by global index (backend-invariant).
+pub(crate) struct Merged {
+    pub(crate) rows: Vec<SweepRow>,
+    pub(crate) cells: usize,
+    pub(crate) references: usize,
+    pub(crate) cache_hits: usize,
+    pub(crate) cache_misses: usize,
+    pub(crate) cells_computed: usize,
+    pub(crate) cells_memory_hits: usize,
+    pub(crate) cells_disk_hits: usize,
 }
 
 impl Merge {
@@ -397,10 +441,14 @@ impl Merge {
             done_shards: BTreeSet::new(),
             seen_cells: HashSet::new(),
             refs_seen: BTreeMap::new(),
+            telemetry_shards: BTreeSet::new(),
             total_cells: 0,
             total_refs: 0,
             cache_hits: 0,
             cache_misses: 0,
+            cells_computed: 0,
+            cells_memory_hits: 0,
+            cells_disk_hits: 0,
             first_error: None,
         }
     }
@@ -440,6 +488,10 @@ impl Merge {
             CampaignEvent::Cell { index, .. } => self.seen_cells.contains(index),
             CampaignEvent::Done { .. } => self.done_shards.contains(&source),
             CampaignEvent::Error { .. } => false,
+            // A retried shard re-sends its snapshot; merge each
+            // shard's telemetry exactly once.
+            CampaignEvent::Telemetry { shard, .. } => !self.telemetry_shards.insert(*shard),
+            CampaignEvent::Unknown { .. } => false,
         }
     }
 
@@ -469,9 +521,16 @@ impl Merge {
                 }
             }
             CampaignEvent::Reference { .. } => {}
-            CampaignEvent::Cell { index, row, .. } => {
+            CampaignEvent::Cell {
+                index, tier, row, ..
+            } => {
                 if self.dedup && !self.seen_cells.insert(index) {
                     return;
+                }
+                match tier {
+                    None => self.cells_computed += 1,
+                    Some(crate::cache::CacheTier::Memory) => self.cells_memory_hits += 1,
+                    Some(crate::cache::CacheTier::Disk) => self.cells_disk_hits += 1,
                 }
                 let rows = &mut self.rows;
                 let mut failed_cell: Option<String> = None;
@@ -500,19 +559,20 @@ impl Merge {
                     self.cache_misses += misses;
                 }
             }
-            CampaignEvent::Error { message } => {
+            CampaignEvent::Error { message, .. } => {
                 self.first_error
                     .get_or_insert(EngineError::worker(source, message));
             }
+            // Snapshot merging is the campaign core's business (it
+            // owns the Telemetry handle); unknown events are a newer
+            // writer's vocabulary — neither affects row bookkeeping.
+            CampaignEvent::Telemetry { .. } | CampaignEvent::Unknown { .. } => {}
         }
     }
 
-    /// Final completeness checks; on success returns
-    /// `(cells, references, cache_hits, cache_misses)`.
-    pub(crate) fn finalize(
-        mut self,
-        expected_workers: usize,
-    ) -> Result<(Vec<SweepRow>, usize, usize, usize, usize), EngineError> {
+    /// Final completeness checks; on success returns the re-sequenced
+    /// rows and campaign totals.
+    pub(crate) fn finalize(mut self, expected_workers: usize) -> Result<Merged, EngineError> {
         if let Some(e) = self.first_error.take() {
             return Err(e);
         }
@@ -546,13 +606,16 @@ impl Merge {
                 ),
             ));
         }
-        Ok((
-            self.rows,
-            self.total_cells,
-            self.total_refs,
-            self.cache_hits,
-            self.cache_misses,
-        ))
+        Ok(Merged {
+            rows: self.rows,
+            cells: self.total_cells,
+            references: self.total_refs,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            cells_computed: self.cells_computed,
+            cells_memory_hits: self.cells_memory_hits,
+            cells_disk_hits: self.cells_disk_hits,
+        })
     }
 }
 
@@ -599,6 +662,7 @@ pub struct Campaign {
     backend: Box<dyn ExecBackend>,
     sinks: Vec<Box<dyn ResultSink>>,
     observers: Vec<Box<dyn CampaignObserver>>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Campaign {
@@ -625,6 +689,7 @@ impl Campaign {
             sinks: Vec::new(),
             observers: Vec::new(),
             jobs: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -649,18 +714,20 @@ impl Campaign {
             backend,
             mut sinks,
             mut observers,
+            telemetry,
         } = self;
         let mut sink_refs: Vec<&mut dyn ResultSink> = sinks
             .iter_mut()
             .map(|b| &mut **b as &mut dyn ResultSink)
             .collect();
-        Campaign::run_borrowed(
+        Campaign::run_core(
             &spec,
             &registry,
             &cache,
             backend.as_ref(),
             &mut observers,
             &mut sink_refs,
+            &telemetry,
         )
     }
 
@@ -734,6 +801,7 @@ impl Campaign {
             &self.spec,
             &self.registry,
             &self.cache,
+            &self.telemetry,
             shard,
             shard_count,
             &|ev| {
@@ -750,8 +818,8 @@ impl Campaign {
         result
     }
 
-    /// The engine room shared by [`Campaign::run`] and the deprecated
-    /// [`crate::run_sweep`] wrapper (which still borrows its sinks).
+    /// Legacy engine-room entry for the deprecated [`crate::run_sweep`]
+    /// wrapper (which still borrows its sinks and predates telemetry).
     pub(crate) fn run_borrowed(
         spec: &SweepSpec,
         registry: &EstimatorRegistry,
@@ -759,6 +827,31 @@ impl Campaign {
         backend: &dyn ExecBackend,
         observers: &mut [Box<dyn CampaignObserver>],
         sinks: &mut [&mut dyn ResultSink],
+    ) -> Result<SweepOutcome, EngineError> {
+        Campaign::run_core(
+            spec,
+            registry,
+            cache,
+            backend,
+            observers,
+            sinks,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// The engine room shared by every full-campaign execution path:
+    /// runs the backend, merges its event stream (dedup, re-sequencing,
+    /// completeness), feeds observers and sinks, and folds shard
+    /// telemetry snapshots into the campaign's collector.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_core(
+        spec: &SweepSpec,
+        registry: &EstimatorRegistry,
+        cache: &ResultCache,
+        backend: &dyn ExecBackend,
+        observers: &mut [Box<dyn CampaignObserver>],
+        sinks: &mut [&mut dyn ResultSink],
+        telemetry: &Telemetry,
     ) -> Result<SweepOutcome, EngineError> {
         let start = Instant::now();
         spec.validate()?;
@@ -776,6 +869,7 @@ impl Campaign {
             spec,
             registry,
             cache,
+            telemetry,
         };
         let backend_result = std::thread::scope(|scope| {
             let handle = scope.spawn(move || {
@@ -785,7 +879,20 @@ impl Campaign {
                 };
                 backend.execute(&ctx, &deliver)
             });
-            for (source, event) in rx {
+            loop {
+                // Only measure channel blocking when telemetry is on:
+                // the disabled path keeps the bare recv, clock-free.
+                let received = if telemetry.is_enabled() {
+                    let t0 = Instant::now();
+                    let r = rx.recv();
+                    telemetry.record_span_duration("queue_wait", t0.elapsed());
+                    r
+                } else {
+                    rx.recv()
+                };
+                let Ok((source, event)) = received else {
+                    break;
+                };
                 // After the first error (a sink or observer failure)
                 // the campaign's fate is sealed: stop dispatching to
                 // observers and sinks and just drain the channel. The
@@ -800,6 +907,12 @@ impl Campaign {
                 // progress counters and custom monitors stay exact.
                 if merge.is_duplicate(source, &event) {
                     continue;
+                }
+                // Fold each shard's aggregate into the campaign's
+                // collector — the same path whether the snapshot came
+                // from an in-process shard or over a worker pipe.
+                if let CampaignEvent::Telemetry { snapshot, .. } = &event {
+                    telemetry.merge(snapshot);
                 }
                 for obs in observers.iter_mut() {
                     if let Err(e) = obs.on_event(&event) {
@@ -816,24 +929,32 @@ impl Campaign {
             }
         }
         backend_result?;
-        let (rows, cells, _refs, cache_hits, cache_misses) = merge.finalize(expected)?;
-        let summary = summarize(&rows);
-        for sink in sinks.iter_mut() {
-            sink.summary(&summary)
-                .and_then(|()| sink.finish())
-                .map_err(|e| EngineError::sink(None, format!("sink summary: {e}")))?;
+        let merged = merge.finalize(expected)?;
+        let summary = summarize(&merged.rows);
+        {
+            let _flush = telemetry.span("sink_flush");
+            for sink in sinks.iter_mut() {
+                sink.summary(&summary)
+                    .and_then(|()| sink.finish())
+                    .map_err(|e| EngineError::sink(None, format!("sink summary: {e}")))?;
+            }
         }
+        let wall = start.elapsed();
+        telemetry.record_span_duration("campaign", wall);
         Ok(SweepOutcome {
-            cells,
+            cells: merged.cells,
             // Worker hellos count a reference scenario once per shard
             // that needs it; report the deduplicated campaign total
             // (every scenario has exactly one cell per estimator, so
             // the unique count falls out of the merged cell count).
-            references: cells / spec.estimators.len().max(1),
-            cache_hits,
-            cache_misses,
-            wall: start.elapsed(),
-            rows,
+            references: merged.cells / spec.estimators.len().max(1),
+            cache_hits: merged.cache_hits,
+            cache_misses: merged.cache_misses,
+            cells_computed: merged.cells_computed,
+            cells_memory_hits: merged.cells_memory_hits,
+            cells_disk_hits: merged.cells_disk_hits,
+            wall,
+            rows: merged.rows,
             summary,
         })
     }
@@ -848,6 +969,7 @@ pub struct CampaignBuilder {
     sinks: Vec<Box<dyn ResultSink>>,
     observers: Vec<Box<dyn CampaignObserver>>,
     jobs: Option<usize>,
+    telemetry: Telemetry,
 }
 
 impl CampaignBuilder {
@@ -893,9 +1015,23 @@ impl CampaignBuilder {
 
     /// Render progress (counters, throughput, cache-hit rate, ETA) to
     /// stderr in the given mode — shorthand for subscribing a
-    /// [`ProgressReporter`].
+    /// [`ProgressReporter`]. [`ProgressMode::Live`] falls back to
+    /// plain line output when stderr is not a terminal (see
+    /// [`ProgressReporter::stderr`]).
     pub fn progress(self, mode: ProgressMode) -> Self {
-        self.observer(ProgressReporter::new(mode, Box::new(std::io::stderr())))
+        self.observer(ProgressReporter::stderr(mode))
+    }
+
+    /// Attach a telemetry collector (default:
+    /// [`Telemetry::disabled`]). Pass a clone of an enabled handle and
+    /// keep the original: after [`Campaign::run`] it holds the merged
+    /// spans and counters of every shard, ready for
+    /// [`Telemetry::report`]. With an enabled collector,
+    /// [`MultiProcess`] workers are spawned with `--telemetry` and
+    /// their snapshots merge in over the wire.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Validate the configuration and produce the campaign handle.
@@ -910,6 +1046,7 @@ impl CampaignBuilder {
             sinks,
             observers,
             jobs,
+            telemetry,
         } = self;
         if let Some(jobs) = jobs {
             spec.jobs = Some(jobs);
@@ -928,6 +1065,7 @@ impl CampaignBuilder {
             backend,
             sinks,
             observers,
+            telemetry,
         })
     }
 }

@@ -88,6 +88,19 @@ impl EngineError {
             message: message.into(),
         }
     }
+
+    /// Stable machine-readable kind of this error — the value carried
+    /// in the wire `error` event's `kind` field and the key of the
+    /// metrics report's failure tallies (`errors_by_kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineError::Spec { .. } => "spec",
+            EngineError::Io { .. } => "io",
+            EngineError::Cache { .. } => "cache",
+            EngineError::Worker { .. } => "worker",
+            EngineError::Sink { .. } => "sink",
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -148,6 +161,18 @@ mod tests {
 
         let s: String = EngineError::spec("bad axis").into();
         assert_eq!(s, "bad axis");
+    }
+
+    #[test]
+    fn kinds_are_stable_names() {
+        assert_eq!(EngineError::spec("x").kind(), "spec");
+        assert_eq!(
+            EngineError::io("x", std::io::Error::other("boom")).kind(),
+            "io"
+        );
+        assert_eq!(EngineError::cache("x").kind(), "cache");
+        assert_eq!(EngineError::worker(1, "x").kind(), "worker");
+        assert_eq!(EngineError::sink(None, "x").kind(), "sink");
     }
 
     #[test]

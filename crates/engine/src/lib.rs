@@ -22,6 +22,10 @@
 //!   and every backend produce byte-identical files.
 //! * Structured [`EngineError`]s throughout (spec, I/O with paths,
 //!   cache, worker, sink-with-cell variants).
+//! * [`Telemetry`] — opt-in spans and counters over every phase
+//!   (prepare, estimate, cache probes, worker shards), merged across
+//!   backends into a deterministic [`MetricsReport`]; disabled by
+//!   default at zero cost.
 //!
 //! ## Quickstart
 //!
@@ -82,8 +86,9 @@ mod runner;
 mod shard;
 mod sink;
 mod spec;
+mod telemetry;
 
-pub use cache::{cell_key, CacheGcStats, ResultCache};
+pub use cache::{cell_key, CacheGcStats, CacheTier, ResultCache};
 pub use campaign::{
     BackendContext, Campaign, CampaignBuilder, Deliver, DryRun, DryRunInstance, ExecBackend,
     InProcess, MultiProcess,
@@ -100,6 +105,9 @@ pub use sink::{
     summarize, CsvSink, JsonlSink, Reorderer, ResultSink, SummaryRow, SweepRow, VecSink,
 };
 pub use spec::{parse_toml, DagInstance, DagSpec, SweepSpec};
+pub use telemetry::{
+    MetricsReport, MetricsSnapshot, SpanGuard, SpanStat, Telemetry, TelemetrySink,
+};
 // Re-exported so embedders can construct typed specs without adding a
 // stochdag-core dependency.
 pub use stochdag_core::EstimatorSpec;

@@ -18,8 +18,17 @@
 //! advisory and never fails the sweep — write errors are ignored.
 
 use crate::protocol::CampaignEvent;
-use std::io::Write;
-use std::time::Instant;
+use std::io::{IsTerminal, Write};
+use std::time::{Duration, Instant};
+
+/// Plain-mode throttle default: a line at most every this often (or
+/// every ~10% of progress, whichever comes first). Override per
+/// reporter with [`ProgressReporter::with_plain_interval`].
+const DEFAULT_PLAIN_INTERVAL: Duration = Duration::from_secs(2);
+
+/// ETAs beyond this many seconds render as `--`: with one sample and a
+/// coarse clock the extrapolation is noise, not a forecast.
+const MAX_ETA_SECS: f64 = 1e9;
 
 /// How (and whether) to render campaign progress.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +71,8 @@ pub struct ProgressReporter {
     last_percent: f64,
     /// Width of the last live-mode line (for clean rewrites).
     last_width: usize,
+    /// Plain-mode time throttle (see `render`).
+    plain_interval: Duration,
 }
 
 impl ProgressReporter {
@@ -81,7 +92,31 @@ impl ProgressReporter {
             last_render: None,
             last_percent: -1.0,
             last_width: 0,
+            plain_interval: DEFAULT_PLAIN_INTERVAL,
         }
+    }
+
+    /// Reporter rendering to stderr, with one safety adjustment:
+    /// [`ProgressMode::Live`]'s carriage-return rewriting is only
+    /// legible on a terminal, so when stderr is **not** a TTY (CI, a
+    /// `2> file` redirect, a pipe) live mode falls back to
+    /// [`ProgressMode::Plain`] — append-only lines instead of one long
+    /// `\r`-glued line in the log.
+    pub fn stderr(mode: ProgressMode) -> ProgressReporter {
+        let mode = match mode {
+            ProgressMode::Live if !std::io::stderr().is_terminal() => ProgressMode::Plain,
+            other => other,
+        };
+        ProgressReporter::new(mode, Box::new(std::io::stderr()))
+    }
+
+    /// Override the plain-mode time throttle (default 2s): a line is
+    /// emitted when `interval` has passed since the last one, or when
+    /// progress advanced ≥ 10%, whichever comes first.
+    /// `Duration::ZERO` renders every event.
+    pub fn with_plain_interval(mut self, interval: Duration) -> ProgressReporter {
+        self.plain_interval = interval;
+        self
     }
 
     /// Silent reporter (for callers that do not want progress at all).
@@ -109,7 +144,10 @@ impl ProgressReporter {
                 self.lookups += 1;
                 self.cache_hits += usize::from(*cached);
             }
-            CampaignEvent::Done { .. } | CampaignEvent::Error { .. } => {}
+            CampaignEvent::Done { .. }
+            | CampaignEvent::Error { .. }
+            | CampaignEvent::Telemetry { .. }
+            | CampaignEvent::Unknown { .. } => {}
         }
         self.render(false);
     }
@@ -135,16 +173,20 @@ impl ProgressReporter {
     /// One status line: counters, rate, cache-hit share, ETA.
     fn status_line(&self) -> String {
         let elapsed = self.start.elapsed().as_secs_f64();
-        let rate = if elapsed > 0.0 {
+        // Rate needs at least one finished cell AND measurable elapsed
+        // time (coarse clocks can report 0.0 after the first sample);
+        // anything else would divide garbage into the ETA below.
+        let rate = if self.done_cells > 0 && elapsed > 0.0 {
             self.done_cells as f64 / elapsed
         } else {
             0.0
         };
         let remaining = self.total_cells.saturating_sub(self.done_cells);
+        let eta_secs = remaining as f64 / rate; // NaN/inf when rate is 0
         let eta = if remaining == 0 {
             "done".to_string()
-        } else if rate > 0.0 {
-            format!("{}s", (remaining as f64 / rate).ceil() as u64)
+        } else if eta_secs.is_finite() && eta_secs <= MAX_ETA_SECS {
+            format!("{}s", eta_secs.ceil() as u64)
         } else {
             "--".to_string()
         };
@@ -171,15 +213,16 @@ impl ProgressReporter {
         match self.mode {
             ProgressMode::None => {}
             ProgressMode::Plain => {
-                // Throttle: a line per ~10% of progress or per 2s,
-                // whichever comes first, so huge campaigns do not flood
-                // the log and tiny ones still show every step.
+                // Throttle: a line per ~10% of progress or per
+                // `plain_interval`, whichever comes first, so huge
+                // campaigns do not flood the log and tiny ones still
+                // show every step.
                 let percent = self.percent();
                 let due = force
                     || percent - self.last_percent >= 10.0
                     || self
                         .last_render
-                        .is_none_or(|t| t.elapsed().as_secs_f64() >= 2.0);
+                        .is_none_or(|t| t.elapsed() >= self.plain_interval);
                 if !due {
                     return;
                 }
@@ -261,6 +304,7 @@ mod tests {
             reporter.observe(&CampaignEvent::Cell {
                 index: i,
                 cached: i % 2 == 0,
+                tier: None,
                 row: crate::sink::SweepRow {
                     dag: "d".into(),
                     tasks: 1,
@@ -313,6 +357,56 @@ mod tests {
         assert!(text.contains('\r'), "{text:?}");
         assert!(text.ends_with('\n'), "finish terminates the line");
         assert!(text.contains("cells 3/3"), "{text}");
+    }
+
+    #[test]
+    fn eta_shows_dashes_before_the_first_finished_cell() {
+        let buf = SharedBuf::default();
+        let mut p = ProgressReporter::new(ProgressMode::Plain, Box::new(buf.clone()));
+        p.observe(&CampaignEvent::Hello {
+            shard: 0,
+            shard_count: 1,
+            cells: 100,
+            references: 1,
+        });
+        let text = buf.text();
+        assert!(text.contains("cells 0/100"), "{text}");
+        assert!(text.contains("eta --"), "no rate sample yet: {text}");
+        assert!(text.contains("0.0 cells/s"), "{text}");
+    }
+
+    #[test]
+    fn plain_interval_zero_renders_every_event() {
+        let buf = SharedBuf::default();
+        let mut p = ProgressReporter::new(ProgressMode::Plain, Box::new(buf.clone()))
+            .with_plain_interval(Duration::ZERO);
+        feed(&mut p, 50); // 2% per cell: the 10% rule alone would skip most
+        let text = buf.text();
+        // Hello + 50 cells + reference + forced finish line.
+        assert!(text.lines().count() >= 51, "{}", text.lines().count());
+    }
+
+    #[test]
+    fn stderr_constructor_downgrades_live_off_tty() {
+        // The test harness may or may not attach a TTY; assert the
+        // mapping against what stderr actually is right now.
+        let expect_live = if std::io::stderr().is_terminal() {
+            ProgressMode::Live
+        } else {
+            ProgressMode::Plain
+        };
+        assert_eq!(
+            ProgressReporter::stderr(ProgressMode::Live).mode,
+            expect_live
+        );
+        assert_eq!(
+            ProgressReporter::stderr(ProgressMode::Plain).mode,
+            ProgressMode::Plain
+        );
+        assert_eq!(
+            ProgressReporter::stderr(ProgressMode::None).mode,
+            ProgressMode::None
+        );
     }
 
     #[test]

@@ -17,15 +17,25 @@
 //! | `cell` | worker → coordinator | one estimator cell done (full row) |
 //! | `done` | worker → coordinator | shard complete; cache totals |
 //! | `error` | worker → coordinator | shard aborted with a message |
+//! | `telemetry` | worker → coordinator | shard's metrics snapshot |
+//!
+//! The vocabulary is **additively extensible**: a decoder maps an
+//! unrecognised `"event"` tag to [`CampaignEvent::Unknown`] instead of
+//! failing, so a coordinator built before `telemetry` existed replays
+//! newer streams unharmed (malformed JSON and missing fields of known
+//! events are still hard errors). New optional fields on existing
+//! events (`cell.tier`, `error.kind`) decode as `None` when absent.
 //!
 //! `cell` events carry the complete [`SweepRow`], so the coordinator
 //! can re-sequence rows into deterministic cell order and write the
 //! exact same CSV/JSONL a single-process run would — workers never
 //! touch the sink files.
 
+use crate::cache::CacheTier;
 use crate::error::EngineError;
 use crate::observer::CampaignObserver;
 use crate::sink::SweepRow;
+use crate::telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize, Value};
 
 /// Legacy name of [`CampaignEvent`], from when the type described only
@@ -71,6 +81,9 @@ pub enum CampaignEvent {
         index: usize,
         /// Whether the result came from the shared cache.
         cached: bool,
+        /// Which cache tier served the hit (`None` when computed
+        /// fresh, or when the event predates tier reporting).
+        tier: Option<CacheTier>,
         /// The full result row, ready for the sinks.
         row: SweepRow,
     },
@@ -87,6 +100,27 @@ pub enum CampaignEvent {
     Error {
         /// Human-readable failure description.
         message: String,
+        /// Structured [`EngineError::kind`](crate::EngineError::kind)
+        /// of the failure (`None` from pre-telemetry workers), so the
+        /// coordinator can tally failures by kind.
+        kind: Option<String>,
+    },
+    /// A shard's telemetry aggregate, emitted just before `done` when
+    /// the campaign runs with an enabled
+    /// [`Telemetry`](crate::Telemetry) collector.
+    Telemetry {
+        /// Shard index (0-based), the coordinator's dedup key across
+        /// retried shards.
+        shard: usize,
+        /// The shard collector's final aggregates.
+        snapshot: MetricsSnapshot,
+    },
+    /// An event this build does not understand — a newer writer's
+    /// vocabulary. Merges and observers skip it; re-encoding preserves
+    /// only the tag.
+    Unknown {
+        /// The unrecognised `"event"` tag.
+        tag: String,
     },
 }
 
@@ -109,12 +143,23 @@ impl Serialize for CampaignEvent {
                 ("event", Value::Str("reference".into())),
                 ("cached", cached.serialize()),
             ]),
-            CampaignEvent::Cell { index, cached, row } => Value::obj([
-                ("event", Value::Str("cell".into())),
-                ("index", index.serialize()),
-                ("cached", cached.serialize()),
-                ("row", row.serialize()),
-            ]),
+            CampaignEvent::Cell {
+                index,
+                cached,
+                tier,
+                row,
+            } => {
+                let mut fields = vec![
+                    ("event", Value::Str("cell".into())),
+                    ("index", index.serialize()),
+                    ("cached", cached.serialize()),
+                ];
+                if let Some(tier) = tier {
+                    fields.push(("tier", Value::Str(tier.as_str().into())));
+                }
+                fields.push(("row", row.serialize()));
+                Value::obj(fields)
+            }
             CampaignEvent::Done {
                 hits,
                 misses,
@@ -125,10 +170,22 @@ impl Serialize for CampaignEvent {
                 ("misses", misses.serialize()),
                 ("wall_s", wall_s.serialize()),
             ]),
-            CampaignEvent::Error { message } => Value::obj([
-                ("event", Value::Str("error".into())),
-                ("message", message.serialize()),
+            CampaignEvent::Error { message, kind } => {
+                let mut fields = vec![
+                    ("event", Value::Str("error".into())),
+                    ("message", message.serialize()),
+                ];
+                if let Some(kind) = kind {
+                    fields.push(("kind", kind.serialize()));
+                }
+                Value::obj(fields)
+            }
+            CampaignEvent::Telemetry { shard, snapshot } => Value::obj([
+                ("event", Value::Str("telemetry".into())),
+                ("shard", shard.serialize()),
+                ("snapshot", snapshot.serialize()),
             ]),
+            CampaignEvent::Unknown { tag } => Value::obj([("event", Value::Str(tag.clone()))]),
         }
     }
 }
@@ -149,6 +206,15 @@ impl Deserialize for CampaignEvent {
             "cell" => Ok(CampaignEvent::Cell {
                 index: usize::deserialize(v.require("index")?)?,
                 cached: bool::deserialize(v.require("cached")?)?,
+                tier: match v.get("tier") {
+                    None | Some(Value::Null) => None,
+                    Some(t) => {
+                        let name = String::deserialize(t)?;
+                        Some(CacheTier::parse(&name).ok_or_else(|| {
+                            serde::Error::new(format!("unknown cache tier {name:?}"))
+                        })?)
+                    }
+                },
                 row: SweepRow::deserialize(v.require("row")?)?,
             }),
             "done" => Ok(CampaignEvent::Done {
@@ -158,8 +224,19 @@ impl Deserialize for CampaignEvent {
             }),
             "error" => Ok(CampaignEvent::Error {
                 message: String::deserialize(v.require("message")?)?,
+                kind: match v.get("kind") {
+                    None | Some(Value::Null) => None,
+                    Some(k) => Some(String::deserialize(k)?),
+                },
             }),
-            other => Err(serde::Error::new(format!("unknown worker event {other:?}"))),
+            "telemetry" => Ok(CampaignEvent::Telemetry {
+                shard: usize::deserialize(v.require("shard")?)?,
+                snapshot: MetricsSnapshot::deserialize(v.require("snapshot")?)?,
+            }),
+            // Forward compatibility: a tag this build has never heard
+            // of is a newer writer's event, not corruption — surface it
+            // as `Unknown` so replays of future streams keep working.
+            _ => Ok(CampaignEvent::Unknown { tag }),
         }
     }
 }
@@ -235,6 +312,13 @@ mod tests {
             CampaignEvent::Cell {
                 index: 17,
                 cached: false,
+                tier: None,
+                row: sample_row(),
+            },
+            CampaignEvent::Cell {
+                index: 18,
+                cached: true,
+                tier: Some(CacheTier::Disk),
                 row: sample_row(),
             },
             CampaignEvent::Done {
@@ -244,6 +328,23 @@ mod tests {
             },
             CampaignEvent::Error {
                 message: "disk on fire".into(),
+                kind: None,
+            },
+            CampaignEvent::Error {
+                message: "spec exploded".into(),
+                kind: Some("spec".into()),
+            },
+            CampaignEvent::Telemetry {
+                shard: 2,
+                snapshot: {
+                    let t = crate::telemetry::Telemetry::enabled();
+                    t.count("references_computed", 3);
+                    t.record_span_duration("estimate_cell", std::time::Duration::from_nanos(99));
+                    t.snapshot()
+                },
+            },
+            CampaignEvent::Unknown {
+                tag: "hyperdrive".into(),
             },
         ];
         for ev in &events {
@@ -254,10 +355,43 @@ mod tests {
     }
 
     #[test]
-    fn decode_rejects_garbage() {
+    fn decode_rejects_garbage_but_tolerates_unknown_tags() {
         assert!(decode_event("").is_err());
         assert!(decode_event("{not json").is_err());
-        assert!(decode_event("{\"event\":\"warp\"}").is_err());
         assert!(decode_event("{\"event\":\"cell\",\"index\":0}").is_err());
+        // A future writer's event tag decodes as Unknown, not an error:
+        // replaying a newer stream must not abort (see module docs).
+        assert_eq!(
+            decode_event("{\"event\":\"warp\",\"factor\":9}").unwrap(),
+            CampaignEvent::Unknown { tag: "warp".into() }
+        );
+    }
+
+    #[test]
+    fn optional_fields_default_when_absent() {
+        // A pre-telemetry writer's cell/error lines (no tier, no kind)
+        // still decode; a bad tier name is corruption, not tolerance.
+        let old_cell = format!(
+            "{{\"event\":\"cell\",\"index\":3,\"cached\":true,\"row\":{}}}",
+            serde::json::to_string(&sample_row())
+        );
+        match decode_event(&old_cell).unwrap() {
+            CampaignEvent::Cell { cached, tier, .. } => {
+                assert!(cached);
+                assert_eq!(tier, None);
+            }
+            other => panic!("expected cell, got {other:?}"),
+        }
+        assert!(decode_event(
+            "{\"event\":\"cell\",\"index\":3,\"cached\":true,\"tier\":\"l9\",\"row\":{}}"
+        )
+        .is_err());
+        assert_eq!(
+            decode_event("{\"event\":\"error\",\"message\":\"boom\"}").unwrap(),
+            CampaignEvent::Error {
+                message: "boom".into(),
+                kind: None
+            }
+        );
     }
 }

@@ -20,13 +20,14 @@
 //! remain as thin deprecated wrappers for embedders migrating from the
 //! free-function API.
 
-use crate::cache::{cell_key, ResultCache};
+use crate::cache::{cell_key, CacheTier, ResultCache};
 use crate::campaign::{Campaign, InProcess};
 use crate::error::EngineError;
 use crate::keys::{mix, StableHasher};
 use crate::registry::EstimatorRegistry;
 use crate::sink::{ResultSink, SummaryRow, SweepRow};
 use crate::spec::{DagInstance, SweepSpec};
+use crate::telemetry::Telemetry;
 use std::time::{Duration, Instant};
 use stochdag_core::{Estimate, EstimatorSpec, FailureModel, PreparedEstimator};
 use stochdag_dag::{structural_hash, PreparedDag};
@@ -46,6 +47,15 @@ pub struct SweepOutcome {
     pub cache_hits: usize,
     /// Cache misses (computed fresh) across references + cells.
     pub cache_misses: usize,
+    /// Cells computed fresh (no cache tier had them). Cell-only and
+    /// deduplicated by global index, so — unlike `cache_hits`, which
+    /// includes per-shard reference probes — this is invariant across
+    /// backends and worker counts.
+    pub cells_computed: usize,
+    /// Cells served by the in-memory cache tier (deduplicated).
+    pub cells_memory_hits: usize,
+    /// Cells served by the on-disk cache tier (deduplicated).
+    pub cells_disk_hits: usize,
     /// Wall-clock time of the whole sweep.
     pub wall: Duration,
 }
@@ -240,23 +250,34 @@ pub(crate) fn apply_jobs_cap(jobs: Option<usize>) -> Result<JobsCap, EngineError
 /// group preparation. On a miss, the first computed unit of the group
 /// carries the one-time preparation cost, so the summary's total_time
 /// keeps the paper's "full wall-clock per estimator" semantics.
-/// Returns the estimate and whether it came from the cache.
+/// Returns the estimate and the cache tier that served it (`None` when
+/// computed fresh).
 ///
 /// Single source of truth shared by the in-process and multi-process
 /// backends: the distributed byte-identity guarantee depends on both
-/// paths computing and caching cells identically.
+/// paths computing and caching cells identically. The `cache_probe`,
+/// `prepare_estimator`, and `estimate_cell` telemetry spans are
+/// recorded here for the same reason — every backend's phase timings
+/// come from the same instrumentation points (all no-ops on a disabled
+/// handle).
 pub(crate) fn evaluate_unit(
+    tel: &Telemetry,
     cache: &ResultCache,
     key: &str,
     seed: u64,
     model: &FailureModel,
     prep: &mut Option<Box<dyn PreparedEstimator>>,
     prepare: impl FnOnce() -> Box<dyn PreparedEstimator>,
-) -> (Estimate, bool) {
-    if let Some(found) = cache.lookup(key) {
-        return (found, true);
+) -> (Estimate, Option<CacheTier>) {
+    let found = {
+        let _probe = tel.span("cache_probe");
+        cache.lookup_tiered(key)
+    };
+    if let Some((est, tier)) = found {
+        return (est, Some(tier));
     }
     let prep_cost = if prep.is_none() {
+        let _prepare = tel.span("prepare_estimator");
         let t0 = Instant::now();
         *prep = Some(prepare());
         t0.elapsed()
@@ -265,10 +286,13 @@ pub(crate) fn evaluate_unit(
     };
     let p = prep.as_mut().expect("prepared above");
     p.reseed(seed);
-    let mut est = p.estimate_for(model);
+    let mut est = {
+        let _estimate = tel.span("estimate_cell");
+        p.estimate_for(model)
+    };
     est.elapsed += prep_cost;
     cache.store(key, &est);
-    (est, false)
+    (est, None)
 }
 
 /// Build the result row of one finished cell — like [`evaluate_unit`],

@@ -38,6 +38,7 @@ use crate::runner::{
 };
 use crate::sink::{summarize, ResultSink};
 use crate::spec::SweepSpec;
+use crate::telemetry::Telemetry;
 use rayon::prelude::*;
 use std::io::BufRead;
 use std::sync::{mpsc, Mutex};
@@ -88,12 +89,18 @@ pub struct ShardOutcome {
 /// [`Done`] last on success) and must be callable from worker threads.
 /// An `emit` error aborts the shard.
 ///
+/// Telemetry is collected into a shard-local [`Telemetry::child`] of
+/// `telemetry` and reported as one [`CampaignEvent::Telemetry`] just
+/// before [`Done`] — the same mechanism whether this shard runs inside
+/// the coordinator process or behind a pipe in a worker process.
+///
 /// [`Hello`]: CampaignEvent::Hello
 /// [`Done`]: CampaignEvent::Done
 pub(crate) fn execute_shard(
     spec: &SweepSpec,
     registry: &EstimatorRegistry,
     cache: &ResultCache,
+    telemetry: &Telemetry,
     shard: usize,
     shard_count: usize,
     emit: &(dyn Fn(CampaignEvent) -> Result<(), EngineError> + Sync),
@@ -115,6 +122,7 @@ pub(crate) fn execute_shard(
     } = expand(spec, registry)?;
     let _jobs_cap = apply_jobs_cap(spec.jobs)?;
     cache.reset_counters();
+    let tel = telemetry.child();
 
     let n_inst = instances.len();
     let m_count = spec.pfails.len() + spec.lambdas.len();
@@ -156,7 +164,13 @@ pub(crate) fn execute_shard(
         .enumerate()
         .map(|(i, inst)| {
             let touched = scenario_needed[i].iter().any(|&b| b);
-            (inst.id, touched.then(|| PreparedDag::new(inst.dag)))
+            (
+                inst.id,
+                touched.then(|| {
+                    let _freeze = tel.span("prepare_dag");
+                    PreparedDag::new(inst.dag)
+                }),
+            )
         })
         .collect();
 
@@ -193,11 +207,13 @@ pub(crate) fn execute_shard(
                 let pdag = prepared[i].1.as_ref().expect("touched instances frozen");
                 let seed = derive_seed(spec.seed, hashes[i], model.lambda, &reference_id);
                 let key = cell_key(hashes[i], model.lambda, &reference_id, seed);
-                let (est, cached) = evaluate_unit(cache, &key, seed, model, &mut prep, || {
+                let (est, tier) = evaluate_unit(&tel, cache, &key, seed, model, &mut prep, || {
                     MonteCarloEstimator::new(reference_trials)
                         .with_sampling(reference_sampling)
                         .prepare(pdag)
                 });
+                tel.count_lookup("references", tier);
+                let cached = tier.is_some();
                 out[m] = Some(est);
                 send(CampaignEvent::Reference { cached });
             }
@@ -223,19 +239,21 @@ pub(crate) fn execute_shard(
         let mut prep: Option<Box<dyn PreparedEstimator>> = None;
         for &(m, cell, seed, ref key) in cells {
             let (model, label) = &models[i][m];
-            let (est, cached) = evaluate_unit(cache, key, seed, model, &mut prep, || {
+            let (est, tier) = evaluate_unit(&tel, cache, key, seed, model, &mut prep, || {
                 registry
                     .build(est_spec, seed)
                     .expect("estimator specs validated before launch")
                     .prepare(pdag)
             });
+            tel.count_lookup("cells", tier);
             let reference = references[i][m]
                 .as_ref()
                 .expect("needed scenarios computed");
             let row = make_row(id, pdag, label, model, canonical, &est, reference, seed);
             send(CampaignEvent::Cell {
                 index: cell,
-                cached,
+                cached: tier.is_some(),
+                tier,
                 row,
             });
         }
@@ -253,6 +271,15 @@ pub(crate) fn execute_shard(
         cache_misses: cache.misses(),
         wall: start.elapsed(),
     };
+    if tel.is_enabled() {
+        // The shard span reuses the wall clock already measured for the
+        // outcome — enabling telemetry adds no extra timing here.
+        tel.record_span_duration("worker_shard", outcome.wall);
+        emit(CampaignEvent::Telemetry {
+            shard,
+            snapshot: tel.snapshot(),
+        })?;
+    }
     emit(CampaignEvent::Done {
         hits: outcome.cache_hits,
         misses: outcome.cache_misses,
@@ -279,6 +306,7 @@ pub fn run_shard(
         spec,
         registry,
         cache,
+        &Telemetry::disabled(),
         shard,
         shard_count,
         &|ev| emit(&ev).map_err(|m| EngineError::worker(None, m)),
@@ -375,20 +403,23 @@ pub(crate) fn coordinate_impl<R: BufRead + Send>(
     });
     progress.finish();
 
-    let (rows, cells, references, cache_hits, cache_misses) = merge.finalize(n_workers)?;
-    let summary = summarize(&rows);
+    let merged = merge.finalize(n_workers)?;
+    let summary = summarize(&merged.rows);
     for sink in sinks.iter_mut() {
         sink.summary(&summary)
             .and_then(|()| sink.finish())
             .map_err(|e| EngineError::sink(None, format!("sink summary: {e}")))?;
     }
     Ok(SweepOutcome {
-        cells,
-        references,
-        cache_hits,
-        cache_misses,
+        cells: merged.cells,
+        references: merged.references,
+        cache_hits: merged.cache_hits,
+        cache_misses: merged.cache_misses,
+        cells_computed: merged.cells_computed,
+        cells_memory_hits: merged.cells_memory_hits,
+        cells_disk_hits: merged.cells_disk_hits,
         wall: start.elapsed(),
-        rows,
+        rows: merged.rows,
         summary,
     })
 }

@@ -9,6 +9,7 @@
 const EXPECTED: &[&str] = &[
     "BackendContext",
     "CacheGcStats",
+    "CacheTier",
     "Campaign",
     "CampaignBuilder",
     "CampaignEvent",
@@ -26,6 +27,8 @@ const EXPECTED: &[&str] = &[
     "FnObserver",
     "InProcess",
     "JsonlSink",
+    "MetricsReport",
+    "MetricsSnapshot",
     "MultiProcess",
     "ProgressMode",
     "ProgressReporter",
@@ -36,11 +39,15 @@ const EXPECTED: &[&str] = &[
     "ResumeReport",
     "ShardCoverage",
     "ShardOutcome",
+    "SpanGuard",
+    "SpanStat",
     "StableHasher",
     "SummaryRow",
     "SweepOutcome",
     "SweepRow",
     "SweepSpec",
+    "Telemetry",
+    "TelemetrySink",
     "VecSink",
     "WireObserver",
     "WorkerEvent", // (deprecated)
@@ -118,11 +125,12 @@ fn snapshot_names_actually_resolve() {
     use stochdag_engine::{
         cell_key, coordinate, decode_event, encode_event, parse_toml, resume_report, run_shard,
         run_sweep, shard_of, sharded_resume_report, summarize, BackendContext, CacheGcStats,
-        Campaign, CampaignBuilder, CampaignEvent, CampaignObserver, CsvSink, DagInstance, DagSpec,
-        Deliver, DryRun, DryRunInstance, EngineError, EstimatorRegistry, EstimatorSpec,
-        ExecBackend, FnObserver, InProcess, JsonlSink, MultiProcess, ProgressMode,
-        ProgressReporter, Reorderer, ResultCache, ResultSink, ResumeEstimatorReport, ResumeReport,
-        ShardCoverage, ShardOutcome, StableHasher, SummaryRow, SweepOutcome, SweepRow, SweepSpec,
-        VecSink, WireObserver, WorkerEvent,
+        CacheTier, Campaign, CampaignBuilder, CampaignEvent, CampaignObserver, CsvSink,
+        DagInstance, DagSpec, Deliver, DryRun, DryRunInstance, EngineError, EstimatorRegistry,
+        EstimatorSpec, ExecBackend, FnObserver, InProcess, JsonlSink, MetricsReport,
+        MetricsSnapshot, MultiProcess, ProgressMode, ProgressReporter, Reorderer, ResultCache,
+        ResultSink, ResumeEstimatorReport, ResumeReport, ShardCoverage, ShardOutcome, SpanGuard,
+        SpanStat, StableHasher, SummaryRow, SweepOutcome, SweepRow, SweepSpec, Telemetry,
+        TelemetrySink, VecSink, WireObserver, WorkerEvent,
     };
 }

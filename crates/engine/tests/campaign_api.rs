@@ -147,6 +147,8 @@ fn observers_see_the_full_event_stream() {
                 CampaignEvent::Cell { .. } => "cell",
                 CampaignEvent::Done { .. } => "done",
                 CampaignEvent::Error { .. } => "error",
+                CampaignEvent::Telemetry { .. } => "telemetry",
+                CampaignEvent::Unknown { .. } => "unknown",
             };
             sink_events.lock().unwrap().push(tag.to_string());
         }))

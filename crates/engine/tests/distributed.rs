@@ -197,6 +197,7 @@ fn coordinator_rejects_broken_streams() {
         good[0].clone(),
         encode_event(&CampaignEvent::Error {
             message: "shard exploded".into(),
+            kind: Some("worker".into()),
         }),
     ];
     let err = run(vec![failed]).unwrap_err();

@@ -171,6 +171,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     };
     f(&mut b);
     let med = b.median();
+    append_json_record(label, samples, med);
     match throughput {
         Some(Throughput::Elements(n)) if med > Duration::ZERO => {
             let rate = n as f64 / med.as_secs_f64();
@@ -182,6 +183,38 @@ fn run_one<F: FnMut(&mut Bencher)>(
         }
         _ => println!("bench {label:<50} {med:>12?}"),
     }
+}
+
+/// Machine-readable results hook: when `CRITERION_JSON` names a file,
+/// every finished benchmark appends one JSON line
+/// `{"label":…,"median_ns":…,"samples":…}` to it. Harnesses (like the
+/// workspace's `bench-report` binary) collect these into a trajectory
+/// artifact; without the variable benches behave exactly as before.
+fn append_json_record(label: &str, samples: usize, median: Duration) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let mut escaped = String::with_capacity(label.len());
+    for c in label.chars() {
+        match c {
+            '"' | '\\' => {
+                escaped.push('\\');
+                escaped.push(c);
+            }
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    let line = format!(
+        "{{\"label\":\"{escaped}\",\"median_ns\":{},\"samples\":{samples}}}\n",
+        median.as_nanos()
+    );
+    use std::io::Write as _;
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
 }
 
 /// Define a group-runner function from bench functions.
@@ -224,5 +257,23 @@ mod tests {
     fn harness_runs() {
         criterion_group!(benches, sample_bench);
         benches();
+    }
+
+    #[test]
+    fn json_label_escaping_is_valid() {
+        // The JSONL hook writes labels verbatim inside quotes; quotes,
+        // backslashes, and control characters must be escaped or the
+        // record is unparseable downstream.
+        let path =
+            std::env::temp_dir().join(format!("criterion-json-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_JSON", &path);
+        run_one("group/we\"ird\\label", 2, None, |b| b.iter(|| black_box(1)));
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains(r#""label":"group/we\"ird\\label""#), "{text}");
+        assert!(text.contains("\"samples\":2"), "{text}");
+        assert!(text.trim_end().ends_with('}'), "{text}");
     }
 }
