@@ -17,16 +17,30 @@
 //! trajectory. CI runs this binary and uploads the artifact on every
 //! push (see `.github/workflows/ci.yml`, job `bench-trajectory`).
 //!
+//! With `--gate BASELINE.json` the fresh numbers are additionally
+//! compared against a committed baseline through
+//! [`stochdag_bench::gate`]: a pinned kernel label whose median
+//! regressed by more than 25% fails the run (exit 1) after the fresh
+//! artifact is written, so the regression evidence is always uploaded.
+//!
 //! Usage: `cargo run -p stochdag-bench --release --bin bench-report
-//! [-- OUT.json]` (default `BENCH_sweep.json`).
+//! [-- [--gate BASELINE.json] OUT.json]` (default `BENCH_sweep.json`).
 
 use serde::{json, Value};
 use std::process::Command;
+use stochdag_bench::gate;
 
-/// The benches that exercise the sweep engine end to end. Micro/ablation
-/// benches (estimators, MC convergence, …) are excluded on purpose: the
-/// trajectory tracks the engine's moving parts, not the math kernels.
-const BENCHES: &[&str] = &["sweep_cache", "prepared_pipeline", "distributed_shard"];
+/// The benches that exercise the sweep engine end to end, plus the
+/// `kernel_hotloop` microbenches the perf gate pins. Ablation benches
+/// (estimators, MC convergence, …) are excluded on purpose: the
+/// trajectory tracks the engine's moving parts and its hot kernels,
+/// not every experiment.
+const BENCHES: &[&str] = &[
+    "sweep_cache",
+    "prepared_pipeline",
+    "distributed_shard",
+    "kernel_hotloop",
+];
 
 fn main() {
     if let Err(e) = run() {
@@ -36,9 +50,16 @@ fn main() {
 }
 
 fn run() -> Result<(), String> {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let mut out_path = "BENCH_sweep.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--gate" {
+            baseline_path = Some(args.next().ok_or("--gate needs a baseline path")?);
+        } else {
+            out_path = arg;
+        }
+    }
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
 
     // (bench, label, median_ns, samples), sorted before rendering.
@@ -87,6 +108,15 @@ fn run() -> Result<(), String> {
     }
     records.sort();
 
+    let fresh: Vec<gate::BenchRecord> = records
+        .iter()
+        .map(|(bench, label, median_ns, _)| gate::BenchRecord {
+            bench: bench.clone(),
+            label: label.clone(),
+            median_ns: *median_ns,
+        })
+        .collect();
+
     let benches = Value::Arr(
         records
             .into_iter()
@@ -110,5 +140,22 @@ fn run() -> Result<(), String> {
     out.push('\n');
     std::fs::write(&out_path, out).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!("wrote {out_path}");
+
+    // The gate runs after the artifact is written so CI uploads the
+    // regression evidence either way.
+    if let Some(baseline_path) = baseline_path {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let baseline = gate::parse_report(&text)?;
+        let report = gate::check(&baseline, &fresh, gate::REGRESSION_THRESHOLD);
+        print!("{}", report.render());
+        if !report.passed() {
+            return Err(format!(
+                "perf gate vs {baseline_path} failed: {} regression(s), {} missing pinned label(s)",
+                report.regressions.len(),
+                report.missing.len()
+            ));
+        }
+    }
     Ok(())
 }

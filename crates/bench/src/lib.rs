@@ -3,9 +3,13 @@
 //! Each bench regenerates a runtime aspect of the paper's evaluation:
 //! `table1_runtime` times the Table I estimators, `estimator_runtimes`
 //! sweeps graph size, and the `*_ablation` benches sweep the design
-//! knobs called out in DESIGN.md.
+//! knobs called out in DESIGN.md. The [`gate`] module holds the
+//! perf-regression gate that `bench-report --gate` (and through it the
+//! CI `bench-trajectory` job) runs over `BENCH_sweep.json` artifacts.
 
 use stochdag::prelude::*;
+
+pub mod gate;
 
 /// The paper's evaluation sizes.
 pub const PAPER_KS: [usize; 5] = [4, 6, 8, 10, 12];

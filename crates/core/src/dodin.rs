@@ -1,11 +1,15 @@
 //! Dodin-baseline estimator: the series-parallel approximation of
 //! Section II-A2, wired to the reduction engine of `stochdag-sp`.
 
-use crate::estimator::{Estimator, PreparedEstimator};
+use crate::estimator::{Estimate, Estimator, PreparedEstimator};
 use crate::model::FailureModel;
+use std::time::Instant;
 use stochdag_dag::{Dag, PreparedDag};
 use stochdag_dist::{DurationTable, TaskDurationModel};
-use stochdag_sp::{dodin_evaluate, dodin_forward_evaluate, ReduceConfig, ReduceOutcome};
+use stochdag_sp::{
+    dodin_evaluate, dodin_forward_evaluate, dodin_forward_evaluate_in, ForwardScratch,
+    ReduceConfig, ReduceOutcome,
+};
 
 /// How the series-parallel approximation is computed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,11 +142,42 @@ impl DodinEstimator {
 
 /// Dodin estimator bound to one prepared graph: the per-node duration
 /// table is rebuilt in place per failure model instead of re-rendered
-/// atom by atom inside the reduction.
+/// atom by atom inside the reduction, and the forward strategy runs the
+/// hot-loop form of the propagation — the preparation's shared
+/// topological order plus a per-preparation [`ForwardScratch`], so the
+/// topo walk and the merge arena are both hoisted out of the per-model
+/// call ([`dodin_forward_evaluate_in`] is bit-identical to the one-shot
+/// [`dodin_forward_evaluate`]).
 struct PreparedDodin {
     est: DodinEstimator,
     prepared: PreparedDag,
     table: DurationTable,
+    scratch: ForwardScratch,
+}
+
+impl PreparedDodin {
+    fn eval(&mut self, model: &FailureModel) -> f64 {
+        self.table.rebuild(model.lambda, self.prepared.weights());
+        match self.est.strategy {
+            DodinStrategy::Duplication => self
+                .est
+                .run_with(self.prepared.dag(), &self.table)
+                .dist
+                .mean(),
+            DodinStrategy::Forward => {
+                let table = &self.table;
+                let duration_model = self.est.duration_model;
+                dodin_forward_evaluate_in(
+                    self.prepared.dag(),
+                    self.prepared.topo_order(),
+                    |i| table.duration_dist(i.index(), duration_model),
+                    self.est.max_atoms,
+                    &mut self.scratch,
+                )
+                .mean()
+            }
+        }
+    }
 }
 
 impl PreparedEstimator for PreparedDodin {
@@ -154,10 +189,27 @@ impl PreparedEstimator for PreparedDodin {
     }
 
     fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
-        self.table.rebuild(model.lambda, self.prepared.weights());
-        self.est
-            .makespan_dist_with(self.prepared.dag(), &self.table)
-            .mean()
+        self.eval(model)
+    }
+
+    /// Grid pass: the duration table depends on λ at every node, so
+    /// models cannot share work beyond the hoisted topological order and
+    /// the reused scratch — which the sequential path already uses; this
+    /// override just streams the models through them.
+    fn estimate_grid(&mut self, models: &[FailureModel]) -> Vec<Estimate> {
+        models
+            .iter()
+            .map(|model| {
+                let start = Instant::now();
+                let value = self.eval(model);
+                Estimate {
+                    value,
+                    elapsed: start.elapsed(),
+                    name: self.name().to_string(),
+                    std_error: self.std_error_hint(),
+                }
+            })
+            .collect()
     }
 }
 
@@ -174,6 +226,7 @@ impl Estimator for DodinEstimator {
             est: self.clone(),
             prepared: prepared.clone(),
             table: DurationTable::default(),
+            scratch: ForwardScratch::new(),
         })
     }
 

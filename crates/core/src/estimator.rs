@@ -112,6 +112,17 @@ pub trait PreparedEstimator: Send {
 
     /// Evaluate a whole grid of failure models against this one
     /// preparation, in order.
+    ///
+    /// The default maps [`PreparedEstimator::estimate_for`]. Hot
+    /// estimator families override it with a *batched* pass that hoists
+    /// whatever is shared across the grid (sensitivity vectors, pair
+    /// tables, scratch arenas) out of the per-model loop. Overrides
+    /// must return the same `value` bits as the sequential default for
+    /// every model — the `grid_parity` integration tests enforce this
+    /// for every registered family — because the sweep engine mixes the
+    /// two paths freely (cache hits replay single-cell evaluations
+    /// against grid-computed neighbors). Only `elapsed` may differ: a
+    /// batched pass reports each model's amortized share.
     fn estimate_grid(&mut self, models: &[FailureModel]) -> Vec<Estimate> {
         models.iter().map(|m| self.estimate_for(m)).collect()
     }

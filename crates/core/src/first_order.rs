@@ -23,8 +23,9 @@
 //! Both are exposed; their equality is enforced by unit and property
 //! tests, and the `first_order_ablation` bench measures the speedup.
 
-use crate::estimator::{Estimator, PreparedEstimator};
+use crate::estimator::{Estimate, Estimator, PreparedEstimator};
 use crate::model::FailureModel;
+use std::time::Instant;
 use stochdag_dag::{Dag, LevelInfo, PreparedDag};
 
 /// Detailed first-order result.
@@ -110,12 +111,33 @@ impl FirstOrderEstimator {
     }
 }
 
-/// First-order estimator bound to one prepared graph: the fast variant
-/// reuses the preparation's shared level decomposition, so each model
-/// evaluation is a single `O(|V|)` pass.
+/// First-order estimator bound to one prepared graph. The fast variant
+/// hoists the per-task re-execution sensitivities
+/// `sens[i] = d(Gᵢ) − d(G)` out of the model loop at prepare time (they
+/// only depend on the level decomposition), so each model evaluation is
+/// one multiply-add pass over two contiguous arrays — and a whole grid
+/// of models is one structure-of-arrays sweep over the node axis
+/// ([`PreparedEstimator::estimate_grid`]).
 struct PreparedFirstOrder {
     prepared: PreparedDag,
     use_naive: bool,
+    /// Hoisted `d(Gᵢ) − d(G)` per node (fast variant; empty for naive).
+    sens: Vec<f64>,
+    /// Hoisted failure-free makespan `d(G)`.
+    d_g: f64,
+}
+
+impl PreparedFirstOrder {
+    /// The fast evaluation: `d(G) + Σᵢ (λ·aᵢ)·sens[i]` with the same
+    /// association and summation order as
+    /// [`first_order_detailed_with`], hence bit-identical to it.
+    fn fast_value(&self, lambda: f64) -> f64 {
+        let mut sum = 0.0f64;
+        for (&a_i, &delta) in self.prepared.weights().iter().zip(&self.sens) {
+            sum += lambda * a_i * delta;
+        }
+        self.d_g + sum
+    }
 }
 
 impl PreparedEstimator for PreparedFirstOrder {
@@ -131,9 +153,37 @@ impl PreparedEstimator for PreparedFirstOrder {
         if self.use_naive {
             first_order_expected_makespan_naive(self.prepared.dag(), model)
         } else {
-            first_order_detailed_with(self.prepared.dag(), self.prepared.levels(), model)
-                .expected_makespan
+            self.fast_value(model.lambda)
         }
+    }
+
+    /// Batched grid pass (fast variant): one sweep over the node axis
+    /// updating every model's accumulator, so the weight and sensitivity
+    /// arrays are read once for the whole grid instead of once per
+    /// model. Each model's additions happen in node order exactly as in
+    /// the sequential path, so values are bit-identical to
+    /// [`PreparedEstimator::estimate_for`]; the reported `elapsed` is
+    /// each model's amortized share of the batched pass.
+    fn estimate_grid(&mut self, models: &[FailureModel]) -> Vec<Estimate> {
+        if self.use_naive || models.is_empty() {
+            return models.iter().map(|m| self.estimate_for(m)).collect();
+        }
+        let start = Instant::now();
+        let mut sums = vec![0.0f64; models.len()];
+        for (&a_i, &delta) in self.prepared.weights().iter().zip(&self.sens) {
+            for (s, m) in sums.iter_mut().zip(models) {
+                *s += m.lambda * a_i * delta;
+            }
+        }
+        let elapsed = start.elapsed() / models.len() as u32;
+        sums.into_iter()
+            .map(|sum| Estimate {
+                value: self.d_g + sum,
+                elapsed,
+                name: self.name().to_string(),
+                std_error: self.std_error_hint(),
+            })
+            .collect()
     }
 }
 
@@ -147,9 +197,22 @@ impl Estimator for FirstOrderEstimator {
     }
 
     fn prepare(&self, prepared: &PreparedDag) -> Box<dyn PreparedEstimator> {
+        let (sens, d_g) = if self.use_naive {
+            (Vec::new(), 0.0)
+        } else {
+            let dag = prepared.dag();
+            let levels = prepared.levels();
+            let sens = dag
+                .nodes()
+                .map(|i| levels.reexecution_sensitivity(dag, i))
+                .collect();
+            (sens, levels.makespan)
+        };
         Box::new(PreparedFirstOrder {
             prepared: prepared.clone(),
             use_naive: self.use_naive,
+            sens,
+            d_g,
         })
     }
 

@@ -25,8 +25,11 @@
 //! approximating the *discrete* 2-state duration by a normal of the same
 //! mean and variance. The per-node moments come from a
 //! [`DurationTable`] built once per (graph, model) pair; prepared
-//! estimators rebuild the table in place per model and reuse the shared
-//! topological order of their [`PreparedDag`].
+//! estimators rebuild the table in place per model, reuse the shared
+//! topological order of their [`PreparedDag`], and walk the graph
+//! through per-preparation scratch buffers (completion vectors, the
+//! canonical tree, the covariance matrix), so evaluating a whole grid
+//! of failure models allocates nothing after the first call.
 
 use crate::estimator::{Estimator, PreparedEstimator};
 use crate::model::FailureModel;
@@ -49,10 +52,27 @@ fn duration_table(dag: &Dag, model: &FailureModel) -> DurationTable {
 pub struct SculliEstimator;
 
 fn sculli_with(dag: &Dag, topo: &[NodeId], sinks: &[NodeId], table: &DurationTable) -> f64 {
+    sculli_into(dag, topo, sinks, table, &mut Vec::new())
+}
+
+/// [`sculli_with`] over a caller-provided completion buffer — the
+/// hot-loop form. The prepared estimator owns one buffer per
+/// preparation, so evaluating a whole grid of failure models allocates
+/// nothing after the first call. Output is bit-identical to the
+/// allocating entry point (the buffer is cleared and refilled with the
+/// same zero normals the fresh vector would hold).
+fn sculli_into(
+    dag: &Dag,
+    topo: &[NodeId],
+    sinks: &[NodeId],
+    table: &DurationTable,
+    completion: &mut Vec<Normal>,
+) -> f64 {
     if dag.node_count() == 0 {
         return 0.0;
     }
-    let mut completion = vec![Normal::new(0.0, 0.0); dag.node_count()];
+    completion.clear();
+    completion.resize(dag.node_count(), Normal::new(0.0, 0.0));
     for &v in topo {
         let mut start = Normal::new(0.0, 0.0);
         let mut first = true;
@@ -87,6 +107,7 @@ fn sculli_with(dag: &Dag, topo: &[NodeId], sinks: &[NodeId], table: &DurationTab
 struct PreparedSculli {
     prepared: PreparedDag,
     table: DurationTable,
+    completion: Vec<Normal>,
 }
 
 impl PreparedEstimator for PreparedSculli {
@@ -96,11 +117,12 @@ impl PreparedEstimator for PreparedSculli {
 
     fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
         self.table.rebuild(model.lambda, self.prepared.weights());
-        sculli_with(
+        sculli_into(
             self.prepared.dag(),
             self.prepared.topo_order(),
             self.prepared.sinks(),
             &self.table,
+            &mut self.completion,
         )
     }
 }
@@ -114,6 +136,7 @@ impl Estimator for SculliEstimator {
         Box::new(PreparedSculli {
             prepared: prepared.clone(),
             table: DurationTable::default(),
+            completion: Vec::new(),
         })
     }
 
@@ -132,6 +155,7 @@ impl Estimator for SculliEstimator {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CorLcaEstimator;
 
+#[derive(Default)]
 struct CanonicalTree {
     parent: Vec<Option<u32>>,
     depth: Vec<u32>,
@@ -140,12 +164,15 @@ struct CanonicalTree {
 }
 
 impl CanonicalTree {
-    fn new(n: usize) -> CanonicalTree {
-        CanonicalTree {
-            parent: vec![None; n],
-            depth: vec![0; n],
-            var_c: vec![0.0; n],
-        }
+    /// Clear and resize for a fresh walk, reusing the allocations. The
+    /// resulting state is indistinguishable from a freshly built tree.
+    fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.depth.clear();
+        self.depth.resize(n, 0);
+        self.var_c.clear();
+        self.var_c.resize(n, 0.0);
     }
 
     /// Covariance estimate `Var(C_lca(u, v))`; 0 when the two nodes have
@@ -184,12 +211,35 @@ impl CanonicalTree {
 }
 
 fn corlca_with(dag: &Dag, topo: &[NodeId], sinks: &[NodeId], table: &DurationTable) -> f64 {
+    corlca_into(
+        dag,
+        topo,
+        sinks,
+        table,
+        &mut Vec::new(),
+        &mut CanonicalTree::default(),
+    )
+}
+
+/// [`corlca_with`] over caller-provided completion and canonical-tree
+/// buffers — the hot-loop form used by the prepared estimator (see
+/// [`sculli_into`] for the contract: bit-identical output, zero
+/// allocation after the first call).
+fn corlca_into(
+    dag: &Dag,
+    topo: &[NodeId],
+    sinks: &[NodeId],
+    table: &DurationTable,
+    completion: &mut Vec<Normal>,
+    tree: &mut CanonicalTree,
+) -> f64 {
     if dag.node_count() == 0 {
         return 0.0;
     }
     let n = dag.node_count();
-    let mut completion = vec![Normal::new(0.0, 0.0); n];
-    let mut tree = CanonicalTree::new(n);
+    completion.clear();
+    completion.resize(n, Normal::new(0.0, 0.0));
+    tree.reset(n);
     for &v in topo {
         let mut start = Normal::new(0.0, 0.0);
         let mut rep: Option<u32> = None;
@@ -255,6 +305,8 @@ fn corlca_with(dag: &Dag, topo: &[NodeId], sinks: &[NodeId], table: &DurationTab
 struct PreparedCorLca {
     prepared: PreparedDag,
     table: DurationTable,
+    completion: Vec<Normal>,
+    tree: CanonicalTree,
 }
 
 impl PreparedEstimator for PreparedCorLca {
@@ -264,11 +316,13 @@ impl PreparedEstimator for PreparedCorLca {
 
     fn expected_makespan_for(&mut self, model: &FailureModel) -> f64 {
         self.table.rebuild(model.lambda, self.prepared.weights());
-        corlca_with(
+        corlca_into(
             self.prepared.dag(),
             self.prepared.topo_order(),
             self.prepared.sinks(),
             &self.table,
+            &mut self.completion,
+            &mut self.tree,
         )
     }
 }
@@ -282,6 +336,8 @@ impl Estimator for CorLcaEstimator {
         Box::new(PreparedCorLca {
             prepared: prepared.clone(),
             table: DurationTable::default(),
+            completion: Vec::new(),
+            tree: CanonicalTree::default(),
         })
     }
 

@@ -48,6 +48,6 @@ pub use longest_path::{
 };
 pub use paths::k_longest_paths;
 pub use prepared::{prepared_dag_build_count, PreparedDag};
-pub use topo::{topological_layers, topological_order};
+pub use topo::{topological_layers, topological_order, TopoLayers};
 pub use transitive::{transitive_closure, transitive_reduction, Reachability};
 pub use validate::{validate_acyclic, DagError};

@@ -221,13 +221,20 @@ impl AllPairsLongestPaths {
     pub fn compute(dag: &Dag) -> AllPairsLongestPaths {
         let n = dag.node_count();
         let topo = topological_order(dag).expect("AllPairsLongestPaths requires an acyclic graph");
+        // Row i only needs the topo suffix starting at i itself: nodes
+        // before i in the order cannot be reachable from i, so skipping
+        // them changes nothing but the wasted scan (~2× on average).
+        let mut pos = vec![0u32; n];
+        for (idx, &v) in topo.iter().enumerate() {
+            pos[v.index()] = idx as u32;
+        }
         let mut data = vec![f64::NEG_INFINITY; n * n];
         // One forward DP per source row. Row i is filled in topological
         // order restricted to nodes at/after i.
         for i in 0..n {
             let row = &mut data[i * n..(i + 1) * n];
             row[i] = dag.weight(NodeId::from_index(i));
-            for &v in &topo {
+            for &v in &topo[pos[i] as usize..] {
                 let dv = row[v.index()];
                 if dv == f64::NEG_INFINITY {
                     continue;

@@ -32,6 +32,11 @@ struct Partial {
 /// Paths are node-distinct *as sequences*; two different sequences with
 /// equal length both count.
 ///
+/// The per-node candidate lists live in one shared arena (a flat
+/// `Vec<Partial>` with per-node spans) rather than `n` separate `Vec`s,
+/// so the DP makes a constant number of allocations — this sits on the
+/// Spelde estimator's prepare path.
+///
 /// # Panics
 /// Panics if `k == 0` or the graph is cyclic.
 pub fn k_longest_paths(dag: &Dag, k: usize) -> Vec<CriticalPath> {
@@ -41,11 +46,16 @@ pub fn k_longest_paths(dag: &Dag, k: usize) -> Vec<CriticalPath> {
     }
     let order = topological_order(dag).expect("k_longest_paths requires an acyclic graph");
     let n = dag.node_count();
-    // best[v] = up to k best partial paths ending at v, sorted desc.
-    let mut best: Vec<Vec<Partial>> = vec![Vec::new(); n];
+    // Arena of the kept partial paths; span[v] = (start, len) of node
+    // v's up-to-k best, sorted desc by length. Nodes are visited in
+    // topological order, so a predecessor's span is final before any
+    // successor reads it.
+    let mut arena: Vec<Partial> = Vec::with_capacity(n.min(4 * k.max(1)));
+    let mut span: Vec<(u32, u32)> = vec![(0, 0); n];
+    let mut cands: Vec<Partial> = Vec::new();
     for &v in &order {
         let w = dag.weight(v);
-        let mut cands: Vec<Partial> = Vec::new();
+        cands.clear();
         if dag.in_degree(v) == 0 {
             cands.push(Partial {
                 length: w,
@@ -53,23 +63,26 @@ pub fn k_longest_paths(dag: &Dag, k: usize) -> Vec<CriticalPath> {
             });
         } else {
             for &p in dag.preds(v) {
-                for (rank, part) in best[p.index()].iter().enumerate() {
+                let (start, len) = span[p.index()];
+                for rank in 0..len {
                     cands.push(Partial {
-                        length: part.length + w,
-                        back: Some((p, rank as u32)),
+                        length: arena[(start + rank) as usize].length + w,
+                        back: Some((p, rank)),
                     });
                 }
             }
         }
         cands.sort_by(|a, b| b.length.total_cmp(&a.length));
         cands.truncate(k);
-        best[v.index()] = cands;
+        span[v.index()] = (arena.len() as u32, cands.len() as u32);
+        arena.extend_from_slice(&cands);
     }
     // Collect sink candidates and take the global top k.
     let mut finals: Vec<(NodeId, u32, f64)> = Vec::new();
     for v in dag.nodes().filter(|&v| dag.out_degree(v) == 0) {
-        for (rank, part) in best[v.index()].iter().enumerate() {
-            finals.push((v, rank as u32, part.length));
+        let (start, len) = span[v.index()];
+        for rank in 0..len {
+            finals.push((v, rank, arena[(start + rank) as usize].length));
         }
     }
     finals.sort_by(|a, b| b.2.total_cmp(&a.2));
@@ -83,7 +96,7 @@ pub fn k_longest_paths(dag: &Dag, k: usize) -> Vec<CriticalPath> {
             let mut cur = (sink, rank);
             loop {
                 nodes.push(cur.0);
-                match best[cur.0.index()][cur.1 as usize].back {
+                match arena[(span[cur.0.index()].0 + cur.1) as usize].back {
                     Some((p, r)) => cur = (p, r),
                     None => break,
                 }

@@ -1,4 +1,9 @@
 //! Topological ordering (Kahn's algorithm) and layer decomposition.
+//!
+//! The layer decomposition comes in two shapes: the compact
+//! [`TopoLayers`] (flat node array + offsets, two allocations total)
+//! for kernel-side consumers, and the nested-`Vec` adapter
+//! [`topological_layers`] for callers that want owned sets.
 
 use crate::graph::{Dag, NodeId};
 use crate::validate::DagError;
@@ -38,38 +43,104 @@ pub fn topological_order(dag: &Dag) -> Result<Vec<NodeId>, DagError> {
     Ok(order)
 }
 
+/// Compact layer decomposition: layer 0 holds the sources, and each
+/// node sits in layer `1 + max(layer of predecessors)`.
+///
+/// The layers are stored *flat* — one counting-sorted node array plus a
+/// per-layer offset table — so the whole decomposition costs exactly
+/// two allocations regardless of layer count, and a layer is a `&[NodeId]`
+/// slice into shared storage. This is the representation the hot
+/// kernels want; [`topological_layers`] adapts it to nested `Vec`s for
+/// callers that need owned per-layer sets.
+#[derive(Clone, Debug)]
+pub struct TopoLayers {
+    /// `layer_of[i]` — layer index of node `i`.
+    layer_of: Vec<u32>,
+    /// All nodes, grouped by layer (ascending id within a layer).
+    nodes: Vec<NodeId>,
+    /// `layer_count() + 1` offsets into `nodes`; layer `l` is
+    /// `nodes[offsets[l]..offsets[l + 1]]`.
+    offsets: Vec<u32>,
+}
+
+impl TopoLayers {
+    /// Compute the decomposition. Returns [`DagError::Cycle`] on cyclic
+    /// input.
+    pub fn compute(dag: &Dag) -> Result<TopoLayers, DagError> {
+        let order = topological_order(dag)?;
+        let n = dag.node_count();
+        let mut layer_of = vec![0u32; n];
+        let mut max_layer = 0u32;
+        for &v in &order {
+            let l = dag
+                .preds(v)
+                .iter()
+                .map(|p| layer_of[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            layer_of[v.index()] = l;
+            max_layer = max_layer.max(l);
+        }
+        let layer_count = if n == 0 { 0 } else { max_layer as usize + 1 };
+        // Counting sort by layer; iterating nodes in id order keeps
+        // each layer's slice sorted by id.
+        let mut offsets = vec![0u32; layer_count + 1];
+        for &l in &layer_of {
+            offsets[l as usize + 1] += 1;
+        }
+        for l in 0..layer_count {
+            offsets[l + 1] += offsets[l];
+        }
+        let mut cursor: Vec<u32> = offsets[..layer_count].to_vec();
+        let mut nodes = vec![NodeId::from_index(0); n];
+        for v in dag.nodes() {
+            let c = &mut cursor[layer_of[v.index()] as usize];
+            nodes[*c as usize] = v;
+            *c += 1;
+        }
+        Ok(TopoLayers {
+            layer_of,
+            nodes,
+            offsets,
+        })
+    }
+
+    /// Number of layers (0 for an empty graph).
+    #[inline]
+    pub fn layer_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The nodes of layer `l`, ascending by id.
+    #[inline]
+    pub fn layer(&self, l: usize) -> &[NodeId] {
+        &self.nodes[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+    }
+
+    /// The layer index of node `v`.
+    #[inline]
+    pub fn layer_of(&self, v: NodeId) -> usize {
+        self.layer_of[v.index()] as usize
+    }
+
+    /// Iterate over the layers, sources first.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.layer_count()).map(move |l| self.layer(l))
+    }
+}
+
 /// Partition the nodes into *topological layers*: layer 0 holds the
 /// sources, and each node sits in layer `1 + max(layer of predecessors)`.
 ///
 /// Layers are the standard way to draw/inspect task graphs and are used
 /// by the synthetic layered-DAG generator tests. Returns
 /// [`DagError::Cycle`] on cyclic input.
+///
+/// This is the owned-`Vec` adapter over [`TopoLayers`]; prefer the
+/// compact form in loops that only need to *walk* the layers.
 pub fn topological_layers(dag: &Dag) -> Result<Vec<Vec<NodeId>>, DagError> {
-    let order = topological_order(dag)?;
-    let mut layer = vec![0usize; dag.node_count()];
-    let mut max_layer = 0usize;
-    for &v in &order {
-        let l = dag
-            .preds(v)
-            .iter()
-            .map(|p| layer[p.index()] + 1)
-            .max()
-            .unwrap_or(0);
-        layer[v.index()] = l;
-        max_layer = max_layer.max(l);
-    }
-    let mut layers = vec![
-        Vec::new();
-        if dag.node_count() == 0 {
-            0
-        } else {
-            max_layer + 1
-        }
-    ];
-    for v in dag.nodes() {
-        layers[layer[v.index()]].push(v);
-    }
-    Ok(layers)
+    let compact = TopoLayers::compute(dag)?;
+    Ok(compact.iter().map(<[NodeId]>::to_vec).collect())
 }
 
 #[cfg(test)]
@@ -145,6 +216,24 @@ mod tests {
         let g = Dag::new();
         assert!(topological_order(&g).unwrap().is_empty());
         assert!(topological_layers(&g).unwrap().is_empty());
+        assert_eq!(TopoLayers::compute(&g).unwrap().layer_count(), 0);
+    }
+
+    #[test]
+    fn compact_layers_match_the_nested_adapter() {
+        let (g, [a, b, c, d, e]) = sample();
+        let compact = TopoLayers::compute(&g).unwrap();
+        assert_eq!(compact.layer_count(), 4);
+        assert_eq!(compact.layer(0), &[a]);
+        assert_eq!(compact.layer(1), &[b, c]);
+        assert_eq!(compact.layer(2), &[d]);
+        assert_eq!(compact.layer(3), &[e]);
+        assert_eq!(compact.layer_of(a), 0);
+        assert_eq!(compact.layer_of(c), 1);
+        assert_eq!(compact.layer_of(e), 3);
+        let nested = topological_layers(&g).unwrap();
+        let from_compact: Vec<Vec<NodeId>> = compact.iter().map(<[NodeId]>::to_vec).collect();
+        assert_eq!(nested, from_compact);
     }
 
     #[test]

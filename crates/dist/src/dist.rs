@@ -1,5 +1,82 @@
 //! Finite discrete distributions over `f64` values.
 
+/// Reusable scratch arena for the merge-based binary operations
+/// ([`DiscreteDist::convolve_with`] /
+/// [`DiscreteDist::max_independent_with`]).
+///
+/// Both operations combine an `n`-atom and an `m`-atom support into up
+/// to `n·m` result atoms. The historical implementation materialized
+/// all `n·m` pairs and sorted them (`O(nm log nm)` plus a second
+/// allocation); the merge-based kernels instead treat the cross product
+/// as `n` pre-sorted rows and k-way-merge them through a small binary
+/// heap of per-row cursors. The heap lives here so a caller evaluating
+/// thousands of series-parallel reductions (Dodin's forward pass, the
+/// SP engine) performs **zero** intermediate allocations after the
+/// first call: only the result vector of each operation is allocated.
+///
+/// The arena is plain state — create one with [`DistScratch::new`] (or
+/// `Default`), hold it next to whatever long-lived evaluator owns the
+/// hot loop, and pass it to every `*_with` call. Sharing one arena
+/// across different distributions and operations is fine; the contents
+/// carry no information between calls.
+#[derive(Clone, Debug, Default)]
+pub struct DistScratch {
+    /// Min-heap of per-row merge cursors, keyed by `(value, row)`.
+    heap: Vec<RowCursor>,
+}
+
+impl DistScratch {
+    /// An empty arena; buffers grow on first use and are reused after.
+    pub fn new() -> DistScratch {
+        DistScratch::default()
+    }
+}
+
+/// One row of the implicit `n × m` operand cross product: the next
+/// not-yet-emitted element is `op(xs[row], ys[j])`, memoized in `v`.
+#[derive(Clone, Copy, Debug)]
+struct RowCursor {
+    v: f64,
+    row: u32,
+    j: u32,
+}
+
+impl RowCursor {
+    /// Heap order: smaller value first; ties broken by row index so the
+    /// merged stream reproduces the stable sort of the row-major pair
+    /// stream exactly (bit-identical accumulation order).
+    #[inline]
+    fn before(&self, other: &RowCursor) -> bool {
+        match self.v.total_cmp(&other.v) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => self.row < other.row,
+            std::cmp::Ordering::Greater => false,
+        }
+    }
+}
+
+/// Restore the min-heap property downward from `i`.
+fn sift_down(heap: &mut [RowCursor], mut i: usize) {
+    loop {
+        let l = 2 * i + 1;
+        if l >= heap.len() {
+            return;
+        }
+        let r = l + 1;
+        let child = if r < heap.len() && heap[r].before(&heap[l]) {
+            r
+        } else {
+            l
+        };
+        if heap[child].before(&heap[i]) {
+            heap.swap(child, i);
+            i = child;
+        } else {
+            return;
+        }
+    }
+}
+
 /// A finite discrete distribution: sorted support values with strictly
 /// positive probabilities summing to 1 (up to rounding).
 ///
@@ -135,26 +212,156 @@ impl DiscreteDist {
             .sum()
     }
 
-    /// Distribution of `X + Y` for independent `X` (self), `Y` (other).
-    pub fn convolve(&self, other: &DiscreteDist) -> DiscreteDist {
-        let mut atoms = Vec::with_capacity(self.len() * other.len());
-        for &(vx, px) in &self.atoms {
-            for &(vy, py) in &other.atoms {
-                atoms.push((vx + vy, px * py));
+    /// Build from `(value, probability)` pairs already sorted by value,
+    /// skipping the `O(n log n)` sort of [`DiscreteDist::from_atoms`].
+    /// Zero-probability atoms are still dropped and equal values are
+    /// still merged, in place.
+    ///
+    /// Sortedness, finiteness, and the sum-to-one condition are checked
+    /// only under `debug_assertions`; release builds trust the caller
+    /// (this is the fast constructor for generators like `two_state`
+    /// that emit sorted supports by construction).
+    pub fn from_sorted_atoms(mut atoms: Vec<(f64, f64)>) -> DiscreteDist {
+        debug_assert!(!atoms.is_empty(), "a distribution needs at least one atom");
+        debug_assert!(
+            atoms.windows(2).all(|w| w[0].0.total_cmp(&w[1].0).is_le()),
+            "atoms must be sorted by value"
+        );
+        debug_assert!(
+            atoms
+                .iter()
+                .all(|&(v, p)| v.is_finite() && p.is_finite() && p >= 0.0),
+            "atoms must have finite values and probabilities in [0, 1]"
+        );
+        let mut w = 0usize;
+        for r in 0..atoms.len() {
+            let (v, p) = atoms[r];
+            if p == 0.0 {
+                continue;
+            }
+            if w > 0 && atoms[w - 1].0 == v {
+                atoms[w - 1].1 += p;
+            } else {
+                atoms[w] = (v, p);
+                w += 1;
             }
         }
-        Self::from_pairs_unchecked(atoms)
+        atoms.truncate(w);
+        debug_assert!(!atoms.is_empty(), "all atoms had zero probability");
+        debug_assert!(
+            (atoms.iter().map(|&(_, p)| p).sum::<f64>() - 1.0).abs() < 1e-6,
+            "probabilities must sum to 1"
+        );
+        DiscreteDist { atoms }
+    }
+
+    /// Distribution of `X + Y` for independent `X` (self), `Y` (other).
+    pub fn convolve(&self, other: &DiscreteDist) -> DiscreteDist {
+        self.convolve_with(other, &mut DistScratch::new())
+    }
+
+    /// [`convolve`](DiscreteDist::convolve) over a caller-provided
+    /// [`DistScratch`]: no intermediate allocations once the arena is
+    /// warm. Output is bit-identical to `convolve`.
+    pub fn convolve_with(&self, other: &DiscreteDist, scratch: &mut DistScratch) -> DiscreteDist {
+        self.merge_op(other, scratch, |vx, vy| vx + vy)
     }
 
     /// Distribution of `max(X, Y)` for independent `X`, `Y`.
     pub fn max_independent(&self, other: &DiscreteDist) -> DiscreteDist {
-        let mut atoms = Vec::with_capacity(self.len() * other.len());
-        for &(vx, px) in &self.atoms {
-            for &(vy, py) in &other.atoms {
-                atoms.push((vx.max(vy), px * py));
+        self.max_independent_with(other, &mut DistScratch::new())
+    }
+
+    /// [`max_independent`](DiscreteDist::max_independent) over a
+    /// caller-provided [`DistScratch`]: no intermediate allocations once
+    /// the arena is warm. Output is bit-identical to `max_independent`.
+    pub fn max_independent_with(
+        &self,
+        other: &DiscreteDist,
+        scratch: &mut DistScratch,
+    ) -> DiscreteDist {
+        self.merge_op(other, scratch, |vx, vy| vx.max(vy))
+    }
+
+    /// Sorted-merge accumulation over the operand cross product.
+    ///
+    /// The historical kernel pushed all `n·m` pairs `(op(xᵢ, yⱼ),
+    /// pᵢ·qⱼ)` in row-major order, stable-sorted them by value
+    /// (`total_cmp`), and folded equal values left to right. Because
+    /// each operand support is strictly increasing and `op` is
+    /// monotone in its second argument, every row `i` of the cross
+    /// product is already non-decreasing in `j` — so a k-way merge of
+    /// the `n` rows through a min-heap keyed by `(value, row)` emits
+    /// the elements in exactly the stable-sorted order (row index
+    /// breaks value ties the way a stable sort of the row-major stream
+    /// does, and equal values within a row are consecutive). The same
+    /// skip-zeros/fold-equal accumulation over that stream therefore
+    /// performs the identical sequence of `f64` additions and yields a
+    /// bit-identical result in `O(nm log n)` with no intermediate
+    /// buffer.
+    fn merge_op(
+        &self,
+        other: &DiscreteDist,
+        scratch: &mut DistScratch,
+        op: impl Fn(f64, f64) -> f64,
+    ) -> DiscreteDist {
+        let xs = &self.atoms;
+        let ys = &other.atoms;
+        let (n, m) = (xs.len(), ys.len());
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(n * m);
+        let push = |v: f64, p: f64, out: &mut Vec<(f64, f64)>| {
+            if p == 0.0 {
+                return;
+            }
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 += p,
+                _ => out.push((v, p)),
+            }
+        };
+        if n == 1 {
+            // One row: the row-major stream is already sorted.
+            let (vx, px) = xs[0];
+            for &(vy, py) in ys {
+                push(op(vx, vy), px * py, &mut out);
+            }
+        } else if m == 1 {
+            // One column: non-decreasing in the row index.
+            let (vy, py) = ys[0];
+            for &(vx, px) in xs {
+                push(op(vx, vy), px * py, &mut out);
+            }
+        } else {
+            let heap = &mut scratch.heap;
+            heap.clear();
+            heap.extend((0..n as u32).map(|row| RowCursor {
+                v: op(xs[row as usize].0, ys[0].0),
+                row,
+                j: 0,
+            }));
+            for i in (0..n / 2).rev() {
+                sift_down(heap, i);
+            }
+            while let Some(&top) = heap.first() {
+                let px = xs[top.row as usize].1;
+                let py = ys[top.j as usize].1;
+                push(top.v, px * py, &mut out);
+                let j = top.j + 1;
+                if (j as usize) < m {
+                    heap[0].j = j;
+                    heap[0].v = op(xs[top.row as usize].0, ys[j as usize].0);
+                } else {
+                    let last = heap.pop().expect("heap is non-empty");
+                    if let Some(slot) = heap.first_mut() {
+                        *slot = last;
+                    } else {
+                        break;
+                    }
+                }
+                sift_down(heap, 0);
             }
         }
-        Self::from_pairs_unchecked(atoms)
+        debug_assert!(!out.is_empty());
+        DiscreteDist { atoms: out }
     }
 
     /// Coarsen the support to at most `max_atoms` atoms by repeatedly
@@ -163,11 +370,18 @@ impl DiscreteDist {
     /// pair by its probability-weighted mean. The overall mean is
     /// preserved exactly (up to rounding); the support shrinks inward.
     pub fn reduce_support(&self, max_atoms: usize) -> DiscreteDist {
+        let mut d = self.clone();
+        d.reduce_support_in_place(max_atoms);
+        d
+    }
+
+    /// In-place [`reduce_support`](DiscreteDist::reduce_support):
+    /// allocation-free, and in particular a plain length check when the
+    /// support is already within budget (the common case in capped
+    /// series-parallel evaluation).
+    pub fn reduce_support_in_place(&mut self, max_atoms: usize) {
         assert!(max_atoms >= 1, "need at least one atom");
-        if self.len() <= max_atoms {
-            return self.clone();
-        }
-        let mut atoms = self.atoms.clone();
+        let atoms = &mut self.atoms;
         while atoms.len() > max_atoms {
             let mut best = 0usize;
             let mut best_cost = f64::INFINITY;
@@ -186,26 +400,6 @@ impl DiscreteDist {
             atoms[best] = ((p1 * v1 + p2 * v2) / p, p);
             atoms.remove(best + 1);
         }
-        DiscreteDist { atoms }
-    }
-
-    /// Sort + merge without the sum-to-one assertion (products of many
-    /// probabilities accumulate rounding; the operations themselves
-    /// conserve mass).
-    fn from_pairs_unchecked(mut atoms: Vec<(f64, f64)>) -> DiscreteDist {
-        atoms.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut merged: Vec<(f64, f64)> = Vec::with_capacity(atoms.len());
-        for (v, p) in atoms {
-            if p == 0.0 {
-                continue;
-            }
-            match merged.last_mut() {
-                Some(last) if last.0 == v => last.1 += p,
-                _ => merged.push((v, p)),
-            }
-        }
-        debug_assert!(!merged.is_empty());
-        DiscreteDist { atoms: merged }
     }
 }
 

@@ -24,7 +24,7 @@ mod dist;
 mod duration;
 mod normal;
 
-pub use dist::DiscreteDist;
+pub use dist::{DiscreteDist, DistScratch};
 pub use duration::DurationTable;
 pub use normal::{clark_max_moments, erf, normal_cdf, normal_pdf, ClarkMoments, Normal};
 
@@ -77,7 +77,9 @@ pub fn two_state(a: f64, p_success: f64) -> DiscreteDist {
     if p_success <= 0.0 {
         return DiscreteDist::point(2.0 * a);
     }
-    DiscreteDist::from_atoms(vec![(a, p_success), (2.0 * a, 1.0 - p_success)])
+    // `a < 2a` for every positive weight, so the support is sorted by
+    // construction — take the sort-free constructor.
+    DiscreteDist::from_sorted_atoms(vec![(a, p_success), (2.0 * a, 1.0 - p_success)])
 }
 
 /// Mean and variance of the 2-state duration:
@@ -119,7 +121,9 @@ pub fn geometric_truncated(a: f64, p_success: f64, tail_eps: f64) -> DiscreteDis
     if let Some(last) = atoms.last_mut() {
         last.1 += tail;
     }
-    DiscreteDist::from_atoms(atoms)
+    // `k·a` is strictly increasing in `k` up to rounding; the sort-free
+    // constructor still merges the (pathological) colliding neighbors.
+    DiscreteDist::from_sorted_atoms(atoms)
 }
 
 /// Which duration model renders a task's weight + success probability

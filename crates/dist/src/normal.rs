@@ -150,30 +150,24 @@ pub struct ClarkMoments {
 
 /// Clark's 1961 formulas for the first two moments of `max(X, Y)` of
 /// jointly normal `X`, `Y` with correlation `rho`.
+///
+/// The hot path is straight-line: one `erf` evaluation serves both
+/// `Φ(α)` and `Φ(−α)` (the IEEE identities `−α/√2 = −(α/√2)`,
+/// `erf(−z) = −erf(z)`, and `1 + (−e) = 1 − e` make the complement
+/// exact, so the second transcendental call of the textbook form is
+/// redundant bit-for-bit), and the degenerate case is an out-of-line
+/// cold branch.
 pub fn clark_max_moments(x: Normal, y: Normal, rho: f64) -> ClarkMoments {
     debug_assert!((-1.0..=1.0).contains(&rho), "correlation {rho}");
     let a2 = (x.var() + y.var() - 2.0 * rho * x.sd * y.sd).max(0.0);
     let a = a2.sqrt();
     if a < 1e-300 {
-        // Degenerate difference: X − Y is (almost surely) constant, so
-        // the max is just the larger-mean variable.
-        return if x.mean >= y.mean {
-            ClarkMoments {
-                mean: x.mean,
-                var: x.var(),
-                phi_alpha: 1.0,
-            }
-        } else {
-            ClarkMoments {
-                mean: y.mean,
-                var: y.var(),
-                phi_alpha: 0.0,
-            }
-        };
+        return clark_degenerate(x, y);
     }
     let alpha = (x.mean - y.mean) / a;
-    let phi = normal_cdf(alpha);
-    let phi_neg = normal_cdf(-alpha);
+    let e = erf(alpha / std::f64::consts::SQRT_2);
+    let phi = 0.5 * (1.0 + e);
+    let phi_neg = 0.5 * (1.0 - e);
     let pdf = normal_pdf(alpha);
     let m1 = x.mean * phi + y.mean * phi_neg + a * pdf;
     let m2 = (x.mean * x.mean + x.var()) * phi
@@ -183,6 +177,25 @@ pub fn clark_max_moments(x: Normal, y: Normal, rho: f64) -> ClarkMoments {
         mean: m1,
         var: (m2 - m1 * m1).max(0.0),
         phi_alpha: phi,
+    }
+}
+
+/// Degenerate difference: `X − Y` is (almost surely) constant, so the
+/// max is just the larger-mean variable.
+#[cold]
+fn clark_degenerate(x: Normal, y: Normal) -> ClarkMoments {
+    if x.mean >= y.mean {
+        ClarkMoments {
+            mean: x.mean,
+            var: x.var(),
+            phi_alpha: 1.0,
+        }
+    } else {
+        ClarkMoments {
+            mean: y.mean,
+            var: y.var(),
+            phi_alpha: 0.0,
+        }
     }
 }
 

@@ -1,0 +1,114 @@
+//! Bit-identity of the merge-based distribution kernels against the
+//! historical push-then-sort implementation.
+//!
+//! `convolve`/`max_independent` were rewritten from "materialize all
+//! n·m pairs, stable-sort, fold" into a k-way sorted merge over a
+//! reusable [`DistScratch`]. The contract is *bit*-identity — the same
+//! `f64` additions in the same order — so the reference implementation
+//! below reproduces the legacy kernel verbatim and every comparison is
+//! on raw bits, not within a tolerance.
+
+use proptest::prelude::*;
+use stochdag_dist::{DiscreteDist, DistScratch};
+
+/// The pre-rewrite kernel: row-major pair stream, stable sort by value
+/// (`total_cmp`), then fold equal values left to right, skipping zero
+/// probabilities.
+fn legacy_op(
+    xs: &DiscreteDist,
+    ys: &DiscreteDist,
+    op: impl Fn(f64, f64) -> f64,
+) -> Vec<(f64, f64)> {
+    let mut atoms = Vec::with_capacity(xs.len() * ys.len());
+    for &(vx, px) in xs.atoms() {
+        for &(vy, py) in ys.atoms() {
+            atoms.push((op(vx, vy), px * py));
+        }
+    }
+    atoms.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(atoms.len());
+    for (v, p) in atoms {
+        if p == 0.0 {
+            continue;
+        }
+        match merged.last_mut() {
+            Some(last) if last.0 == v => last.1 += p,
+            _ => merged.push((v, p)),
+        }
+    }
+    merged
+}
+
+fn assert_bits_eq(got: &DiscreteDist, want: &[(f64, f64)]) {
+    assert_eq!(got.len(), want.len(), "atom counts differ");
+    for (i, (&(gv, gp), &(wv, wp))) in got.atoms().iter().zip(want).enumerate() {
+        assert_eq!(gv.to_bits(), wv.to_bits(), "value bits differ at atom {i}");
+        assert_eq!(
+            gp.to_bits(),
+            wp.to_bits(),
+            "probability bits differ at atom {i}"
+        );
+    }
+}
+
+/// A random distribution whose support values are drawn from a coarse
+/// grid (multiples of 0.25), so cross products collide on equal values
+/// often — the interesting path for the fold step.
+fn arb_dist() -> impl Strategy<Value = DiscreteDist> {
+    proptest::collection::vec((0u32..64, 1u32..100), 1..12).prop_map(|pairs| {
+        let total: f64 = pairs.iter().map(|&(_, w)| w as f64).sum();
+        let atoms: Vec<(f64, f64)> = pairs
+            .iter()
+            .map(|&(v, w)| (v as f64 * 0.25, w as f64 / total))
+            .collect();
+        DiscreteDist::from_atoms(atoms)
+    })
+}
+
+proptest! {
+    #[test]
+    fn convolve_matches_legacy_bit_for_bit(x in arb_dist(), y in arb_dist()) {
+        let mut scratch = DistScratch::new();
+        let got = x.convolve_with(&y, &mut scratch);
+        assert_bits_eq(&got, &legacy_op(&x, &y, |a, b| a + b));
+        // The allocating entry point is the same kernel.
+        assert_bits_eq(&x.convolve(&y), got.atoms());
+    }
+
+    #[test]
+    fn max_independent_matches_legacy_bit_for_bit(x in arb_dist(), y in arb_dist()) {
+        let mut scratch = DistScratch::new();
+        let got = x.max_independent_with(&y, &mut scratch);
+        assert_bits_eq(&got, &legacy_op(&x, &y, |a, b| a.max(b)));
+        assert_bits_eq(&x.max_independent(&y), got.atoms());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless(x in arb_dist(), y in arb_dist(), z in arb_dist()) {
+        // One arena across different operands and operations must give
+        // the same bits as fresh arenas.
+        let mut shared = DistScratch::new();
+        let a = x.convolve_with(&y, &mut shared);
+        let b = a.max_independent_with(&z, &mut shared);
+        let c = b.convolve_with(&x, &mut shared);
+        assert_bits_eq(&a, x.convolve(&y).atoms());
+        assert_bits_eq(&b, a.max_independent(&z).atoms());
+        assert_bits_eq(&c, b.convolve(&x).atoms());
+    }
+
+    #[test]
+    fn from_sorted_atoms_matches_from_atoms(d in arb_dist()) {
+        // A constructed support is sorted, so the sort-free constructor
+        // must reproduce `from_atoms` exactly, merges and all.
+        let fast = DiscreteDist::from_sorted_atoms(d.atoms().to_vec());
+        assert_bits_eq(&fast, d.atoms());
+    }
+
+    #[test]
+    fn reduce_support_in_place_matches_allocating(d in arb_dist(), cap in 1usize..8) {
+        let reference = d.reduce_support(cap);
+        let mut inplace = d.clone();
+        inplace.reduce_support_in_place(cap);
+        assert_bits_eq(&inplace, reference.atoms());
+    }
+}

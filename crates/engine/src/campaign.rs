@@ -392,8 +392,9 @@ impl ExecBackend for MultiProcess {
 /// `dedup` mode (the [`Campaign`] core) tolerates a shard delivering
 /// events twice — what a [`MultiProcess`] retry produces — by keeping
 /// the first copy of every cell and counting each shard's totals once.
-/// Strict mode (the legacy [`crate::coordinate`]) treats any repeat as
-/// a protocol violation.
+/// Strict mode ([`crate::merge_event_streams`], which replays logged
+/// streams with no retry semantics) treats any repeat as a protocol
+/// violation.
 pub(crate) struct Merge {
     dedup: bool,
     reorder: Reorderer,
@@ -816,27 +817,6 @@ impl Campaign {
             let _ = o.on_finish();
         }
         result
-    }
-
-    /// Legacy engine-room entry for the deprecated [`crate::run_sweep`]
-    /// wrapper (which still borrows its sinks and predates telemetry).
-    pub(crate) fn run_borrowed(
-        spec: &SweepSpec,
-        registry: &EstimatorRegistry,
-        cache: &ResultCache,
-        backend: &dyn ExecBackend,
-        observers: &mut [Box<dyn CampaignObserver>],
-        sinks: &mut [&mut dyn ResultSink],
-    ) -> Result<SweepOutcome, EngineError> {
-        Campaign::run_core(
-            spec,
-            registry,
-            cache,
-            backend,
-            observers,
-            sinks,
-            &Telemetry::disabled(),
-        )
     }
 
     /// The engine room shared by every full-campaign execution path:

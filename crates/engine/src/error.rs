@@ -3,11 +3,10 @@
 //! Everything the engine can fail on, as a typed enum instead of bare
 //! `String`s: spec/configuration problems, filesystem and stream I/O
 //! (with the offending path), cache maintenance, worker processes, and
-//! result sinks (with the owning cell when one is known). The legacy
-//! free functions (`run_sweep`, `coordinate`, …) still return
-//! `Result<_, String>` through `From<EngineError> for String`, so
-//! embedders migrating to [`Campaign`](crate::Campaign) get the typed
-//! error while old call sites keep compiling.
+//! result sinks (with the owning cell when one is known). Every
+//! [`Campaign`](crate::Campaign) method returns the typed error;
+//! `From<EngineError> for String` keeps string-error embedders (the
+//! CLI's command layer) compiling without a mapping dance.
 
 use std::fmt;
 

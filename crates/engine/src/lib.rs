@@ -100,7 +100,7 @@ pub use progress::{ProgressMode, ProgressReporter};
 pub use protocol::{decode_event, encode_event, CampaignEvent, WireObserver};
 pub use registry::EstimatorRegistry;
 pub use runner::{ResumeEstimatorReport, ResumeReport, ShardCoverage, SweepOutcome};
-pub use shard::{shard_of, ShardOutcome};
+pub use shard::{merge_event_streams, shard_of, ShardOutcome};
 pub use sink::{
     summarize, CsvSink, JsonlSink, Reorderer, ResultSink, SummaryRow, SweepRow, VecSink,
 };
@@ -111,12 +111,3 @@ pub use telemetry::{
 // Re-exported so embedders can construct typed specs without adding a
 // stochdag-core dependency.
 pub use stochdag_core::EstimatorSpec;
-
-// Deprecated legacy entry points, kept as thin wrappers for one
-// release (see the README's migration notes).
-#[allow(deprecated)]
-pub use protocol::WorkerEvent;
-#[allow(deprecated)]
-pub use runner::{resume_report, run_sweep, sharded_resume_report};
-#[allow(deprecated)]
-pub use shard::{coordinate, run_shard};

@@ -38,11 +38,6 @@ use crate::sink::SweepRow;
 use crate::telemetry::MetricsSnapshot;
 use serde::{Deserialize, Serialize, Value};
 
-/// Legacy name of [`CampaignEvent`], from when the type described only
-/// the distributed wire protocol.
-#[deprecated(since = "0.2.0", note = "renamed to CampaignEvent")]
-pub type WorkerEvent = CampaignEvent;
-
 /// One campaign progress event (see module docs).
 ///
 /// This is the **single event vocabulary** of the engine: every

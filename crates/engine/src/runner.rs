@@ -15,17 +15,16 @@
 //! * [`resume_report_impl`] — diff a spec against the cache without
 //!   computing anything.
 //!
-//! The public entry points live on [`Campaign`](crate::Campaign);
-//! [`run_sweep`], [`resume_report`], and [`sharded_resume_report`]
-//! remain as thin deprecated wrappers for embedders migrating from the
-//! free-function API.
+//! The public entry points live on [`Campaign`](crate::Campaign); the
+//! deprecated free-function wrappers (`run_sweep`, `resume_report`,
+//! `sharded_resume_report`) that once shadowed them have been removed
+//! (see the README's migration notes).
 
 use crate::cache::{cell_key, CacheTier, ResultCache};
-use crate::campaign::{Campaign, InProcess};
 use crate::error::EngineError;
 use crate::keys::{mix, StableHasher};
 use crate::registry::EstimatorRegistry;
-use crate::sink::{ResultSink, SummaryRow, SweepRow};
+use crate::sink::{SummaryRow, SweepRow};
 use crate::spec::{DagInstance, SweepSpec};
 use crate::telemetry::Telemetry;
 use std::time::{Duration, Instant};
@@ -282,6 +281,13 @@ pub(crate) fn evaluate_unit(
         *prep = Some(prepare());
         t0.elapsed()
     } else {
+        // Later cells of the same (instance × estimator) group reuse
+        // the group's prepared estimator — and with it every scratch
+        // arena the estimator holds (completion buffers, merge arenas,
+        // duration tables), so steady-state cells allocate nothing.
+        // Counted so telemetry reports can show the amortization rate
+        // next to the `prepare_estimator`/`estimate_cell` spans.
+        tel.count("prepared_reused", 1);
         Duration::ZERO
     };
     let p = prep.as_mut().expect("prepared above");
@@ -324,30 +330,8 @@ pub(crate) fn make_row(
     }
 }
 
-/// Run a sweep in-process, streaming rows into `sinks` (all sinks
-/// receive every row, in order). Returns the collected outcome.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Campaign::builder(spec).sink(...).build()?.run()"
-)]
-pub fn run_sweep(
-    spec: &SweepSpec,
-    registry: &EstimatorRegistry,
-    cache: &ResultCache,
-    sinks: &mut [&mut dyn ResultSink],
-) -> Result<SweepOutcome, String> {
-    Ok(Campaign::run_borrowed(
-        spec,
-        registry,
-        cache,
-        &InProcess,
-        &mut [],
-        sinks,
-    )?)
-}
-
 /// Per-estimator cache coverage of a spec (see
-/// [`Campaign::resume_report`]).
+/// [`Campaign::resume_report`](crate::Campaign::resume_report)).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ResumeEstimatorReport {
     /// Canonical estimator id.
@@ -359,7 +343,7 @@ pub struct ResumeEstimatorReport {
 }
 
 /// Cache coverage of the cells one shard would own under a
-/// multi-process backend (see [`Campaign::resume_report`]).
+/// multi-process backend (see [`Campaign::resume_report`](crate::Campaign::resume_report)).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardCoverage {
     /// Shard index (0-based).
@@ -370,7 +354,7 @@ pub struct ShardCoverage {
     pub misses: usize,
 }
 
-/// Outcome of [`Campaign::resume_report`]: what a sweep would find in
+/// Outcome of [`Campaign::resume_report`](crate::Campaign::resume_report): what a sweep would find in
 /// the cache, without running anything.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ResumeReport {
@@ -475,44 +459,16 @@ pub(crate) fn resume_report_impl(
     })
 }
 
-/// Diff a spec against the cache without running anything.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Campaign::builder(spec).build()?.resume_report()"
-)]
-pub fn resume_report(
-    spec: &SweepSpec,
-    registry: &EstimatorRegistry,
-    cache: &ResultCache,
-) -> Result<ResumeReport, String> {
-    Ok(resume_report_impl(spec, registry, cache, 1)?)
-}
-
-/// Diff a spec against the cache, splitting cell coverage over
-/// `shard_count` workers.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Campaign::builder(spec).backend(MultiProcess::new(n)).build()?.resume_report()"
-)]
-pub fn sharded_resume_report(
-    spec: &SweepSpec,
-    registry: &EstimatorRegistry,
-    cache: &ResultCache,
-    shard_count: usize,
-) -> Result<ResumeReport, String> {
-    Ok(resume_report_impl(spec, registry, cache, shard_count)?)
-}
-
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // this module covers the legacy wrappers
-
     use super::*;
-    use crate::sink::VecSink;
+    use crate::campaign::Campaign;
+    use crate::sink::ResultSink;
     use crate::spec::DagSpec;
+    use std::sync::{Arc, Mutex};
     use stochdag_taskgraphs::FactorizationClass;
 
-    pub(crate) fn tiny_spec() -> SweepSpec {
+    fn tiny_spec() -> SweepSpec {
         SweepSpec {
             name: "tiny".into(),
             seed: 1,
@@ -536,21 +492,44 @@ mod tests {
         }
     }
 
+    /// Minimal sink that shares its collected rows with the test — the
+    /// campaign consumes its sinks, so ownership cannot come back.
+    struct ShareSink(Arc<Mutex<Vec<SweepRow>>>);
+
+    impl ResultSink for ShareSink {
+        fn begin(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn row(&mut self, row: &SweepRow) -> std::io::Result<()> {
+            self.0.lock().unwrap().push(row.clone());
+            Ok(())
+        }
+        fn summary(&mut self, _rows: &[SummaryRow]) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn finish(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn sweep_runs_all_cells_in_order() {
-        let spec = tiny_spec();
-        let registry = EstimatorRegistry::standard();
-        let cache = ResultCache::in_memory();
-        let mut sink = VecSink::default();
-        let outcome = {
-            let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut sink];
-            run_sweep(&spec, &registry, &cache, &mut sinks).unwrap()
-        };
+        let rows = Arc::new(Mutex::new(Vec::new()));
+        let outcome = Campaign::builder(tiny_spec())
+            .sink(ShareSink(rows.clone()))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
         // 3 DAG instances × 2 pfails × 2 estimators.
         assert_eq!(outcome.cells, 12);
         assert_eq!(outcome.references, 6);
         assert_eq!(outcome.rows.len(), 12);
-        assert_eq!(sink.rows, outcome.rows, "sink saw the same ordered rows");
+        assert_eq!(
+            *rows.lock().unwrap(),
+            outcome.rows,
+            "sink saw the same ordered rows"
+        );
         // Deterministic order: scenario-major.
         assert_eq!(outcome.rows[0].dag, "cholesky:k=2");
         assert_eq!(outcome.rows[0].estimator, "first-order");
@@ -566,16 +545,18 @@ mod tests {
     #[test]
     fn repeated_run_is_fully_cached_and_identical() {
         let spec = tiny_spec();
-        let registry = EstimatorRegistry::standard();
-        let cache = ResultCache::in_memory();
-        let run = |cache: &ResultCache| {
-            let mut sink = VecSink::default();
-            let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut sink];
-            run_sweep(&spec, &registry, cache, &mut sinks).unwrap()
+        let cache = Arc::new(ResultCache::in_memory());
+        let run = || {
+            Campaign::builder(spec.clone())
+                .cache(cache.clone())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
         };
-        let first = run(&cache);
+        let first = run();
         assert!(!first.fully_cached());
-        let second = run(&cache);
+        let second = run();
         assert!(second.fully_cached(), "second run must be 100% cache hits");
         assert_eq!(second.cache_hits, first.cells + first.references);
         assert_eq!(second.rows, first.rows, "cached rows are bit-identical");
@@ -584,11 +565,12 @@ mod tests {
     #[test]
     fn jobs_knob_does_not_change_results() {
         let mut spec = tiny_spec();
-        let registry = EstimatorRegistry::standard();
         let run = |spec: &SweepSpec| {
-            let cache = ResultCache::in_memory();
-            let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-            run_sweep(spec, &registry, &cache, &mut sinks).unwrap()
+            Campaign::builder(spec.clone())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
         };
         let wide = run(&spec);
         let cap_before = rayon::current_thread_cap();
@@ -597,7 +579,7 @@ mod tests {
         assert_eq!(
             rayon::current_thread_cap(),
             cap_before,
-            "run_sweep must restore the global worker cap"
+            "the campaign must restore the global worker cap"
         );
         // Everything but the wall-clock timing must be identical.
         let values = |o: &SweepOutcome| {
@@ -615,9 +597,8 @@ mod tests {
         };
         assert_eq!(values(&narrow), values(&wide), "worker cap changed rows");
         spec.jobs = Some(0);
-        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-        let err = run_sweep(&spec, &registry, &ResultCache::in_memory(), &mut sinks).unwrap_err();
-        assert!(err.contains("jobs"), "{err}");
+        let err = Campaign::builder(spec).build().unwrap_err();
+        assert!(err.to_string().contains("jobs"), "{err}");
     }
 
     #[test]
@@ -633,25 +614,37 @@ mod tests {
     fn bad_estimator_fails_before_work() {
         let mut spec = tiny_spec();
         spec.estimators.push(EstimatorSpec::Mc { trials: 0 });
-        let registry = EstimatorRegistry::standard();
-        let cache = ResultCache::in_memory();
-        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-        let err = run_sweep(&spec, &registry, &cache, &mut sinks).unwrap_err();
-        assert!(err.contains("mc"), "{err}");
+        let cache = Arc::new(ResultCache::in_memory());
+        let err = Campaign::builder(spec.clone())
+            .cache(cache.clone())
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("mc"), "{err}");
         assert_eq!(cache.hits() + cache.misses(), 0, "no work was attempted");
 
         spec.estimators.pop();
         spec.estimators.push(EstimatorSpec::Sculli);
-        let err = run_sweep(&spec, &registry, &cache, &mut sinks).unwrap_err();
-        assert!(err.contains("duplicate estimator"), "{err}");
+        let err = Campaign::builder(spec)
+            .cache(cache.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate estimator"), "{err}");
+        assert_eq!(cache.hits() + cache.misses(), 0, "no work was attempted");
     }
 
     #[test]
     fn resume_report_diffs_spec_against_cache() {
         let spec = tiny_spec();
-        let registry = EstimatorRegistry::standard();
-        let cache = ResultCache::in_memory();
-        let fresh = resume_report(&spec, &registry, &cache).unwrap();
+        let cache = Arc::new(ResultCache::in_memory());
+        let campaign = |spec: &SweepSpec| {
+            Campaign::builder(spec.clone())
+                .cache(cache.clone())
+                .build()
+                .unwrap()
+        };
+        let fresh = campaign(&spec).resume_report().unwrap();
         assert!(!fresh.fully_cached());
         assert_eq!(fresh.total_hits(), 0);
         assert_eq!(fresh.reference_misses, 6);
@@ -666,9 +659,8 @@ mod tests {
             "reporting must not perturb cache counters"
         );
 
-        let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-        run_sweep(&spec, &registry, &cache, &mut sinks).unwrap();
-        let after = resume_report(&spec, &registry, &cache).unwrap();
+        campaign(&spec).run().unwrap();
+        let after = campaign(&spec).resume_report().unwrap();
         assert!(after.fully_cached());
         assert_eq!(after.reference_hits, 6);
         assert!(after
@@ -681,7 +673,7 @@ mod tests {
         // derive_seed, so everything misses again.
         let mut reseeded = spec.clone();
         reseeded.seed = 99;
-        let shifted = resume_report(&reseeded, &registry, &cache).unwrap();
+        let shifted = campaign(&reseeded).resume_report().unwrap();
         assert_eq!(shifted.total_hits(), 0, "new seed means new keys");
     }
 }

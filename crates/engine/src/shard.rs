@@ -14,8 +14,9 @@
 //! on-disk [`ResultCache`], and reports one [`CampaignEvent`] per
 //! completion. The coordinator half lives in the
 //! [`Campaign`](crate::Campaign) core (the [`MultiProcess`]
-//! backend + event merge); [`coordinate`] remains as the legacy
-//! stream-merging entry point.
+//! backend + event merge); [`merge_event_streams`] merges *replayed*
+//! event streams (captured worker stdout, archived logs) through the
+//! same re-sequencing machinery.
 //!
 //! Workers share results only through the content-addressed cache: a
 //! reference scenario touched by cells on two shards is looked up by
@@ -288,35 +289,13 @@ pub(crate) fn execute_shard(
     Ok(outcome)
 }
 
-/// Execute one shard of a campaign, reporting events through a
-/// callback.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Campaign::builder(spec).observer(...).build()?.run_shard(shard, of)"
-)]
-pub fn run_shard(
-    spec: &SweepSpec,
-    registry: &EstimatorRegistry,
-    cache: &ResultCache,
-    shard: usize,
-    shard_count: usize,
-    emit: &(dyn Fn(&CampaignEvent) -> Result<(), String> + Sync),
-) -> Result<ShardOutcome, String> {
-    Ok(execute_shard(
-        spec,
-        registry,
-        cache,
-        &Telemetry::disabled(),
-        shard,
-        shard_count,
-        &|ev| emit(&ev).map_err(|m| EngineError::worker(None, m)),
-    )?)
-}
-
-/// Merge N worker event streams into ordered sink output (the legacy
-/// coordinator entry point; a [`Campaign`](crate::Campaign) with the
+/// Merge N worker event streams into ordered sink output.
+///
+/// A [`Campaign`](crate::Campaign) with the
 /// [`MultiProcess`](crate::MultiProcess) backend does this — plus
-/// worker lifecycle and crash retry — in one call).
+/// worker lifecycle and crash retry — in one call; this entry point
+/// exists for *replayed* streams: captured worker stdout, archived
+/// event logs, spliced protocol fixtures.
 ///
 /// Each reader is one worker's stdout (or a replayed event log). Rows
 /// arrive tagged with their global cell index and are re-sequenced, so
@@ -327,19 +306,7 @@ pub fn run_shard(
 /// Fails if any stream reports [`CampaignEvent::Error`], is malformed,
 /// ends before its [`CampaignEvent::Done`], or if the merged rows do
 /// not cover every announced cell exactly once.
-#[deprecated(
-    since = "0.2.0",
-    note = "use Campaign::builder(spec).backend(MultiProcess::new(n)).build()?.run()"
-)]
-pub fn coordinate<R: BufRead + Send>(
-    workers: Vec<R>,
-    sinks: &mut [&mut dyn ResultSink],
-    progress: &mut ProgressReporter,
-) -> Result<SweepOutcome, String> {
-    Ok(coordinate_impl(workers, sinks, progress)?)
-}
-
-pub(crate) fn coordinate_impl<R: BufRead + Send>(
+pub fn merge_event_streams<R: BufRead + Send>(
     workers: Vec<R>,
     sinks: &mut [&mut dyn ResultSink],
     progress: &mut ProgressReporter,

@@ -5,7 +5,6 @@
 //! change.
 
 /// Every name `stochdag_engine` re-exports at the crate root, sorted.
-/// `(deprecated)` marks the legacy wrappers scheduled for removal.
 const EXPECTED: &[&str] = &[
     "BackendContext",
     "CacheGcStats",
@@ -50,17 +49,12 @@ const EXPECTED: &[&str] = &[
     "TelemetrySink",
     "VecSink",
     "WireObserver",
-    "WorkerEvent", // (deprecated)
     "cell_key",
-    "coordinate", // (deprecated)
     "decode_event",
     "encode_event",
+    "merge_event_streams",
     "parse_toml",
-    "resume_report", // (deprecated)
-    "run_shard",     // (deprecated)
-    "run_sweep",     // (deprecated)
     "shard_of",
-    "sharded_resume_report", // (deprecated)
     "summarize",
 ];
 
@@ -121,16 +115,15 @@ fn snapshot_names_actually_resolve() {
     // type/function named above is imported here. (A name dropped from
     // lib.rs fails this `use`; a name added to lib.rs fails the
     // snapshot comparison.)
-    #[allow(unused_imports, deprecated)]
+    #[allow(unused_imports)]
     use stochdag_engine::{
-        cell_key, coordinate, decode_event, encode_event, parse_toml, resume_report, run_shard,
-        run_sweep, shard_of, sharded_resume_report, summarize, BackendContext, CacheGcStats,
-        CacheTier, Campaign, CampaignBuilder, CampaignEvent, CampaignObserver, CsvSink,
-        DagInstance, DagSpec, Deliver, DryRun, DryRunInstance, EngineError, EstimatorRegistry,
-        EstimatorSpec, ExecBackend, FnObserver, InProcess, JsonlSink, MetricsReport,
-        MetricsSnapshot, MultiProcess, ProgressMode, ProgressReporter, Reorderer, ResultCache,
-        ResultSink, ResumeEstimatorReport, ResumeReport, ShardCoverage, ShardOutcome, SpanGuard,
-        SpanStat, StableHasher, SummaryRow, SweepOutcome, SweepRow, SweepSpec, Telemetry,
-        TelemetrySink, VecSink, WireObserver, WorkerEvent,
+        cell_key, decode_event, encode_event, merge_event_streams, parse_toml, shard_of, summarize,
+        BackendContext, CacheGcStats, CacheTier, Campaign, CampaignBuilder, CampaignEvent,
+        CampaignObserver, CsvSink, DagInstance, DagSpec, Deliver, DryRun, DryRunInstance,
+        EngineError, EstimatorRegistry, EstimatorSpec, ExecBackend, FnObserver, InProcess,
+        JsonlSink, MetricsReport, MetricsSnapshot, MultiProcess, ProgressMode, ProgressReporter,
+        Reorderer, ResultCache, ResultSink, ResumeEstimatorReport, ResumeReport, ShardCoverage,
+        ShardOutcome, SpanGuard, SpanStat, StableHasher, SummaryRow, SweepOutcome, SweepRow,
+        SweepSpec, Telemetry, TelemetrySink, VecSink, WireObserver,
     };
 }

@@ -1,6 +1,6 @@
 //! Integration coverage of the [`Campaign`] facade: builder wiring,
-//! backend equivalence with the legacy free functions, dry runs,
-//! resume reports, observers, and the worker half.
+//! cache-replay byte identity, dry runs, resume reports, observers,
+//! and the worker half.
 
 use std::sync::{Arc, Mutex};
 use stochdag_engine::{
@@ -51,11 +51,11 @@ impl std::io::Write for SharedBuf {
 }
 
 #[test]
-fn campaign_run_matches_the_legacy_free_function_byte_for_byte() {
+fn campaign_rerun_is_fully_cached_and_byte_identical() {
     let spec = campaign_spec();
     let cache = Arc::new(ResultCache::in_memory());
 
-    // Facade path (owned sinks, no borrow dance) computes everything.
+    // First run computes everything.
     let buf = SharedBuf::default();
     let outcome = Campaign::builder(spec.clone())
         .cache(cache.clone())
@@ -66,25 +66,23 @@ fn campaign_run_matches_the_legacy_free_function_byte_for_byte() {
         .run()
         .unwrap();
 
-    // Legacy path (deprecated wrapper, borrowed sinks) over the same
-    // cache must be fully served and byte-identical.
-    #[allow(deprecated)]
-    let (legacy_csv, legacy) = {
-        let mut csv = CsvSink::new(Vec::new());
-        let registry = stochdag_engine::EstimatorRegistry::standard();
-        let outcome = {
-            let mut sinks: Vec<&mut dyn stochdag_engine::ResultSink> = vec![&mut csv];
-            stochdag_engine::run_sweep(&spec, &registry, &cache, &mut sinks).unwrap()
-        };
-        (csv.into_inner(), outcome)
-    };
+    // A second campaign over the same cache must be fully served and
+    // replay the exact same rows, summary, and CSV bytes.
+    let replay_buf = SharedBuf::default();
+    let replay = Campaign::builder(spec)
+        .cache(cache.clone())
+        .sink(CsvSink::new(replay_buf.clone()))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
 
-    assert!(legacy.fully_cached(), "facade run fed the legacy run");
-    assert_eq!(outcome.cells, legacy.cells);
-    assert_eq!(outcome.references, legacy.references);
-    assert_eq!(outcome.rows, legacy.rows, "rows are bit-identical");
-    assert_eq!(outcome.summary, legacy.summary);
-    assert_eq!(buf.bytes(), legacy_csv, "CSV bytes are identical");
+    assert!(replay.fully_cached(), "first run fed the replay");
+    assert_eq!(outcome.cells, replay.cells);
+    assert_eq!(outcome.references, replay.references);
+    assert_eq!(outcome.rows, replay.rows, "rows are bit-identical");
+    assert_eq!(outcome.summary, replay.summary);
+    assert_eq!(buf.bytes(), replay_buf.bytes(), "CSV bytes are identical");
 }
 
 #[test]

@@ -4,18 +4,16 @@
 //! and the coordinator's merge of replayed event streams is
 //! byte-identical to the single-process sink output.
 //!
-//! Deliberately exercises the deprecated free-function entry points
-//! (`run_shard`, `coordinate`, `run_sweep`, `sharded_resume_report`):
-//! they must keep their exact semantics while they remain as wrappers.
-#![allow(deprecated)]
+//! Exercises the campaign-facade entry points end to end:
+//! [`Campaign::run_shard`] for the worker half and
+//! [`merge_event_streams`] for replayed coordinator merges.
 
 use std::io::Cursor;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use stochdag_engine::{
-    coordinate, decode_event, encode_event, run_shard, run_sweep, shard_of, sharded_resume_report,
-    CampaignEvent, CsvSink, EstimatorRegistry, ProgressReporter, ResultCache, ResultSink,
-    SweepSpec, VecSink,
+    decode_event, encode_event, merge_event_streams, shard_of, Campaign, CampaignEvent, CsvSink,
+    FnObserver, MultiProcess, ProgressReporter, ResultCache, ResultSink, SweepSpec,
 };
 
 fn scratch(tag: &str) -> PathBuf {
@@ -47,21 +45,46 @@ depth = 2
     .unwrap()
 }
 
-/// Run one shard, collecting its protocol lines (as a worker's stdout
-/// would carry them).
-fn shard_lines(spec: &SweepSpec, cache_dir: &PathBuf, shard: usize, of: usize) -> Vec<String> {
-    let registry = EstimatorRegistry::standard();
-    let cache = ResultCache::on_disk(cache_dir);
-    let lines = Mutex::new(Vec::new());
-    run_shard(spec, &registry, &cache, shard, of, &|ev| {
-        lines.lock().unwrap().push(encode_event(ev));
-        Ok(())
-    })
-    .unwrap();
-    lines.into_inner().unwrap()
+/// A cloneable in-memory writer, so CSV bytes survive the campaign
+/// consuming its sinks.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn bytes(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
+    }
 }
 
-fn csv_of_coordinate(streams: Vec<Vec<String>>) -> (Vec<u8>, stochdag_engine::SweepOutcome) {
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Run one shard through the campaign facade, collecting its protocol
+/// lines (as a worker's stdout would carry them).
+fn shard_lines(spec: &SweepSpec, cache_dir: &PathBuf, shard: usize, of: usize) -> Vec<String> {
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    let sink = lines.clone();
+    Campaign::builder(spec.clone())
+        .cache(Arc::new(ResultCache::on_disk(cache_dir)))
+        .observer(FnObserver(move |ev: &CampaignEvent| {
+            sink.lock().unwrap().push(encode_event(ev));
+        }))
+        .build()
+        .unwrap()
+        .run_shard(shard, of)
+        .unwrap();
+    let out = lines.lock().unwrap().clone();
+    out
+}
+
+fn csv_of_merge(streams: Vec<Vec<String>>) -> (Vec<u8>, stochdag_engine::SweepOutcome) {
     let readers: Vec<Cursor<Vec<u8>>> = streams
         .into_iter()
         .map(|lines| Cursor::new((lines.join("\n") + "\n").into_bytes()))
@@ -69,7 +92,7 @@ fn csv_of_coordinate(streams: Vec<Vec<String>>) -> (Vec<u8>, stochdag_engine::Sw
     let mut csv = CsvSink::new(Vec::new());
     let outcome = {
         let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv];
-        coordinate(readers, &mut sinks, &mut ProgressReporter::disabled()).unwrap()
+        merge_event_streams(readers, &mut sinks, &mut ProgressReporter::disabled()).unwrap()
     };
     (csv.into_inner(), outcome)
 }
@@ -98,7 +121,6 @@ fn shard_assignment_is_deterministic_and_partitions() {
 #[test]
 fn shards_jointly_match_single_process_byte_for_byte() {
     let spec = campaign();
-    let registry = EstimatorRegistry::standard();
 
     for workers in [1usize, 2, 4] {
         let dir = scratch(&format!("w{workers}"));
@@ -109,30 +131,26 @@ fn shards_jointly_match_single_process_byte_for_byte() {
         let streams: Vec<Vec<String>> = (0..workers)
             .map(|s| shard_lines(&spec, &cache_dir, s, workers))
             .collect();
-        let (merged_csv, merged) = csv_of_coordinate(streams);
+        let (merged_csv, merged) = csv_of_merge(streams);
         assert_eq!(merged.cells, 18, "3 DAGs x 2 pfails x 3 estimators");
 
         // Single-process run over the same cache: must be fully served
         // from what the shards stored, with identical bytes.
-        let mut csv = CsvSink::new(Vec::new());
-        let mut sink = VecSink::default();
-        let single = {
-            let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv, &mut sink];
-            run_sweep(
-                &spec,
-                &registry,
-                &ResultCache::on_disk(&cache_dir),
-                &mut sinks,
-            )
+        let buf = SharedBuf::default();
+        let single = Campaign::builder(spec.clone())
+            .cache(Arc::new(ResultCache::on_disk(&cache_dir)))
+            .sink(CsvSink::new(buf.clone()))
+            .build()
             .unwrap()
-        };
+            .run()
+            .unwrap();
         assert!(
             single.fully_cached(),
             "{workers} shard(s) must have computed every work unit ({} misses)",
             single.cache_misses
         );
         assert_eq!(merged.rows, single.rows, "merged rows = single rows");
-        assert_eq!(merged_csv, csv.into_inner(), "byte-identical CSV");
+        assert_eq!(merged_csv, buf.bytes(), "byte-identical CSV");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
@@ -184,13 +202,13 @@ fn coordinator_rejects_broken_streams() {
             .map(|l| Cursor::new((l.join("\n") + "\n").into_bytes()))
             .collect();
         let mut sinks: Vec<&mut dyn ResultSink> = vec![];
-        coordinate(readers, &mut sinks, &mut ProgressReporter::disabled())
+        merge_event_streams(readers, &mut sinks, &mut ProgressReporter::disabled())
     };
 
     // A stream that ends before its `done` event (crashed worker).
     let truncated = good[..good.len() - 2].to_vec();
     let err = run(vec![truncated]).unwrap_err();
-    assert!(err.contains("worker"), "{err}");
+    assert!(err.to_string().contains("worker"), "{err}");
 
     // An explicit worker error aborts the merge.
     let failed = vec![
@@ -201,16 +219,16 @@ fn coordinator_rejects_broken_streams() {
         }),
     ];
     let err = run(vec![failed]).unwrap_err();
-    assert!(err.contains("shard exploded"), "{err}");
+    assert!(err.to_string().contains("shard exploded"), "{err}");
 
     // Garbage on the wire is a hard protocol error.
     let garbage = vec![good[0].clone(), "{not an event".into()];
     let err = run(vec![garbage]).unwrap_err();
-    assert!(err.contains("bad worker event"), "{err}");
+    assert!(err.to_string().contains("bad worker event"), "{err}");
 
     // No workers at all is refused.
     let err = run(vec![]).unwrap_err();
-    assert!(err.contains("at least one worker"), "{err}");
+    assert!(err.to_string().contains("at least one worker"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -218,10 +236,16 @@ fn coordinator_rejects_broken_streams() {
 fn sharded_resume_report_splits_cells_by_shard() {
     let spec = campaign();
     let dir = scratch("resume");
-    let cache = ResultCache::on_disk(dir.join("cache"));
-    let registry = EstimatorRegistry::standard();
+    let cache = Arc::new(ResultCache::on_disk(dir.join("cache")));
+    let sharded = |spec: &SweepSpec| {
+        Campaign::builder(spec.clone())
+            .cache(cache.clone())
+            .backend(MultiProcess::new(2))
+            .build()
+            .unwrap()
+    };
 
-    let fresh = sharded_resume_report(&spec, &registry, &cache, 2).unwrap();
+    let fresh = sharded(&spec).resume_report().unwrap();
     assert_eq!(fresh.shards.len(), 2);
     assert_eq!(
         fresh.shards.iter().map(|s| s.misses).sum::<usize>(),
@@ -232,13 +256,13 @@ fn sharded_resume_report_splits_cells_by_shard() {
 
     // Compute shard 0 only, then the report shows exactly that shard
     // as cached and shard 1 as pending.
-    let lines = Mutex::new(Vec::new());
-    let shard0 = run_shard(&spec, &registry, &cache, 0, 2, &|ev| {
-        lines.lock().unwrap().push(encode_event(ev));
-        Ok(())
-    })
-    .unwrap();
-    let after = sharded_resume_report(&spec, &registry, &cache, 2).unwrap();
+    let shard0 = Campaign::builder(spec.clone())
+        .cache(cache.clone())
+        .build()
+        .unwrap()
+        .run_shard(0, 2)
+        .unwrap();
+    let after = sharded(&spec).resume_report().unwrap();
     assert_eq!(after.shards[0].hits, shard0.cells);
     assert_eq!(after.shards[0].misses, 0);
     assert_eq!(after.shards[1].hits, 0);
@@ -248,7 +272,10 @@ fn sharded_resume_report_splits_cells_by_shard() {
         "shard 0 cached the references it needed"
     );
 
-    // Invalid shard counts are rejected up front.
-    assert!(sharded_resume_report(&spec, &registry, &cache, 0).is_err());
+    // A zero-worker backend is rejected before any filesystem work.
+    assert!(Campaign::builder(spec.clone())
+        .backend(MultiProcess::new(0))
+        .build()
+        .is_err());
     let _ = std::fs::remove_dir_all(&dir);
 }

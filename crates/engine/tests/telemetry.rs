@@ -1,8 +1,8 @@
 //! Integration coverage of the telemetry layer: deterministic metrics
 //! reports, cache-tier accounting across runs, the wire `telemetry`
 //! event's emission contract, and the additive-protocol guarantee that
-//! pre-telemetry decoders (the legacy `coordinate`) replay newer event
-//! streams.
+//! the stream-merge replay path (`merge_event_streams`) tolerates
+//! newer event vocabularies.
 
 use std::io::Cursor;
 use std::sync::{Arc, Mutex};
@@ -172,7 +172,7 @@ fn wire_stream_carries_one_telemetry_event_only_when_enabled() {
 }
 
 #[test]
-fn legacy_coordinate_replays_streams_with_telemetry_and_unknown_events() {
+fn stream_merge_replays_telemetry_and_unknown_events() {
     // Capture a real shard stream with telemetry enabled…
     let buf = SharedBuf::default();
     Campaign::builder(campaign_spec())
@@ -196,16 +196,19 @@ fn legacy_coordinate_replays_streams_with_telemetry_and_unknown_events() {
         r#"{"event":"warp","factor":9}"#.to_string(),
     );
 
-    // The pre-telemetry merge path must replay it: unknown tags (which
-    // include `telemetry` from its point of view) are skipped, not
-    // fatal.
+    // The stream-merge replay path must take it in stride: unknown
+    // event tags are skipped, not fatal, so older coordinators replay
+    // newer worker logs.
     let reader = Cursor::new((lines.join("\n") + "\n").into_bytes());
     let mut vec_sink = VecSink::default();
-    #[allow(deprecated)]
     let outcome = {
         let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut vec_sink];
-        stochdag_engine::coordinate(vec![reader], &mut sinks, &mut ProgressReporter::disabled())
-            .unwrap()
+        stochdag_engine::merge_event_streams(
+            vec![reader],
+            &mut sinks,
+            &mut ProgressReporter::disabled(),
+        )
+        .unwrap()
     };
     assert_eq!(outcome.cells, 24);
     assert_eq!(vec_sink.rows.len(), 24);

@@ -40,7 +40,7 @@ pub fn list_schedule(
     assert!(processors > 0, "need at least one processor");
     let n = dag.node_count();
     let prio = compute_priorities(dag, model, policy);
-    let mut indeg: Vec<usize> = dag.nodes().map(|v| dag.in_degree(v)).collect();
+    let mut indeg: Vec<u32> = dag.nodes().map(|v| dag.in_degree(v) as u32).collect();
 
     // Ready queue: max-heap on (priority, Reverse(node id)).
     let mut ready: BinaryHeap<(OrdF64, Reverse<u32>)> = BinaryHeap::new();

@@ -89,7 +89,7 @@ pub fn simulate_execution(dag: &Dag, model: &FailureModel, cfg: &SimConfig) -> E
     let n = dag.node_count();
     let prio = compute_priorities(dag, model, cfg.policy);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut indeg: Vec<usize> = dag.nodes().map(|v| dag.in_degree(v)).collect();
+    let mut indeg: Vec<u32> = dag.nodes().map(|v| dag.in_degree(v) as u32).collect();
 
     let mut ready: BinaryHeap<(OrdF64, Reverse<u32>)> = BinaryHeap::new();
     for v in dag.nodes() {

@@ -3,7 +3,7 @@
 use crate::arcnet::ArcNetwork;
 use std::collections::VecDeque;
 use stochdag_dag::{Dag, NodeId};
-use stochdag_dist::DiscreteDist;
+use stochdag_dist::{DiscreteDist, DistScratch};
 
 /// Tuning knobs of the reduction engine.
 #[derive(Clone, Debug)]
@@ -85,6 +85,7 @@ pub fn reduce(net: &mut ArcNetwork, cfg: &ReduceConfig) -> Result<ReduceOutcome,
         work: VecDeque::new(),
         rank: Vec::new(),
         join_heap: std::collections::BinaryHeap::new(),
+        dist_scratch: DistScratch::new(),
     };
     state.run()?;
     let arc = state
@@ -120,6 +121,8 @@ struct Engine<'a> {
     /// ≥ 2). Entries are lazily revalidated at pop time, so stale pushes
     /// are harmless.
     join_heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
+    /// Merge arena shared by every convolve/max of the reduction.
+    dist_scratch: DistScratch,
 }
 
 impl Engine<'_> {
@@ -181,12 +184,9 @@ impl Engine<'_> {
         }
     }
 
-    fn cap(&self, d: DiscreteDist) -> DiscreteDist {
-        if d.len() > self.cfg.max_atoms {
-            d.reduce_support(self.cfg.max_atoms)
-        } else {
-            d
-        }
+    fn cap(&self, mut d: DiscreteDist) -> DiscreteDist {
+        d.reduce_support_in_place(self.cfg.max_atoms);
+        d
     }
 
     /// Merge parallel out-arcs of `v` (same destination) via independent
@@ -212,7 +212,8 @@ impl Engine<'_> {
             let (_, dst) = self.net.endpoints(a);
             let da = self.net.remove_arc(a);
             let db = self.net.remove_arc(b);
-            let merged = self.cap(da.max_independent(&db));
+            let merged = da.max_independent_with(&db, &mut self.dist_scratch);
+            let merged = self.cap(merged);
             self.net.add_arc(v, dst, merged);
             self.parallel += 1;
             self.enqueue(v);
@@ -238,7 +239,8 @@ impl Engine<'_> {
         );
         let din = self.net.remove_arc(ain);
         let dout = self.net.remove_arc(aout);
-        let merged = self.cap(din.convolve(&dout));
+        let merged = din.convolve_with(&dout, &mut self.dist_scratch);
+        let merged = self.cap(merged);
         self.net.add_arc(u, w, merged);
         self.series += 1;
         // u may now have parallel arcs to w; w may have become
@@ -390,42 +392,89 @@ pub fn is_series_parallel(dag: &Dag) -> bool {
 /// 2 870-task scale.
 pub fn dodin_forward_evaluate(
     dag: &Dag,
-    mut dist_of: impl FnMut(NodeId) -> DiscreteDist,
+    dist_of: impl FnMut(NodeId) -> DiscreteDist,
     max_atoms: usize,
 ) -> DiscreteDist {
-    assert!(dag.node_count() > 0, "cannot evaluate an empty DAG");
-    let cap = |d: DiscreteDist| {
-        if d.len() > max_atoms {
-            d.reduce_support(max_atoms)
-        } else {
-            d
-        }
-    };
     let topo = stochdag_dag::topological_order(dag).expect("requires an acyclic graph");
-    let mut completion: Vec<Option<DiscreteDist>> = vec![None; dag.node_count()];
-    for &v in &topo {
-        let mut start: Option<DiscreteDist> = None;
-        for &p in dag.preds(v) {
-            let c = completion[p.index()]
-                .as_ref()
-                .expect("topological order visits predecessors first");
-            start = Some(match start {
-                None => c.clone(),
-                Some(s) => cap(s.max_independent(c)),
-            });
-        }
+    dodin_forward_evaluate_in(dag, &topo, dist_of, max_atoms, &mut ForwardScratch::new())
+}
+
+/// Reusable scratch for [`dodin_forward_evaluate_in`]: the per-node
+/// completion slots and the [`DistScratch`] merge arena, so a prepared
+/// estimator evaluating many failure models allocates nothing per call
+/// beyond the per-node result supports themselves.
+#[derive(Debug, Default)]
+pub struct ForwardScratch {
+    completion: Vec<Option<DiscreteDist>>,
+    dist: DistScratch,
+}
+
+impl ForwardScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> ForwardScratch {
+        ForwardScratch::default()
+    }
+}
+
+/// [`dodin_forward_evaluate`] over a caller-provided topological order
+/// and [`ForwardScratch`] — the hot-loop form: the topo walk is hoisted
+/// out of the per-model call and every convolve/max runs through the
+/// reused merge arena. Output is bit-identical to
+/// [`dodin_forward_evaluate`].
+///
+/// `topo` must be a topological order of `dag` over all its nodes.
+pub fn dodin_forward_evaluate_in(
+    dag: &Dag,
+    topo: &[NodeId],
+    mut dist_of: impl FnMut(NodeId) -> DiscreteDist,
+    max_atoms: usize,
+    scratch: &mut ForwardScratch,
+) -> DiscreteDist {
+    assert!(dag.node_count() > 0, "cannot evaluate an empty DAG");
+    debug_assert_eq!(topo.len(), dag.node_count(), "topo must cover the DAG");
+    let cap = |mut d: DiscreteDist| {
+        d.reduce_support_in_place(max_atoms);
+        d
+    };
+    let completion = &mut scratch.completion;
+    completion.clear();
+    completion.resize(dag.node_count(), None);
+    for &v in topo {
         let d = dist_of(v);
-        completion[v.index()] = Some(match start {
+        let preds = dag.preds(v);
+        // Identical fold to the historical "clone the first predecessor,
+        // max the rest, convolve the node" — minus the clone: the first
+        // binary operation reads the predecessor's completion in place.
+        let done = match preds.split_first() {
             None => d,
-            Some(s) => cap(s.convolve(&d)),
-        });
+            Some((&p0, rest)) => {
+                let c0 = completion[p0.index()]
+                    .as_ref()
+                    .expect("topological order visits predecessors first");
+                let mut start: Option<DiscreteDist> = None;
+                for &p in rest {
+                    let c = completion[p.index()]
+                        .as_ref()
+                        .expect("topological order visits predecessors first");
+                    start = Some(cap(match &start {
+                        None => c0.max_independent_with(c, &mut scratch.dist),
+                        Some(s) => s.max_independent_with(c, &mut scratch.dist),
+                    }));
+                }
+                cap(match &start {
+                    None => c0.convolve_with(&d, &mut scratch.dist),
+                    Some(s) => s.convolve_with(&d, &mut scratch.dist),
+                })
+            }
+        };
+        completion[v.index()] = Some(done);
     }
     let mut result: Option<DiscreteDist> = None;
     for v in dag.nodes().filter(|&v| dag.out_degree(v) == 0) {
         let c = completion[v.index()].as_ref().expect("all nodes computed");
-        result = Some(match result {
+        result = Some(match &result {
             None => c.clone(),
-            Some(r) => cap(r.max_independent(c)),
+            Some(r) => cap(r.max_independent_with(c, &mut scratch.dist)),
         });
     }
     result.expect("non-empty DAG has at least one sink")

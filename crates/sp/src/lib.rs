@@ -36,6 +36,6 @@ mod engine;
 
 pub use arcnet::ArcNetwork;
 pub use engine::{
-    dodin_evaluate, dodin_forward_evaluate, exact_sp_expected_makespan, is_series_parallel, reduce,
-    ReduceConfig, ReduceError, ReduceOutcome,
+    dodin_evaluate, dodin_forward_evaluate, dodin_forward_evaluate_in, exact_sp_expected_makespan,
+    is_series_parallel, reduce, ForwardScratch, ReduceConfig, ReduceError, ReduceOutcome,
 };

@@ -55,7 +55,7 @@ pub mod prelude {
     };
     pub use stochdag_dag::{
         dot_string, longest_path_length, structural_hash, topological_layers, topological_order,
-        Dag, DagBuilder, LevelInfo, LongestPaths, NodeId, PreparedDag,
+        Dag, DagBuilder, LevelInfo, LongestPaths, NodeId, PreparedDag, TopoLayers,
     };
     pub use stochdag_dist::{
         clark_max_moments, failure_probability, geometric_truncated,
@@ -68,10 +68,6 @@ pub mod prelude {
         MultiProcess, ProgressMode, ProgressReporter, ResultCache, ResultSink, ResumeReport,
         SweepOutcome, SweepSpec, VecSink, WireObserver,
     };
-    // Legacy engine entry points, re-exported for embedders still
-    // migrating to the Campaign facade.
-    #[allow(deprecated)]
-    pub use stochdag_engine::{resume_report, run_sweep};
     pub use stochdag_sched::{
         compare_policies, heft_schedule, list_schedule, simulate_execution, Priority, Schedule,
         SimConfig,
