@@ -17,6 +17,8 @@ const BARE_FLAGS: &[&str] = &[
     "--resume-report",
     "--dry-run",
     "--telemetry",
+    "--detach",
+    "--now",
 ];
 
 impl Options {

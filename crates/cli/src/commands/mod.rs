@@ -7,6 +7,7 @@ pub mod figure;
 pub mod info;
 pub mod sched;
 pub mod second_order;
+pub mod serve;
 pub mod sweep;
 pub mod sweep_worker;
 pub mod table1;

@@ -284,7 +284,10 @@ fn parse_estimators(list: &str) -> Result<Vec<EstimatorSpec>, String> {
         .collect()
 }
 
-fn load_spec(opts: &Options) -> Result<SweepSpec, String> {
+/// Build the campaign spec from `--spec FILE` plus flag overrides, or
+/// assemble it purely from flags. Shared with `submit`, which sends
+/// the same spec model to a resident daemon instead of running it.
+pub(crate) fn load_spec(opts: &Options) -> Result<SweepSpec, String> {
     if let Some(path) = opts.get("spec") {
         let mut spec = SweepSpec::from_file(path)?;
         // Flag overrides on top of a file spec.

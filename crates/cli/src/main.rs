@@ -37,6 +37,11 @@ fn run(argv: &[String]) -> Result<(), String> {
         // help): executes one shard, speaks the line-delimited JSON
         // protocol on stdout.
         "sweep-worker" => commands::sweep_worker::run(rest),
+        "serve" => commands::serve::run_daemon(rest),
+        "submit" => commands::serve::run_submit(rest),
+        "status" => commands::serve::run_status(rest),
+        "cancel" => commands::serve::run_cancel(rest),
+        "shutdown" => commands::serve::run_shutdown(rest),
         "table1" => commands::table1::run(rest),
         "dot" => commands::dot::run(rest),
         "sched" => commands::sched::run(rest),
@@ -99,6 +104,29 @@ COMMANDS:
                  report (cells by cache tier, span timings, failures
                  by kind); --trace-out streams telemetry spans and
                  counters as JSONL while the campaign runs
+  serve          resident campaign daemon: one shared cache + worker
+                 pool multiplexing concurrent clients over loopback TCP
+                   [--listen 127.0.0.1:7677] [--cache DIR] [--no-cache]
+                   [--max-running 2] [--max-queued 16] [--max-cells N]
+                   [--shutdown-report FILE]
+                 campaigns from different clients share every cached
+                 cell; --max-cells rejects over-quota specs and a full
+                 queue rejects submissions (structured errors). SIGTERM
+                 or `stochdag shutdown` drains in-flight campaigns and
+                 writes a resume report of unfinished ones
+  submit         submit a campaign to a running daemon and stream the
+                 results to local CSV/JSONL (byte-identical to `sweep`
+                 over the same cache)
+                   [--addr 127.0.0.1:7677] [--spec camp.toml] [--out DIR]
+                   [--progress none|plain|live] [--detach]
+                   [--resume-id N]  (re-admit a failed/cancelled campaign)
+                 plus the spec-assembly flags of `sweep`; --detach
+                 queues the campaign and returns immediately
+  status         daemon + campaign states, admission counters, cache
+                 hit-rates   [--addr ...] [--id N]
+  cancel         cancel a queued or running campaign  --id N [--addr ...]
+  shutdown       stop the daemon (drain; --now also stops running
+                 campaigns at the next cell)  [--addr ...] [--now]
   table1         LU k=20 error + wall-clock comparison (paper Table I),
                  executed as an engine sweep (cache-aware)
                    [--k 20] [--trials 300000] [--seed 0] [--fast]

@@ -22,6 +22,7 @@
 //! backend produced the events.
 
 use crate::cache::{cell_key, ResultCache};
+use crate::cancel::CancelToken;
 use crate::error::EngineError;
 use crate::observer::CampaignObserver;
 use crate::progress::{ProgressMode, ProgressReporter};
@@ -57,6 +58,12 @@ pub struct BackendContext<'a> {
     /// additionally check [`Telemetry::is_enabled`] to decide whether
     /// workers should collect and report snapshots.
     pub telemetry: &'a Telemetry,
+    /// Cooperative stop flag. In-process backends hand it to the shard
+    /// executor (checked between cells); process-spawning backends
+    /// should poll it at their own convenient boundaries (e.g. between
+    /// waves) and stop early with
+    /// [`EngineError::cancelled`] when set.
+    pub cancel: &'a CancelToken,
 }
 
 /// Event delivery callback handed to backends: `(source shard, event)`.
@@ -121,6 +128,7 @@ impl ExecBackend for InProcess {
             ctx.registry,
             ctx.cache,
             ctx.telemetry,
+            ctx.cancel,
             0,
             1,
             &|ev| deliver(0, ev),
@@ -354,6 +362,12 @@ impl ExecBackend for MultiProcess {
             EngineError::io(format!("writing worker spec {}", spec_path.display()), e)
         })?;
         let result = (|| {
+            // Workers can't observe the coordinator's token, so the
+            // cooperative-stop granularity here is a wave boundary:
+            // checked before launch and again before the retry wave.
+            if ctx.cancel.is_cancelled() {
+                return Err(EngineError::cancelled());
+            }
             let first = self.run_wave(
                 ctx,
                 deliver,
@@ -362,6 +376,9 @@ impl ExecBackend for MultiProcess {
             )?;
             if first.is_empty() {
                 return Ok(());
+            }
+            if ctx.cancel.is_cancelled() {
+                return Err(EngineError::cancelled());
             }
             // Single retry, cache-first: cells the crashed worker
             // already finished are served from the shared cache.
@@ -664,6 +681,7 @@ pub struct Campaign {
     sinks: Vec<Box<dyn ResultSink>>,
     observers: Vec<Box<dyn CampaignObserver>>,
     telemetry: Telemetry,
+    cancel: CancelToken,
 }
 
 impl std::fmt::Debug for Campaign {
@@ -691,6 +709,7 @@ impl Campaign {
             observers: Vec::new(),
             jobs: None,
             telemetry: Telemetry::disabled(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -716,6 +735,7 @@ impl Campaign {
             mut sinks,
             mut observers,
             telemetry,
+            cancel,
         } = self;
         let mut sink_refs: Vec<&mut dyn ResultSink> = sinks
             .iter_mut()
@@ -729,6 +749,7 @@ impl Campaign {
             &mut observers,
             &mut sink_refs,
             &telemetry,
+            &cancel,
         )
     }
 
@@ -803,6 +824,7 @@ impl Campaign {
             &self.registry,
             &self.cache,
             &self.telemetry,
+            &self.cancel,
             shard,
             shard_count,
             &|ev| {
@@ -832,6 +854,7 @@ impl Campaign {
         observers: &mut [Box<dyn CampaignObserver>],
         sinks: &mut [&mut dyn ResultSink],
         telemetry: &Telemetry,
+        cancel: &CancelToken,
     ) -> Result<SweepOutcome, EngineError> {
         let start = Instant::now();
         spec.validate()?;
@@ -850,6 +873,7 @@ impl Campaign {
             registry,
             cache,
             telemetry,
+            cancel,
         };
         let backend_result = std::thread::scope(|scope| {
             let handle = scope.spawn(move || {
@@ -950,6 +974,7 @@ pub struct CampaignBuilder {
     observers: Vec<Box<dyn CampaignObserver>>,
     jobs: Option<usize>,
     telemetry: Telemetry,
+    cancel: CancelToken,
 }
 
 impl CampaignBuilder {
@@ -1014,6 +1039,18 @@ impl CampaignBuilder {
         self
     }
 
+    /// Share a cooperative stop flag with the campaign (default: a
+    /// private token nobody cancels). Keep a clone and call
+    /// [`CancelToken::cancel`] from another thread to stop the run
+    /// between cells; the run then fails with
+    /// [`EngineError::Cancelled`]. Finished cells are already in the
+    /// cache, so re-running the same spec over the same cache resumes
+    /// from where the cancelled run stopped.
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Validate the configuration and produce the campaign handle.
     /// Spec problems (empty axes, bad estimator knobs, `jobs = 0`)
     /// fail here, before any filesystem or process work.
@@ -1027,6 +1064,7 @@ impl CampaignBuilder {
             observers,
             jobs,
             telemetry,
+            cancel,
         } = self;
         if let Some(jobs) = jobs {
             spec.jobs = Some(jobs);
@@ -1046,6 +1084,7 @@ impl CampaignBuilder {
             sinks,
             observers,
             telemetry,
+            cancel,
         })
     }
 }

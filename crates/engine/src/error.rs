@@ -47,6 +47,11 @@ pub enum EngineError {
         /// What was wrong.
         message: String,
     },
+    /// The run was cancelled via its
+    /// [`CancelToken`](crate::CancelToken) before completing. Cells
+    /// that finished before the stop are in the cache; re-running the
+    /// same spec over the same cache resumes from them.
+    Cancelled,
 }
 
 impl EngineError {
@@ -88,6 +93,11 @@ impl EngineError {
         }
     }
 
+    /// Cancellation error (see [`CancelToken`](crate::CancelToken)).
+    pub fn cancelled() -> EngineError {
+        EngineError::Cancelled
+    }
+
     /// Stable machine-readable kind of this error — the value carried
     /// in the wire `error` event's `kind` field and the key of the
     /// metrics report's failure tallies (`errors_by_kind`).
@@ -98,6 +108,7 @@ impl EngineError {
             EngineError::Cache { .. } => "cache",
             EngineError::Worker { .. } => "worker",
             EngineError::Sink { .. } => "sink",
+            EngineError::Cancelled => "cancelled",
         }
     }
 }
@@ -116,6 +127,7 @@ impl fmt::Display for EngineError {
                 Some(cell) => write!(f, "sink ({cell}): {message}"),
                 None => write!(f, "sink: {message}"),
             },
+            EngineError::Cancelled => f.write_str("campaign cancelled"),
         }
     }
 }
@@ -172,6 +184,8 @@ mod tests {
         assert_eq!(EngineError::cache("x").kind(), "cache");
         assert_eq!(EngineError::worker(1, "x").kind(), "worker");
         assert_eq!(EngineError::sink(None, "x").kind(), "sink");
+        assert_eq!(EngineError::cancelled().kind(), "cancelled");
+        assert_eq!(EngineError::cancelled().to_string(), "campaign cancelled");
     }
 
     #[test]

@@ -76,6 +76,7 @@
 
 mod cache;
 mod campaign;
+mod cancel;
 mod error;
 mod keys;
 mod observer;
@@ -93,6 +94,7 @@ pub use campaign::{
     BackendContext, Campaign, CampaignBuilder, Deliver, DryRun, DryRunInstance, ExecBackend,
     InProcess, MultiProcess,
 };
+pub use cancel::CancelToken;
 pub use error::EngineError;
 pub use keys::StableHasher;
 pub use observer::{CampaignObserver, FnObserver};

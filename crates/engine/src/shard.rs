@@ -28,6 +28,7 @@
 
 use crate::cache::{cell_key, ResultCache};
 use crate::campaign::Merge;
+use crate::cancel::CancelToken;
 use crate::error::EngineError;
 use crate::keys::StableHasher;
 use crate::progress::ProgressReporter;
@@ -90,6 +91,11 @@ pub struct ShardOutcome {
 /// [`Done`] last on success) and must be callable from worker threads.
 /// An `emit` error aborts the shard.
 ///
+/// `cancel` is polled between cells (never mid-cell): once set, no new
+/// reference or cell starts, in-flight cells finish into the cache,
+/// and the shard fails with [`EngineError::Cancelled`]. A pre-cancelled
+/// token fails the shard before any work.
+///
 /// Telemetry is collected into a shard-local [`Telemetry::child`] of
 /// `telemetry` and reported as one [`CampaignEvent::Telemetry`] just
 /// before [`Done`] — the same mechanism whether this shard runs inside
@@ -97,11 +103,13 @@ pub struct ShardOutcome {
 ///
 /// [`Hello`]: CampaignEvent::Hello
 /// [`Done`]: CampaignEvent::Done
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_shard(
     spec: &SweepSpec,
     registry: &EstimatorRegistry,
     cache: &ResultCache,
     telemetry: &Telemetry,
+    cancel: &CancelToken,
     shard: usize,
     shard_count: usize,
     emit: &(dyn Fn(CampaignEvent) -> Result<(), EngineError> + Sync),
@@ -109,6 +117,9 @@ pub(crate) fn execute_shard(
     let start = Instant::now();
     if shard_count == 0 {
         return Err(EngineError::spec("shard count must be positive"));
+    }
+    if cancel.is_cancelled() {
+        return Err(EngineError::cancelled());
     }
     if shard >= shard_count {
         return Err(EngineError::spec(format!(
@@ -205,6 +216,12 @@ pub(crate) fn execute_shard(
                 if !scenario_needed[i][m] {
                     continue;
                 }
+                // Cooperative stop: leave remaining references
+                // uncomputed — phase 2 is skipped entirely when the
+                // token is set, so nothing reads the gaps.
+                if cancel.is_cancelled() {
+                    break;
+                }
                 let pdag = prepared[i].1.as_ref().expect("touched instances frozen");
                 let seed = derive_seed(spec.seed, hashes[i], model.lambda, &reference_id);
                 let key = cell_key(hashes[i], model.lambda, &reference_id, seed);
@@ -224,12 +241,18 @@ pub(crate) fn execute_shard(
     if let Some(e) = emit_error.lock().expect("emit error slot").take() {
         return Err(e);
     }
+    // Cancelled during phase 1: some references were skipped, so
+    // phase 2 must not run (it would read the gaps). The cells and
+    // references already finished are in the cache.
+    if cancel.is_cancelled() {
+        return Err(EngineError::cancelled());
+    }
 
     // Phase 2: assigned estimator cells, one parallel work unit per
     // non-empty (instance × estimator) group.
     (0..n_inst * e_count).into_par_iter().for_each(|unit| {
         let cells = &owned[unit];
-        if cells.is_empty() {
+        if cells.is_empty() || cancel.is_cancelled() {
             return;
         }
         let i = unit / e_count;
@@ -239,6 +262,9 @@ pub(crate) fn execute_shard(
         let (est_spec, canonical) = &estimator_ids[e];
         let mut prep: Option<Box<dyn PreparedEstimator>> = None;
         for &(m, cell, seed, ref key) in cells {
+            if cancel.is_cancelled() {
+                return;
+            }
             let (model, label) = &models[i][m];
             let (est, tier) = evaluate_unit(&tel, cache, key, seed, model, &mut prep, || {
                 registry
@@ -261,6 +287,9 @@ pub(crate) fn execute_shard(
     });
     if let Some(e) = emit_error.lock().expect("emit error slot").take() {
         return Err(e);
+    }
+    if cancel.is_cancelled() {
+        return Err(EngineError::cancelled());
     }
 
     let outcome = ShardOutcome {

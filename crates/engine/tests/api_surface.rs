@@ -13,6 +13,7 @@ const EXPECTED: &[&str] = &[
     "CampaignBuilder",
     "CampaignEvent",
     "CampaignObserver",
+    "CancelToken",
     "CsvSink",
     "DagInstance",
     "DagSpec",
@@ -119,11 +120,11 @@ fn snapshot_names_actually_resolve() {
     use stochdag_engine::{
         cell_key, decode_event, encode_event, merge_event_streams, parse_toml, shard_of, summarize,
         BackendContext, CacheGcStats, CacheTier, Campaign, CampaignBuilder, CampaignEvent,
-        CampaignObserver, CsvSink, DagInstance, DagSpec, Deliver, DryRun, DryRunInstance,
-        EngineError, EstimatorRegistry, EstimatorSpec, ExecBackend, FnObserver, InProcess,
-        JsonlSink, MetricsReport, MetricsSnapshot, MultiProcess, ProgressMode, ProgressReporter,
-        Reorderer, ResultCache, ResultSink, ResumeEstimatorReport, ResumeReport, ShardCoverage,
-        ShardOutcome, SpanGuard, SpanStat, StableHasher, SummaryRow, SweepOutcome, SweepRow,
-        SweepSpec, Telemetry, TelemetrySink, VecSink, WireObserver,
+        CampaignObserver, CancelToken, CsvSink, DagInstance, DagSpec, Deliver, DryRun,
+        DryRunInstance, EngineError, EstimatorRegistry, EstimatorSpec, ExecBackend, FnObserver,
+        InProcess, JsonlSink, MetricsReport, MetricsSnapshot, MultiProcess, ProgressMode,
+        ProgressReporter, Reorderer, ResultCache, ResultSink, ResumeEstimatorReport, ResumeReport,
+        ShardCoverage, ShardOutcome, SpanGuard, SpanStat, StableHasher, SummaryRow, SweepOutcome,
+        SweepRow, SweepSpec, Telemetry, TelemetrySink, VecSink, WireObserver,
     };
 }

@@ -1,0 +1,133 @@
+//! Cooperative cancellation: a [`CancelToken`] stops a campaign at
+//! the next unit boundary, the run reports `EngineError::Cancelled`,
+//! and everything finished before the stop lands in the cache — so a
+//! re-submission over the same cache picks up where the cancelled run
+//! left off. This is the engine seam the campaign service's `cancel`
+//! request is built on.
+
+use std::sync::Arc;
+
+use stochdag_engine::{
+    Campaign, CampaignEvent, CancelToken, EngineError, FnObserver, MultiProcess, ResultCache,
+    SweepSpec, VecSink,
+};
+
+fn spec(name: &str) -> SweepSpec {
+    SweepSpec::from_str_auto(&format!(
+        r#"
+        name = "{name}"
+        seed = 5
+        pfails = [0.01, 0.05]
+        estimators = ["first-order", "sculli"]
+        reference_trials = 1000
+        [[dags]]
+        kind = "cholesky"
+        ks = [2, 3]
+        "#
+    ))
+    .unwrap()
+}
+
+#[test]
+fn pre_cancelled_token_stops_the_run_before_any_work() {
+    let token = CancelToken::new();
+    token.cancel();
+    let cache = Arc::new(ResultCache::in_memory());
+    let err = Campaign::builder(spec("pre"))
+        .cache(cache.clone())
+        .cancel_token(token)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Cancelled), "{err}");
+    assert_eq!(err.kind(), "cancelled");
+    assert_eq!(
+        cache.hits() + cache.misses(),
+        0,
+        "no unit may have been evaluated"
+    );
+}
+
+#[test]
+fn mid_run_cancel_stops_cooperatively_and_the_cache_resumes() {
+    let cache = Arc::new(ResultCache::in_memory());
+    let token = CancelToken::new();
+
+    // Cancel as soon as the first finished cell is observed; the
+    // campaign must stop at a later cell boundary instead of
+    // completing all 8 cells. One worker thread keeps that
+    // deterministic — with a parallel pool, every cell can already be
+    // past its cancellation check before the first event lands.
+    let trigger = token.clone();
+    let err = Campaign::builder(spec("midrun"))
+        .cache(cache.clone())
+        .jobs(1)
+        .cancel_token(token)
+        .observer(FnObserver(move |event: &CampaignEvent| {
+            if matches!(event, CampaignEvent::Cell { .. }) {
+                trigger.cancel();
+            }
+        }))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap_err();
+    assert_eq!(err.kind(), "cancelled");
+
+    // Resume: the same spec over the same cache completes, served
+    // from whatever the cancelled run finished.
+    let outcome = Campaign::builder(spec("midrun"))
+        .cache(cache)
+        .sink(VecSink::default())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(outcome.cells, 8);
+    assert_eq!(outcome.rows.len(), 8);
+    assert!(
+        outcome.cache_hits > 0,
+        "the resumed run must reuse the cancelled run's work"
+    );
+}
+
+#[test]
+fn multiprocess_backend_refuses_to_spawn_after_cancel() {
+    // The launcher points at a binary that cannot exist: if the
+    // backend checked the token *after* spawning, this run would fail
+    // with a worker error instead of a clean cancellation.
+    let dir = std::env::temp_dir().join(format!("stochdag-cancel-mp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let err = Campaign::builder(spec("mp"))
+        .cache(Arc::new(ResultCache::on_disk(dir.join("cache"))))
+        .backend(MultiProcess::new(2).launcher("/nonexistent/stochdag-worker", Vec::new()))
+        .cancel_token(token)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap_err();
+    assert_eq!(
+        err.kind(),
+        "cancelled",
+        "cancellation must win over spawning workers: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn clones_observe_cancellation_across_threads() {
+    let token = CancelToken::new();
+    let clone = token.clone();
+    let waiter = std::thread::spawn(move || {
+        while !clone.is_cancelled() {
+            std::thread::yield_now();
+        }
+        true
+    });
+    token.cancel();
+    assert!(waiter.join().unwrap());
+}

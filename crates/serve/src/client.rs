@@ -1,0 +1,218 @@
+//! Blocking client for the campaign service.
+//!
+//! [`ServeClient`] speaks the [`protocol`](crate::protocol) over plain
+//! TCP: one connection per request, one JSON line each way. The
+//! high-level [`ServeClient::run_to_sinks`] subscribes to a campaign's
+//! event stream and replays it through the engine's
+//! [`merge_event_streams`] — the same code path a distributed
+//! `sweep --workers N` uses — so the files it writes are byte-identical
+//! to an in-process [`Campaign::run`] over the same cache.
+//!
+//! [`Campaign::run`]: stochdag_engine::Campaign::run
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use stochdag_engine::{
+    merge_event_streams, EngineError, ProgressMode, ProgressReporter, ResultSink, SweepOutcome,
+    SweepSpec,
+};
+
+use crate::protocol::{
+    decode_response, encode_request, Request, Response, ShutdownMode, StatusReport, Submitted,
+};
+
+/// A failed service interaction: transport problems, protocol
+/// violations, and structured server-side refusals all normalise to a
+/// stable `kind` plus a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// Stable machine-readable kind — a protocol error kind
+    /// (`"quota"`, `"admission"`, `"unknown-id"`, `"state"`,
+    /// `"protocol"`), an engine error kind, or `"io"` for transport
+    /// failures.
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ServeError {
+    fn io(context: &str, e: std::io::Error) -> ServeError {
+        ServeError {
+            kind: "io".into(),
+            message: format!("{context}: {e}"),
+        }
+    }
+
+    fn protocol(message: impl Into<String>) -> ServeError {
+        ServeError {
+            kind: "protocol".into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.kind)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> ServeError {
+        ServeError {
+            kind: e.kind().to_string(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<ServeError> for String {
+    fn from(e: ServeError) -> String {
+        e.to_string()
+    }
+}
+
+/// Client handle for one daemon address. Cheap to construct; every
+/// request opens its own short-lived connection.
+#[derive(Clone, Debug)]
+pub struct ServeClient {
+    addr: String,
+}
+
+impl ServeClient {
+    /// Target a daemon at `addr` (e.g. `"127.0.0.1:7677"`).
+    pub fn connect_to(addr: impl Into<String>) -> ServeClient {
+        ServeClient { addr: addr.into() }
+    }
+
+    /// The daemon address this client targets.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Open a connection, send one request line, and return the
+    /// stream positioned after it plus a reader for responses.
+    fn send(&self, request: &Request) -> Result<(TcpStream, BufReader<TcpStream>), ServeError> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| ServeError::io(&format!("connect {}", self.addr), e))?;
+        let line = encode_request(request);
+        stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .map_err(|e| ServeError::io("send request", e))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| ServeError::io("clone stream", e))?,
+        );
+        Ok((stream, reader))
+    }
+
+    /// Send one request and read its single response line.
+    fn round_trip(&self, request: &Request) -> Result<Response, ServeError> {
+        let (_stream, mut reader) = self.send(request)?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| ServeError::io("read response", e))?;
+        if line.trim().is_empty() {
+            return Err(ServeError::protocol("server closed without a response"));
+        }
+        match decode_response(&line).map_err(ServeError::protocol)? {
+            Response::Error { kind, message } => Err(ServeError { kind, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// Submit a campaign spec; returns the admission receipt.
+    pub fn submit(&self, spec: &SweepSpec) -> Result<Submitted, ServeError> {
+        match self.round_trip(&Request::Submit { spec: spec.clone() })? {
+            Response::Submitted(s) => Ok(s),
+            other => Err(ServeError::protocol(format!(
+                "expected submitted, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch a status report: one campaign (`Some(id)`) or everything.
+    pub fn status(&self, id: Option<u64>) -> Result<StatusReport, ServeError> {
+        match self.round_trip(&Request::Status { id })? {
+            Response::Status(report) => Ok(report),
+            other => Err(ServeError::protocol(format!(
+                "expected status, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Cancel a campaign; returns the server's acknowledgement.
+    pub fn cancel(&self, id: u64) -> Result<String, ServeError> {
+        match self.round_trip(&Request::Cancel { id })? {
+            Response::Ack { message } => Ok(message),
+            other => Err(ServeError::protocol(format!("expected ack, got {other:?}"))),
+        }
+    }
+
+    /// Re-submit a failed or cancelled campaign's spec (cache-first,
+    /// so only unfinished cells recompute).
+    pub fn resume(&self, id: u64) -> Result<Submitted, ServeError> {
+        match self.round_trip(&Request::Resume { id })? {
+            Response::Submitted(s) => Ok(s),
+            other => Err(ServeError::protocol(format!(
+                "expected submitted, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the daemon to shut down; returns the acknowledgement.
+    pub fn shutdown(&self, mode: ShutdownMode) -> Result<String, ServeError> {
+        match self.round_trip(&Request::Shutdown { mode })? {
+            Response::Ack { message } => Ok(message),
+            other => Err(ServeError::protocol(format!("expected ack, got {other:?}"))),
+        }
+    }
+
+    /// Subscribe to a campaign's event stream. The returned reader
+    /// yields raw [`CampaignEvent`] lines — the full stream from the
+    /// beginning, however late the subscription — and reaches EOF when
+    /// the campaign finishes.
+    ///
+    /// [`CampaignEvent`]: stochdag_engine::CampaignEvent
+    pub fn events(&self, id: u64) -> Result<BufReader<TcpStream>, ServeError> {
+        let (_stream, mut reader) = self.send(&Request::Events { id })?;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| ServeError::io("read subscribe ack", e))?;
+        match decode_response(&line).map_err(ServeError::protocol)? {
+            Response::Subscribed { .. } => Ok(reader),
+            Response::Error { kind, message } => Err(ServeError { kind, message }),
+            other => Err(ServeError::protocol(format!(
+                "expected subscribed, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Stream a campaign into local sinks and return its outcome.
+    ///
+    /// Subscribes to the event stream and replays it through the
+    /// engine's [`merge_event_streams`], exactly as a distributed
+    /// sweep merges its workers' stdout — so CSV/JSONL written here is
+    /// byte-identical to running the same spec in-process over the
+    /// same cache. A campaign that failed (or was cancelled) ends its
+    /// stream with a structured error event, which surfaces here as
+    /// the corresponding [`EngineError`] wrapped in [`ServeError`].
+    pub fn run_to_sinks(
+        &self,
+        id: u64,
+        sinks: &mut [&mut dyn ResultSink],
+        progress: ProgressMode,
+    ) -> Result<SweepOutcome, ServeError> {
+        let reader = self.events(id)?;
+        let mut progress = ProgressReporter::stderr(progress);
+        let outcome = merge_event_streams(vec![reader], sinks, &mut progress)?;
+        Ok(outcome)
+    }
+}

@@ -1,0 +1,79 @@
+//! # stochdag-serve — resident campaign service
+//!
+//! A long-running daemon that multiplexes **concurrent clients over
+//! one shared result cache and one bounded worker pool**. Where
+//! `stochdag sweep` builds a fresh process (and, by default, a fresh
+//! cache) per campaign, the service keeps the memory cache tier
+//! resident: when several clients sweep overlapping (DAG, pfail,
+//! estimator) grids, each cell is computed once and every later
+//! campaign gets it as a memory-tier hit.
+//!
+//! The moving parts:
+//!
+//! * [`Server`] — binds a loopback TCP listener ([`ServeConfig`]),
+//!   admits campaigns through a per-campaign cell quota and a bounded
+//!   queue, runs them on a fixed-size worker pool over one shared
+//!   [`ResultCache`](stochdag_engine::ResultCache), and buffers each
+//!   campaign's full event stream for subscribers. Shutdown (request
+//!   or signal) drains in-flight work and persists a resume report.
+//! * [`protocol`] — the line-delimited JSON request/response
+//!   vocabulary ([`Request`]/[`Response`]), sharing the engine's
+//!   [`CampaignEvent`](stochdag_engine::CampaignEvent) wire format for
+//!   event streams.
+//! * [`ServeClient`] — a blocking client; its
+//!   [`run_to_sinks`](ServeClient::run_to_sinks) replays a served
+//!   event stream through the engine's stream merger, producing
+//!   CSV/JSONL **byte-identical** to an in-process run.
+//!
+//! No runtime, no new dependencies: `std::net` sockets and OS threads,
+//! matching the engine's process-based distribution design.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::thread;
+//! use stochdag_engine::{SweepSpec, VecSink, ProgressMode, ResultSink};
+//! use stochdag_serve::{Server, ServeClient, ServeConfig, ShutdownMode};
+//!
+//! let server = Server::bind(ServeConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap().to_string();
+//! let handle = server.handle();
+//! let daemon = thread::spawn(move || server.run().unwrap());
+//!
+//! let spec = SweepSpec::from_str_auto(r#"
+//!     name = "doc"
+//!     pfails = [0.01]
+//!     estimators = ["first-order"]
+//!     reference_trials = 200
+//!     [[dags]]
+//!     kind = "cholesky"
+//!     ks = [2]
+//! "#).unwrap();
+//!
+//! let client = ServeClient::connect_to(&addr);
+//! let ticket = client.submit(&spec).unwrap();
+//! let mut rows = VecSink::default();
+//! {
+//!     let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut rows];
+//!     let outcome = client
+//!         .run_to_sinks(ticket.id, &mut sinks, ProgressMode::None)
+//!         .unwrap();
+//!     assert_eq!(outcome.cells, 1);
+//! }
+//!
+//! client.shutdown(ShutdownMode::Drain).unwrap();
+//! let report = daemon.join().unwrap();
+//! assert_eq!(report.server.completed, 1);
+//! # let _ = handle;
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ServeClient, ServeError};
+pub use protocol::{
+    CampaignState, CampaignStatus, Request, Response, ServerStatus, ShutdownMode, StatusReport,
+    Submitted,
+};
+pub use server::{ServeConfig, ServeHandle, Server, ShutdownReport, UnfinishedCampaign};

@@ -1,0 +1,514 @@
+//! End-to-end service tests: a real `Server` on an ephemeral loopback
+//! port, driven by real `ServeClient`s over TCP.
+//!
+//! The acceptance criterion for the service is exercised here: two
+//! concurrent clients submitting the same 18-cell campaign must both
+//! complete, the second served (near-)entirely from the shared memory
+//! cache tier, and both producing CSV/JSONL byte-identical to a
+//! direct in-process `Campaign::run` over the same cache.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use stochdag_engine::{
+    Campaign, CsvSink, JsonlSink, ProgressMode, ResultCache, ResultSink, SweepOutcome, SweepSpec,
+};
+use stochdag_serve::{
+    CampaignState, ServeClient, ServeConfig, Server, ShutdownMode, ShutdownReport,
+};
+
+/// 18 cells: 3 cholesky sizes × 3 estimators × 2 pfails.
+fn spec_18(name: &str) -> SweepSpec {
+    SweepSpec::from_str_auto(&format!(
+        r#"
+        name = "{name}"
+        seed = 7
+        pfails = [0.01, 0.05]
+        estimators = ["first-order", "sculli", "corlca"]
+        reference_trials = 2000
+        [[dags]]
+        kind = "cholesky"
+        ks = [2, 3, 4]
+        "#
+    ))
+    .unwrap()
+}
+
+/// A campaign slow enough (Monte-Carlo heavy, several scenarios) to
+/// still be running when a test cancels or queues behind it.
+fn slow_spec(name: &str) -> SweepSpec {
+    SweepSpec::from_str_auto(&format!(
+        r#"
+        name = "{name}"
+        seed = 11
+        pfails = [0.01, 0.02, 0.03, 0.04]
+        estimators = ["first-order"]
+        reference_trials = 4000000
+        [[dags]]
+        kind = "cholesky"
+        ks = [4, 5]
+        "#
+    ))
+    .unwrap()
+}
+
+/// Like [`slow_spec`] but only 2 cells, for quota-constrained tests.
+fn slow_small_spec(name: &str) -> SweepSpec {
+    SweepSpec::from_str_auto(&format!(
+        r#"
+        name = "{name}"
+        seed = 11
+        pfails = [0.01, 0.02]
+        estimators = ["first-order"]
+        reference_trials = 4000000
+        [[dags]]
+        kind = "cholesky"
+        ks = [4]
+        "#
+    ))
+    .unwrap()
+}
+
+fn start(config: ServeConfig) -> (String, thread::JoinHandle<ShutdownReport>) {
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let daemon = thread::spawn(move || server.run().unwrap());
+    (addr, daemon)
+}
+
+fn wait_for_state(client: &ServeClient, id: u64, want: CampaignState) -> CampaignState {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let report = client.status(Some(id)).unwrap();
+        let state = report.campaigns[0].state;
+        if state == want || !state.is_active() {
+            return state;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "campaign {id} stuck in {:?} waiting for {:?}",
+            state.as_str(),
+            want.as_str()
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Submit `spec` and stream it into CSV/JSONL files under `dir`;
+/// returns the outcome and the two files' bytes.
+fn run_via_service(
+    client: &ServeClient,
+    spec: &SweepSpec,
+    dir: &std::path::Path,
+) -> (SweepOutcome, Vec<u8>, Vec<u8>) {
+    std::fs::create_dir_all(dir).unwrap();
+    let ticket = client.submit(spec).unwrap();
+    let csv_path = dir.join(format!("{}.csv", spec.name));
+    let jsonl_path = dir.join(format!("{}.jsonl", spec.name));
+    let mut csv = CsvSink::create(&csv_path).unwrap();
+    let mut jsonl = JsonlSink::create(&jsonl_path).unwrap();
+    let outcome = {
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv, &mut jsonl];
+        client
+            .run_to_sinks(ticket.id, &mut sinks, ProgressMode::None)
+            .unwrap()
+    };
+    (
+        outcome,
+        std::fs::read(&csv_path).unwrap(),
+        std::fs::read(&jsonl_path).unwrap(),
+    )
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("stochdag-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn two_concurrent_clients_share_the_cache_and_match_a_direct_run() {
+    let dir = scratch("parity");
+    let cache_dir = dir.join("cache");
+    // One pool slot serializes the two campaigns, so whichever runs
+    // second is served from what the first computed.
+    let (addr, daemon) = start(ServeConfig {
+        cache: Some(cache_dir.clone()),
+        max_running: 1,
+        ..ServeConfig::default()
+    });
+
+    let spec = spec_18("shared");
+    let outputs: Vec<(SweepOutcome, Vec<u8>, Vec<u8>)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|c| {
+                let addr = addr.clone();
+                let spec = spec.clone();
+                let out = dir.join(format!("client{c}"));
+                scope.spawn(move || {
+                    let client = ServeClient::connect_to(addr);
+                    run_via_service(&client, &spec, &out)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (outcome, _, _) in &outputs {
+        assert_eq!(outcome.cells, 18);
+        assert_eq!(outcome.rows.len(), 18);
+    }
+    // Acceptance: the second campaign is ≥95% memory-tier hits. The
+    // submission order is racy, so check the better of the two.
+    let best_memory_hits = outputs
+        .iter()
+        .map(|(o, _, _)| o.cells_memory_hits)
+        .max()
+        .unwrap();
+    assert!(
+        best_memory_hits * 100 >= 18 * 95,
+        "second campaign should be served from the shared memory tier, \
+         best was {best_memory_hits}/18 cells"
+    );
+
+    // Both served outputs are byte-identical to a direct in-process
+    // run over the same (on-disk) cache.
+    let direct_out = dir.join("direct");
+    std::fs::create_dir_all(&direct_out).unwrap();
+    let direct = Campaign::builder(spec)
+        .cache(Arc::new(ResultCache::on_disk(&cache_dir)))
+        .sink(CsvSink::create(direct_out.join("shared.csv")).unwrap())
+        .sink(JsonlSink::create(direct_out.join("shared.jsonl")).unwrap())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        direct.fully_cached(),
+        "the daemon computed every unit, the direct run must replay it"
+    );
+    let direct_csv = std::fs::read(direct_out.join("shared.csv")).unwrap();
+    let direct_jsonl = std::fs::read(direct_out.join("shared.jsonl")).unwrap();
+    for (c, (_, csv_bytes, jsonl_bytes)) in outputs.iter().enumerate() {
+        assert_eq!(csv_bytes, &direct_csv, "client {c} csv differs from direct");
+        assert_eq!(
+            jsonl_bytes, &direct_jsonl,
+            "client {c} jsonl differs from direct"
+        );
+    }
+
+    let client = ServeClient::connect_to(&addr);
+    let report = client.status(None).unwrap();
+    assert_eq!(report.server.submissions, 2);
+    assert_eq!(report.server.completed, 2);
+    assert!(report.server.cache_hit_rate() >= 0.45);
+
+    client.shutdown(ShutdownMode::Drain).unwrap();
+    let report = daemon.join().unwrap();
+    assert_eq!(report.server.completed, 2);
+    assert!(report.unfinished.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn three_clients_with_overlapping_specs_compute_each_cell_once() {
+    let (addr, daemon) = start(ServeConfig {
+        max_running: 1,
+        ..ServeConfig::default()
+    });
+
+    // Three 4-cell campaigns over pairwise-overlapping pfail sets:
+    // 6 distinct cells total, 12 submitted.
+    let spec_for = |name: &str, p1: f64, p2: f64| {
+        SweepSpec::from_str_auto(&format!(
+            r#"
+            name = "{name}"
+            seed = 7
+            pfails = [{p1}, {p2}]
+            estimators = ["first-order", "sculli"]
+            reference_trials = 1000
+            [[dags]]
+            kind = "cholesky"
+            ks = [3]
+            "#
+        ))
+        .unwrap()
+    };
+    let specs = [
+        spec_for("ov-a", 0.01, 0.02),
+        spec_for("ov-b", 0.02, 0.03),
+        spec_for("ov-c", 0.01, 0.03),
+    ];
+
+    let dir = scratch("overlap");
+    let outcomes: Vec<SweepOutcome> = thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .enumerate()
+            .map(|(c, spec)| {
+                let addr = addr.clone();
+                let out = dir.join(format!("client{c}"));
+                scope.spawn(move || {
+                    let client = ServeClient::connect_to(addr);
+                    run_via_service(&client, spec, &out).0
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let computed: usize = outcomes.iter().map(|o| o.cells_computed).sum();
+    let memory_hits: usize = outcomes.iter().map(|o| o.cells_memory_hits).sum();
+    assert_eq!(
+        computed, 6,
+        "each of the 6 distinct cells is computed exactly once across campaigns"
+    );
+    assert_eq!(
+        memory_hits, 6,
+        "the other 6 submitted cells come from the shared memory tier"
+    );
+
+    let client = ServeClient::connect_to(&addr);
+    client.shutdown(ShutdownMode::Drain).unwrap();
+    daemon.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quota_and_admission_rejections_are_structured() {
+    let (addr, daemon) = start(ServeConfig {
+        max_running: 1,
+        max_queued: 1,
+        max_cells: Some(4),
+        ..ServeConfig::default()
+    });
+    let client = ServeClient::connect_to(&addr);
+
+    // Per-campaign quota: an 18-cell spec against a 4-cell budget.
+    let err = client.submit(&spec_18("too-big")).unwrap_err();
+    assert_eq!(err.kind, "quota");
+    assert!(err.message.contains("18 cells"), "{err}");
+
+    // Admission: occupy the single pool slot, fill the queue of one,
+    // then overflow it. (The occupier must fit the 4-cell quota.)
+    let running = client.submit(&slow_small_spec("occupier")).unwrap();
+    assert!(
+        running.cells <= 4,
+        "stay under the quota: {}",
+        running.cells
+    );
+    wait_for_state(&client, running.id, CampaignState::Running);
+    let queued = client.submit(&spec_for_quota("queued-ok", 0.01)).unwrap();
+    let err = client.submit(&spec_for_quota("bounced", 0.02)).unwrap_err();
+    assert_eq!(err.kind, "admission");
+    assert!(err.message.contains("queue is full"), "{err}");
+
+    // Unblock and drain: cancel the occupier, let the queued one run.
+    client.cancel(running.id).unwrap();
+    assert_eq!(
+        wait_for_state(&client, running.id, CampaignState::Cancelled),
+        CampaignState::Cancelled
+    );
+    assert_eq!(
+        wait_for_state(&client, queued.id, CampaignState::Done),
+        CampaignState::Done
+    );
+
+    let report = client.status(None).unwrap();
+    assert_eq!(report.server.quota_rejected, 1);
+    assert_eq!(report.server.admission_rejected, 1);
+
+    client.shutdown(ShutdownMode::Drain).unwrap();
+    daemon.join().unwrap();
+}
+
+/// A 1-cell spec (quota-friendly) distinguished by its pfail.
+fn spec_for_quota(name: &str, pfail: f64) -> SweepSpec {
+    SweepSpec::from_str_auto(&format!(
+        r#"
+        name = "{name}"
+        seed = 7
+        pfails = [{pfail}]
+        estimators = ["first-order"]
+        reference_trials = 1000
+        [[dags]]
+        kind = "cholesky"
+        ks = [2]
+        "#
+    ))
+    .unwrap()
+}
+
+#[test]
+fn cancel_stops_a_running_campaign_and_leaves_others_unaffected() {
+    let (addr, daemon) = start(ServeConfig {
+        max_running: 2,
+        ..ServeConfig::default()
+    });
+    let client = ServeClient::connect_to(&addr);
+
+    let slow = client.submit(&slow_spec("victim")).unwrap();
+    wait_for_state(&client, slow.id, CampaignState::Running);
+    let normal = client.submit(&spec_18("bystander")).unwrap();
+
+    let ack = client.cancel(slow.id).unwrap();
+    assert!(ack.contains("cancel requested"), "{ack}");
+    assert_eq!(
+        wait_for_state(&client, slow.id, CampaignState::Cancelled),
+        CampaignState::Cancelled,
+        "cooperative cancel must stop the campaign"
+    );
+    assert_eq!(
+        wait_for_state(&client, normal.id, CampaignState::Done),
+        CampaignState::Done,
+        "the other campaign must be unaffected"
+    );
+
+    // The victim's event stream terminates with a structured
+    // cancellation error (same shape as a failed sweep-worker).
+    let mut lines = Vec::new();
+    {
+        use std::io::BufRead;
+        for line in client.events(slow.id).unwrap().lines() {
+            lines.push(line.unwrap());
+        }
+    }
+    let last = stochdag_engine::decode_event(lines.last().unwrap()).unwrap();
+    match last {
+        stochdag_engine::CampaignEvent::Error { kind, .. } => {
+            assert_eq!(kind.as_deref(), Some("cancelled"));
+        }
+        other => panic!("stream must end with a cancelled error event, got {other:?}"),
+    }
+
+    // Cancelling a finished campaign is an idempotent ack; an unknown
+    // id is a structured error.
+    let ack = client.cancel(slow.id).unwrap();
+    assert!(ack.contains("already cancelled"), "{ack}");
+    let err = client.cancel(9999).unwrap_err();
+    assert_eq!(err.kind, "unknown-id");
+
+    // The victim's status row carries the error.
+    let report = client.status(Some(slow.id)).unwrap();
+    assert_eq!(
+        report.campaigns[0].error.as_deref(),
+        Some("campaign cancelled")
+    );
+    assert!(report.campaigns[0].rows < report.campaigns[0].cells);
+
+    client.shutdown(ShutdownMode::Now).unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn resume_reruns_a_cancelled_campaign_cache_first() {
+    let dir = scratch("resume");
+    let (addr, daemon) = start(ServeConfig {
+        max_running: 2,
+        ..ServeConfig::default()
+    });
+    let client = ServeClient::connect_to(&addr);
+
+    // Warm the shared cache with the full campaign.
+    let spec = spec_18("warm");
+    let (first, _, _) = run_via_service(&client, &spec, &dir.join("first"));
+    assert_eq!(first.cells, 18);
+
+    // Queue the same spec behind a slot-occupying slow campaign, then
+    // cancel it while still queued.
+    let occupier = client.submit(&slow_spec("occupier-a")).unwrap();
+    let occupier2 = client.submit(&slow_spec("occupier-b")).unwrap();
+    let queued = client.submit(&spec).unwrap();
+    let ack = client.cancel(queued.id).unwrap();
+    assert!(ack.contains("cancelled queued"), "{ack}");
+
+    // Resuming while others are active must re-admit just this spec;
+    // resuming an active or completed campaign is a state error.
+    let resumed = client.resume(queued.id).unwrap();
+    assert_ne!(resumed.id, queued.id);
+    let err = client.resume(occupier.id).unwrap_err();
+    assert_eq!(err.kind, "state");
+
+    // Free a slot so the resumed campaign can run, then verify it was
+    // served from the cache the original run warmed.
+    client.cancel(occupier.id).unwrap();
+    wait_for_state(&client, resumed.id, CampaignState::Done);
+    let (outcome, _, _) = {
+        let out = dir.join("resumed");
+        std::fs::create_dir_all(&out).unwrap();
+        let mut csv = CsvSink::create(out.join("resumed.csv")).unwrap();
+        let mut sinks: Vec<&mut dyn ResultSink> = vec![&mut csv];
+        let outcome = client
+            .run_to_sinks(resumed.id, &mut sinks, ProgressMode::None)
+            .unwrap();
+        (outcome, (), ())
+    };
+    assert_eq!(outcome.cells, 18);
+    assert_eq!(
+        outcome.cells_memory_hits, 18,
+        "a resumed campaign over a warm cache recomputes nothing"
+    );
+    let err = client.resume(resumed.id).unwrap_err();
+    assert_eq!(err.kind, "state");
+
+    client.cancel(occupier2.id).unwrap();
+    client.shutdown(ShutdownMode::Now).unwrap();
+    daemon.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drain_cancels_the_queue_and_persists_a_resume_report() {
+    let dir = scratch("shutdown");
+    let report_path = dir.join("report.json");
+    let (addr, daemon) = start(ServeConfig {
+        max_running: 1,
+        shutdown_report: Some(report_path.clone()),
+        ..ServeConfig::default()
+    });
+    let client = ServeClient::connect_to(&addr);
+
+    let done = client.submit(&spec_for_quota("finished", 0.01)).unwrap();
+    wait_for_state(&client, done.id, CampaignState::Done);
+
+    let running = client.submit(&slow_spec("draining")).unwrap();
+    wait_for_state(&client, running.id, CampaignState::Running);
+    let queued = client.submit(&spec_18("never-ran")).unwrap();
+
+    // Drain: the queued campaign is cancelled, the running one is
+    // interrupted only because we follow up with a cancel (keeping
+    // the test fast); new submissions are refused.
+    let ack = client.shutdown(ShutdownMode::Drain).unwrap();
+    assert!(ack.contains("draining"), "{ack}");
+    let err = client.submit(&spec_for_quota("late", 0.02)).unwrap_err();
+    assert_eq!(err.kind, "admission");
+    assert!(err.message.contains("shutting down"), "{err}");
+    client.cancel(running.id).unwrap();
+
+    let report = daemon.join().unwrap();
+    assert_eq!(report.server.completed, 1);
+    let unfinished: Vec<(u64, CampaignState)> =
+        report.unfinished.iter().map(|u| (u.id, u.state)).collect();
+    assert!(
+        unfinished.contains(&(queued.id, CampaignState::Cancelled)),
+        "queued campaign must be in the resume report: {unfinished:?}"
+    );
+    assert!(
+        unfinished.contains(&(running.id, CampaignState::Cancelled)),
+        "interrupted campaign must be in the resume report: {unfinished:?}"
+    );
+    // The persisted report parses back and carries the spec needed to
+    // resume.
+    let raw = std::fs::read_to_string(&report_path).unwrap();
+    let parsed: ShutdownReport = serde::json::from_str(&raw).unwrap();
+    let entry = parsed
+        .unfinished
+        .iter()
+        .find(|u| u.id == queued.id)
+        .unwrap();
+    assert_eq!(entry.spec.name, "never-ran");
+    assert_eq!(entry.cells, 18);
+    let _ = std::fs::remove_dir_all(&dir);
+}
