@@ -19,6 +19,7 @@ const BARE_FLAGS: &[&str] = &[
     "--telemetry",
     "--detach",
     "--now",
+    "--leases",
 ];
 
 impl Options {

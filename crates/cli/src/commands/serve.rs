@@ -24,7 +24,9 @@ use crate::report::{fmt_duration, Table};
 use std::io::Write;
 use std::path::PathBuf;
 use stochdag_engine::{CsvSink, JsonlSink, ProgressMode, ResultSink};
-use stochdag_serve::{ServeClient, ServeConfig, ServeHandle, Server, ShutdownMode, Submitted};
+use stochdag_serve::{
+    BackendChoice, ServeClient, ServeConfig, ServeHandle, Server, ShutdownMode, Submitted,
+};
 
 /// Default daemon address, shared by `serve` and the clients.
 const DEFAULT_ADDR: &str = "127.0.0.1:7677";
@@ -109,7 +111,28 @@ pub fn run_submit(argv: &[String]) -> Result<(), String> {
     } else {
         let spec = super::sweep::load_spec(&opts)?;
         spec.validate()?;
-        client.submit(&spec)?
+        // Per-campaign backend, same flags as `sweep`: --workers N
+        // runs the campaign on N worker processes beside the daemon,
+        // --spool DIR coordinates remote spool workers. Default stays
+        // in-process on the daemon's pool.
+        let workers: Option<usize> = opts
+            .get("workers")
+            .map(str::parse)
+            .transpose()
+            .map_err(|_| "bad --workers".to_string())?;
+        let spool = opts.get("spool");
+        let backend = match (workers, spool) {
+            (Some(_), Some(_)) => {
+                return Err(
+                    "use either --workers (daemon-side processes) or --spool (cross-host)".into(),
+                )
+            }
+            (Some(0), None) => return Err("--workers must be positive".into()),
+            (Some(n), None) => BackendChoice::MultiProcess { workers: n },
+            (None, Some(dir)) => BackendChoice::SharedFs { spool: dir.into() },
+            (None, None) => BackendChoice::InProcess,
+        };
+        client.submit_on(&spec, backend)?
     };
     println!(
         "submitted campaign {} ({:?}): {} cells + {} references, queue depth {}",

@@ -13,10 +13,15 @@
 //! after the campaign.
 //!
 //! `--workers N` selects the engine's [`MultiProcess`] backend: the
-//! campaign distributes over N `sweep-worker` processes sharing the
-//! on-disk cache, a crashed worker's shard is retried once
-//! cache-first, and the merged CSV/JSONL is byte-identical to an
-//! in-process run. `--progress none|plain|live` renders progress on
+//! campaign pull-schedules cell leases over N `sweep-worker` processes
+//! sharing the on-disk cache, a crashed worker's leases are re-queued
+//! to the survivors, and the merged CSV/JSONL is byte-identical to an
+//! in-process run. `--spool DIR` selects the [`SharedFs`] backend
+//! instead: the campaign coordinates remote `sweep-worker --spool DIR`
+//! processes (launched separately, on any hosts sharing the
+//! filesystem) through a spool directory, with `--lease-timeout SECS`
+//! bounding how long a dead worker's claim can stall a lease before it
+//! is re-queued. `--progress none|plain|live` renders progress on
 //! stderr for either backend (`live` falls back to `plain` when stderr
 //! is not a terminal; `--progress-interval SECS` tunes the plain-mode
 //! throttle).
@@ -35,7 +40,8 @@ use std::sync::Arc;
 use std::time::Duration;
 use stochdag::prelude::*;
 use stochdag_engine::{
-    Campaign, DagSpec, EstimatorSpec, MultiProcess, ProgressMode, ProgressReporter, Telemetry,
+    Campaign, DagSpec, EstimatorSpec, MultiProcess, ProgressMode, ProgressReporter, SharedFs,
+    Telemetry,
 };
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -65,9 +71,28 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if workers == Some(0) {
         return Err("--workers must be positive".into());
     }
+    let spool = opts.get("spool").map(PathBuf::from);
+    if spool.is_some() && workers.is_some() {
+        return Err("use either --workers (local processes) or --spool (cross-host)".into());
+    }
+    let lease_timeout: Option<f64> = opts
+        .get("lease-timeout")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| "bad --lease-timeout".to_string())?;
+    if lease_timeout.is_some_and(|s| !(s.is_finite() && s > 0.0)) {
+        return Err("--lease-timeout must be a positive number of seconds".into());
+    }
+    if lease_timeout.is_some() && spool.is_none() {
+        return Err("--lease-timeout only applies with --spool".into());
+    }
+    if spool.is_some() && opts.flag("no-cache") {
+        return Err("--spool needs the shared on-disk cache; drop --no-cache".into());
+    }
+    let distributed = workers.is_some() || spool.is_some();
     let progress = match opts.get("progress") {
         None => {
-            if workers.is_some() {
+            if distributed {
                 ProgressMode::Plain
             } else {
                 ProgressMode::None
@@ -104,6 +129,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .telemetry(telemetry.clone());
     if let Some(n) = workers {
         builder = builder.backend(MultiProcess::new(n));
+    } else if let Some(dir) = &spool {
+        let mut backend = SharedFs::new(dir);
+        if let Some(secs) = lease_timeout {
+            backend = backend.lease_timeout(Duration::from_secs_f64(secs));
+        }
+        builder = builder.backend(backend);
     }
 
     if opts.flag("dry-run") {
@@ -127,9 +158,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         spec.estimators.len(),
         spec.pfails.len() + spec.lambdas.len(),
         spec.reference_trials,
-        match workers {
-            Some(n) => format!(", distributed over {n} worker(s)"),
-            None => String::new(),
+        match (workers, &spool) {
+            (Some(n), _) => format!(", distributed over {n} worker(s)"),
+            (None, Some(dir)) => format!(", cross-host via spool {}", dir.display()),
+            (None, None) => String::new(),
         }
     );
     let mut reporter = ProgressReporter::stderr(progress);

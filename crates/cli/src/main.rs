@@ -33,9 +33,10 @@ fn run(argv: &[String]) -> Result<(), String> {
         "analyze" => commands::analyze::run(rest),
         "all-figures" => commands::figure::run_all(rest),
         "sweep" => commands::sweep::run(rest),
-        // Internal worker half of `sweep --workers N` (hidden from
-        // help): executes one shard, speaks the line-delimited JSON
-        // protocol on stdout.
+        // Internal worker half of distributed sweeps (hidden from
+        // help): drains leases over stdin/stdout for `sweep --workers
+        // N`, polls a spool directory with `--spool DIR` (cross-host),
+        // or executes one static shard via the legacy `--shard/--of`.
         "sweep-worker" => commands::sweep_worker::run(rest),
         "serve" => commands::serve::run_daemon(rest),
         "submit" => commands::serve::run_submit(rest),
@@ -79,7 +80,8 @@ COMMANDS:
                    [--trials 100000] [--seed 0] [--name sweep] [--jobs N]
                    [--out results] [--cache .stochdag-cache] [--no-cache]
                    [--resume-report] [--dry-run] [--cache-max-bytes B]
-                   [--workers N] [--progress none|plain|live]
+                   [--workers N] [--spool DIR] [--lease-timeout SECS]
+                   [--progress none|plain|live]
                    [--progress-interval SECS]
                    [--metrics-out FILE] [--trace-out FILE]
                  caches every cell content-addressed: re-runs and resumed
@@ -93,9 +95,16 @@ COMMANDS:
                  per-shard loads) without executing anything;
                  --cache-max-bytes LRU-prunes the on-disk cache after
                  the campaign. --workers N distributes cells over N
-                 processes sharing the cache; a crashed worker's shard
-                 is retried once cache-first, and merged CSV/JSONL is
-                 byte-identical to a single-process run. --progress
+                 processes sharing the cache: workers pull batches of
+                 cells (leases) as they finish, a crashed worker's
+                 leases are re-queued cache-first to the survivors, and
+                 merged CSV/JSONL is byte-identical to a single-process
+                 run. --spool DIR coordinates remote `sweep-worker
+                 --spool DIR` processes through a shared-filesystem
+                 spool directory instead (cross-host campaigns; needs
+                 the shared on-disk cache, and --lease-timeout tunes
+                 how long a silent claim may sit before it is
+                 re-queued). --progress
                  renders counters/ETA on stderr for either backend
                  (default: plain with --workers, none otherwise; live
                  falls back to plain when stderr is not a terminal, and
@@ -119,9 +128,14 @@ COMMANDS:
                  over the same cache)
                    [--addr 127.0.0.1:7677] [--spec camp.toml] [--out DIR]
                    [--progress none|plain|live] [--detach]
+                   [--workers N] [--spool DIR]
                    [--resume-id N]  (re-admit a failed/cancelled campaign)
                  plus the spec-assembly flags of `sweep`; --detach
-                 queues the campaign and returns immediately
+                 queues the campaign and returns immediately.
+                 --workers N runs the campaign on N worker processes
+                 beside the daemon; --spool DIR coordinates remote
+                 spool workers (both per campaign, over the daemon's
+                 shared cache)
   status         daemon + campaign states, admission counters, cache
                  hit-rates   [--addr ...] [--id N]
   cancel         cancel a queued or running campaign  --id N [--addr ...]

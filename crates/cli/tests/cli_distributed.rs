@@ -115,10 +115,10 @@ fn distributed_output_is_byte_identical_to_single_process() {
 #[test]
 fn crashed_worker_shard_is_retried_once_and_output_stays_identical() {
     // Kill-a-worker: a crash file arms the fault-injection hook in
-    // `sweep-worker` — the worker owning shard 0 emits a few events,
-    // deletes the file, and hard-exits mid-stream (non-zero, no `done`).
-    // The coordinator must retry that shard once (cache-first over the
-    // shared cache) and still produce byte-identical output.
+    // `sweep-worker` — worker slot 0 emits a few events, deletes the
+    // file, and hard-exits mid-stream (non-zero, no `lease_done`). The
+    // coordinator must re-queue the dead worker's leases (cache-first
+    // over the shared cache) and still produce byte-identical output.
     let (dir, spec) = scratch("retry");
     let cache = dir.join("cache");
     let crash_file = dir.join("crash-shard");
@@ -146,8 +146,8 @@ fn crashed_worker_shard_is_retried_once_and_output_stays_identical() {
     );
     assert!(ok, "campaign must survive one worker crash: {stderr}");
     assert!(
-        stderr.contains("retrying its shard once"),
-        "coordinator reports the retry: {stderr}"
+        stderr.contains("sweep worker 0 failed") && stderr.contains("re-queueing"),
+        "coordinator reports the re-queue: {stderr}"
     );
     assert!(stdout.contains("24 cells"), "{stdout}");
     assert!(!crash_file.exists(), "the crashing worker disarms the hook");
@@ -180,18 +180,19 @@ fn crashed_worker_shard_is_retried_once_and_output_stays_identical() {
         );
     }
 
-    // A shard that crashes on the retry too fails the campaign.
-    std::fs::write(&crash_file, "1").unwrap();
+    // A lease whose every attempt crashes fails the campaign. Run with
+    // a single worker slot so no healthy peer can absorb the re-queued
+    // leases, and re-arm the hook so the respawned worker dies too:
+    // the second crash exhausts the per-lease attempt budget.
+    std::fs::write(&crash_file, "0").unwrap();
     let twice = dir.join("twice-crash");
-    // Arm a second crash for the same shard: the retried worker reads
-    // the re-created file again and dies again.
-    let (ok2, _, stderr2) = stochdag_env(
+    let (ok2, stdout2, stderr2) = stochdag_env(
         &[
             "sweep",
             "--spec",
             spec.to_str().unwrap(),
             "--workers",
-            "2",
+            "1",
             "--out",
             twice.to_str().unwrap(),
             "--cache",
@@ -205,8 +206,16 @@ fn crashed_worker_shard_is_retried_once_and_output_stays_identical() {
             ("STOCHDAG_SWEEP_WORKER_CRASH_REARM", "1"),
         ],
     );
-    assert!(!ok2, "a shard failing twice must fail the campaign");
-    assert!(stderr2.contains("shard failed twice"), "{stderr2}");
+    assert!(!ok2, "a lease failing every attempt must fail the campaign");
+    assert!(stderr2.contains("sweep worker 0 failed"), "{stderr2}");
+    assert!(
+        !stdout2.contains("24 cells"),
+        "the failed campaign must not report completion: {stdout2}"
+    );
+    assert!(
+        crash_file.exists(),
+        "the re-armed hook never disarms itself"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

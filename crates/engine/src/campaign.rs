@@ -15,36 +15,50 @@
 //!     .run()?                  // or .resume_report() / .dry_run()
 //! ```
 //!
-//! Every backend reports work through the same
-//! [`CampaignEvent`] stream; the campaign core merges that stream once
-//! — re-sequencing rows for the sinks, feeding observers, enforcing
-//! completeness — so output bytes are identical no matter which
-//! backend produced the events.
+//! Execution is **pull-scheduled**: the coordinator expands the spec
+//! into a [`CampaignPlan`], loads its [`WorkLease`] batches into a
+//! [`LeaseQueue`], and the backend's workers drain batches as they
+//! finish — a slow (or remote, or heterogeneous) worker simply wins
+//! fewer leases instead of dragging a statically-partitioned tail.
+//! Every backend reports work through the same [`CampaignEvent`]
+//! stream; the campaign core merges that stream once — re-sequencing
+//! rows for the sinks, feeding observers, enforcing completeness — so
+//! output bytes are identical no matter which backend produced the
+//! events or how the leases interleaved.
 
 use crate::cache::{cell_key, ResultCache};
 use crate::cancel::CancelToken;
 use crate::error::EngineError;
+use crate::lease::{
+    decode_lease, encode_lease, CampaignPlan, LeaseExecutor, LeasePoll, LeaseQueue, WorkLease,
+};
 use crate::observer::CampaignObserver;
 use crate::progress::{ProgressMode, ProgressReporter};
 use crate::protocol::{decode_event, CampaignEvent};
 use crate::registry::EstimatorRegistry;
 use crate::runner::{
-    derive_seed, expand, resume_report_impl, Expansion, ResumeReport, SweepOutcome,
+    apply_jobs_cap, derive_seed, expand, resume_report_impl, Expansion, ResumeReport, SweepOutcome,
 };
 use crate::shard::{execute_shard, shard_of, ShardOutcome};
 use crate::sink::{summarize, Reorderer, ResultSink, SweepRow};
 use crate::spec::SweepSpec;
 use crate::telemetry::Telemetry;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
-use std::io::BufRead;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, ChildStdout, Command, Stdio};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use stochdag_dag::structural_hash;
 
-/// What a backend needs to execute a campaign: the validated spec and
-/// the shared estimator registry and result cache.
+/// Event source tag of the coordinator itself (the [`Plan`] event);
+/// backends tag events with their worker slot instead.
+///
+/// [`Plan`]: CampaignEvent::Plan
+pub(crate) const COORDINATOR_SOURCE: usize = usize::MAX;
+
+/// What a backend needs to execute a campaign: the validated spec, the
+/// shared estimator registry and result cache, and the expanded plan.
 pub struct BackendContext<'a> {
     /// The validated campaign spec.
     pub spec: &'a SweepSpec,
@@ -54,47 +68,94 @@ pub struct BackendContext<'a> {
     /// [`ResultCache::disk_dir`] to worker processes).
     pub cache: &'a ResultCache,
     /// The campaign's telemetry collector (disabled by default).
-    /// Backends pass it to shard executors; multi-process backends
+    /// Backends pass it to lease executors; process-spawning backends
     /// additionally check [`Telemetry::is_enabled`] to decide whether
     /// workers should collect and report snapshots.
     pub telemetry: &'a Telemetry,
-    /// Cooperative stop flag. In-process backends hand it to the shard
+    /// Cooperative stop flag. In-process backends hand it to the lease
     /// executor (checked between cells); process-spawning backends
     /// should poll it at their own convenient boundaries (e.g. between
-    /// waves) and stop early with
-    /// [`EngineError::cancelled`] when set.
+    /// lease grants) and stop early with [`EngineError::cancelled`]
+    /// when set.
     pub cancel: &'a CancelToken,
+    /// The expanded campaign plan the lease queue was built from —
+    /// what a [`LeaseExecutor`] executes against.
+    pub plan: &'a CampaignPlan,
 }
 
-/// Event delivery callback handed to backends: `(source shard, event)`.
+/// Event delivery callback handed to backends: `(source slot, event)`.
 /// Must be callable from any backend thread.
 pub type Deliver<'a> = dyn Fn(usize, CampaignEvent) -> Result<(), EngineError> + Sync + 'a;
 
-/// An execution strategy for a campaign's cells.
+/// An execution strategy for a campaign's cells (**v2, work-leasing**).
 ///
 /// This trait is the **extension seam of the engine**: a backend owns
-/// *where and how* cells run, and reports everything it does through
-/// the one [`CampaignEvent`] vocabulary — `Hello` when a shard accepts
-/// work, `Reference`/`Cell` per completion, `Done` per finished shard.
-/// The campaign core is backend-agnostic: it merges events, re-orders
-/// rows, and checks completeness identically for every implementation,
-/// which is what makes backend outputs byte-identical.
+/// *where and how* cells run. The coordinator owns the schedule — a
+/// [`LeaseQueue`] of [`WorkLease`] cell batches — and the backend's
+/// workers *pull* batches as they finish, so heterogeneous cell costs
+/// balance themselves: a worker stuck on an expensive `exact` batch
+/// simply wins fewer leases. A batch whose worker crashes is re-queued
+/// ([`LeaseQueue::requeue`], bounded per lease) for any surviving
+/// worker. Everything a backend does is reported through the one
+/// [`CampaignEvent`] vocabulary, and the campaign core merges events,
+/// re-orders rows, and checks completeness identically for every
+/// implementation — which is what makes backend outputs byte-identical
+/// regardless of lease interleaving.
 ///
 /// Shipped backends:
 ///
-/// * [`InProcess`] — the work-stealing parallel runner in this
-///   process (one shard covering every cell).
+/// * [`InProcess`] — worker threads in this process draining the
+///   queue through one shared [`LeaseExecutor`].
 /// * [`MultiProcess`] — N `sweep-worker` processes on this machine
-///   sharing the on-disk cache, with single-retry of crashed shards.
+///   sharing the on-disk cache, leases streamed over stdin pipes.
+/// * [`SharedFs`](crate::SharedFs) — remote `sweep-worker` processes
+///   on other hosts, coordinated through a shared-filesystem spool
+///   directory.
 ///
-/// A future **cross-host** backend slots in here without touching the
-/// core: it would spawn workers over ssh (or poll a shared
-/// filesystem), point them at a shared cache directory, and forward
-/// their protocol streams to `deliver` — exactly what [`MultiProcess`]
-/// does with local pipes. Nothing outside the backend changes, because
-/// the wire format ([`crate::encode_event`]) already is the event
-/// type.
+/// # Migrating from v1
+///
+/// The v1 trait (static "run shard *i* of *n*" partitioning) is
+/// re-published as [`ExecBackendV1`] for a deprecation window; wrap an
+/// existing implementation in [`V1Backend`] to keep using it.
+///
+/// | v1 ([`ExecBackendV1`]) | v2 ([`ExecBackend`]) |
+/// |---|---|
+/// | `worker_count()` fixes the shard partition | [`workers`](ExecBackend::workers) is a slot-count hint (default 1); the partition is the coordinator's lease queue |
+/// | `execute(ctx, deliver)` runs every shard itself | [`execute`](ExecBackend::execute) pulls [`WorkLease`] batches from the [`LeaseQueue`] until it drains |
+/// | each shard announces totals via `Hello { cells, references }` | the coordinator announces exact totals once via [`Plan`](CampaignEvent::Plan); `Hello` carries `version: Some(2)` and the `jobs` thread-cap handshake |
+/// | a crashed worker's whole shard is retried once | a crashed worker's leases are re-queued individually ([`LeaseQueue::requeue`], two grants per lease) |
+/// | cache totals on `Done { hits, misses }` | cache totals per batch on [`LeaseDone`](CampaignEvent::LeaseDone), deduplicated by `lease_id`; v2 `Done` carries zeros |
 pub trait ExecBackend: Send + Sync {
+    /// Human-readable backend name (diagnostics, dry runs).
+    fn name(&self) -> String;
+
+    /// How many worker slots the backend drives (a sizing hint for
+    /// dry-run reports and resume reports — *not* a partition count;
+    /// the lease queue is the only work assignment).
+    fn workers(&self) -> usize {
+        1
+    }
+
+    /// Drain `leases`, delivering each event (tagged with its source
+    /// worker slot) as it happens. Grant batches with
+    /// [`LeaseQueue::next`]/[`LeaseQueue::poll_next`], retire them with
+    /// [`LeaseQueue::complete`] when their `LeaseDone` arrives, and
+    /// [`LeaseQueue::requeue`] the batches of a crashed worker.
+    fn execute(
+        &self,
+        ctx: &BackendContext<'_>,
+        leases: &LeaseQueue,
+        deliver: &Deliver<'_>,
+    ) -> Result<(), EngineError>;
+}
+
+/// The **v1** execution-backend trait (static shard partitioning),
+/// kept for a deprecation window so external implementations survive
+/// the v2 redesign: change the `impl ExecBackend for …` line to
+/// `impl ExecBackendV1 for …` and pass the backend through
+/// [`V1Backend`]. See the [`ExecBackend`] migration table; this trait
+/// will be removed once shipped consumers have migrated.
+pub trait ExecBackendV1: Send + Sync {
     /// Human-readable backend name (diagnostics, dry runs).
     fn name(&self) -> String;
 
@@ -107,10 +168,42 @@ pub trait ExecBackend: Send + Sync {
     fn execute(&self, ctx: &BackendContext<'_>, deliver: &Deliver<'_>) -> Result<(), EngineError>;
 }
 
-/// Execute the campaign on this process's thread pool (the
-/// work-stealing parallel runner): one shard covering every cell,
-/// grouped by DAG source so each instance freezes once and each
-/// (instance × estimator) pair prepares once.
+/// Adapter running a v1 backend ([`ExecBackendV1`]) under the v2
+/// campaign core: the wrapped backend executes every cell itself
+/// (static shards, v1 events), so the adapter retires the entire lease
+/// queue up front and lets the planned-mode merge reconcile the v1
+/// event stream — cells dedup by global index, totals come from the
+/// coordinator's `Plan`.
+pub struct V1Backend<B: ExecBackendV1>(pub B);
+
+impl<B: ExecBackendV1> ExecBackend for V1Backend<B> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn workers(&self) -> usize {
+        self.0.worker_count()
+    }
+
+    fn execute(
+        &self,
+        ctx: &BackendContext<'_>,
+        leases: &LeaseQueue,
+        deliver: &Deliver<'_>,
+    ) -> Result<(), EngineError> {
+        // The v1 backend owns its own partition and retry story; the
+        // queue only exists so the core sees the campaign as leased.
+        while let Some(lease) = leases.next() {
+            leases.complete(lease.lease_id);
+        }
+        self.0.execute(ctx, deliver)
+    }
+}
+
+/// Execute the campaign on worker threads in this process: up to
+/// `--jobs` (default: every core) threads drain the lease queue
+/// through one shared [`LeaseExecutor`], so each DAG instance freezes
+/// once and each (instance × estimator) group prepares once.
 pub struct InProcess;
 
 impl ExecBackend for InProcess {
@@ -118,37 +211,122 @@ impl ExecBackend for InProcess {
         "in-process".into()
     }
 
-    fn worker_count(&self) -> usize {
-        1
-    }
-
-    fn execute(&self, ctx: &BackendContext<'_>, deliver: &Deliver<'_>) -> Result<(), EngineError> {
-        execute_shard(
-            ctx.spec,
-            ctx.registry,
-            ctx.cache,
-            ctx.telemetry,
-            ctx.cancel,
+    fn execute(
+        &self,
+        ctx: &BackendContext<'_>,
+        leases: &LeaseQueue,
+        deliver: &Deliver<'_>,
+    ) -> Result<(), EngineError> {
+        let start = Instant::now();
+        if ctx.cancel.is_cancelled() {
+            return Err(EngineError::cancelled());
+        }
+        let _jobs_cap = apply_jobs_cap(ctx.spec.jobs)?;
+        ctx.cache.reset_counters();
+        let executor = LeaseExecutor::new(ctx);
+        deliver(
             0,
-            1,
-            &|ev| deliver(0, ev),
+            CampaignEvent::Hello {
+                shard: 0,
+                shard_count: 1,
+                cells: ctx.plan.cells(),
+                references: ctx.plan.references(),
+                version: Some(2),
+                jobs: ctx.spec.jobs,
+            },
+        )?;
+        let threads = rayon::current_num_threads().min(leases.total()).max(1);
+        let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let executor = &executor;
+                let first_error = &first_error;
+                scope.spawn(move || {
+                    while first_error.lock().expect("first error slot").is_none() {
+                        let Some(lease) = leases.next() else { return };
+                        match executor.run(&lease, &|ev| deliver(0, ev)) {
+                            Ok(()) => leases.complete(lease.lease_id),
+                            Err(e) => {
+                                // In-process failures (cancellation, a
+                                // sink/observer error surfaced through
+                                // emit) are fatal — there is no crashed
+                                // process to retry around.
+                                first_error
+                                    .lock()
+                                    .expect("first error slot")
+                                    .get_or_insert(e);
+                                leases.close();
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_error.into_inner().expect("first error slot") {
+            return Err(e);
+        }
+        let tel = executor.telemetry();
+        if tel.is_enabled() {
+            tel.record_span_duration("worker_shard", start.elapsed());
+            deliver(
+                0,
+                CampaignEvent::Telemetry {
+                    shard: 0,
+                    snapshot: tel.snapshot(),
+                },
+            )?;
+        }
+        // v2 `Done` carries zero cache totals: the per-batch tallies
+        // already arrived on `LeaseDone` events and would double-count.
+        deliver(
+            0,
+            CampaignEvent::Done {
+                hits: 0,
+                misses: 0,
+                wall_s: start.elapsed().as_secs_f64(),
+            },
         )
-        .map(|_| ())
     }
+}
+
+/// How one worker slot's session ended.
+enum SlotEnd {
+    /// The lease queue drained and the worker exited cleanly.
+    Drained,
+    /// The worker died (crash, torn stream, reported error); `lost`
+    /// holds the leases it was granted but never completed.
+    Failed { why: String, lost: Vec<WorkLease> },
+}
+
+/// One read off a worker's event stream.
+enum EventRead {
+    Event(CampaignEvent),
+    Failed(String),
+    Eof,
 }
 
 /// Distribute the campaign over N worker **processes** on this machine.
 ///
-/// Cells are partitioned deterministically by cache key
-/// ([`shard_of`]); each worker executes one shard cache-first against
-/// the shared on-disk cache and streams line-delimited JSON
-/// [`CampaignEvent`]s back over its stdout pipe. A shard whose worker
-/// fails — non-zero exit, torn or corrupt stream, missing `Done` — is
-/// **re-spawned once**: the retry runs cache-first, so cells the
-/// crashed worker already finished are served from the shared cache
-/// and only the remainder recomputes. Events the failed attempt
-/// already delivered are deduplicated by the campaign core (they are
+/// Each worker runs `sweep-worker --leases`: the coordinator streams
+/// [`WorkLease`] lines over the worker's stdin (a pipeline window of
+/// `--jobs` batches keeps the worker's threads saturated), the worker
+/// executes them cache-first against the shared on-disk cache and
+/// streams line-delimited JSON [`CampaignEvent`]s back over its stdout
+/// pipe. A worker that dies — non-zero exit, torn or corrupt stream,
+/// reported error — is **re-spawned once** and its unfinished leases
+/// are re-queued for any surviving worker (each lease is granted at
+/// most twice); the retry runs cache-first, so cells the crashed
+/// worker already finished are served from the shared cache and only
+/// the remainder recomputes. Events the failed attempt already
+/// delivered are deduplicated by the campaign core (they are
 /// deterministic, so the retry's copies are identical).
+///
+/// The worker-thread cap is a `--jobs` handshake: an explicit spec
+/// `jobs` is passed through per worker; otherwise this machine's cores
+/// are split across the local worker processes. (Workers never derive
+/// `cores / N` themselves — they don't know the peer count, and on a
+/// remote host the coordinator's core count is meaningless.)
 ///
 /// Workers default to `current_exe()` + `sweep-worker` (correct when
 /// the embedding binary is the `stochdag` CLI); embedders point
@@ -169,9 +347,9 @@ impl MultiProcess {
 
     /// Use `program args…` as the worker command instead of
     /// `current_exe() sweep-worker`. The backend appends
-    /// `--spec-json PATH --shard I --of N` plus `--cache DIR` /
-    /// `--no-cache`, and `--telemetry` when the campaign runs with an
-    /// enabled [`Telemetry`] collector.
+    /// `--spec-json PATH --leases --worker I --jobs J` plus
+    /// `--cache DIR` / `--no-cache`, and `--telemetry` when the
+    /// campaign runs with an enabled [`Telemetry`] collector.
     pub fn launcher(mut self, program: impl Into<PathBuf>, args: Vec<String>) -> MultiProcess {
         self.launcher = Some((program.into(), args));
         self
@@ -181,7 +359,8 @@ impl MultiProcess {
         &self,
         ctx: &BackendContext<'_>,
         spec_path: &std::path::Path,
-        shard: usize,
+        slot: usize,
+        jobs: usize,
     ) -> Result<Child, EngineError> {
         let (program, base_args) = match &self.launcher {
             Some((p, a)) => (p.clone(), a.clone()),
@@ -194,11 +373,12 @@ impl MultiProcess {
         cmd.args(base_args)
             .arg("--spec-json")
             .arg(spec_path)
-            .arg("--shard")
-            .arg(shard.to_string())
-            .arg("--of")
-            .arg(self.workers.to_string())
-            .stdin(Stdio::null())
+            .arg("--leases")
+            .arg("--worker")
+            .arg(slot.to_string())
+            .arg("--jobs")
+            .arg(jobs.to_string())
+            .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
         match ctx.cache.disk_dir() {
@@ -214,112 +394,247 @@ impl MultiProcess {
         }
         ctx.telemetry.count("worker_spawns", 1);
         cmd.spawn()
-            .map_err(|e| EngineError::worker(shard, format!("spawning sweep worker: {e}")))
+            .map_err(|e| EngineError::worker(slot, format!("spawning sweep worker: {e}")))
     }
 
-    /// Run one wave of workers over `shards`; returns the shards that
-    /// failed, each with a description. Worker `Error` events are
-    /// converted into failures (not delivered) so a retried shard does
-    /// not abort the merge.
-    fn run_wave(
+    /// Read the next event off a worker's stream. A worker `Error`
+    /// event is tallied by kind and surfaced as a failure (not
+    /// delivered), so a re-queued lease does not abort the merge.
+    fn next_event(
+        lines: &mut std::io::Lines<BufReader<ChildStdout>>,
+        telemetry: &Telemetry,
+    ) -> EventRead {
+        match lines.next() {
+            None => EventRead::Eof,
+            Some(Err(_)) => EventRead::Failed("stream broke mid-read".into()),
+            Some(Ok(line)) => match decode_event(&line) {
+                Err(e) => EventRead::Failed(e),
+                Ok(CampaignEvent::Error { message, kind }) => {
+                    // Tally every worker failure by kind — including
+                    // attempts whose leases a re-queue later completes,
+                    // which never surface as a campaign error.
+                    let kind = kind.as_deref().unwrap_or("unknown");
+                    telemetry.count(&format!("errors_{kind}"), 1);
+                    EventRead::Failed(message)
+                }
+                Ok(ev) => EventRead::Event(ev),
+            },
+        }
+    }
+
+    /// Drive one worker process: feed it leases over stdin (keeping a
+    /// window of `jobs` in flight), pump its event stream, retire
+    /// completed leases. Returns how the session ended; `Err` is
+    /// reserved for campaign-fatal conditions (cancellation, a dead
+    /// event channel).
+    fn pump_worker(
+        slot: usize,
+        jobs: usize,
+        child: &mut Child,
+        ctx: &BackendContext<'_>,
+        leases: &LeaseQueue,
+        deliver: &Deliver<'_>,
+    ) -> Result<SlotEnd, EngineError> {
+        let mut stdin = child.stdin.take().expect("stdin piped");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let mut held: HashMap<usize, WorkLease> = HashMap::new();
+        fn lost(held: &mut HashMap<usize, WorkLease>) -> Vec<WorkLease> {
+            let mut v: Vec<WorkLease> = held.drain().map(|(_, l)| l).collect();
+            v.sort_by_key(|l| l.lease_id);
+            v
+        }
+        // Handshake: the worker validates the spec and says hello
+        // before the first lease is written.
+        match Self::next_event(&mut lines, ctx.telemetry) {
+            EventRead::Event(ev @ CampaignEvent::Hello { .. }) => deliver(slot, ev)?,
+            EventRead::Event(_) => {
+                return Ok(SlotEnd::Failed {
+                    why: "protocol violation: first event was not hello".into(),
+                    lost: Vec::new(),
+                })
+            }
+            EventRead::Failed(why) => {
+                return Ok(SlotEnd::Failed {
+                    why,
+                    lost: Vec::new(),
+                })
+            }
+            EventRead::Eof => {
+                return Ok(SlotEnd::Failed {
+                    why: "stream ended before its hello event".into(),
+                    lost: Vec::new(),
+                })
+            }
+        }
+        loop {
+            // Keep a pipeline window of `jobs` leases in flight so the
+            // worker's threads never idle waiting on the pipe. When the
+            // slot holds nothing, wait on the queue (another slot may
+            // crash and re-queue) instead of spinning.
+            let mut drained = false;
+            while held.len() < jobs {
+                let wait = if held.is_empty() {
+                    Duration::from_millis(50)
+                } else {
+                    Duration::ZERO
+                };
+                match leases.poll_next(wait) {
+                    LeasePoll::Ready(lease) => {
+                        let line = encode_lease(&lease);
+                        held.insert(lease.lease_id, lease);
+                        if let Err(e) = writeln!(stdin, "{line}") {
+                            return Ok(SlotEnd::Failed {
+                                why: format!("writing lease request: {e}"),
+                                lost: lost(&mut held),
+                            });
+                        }
+                    }
+                    LeasePoll::Pending => break,
+                    LeasePoll::Drained => {
+                        drained = true;
+                        break;
+                    }
+                }
+            }
+            if held.is_empty() {
+                if drained {
+                    break;
+                }
+                if ctx.cancel.is_cancelled() {
+                    return Err(EngineError::cancelled());
+                }
+                continue;
+            }
+            match Self::next_event(&mut lines, ctx.telemetry) {
+                EventRead::Event(CampaignEvent::LeaseDone {
+                    lease_id,
+                    cells,
+                    hits,
+                    misses,
+                }) => {
+                    held.remove(&lease_id);
+                    deliver(
+                        slot,
+                        CampaignEvent::LeaseDone {
+                            lease_id,
+                            cells,
+                            hits,
+                            misses,
+                        },
+                    )?;
+                    leases.complete(lease_id);
+                    if ctx.cancel.is_cancelled() {
+                        return Err(EngineError::cancelled());
+                    }
+                }
+                EventRead::Event(ev) => deliver(slot, ev)?,
+                EventRead::Failed(why) => {
+                    return Ok(SlotEnd::Failed {
+                        why,
+                        lost: lost(&mut held),
+                    })
+                }
+                EventRead::Eof => {
+                    return Ok(SlotEnd::Failed {
+                        why: "stream ended mid-lease".into(),
+                        lost: lost(&mut held),
+                    })
+                }
+            }
+        }
+        // Queue drained: close the worker's stdin so it exits, then
+        // drain its trailing telemetry/done events.
+        drop(stdin);
+        loop {
+            match Self::next_event(&mut lines, ctx.telemetry) {
+                EventRead::Event(ev) => deliver(slot, ev)?,
+                EventRead::Failed(why) => {
+                    return Ok(SlotEnd::Failed {
+                        why,
+                        lost: Vec::new(),
+                    })
+                }
+                EventRead::Eof => break,
+            }
+        }
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            // Every lease is completed and merged; a worker that
+            // botches its own exit is not worth failing the campaign.
+            Ok(status) => eprintln!("sweep worker {slot} exited with {status} after draining"),
+            Err(e) => eprintln!("sweep worker {slot}: wait failed: {e}"),
+        }
+        Ok(SlotEnd::Drained)
+    }
+
+    /// Run one worker slot to queue drain, re-spawning once on worker
+    /// death. Lease-level retries are additionally capped by the
+    /// queue's per-lease grant budget, whoever retries them.
+    fn run_slot(
         &self,
         ctx: &BackendContext<'_>,
+        leases: &LeaseQueue,
         deliver: &Deliver<'_>,
         spec_path: &std::path::Path,
-        shards: &[usize],
-    ) -> Result<Vec<(usize, String)>, EngineError> {
-        let mut children: Vec<(usize, Child)> = Vec::with_capacity(shards.len());
-        for &shard in shards {
-            match self.spawn_worker(ctx, spec_path, shard) {
-                Ok(child) => children.push((shard, child)),
+        slot: usize,
+        jobs: usize,
+    ) -> Result<(), EngineError> {
+        let mut budget = 1usize;
+        loop {
+            let mut child = match self.spawn_worker(ctx, spec_path, slot, jobs) {
+                Ok(c) => c,
                 Err(e) => {
-                    // Don't leave earlier workers running against a
-                    // campaign that will never be merged.
-                    for (_, mut c) in children {
-                        let _ = c.kill();
-                        let _ = c.wait();
+                    // Don't leave peers waiting on leases this slot
+                    // will never take.
+                    leases.close();
+                    return Err(e);
+                }
+            };
+            match Self::pump_worker(slot, jobs, &mut child, ctx, leases, deliver) {
+                Ok(SlotEnd::Drained) => return Ok(()),
+                Ok(SlotEnd::Failed { why, lost }) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    for lease in &lost {
+                        if !leases.requeue(lease.lease_id) {
+                            leases.close();
+                            return Err(EngineError::worker(
+                                slot,
+                                format!(
+                                    "lease {} failed after {} attempts (last: {why})",
+                                    lease.lease_id,
+                                    leases.attempts(lease.lease_id)
+                                ),
+                            ));
+                        }
                     }
+                    if budget == 0 {
+                        // Re-queued leases go to surviving slots; if
+                        // every slot retires, execute() reports the
+                        // undrained queue.
+                        eprintln!("sweep worker {slot}: retry budget exhausted; slot retired");
+                        return Ok(());
+                    }
+                    budget -= 1;
+                    ctx.telemetry.count("worker_retries", 1);
+                    if lost.is_empty() {
+                        eprintln!("sweep worker {slot} failed ({why}); respawning");
+                    } else {
+                        eprintln!(
+                            "sweep worker {slot} failed ({why}); re-queueing {} lease(s)",
+                            lost.len()
+                        );
+                    }
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    leases.close();
                     return Err(e);
                 }
             }
         }
-        let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
-        let deliver_error: Mutex<Option<EngineError>> = Mutex::new(None);
-        let telemetry = ctx.telemetry;
-        std::thread::scope(|scope| {
-            for (shard, child) in children.iter_mut() {
-                let shard = *shard;
-                let stdout = child.stdout.take().expect("stdout piped");
-                let failures = &failures;
-                let deliver_error = &deliver_error;
-                scope.spawn(move || {
-                    // After a corrupt line the stream is untrusted, but
-                    // it is still drained to EOF: closing the pipe
-                    // early would kill a live worker mid-write (EPIPE)
-                    // instead of letting it finish — its results are in
-                    // the shared cache regardless.
-                    let mut saw_done = false;
-                    let mut fail: Option<String> = None;
-                    for line in std::io::BufReader::new(stdout).lines() {
-                        let Ok(line) = line else {
-                            fail.get_or_insert("stream broke mid-read".into());
-                            break;
-                        };
-                        if fail.is_some() {
-                            continue;
-                        }
-                        match decode_event(&line) {
-                            Err(e) => {
-                                fail = Some(e);
-                            }
-                            Ok(CampaignEvent::Error { message, kind }) => {
-                                // Tally every worker failure by kind —
-                                // including attempts whose shard a
-                                // retry later completes, which never
-                                // surface as a campaign error.
-                                let kind = kind.as_deref().unwrap_or("unknown");
-                                telemetry.count(&format!("errors_{kind}"), 1);
-                                fail = Some(message);
-                            }
-                            Ok(ev) => {
-                                saw_done |= matches!(ev, CampaignEvent::Done { .. });
-                                if let Err(e) = deliver(shard, ev) {
-                                    deliver_error
-                                        .lock()
-                                        .expect("deliver error slot")
-                                        .get_or_insert(e);
-                                    return;
-                                }
-                            }
-                        }
-                    }
-                    if fail.is_none() && !saw_done {
-                        fail = Some("stream ended before its done event".into());
-                    }
-                    if let Some(f) = fail {
-                        failures.lock().expect("failure list").push((shard, f));
-                    }
-                });
-            }
-        });
-        let mut failures = failures.into_inner().expect("failure list");
-        for (shard, mut child) in children {
-            match child.wait() {
-                Ok(status) if status.success() => {}
-                Ok(status) => {
-                    if !failures.iter().any(|(s, _)| *s == shard) {
-                        failures.push((shard, format!("exited with {status}")));
-                    }
-                }
-                Err(e) => failures.push((shard, format!("wait failed: {e}"))),
-            }
-        }
-        if let Some(e) = deliver_error.into_inner().expect("deliver error slot") {
-            return Err(e);
-        }
-        failures.sort_by_key(|(s, _)| *s);
-        failures.dedup_by_key(|(s, _)| *s);
-        Ok(failures)
     }
 }
 
@@ -328,27 +643,34 @@ impl ExecBackend for MultiProcess {
         format!("multi-process ({} workers)", self.workers)
     }
 
-    fn worker_count(&self) -> usize {
+    fn workers(&self) -> usize {
         self.workers
     }
 
-    fn execute(&self, ctx: &BackendContext<'_>, deliver: &Deliver<'_>) -> Result<(), EngineError> {
+    fn execute(
+        &self,
+        ctx: &BackendContext<'_>,
+        leases: &LeaseQueue,
+        deliver: &Deliver<'_>,
+    ) -> Result<(), EngineError> {
         if self.workers == 0 {
             return Err(EngineError::spec("worker count must be positive"));
         }
-        // Hand the spec to the workers as a temp JSON file — they
-        // re-derive the identical cell partition from it. Without an
-        // explicit --jobs, split the machine's cores across the worker
-        // processes (an uncapped worker would build a full-size thread
-        // pool, oversubscribing the host N-fold); with --jobs J, the
-        // cap is per worker. Either way results are identical — the
-        // thread count cannot change any value.
-        let mut worker_spec = ctx.spec.clone();
-        if worker_spec.jobs.is_none() {
-            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-            worker_spec.jobs = Some((cores / self.workers).max(1));
+        if ctx.cancel.is_cancelled() {
+            return Err(EngineError::cancelled());
         }
-        // Named by (pid, campaign counter) — not spec.name, which is
+        // The --jobs handshake: an explicit spec cap applies per
+        // worker; otherwise split this machine's cores across the
+        // local worker processes (an uncapped worker would build a
+        // full-size thread pool, oversubscribing the host N-fold).
+        // Either way results are identical — the thread count cannot
+        // change any value.
+        let jobs = ctx.spec.jobs.unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            (cores / self.workers).max(1)
+        });
+        // Hand the spec to the workers as a temp JSON file. Named by
+        // (pid, campaign counter) — not spec.name, which is
         // user-controlled and may contain path separators. The counter
         // matters for embedders: two concurrent `Campaign::run()`s in
         // one process must not clobber (or delete) each other's spec.
@@ -358,62 +680,61 @@ impl ExecBackend for MultiProcess {
             std::process::id(),
             SPEC_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
-        std::fs::write(&spec_path, serde::json::to_string(&worker_spec)).map_err(|e| {
+        std::fs::write(&spec_path, serde::json::to_string(ctx.spec)).map_err(|e| {
             EngineError::io(format!("writing worker spec {}", spec_path.display()), e)
         })?;
-        let result = (|| {
-            // Workers can't observe the coordinator's token, so the
-            // cooperative-stop granularity here is a wave boundary:
-            // checked before launch and again before the retry wave.
-            if ctx.cancel.is_cancelled() {
-                return Err(EngineError::cancelled());
+        let result = std::thread::scope(|scope| {
+            let spec_path = &spec_path;
+            let handles: Vec<_> = (0..self.workers)
+                .map(|slot| {
+                    scope.spawn(move || self.run_slot(ctx, leases, deliver, spec_path, slot, jobs))
+                })
+                .collect();
+            let mut first: Option<EngineError> = None;
+            for h in handles {
+                if let Err(e) = h.join().expect("worker slot thread panicked") {
+                    first.get_or_insert(e);
+                }
             }
-            let first = self.run_wave(
-                ctx,
-                deliver,
-                &spec_path,
-                &(0..self.workers).collect::<Vec<_>>(),
-            )?;
-            if first.is_empty() {
-                return Ok(());
-            }
-            if ctx.cancel.is_cancelled() {
-                return Err(EngineError::cancelled());
-            }
-            // Single retry, cache-first: cells the crashed worker
-            // already finished are served from the shared cache.
-            for (shard, why) in &first {
-                eprintln!("sweep worker {shard} failed ({why}); retrying its shard once");
-            }
-            let retry_shards: Vec<usize> = first.iter().map(|(s, _)| *s).collect();
-            ctx.telemetry
-                .count("worker_retries", retry_shards.len() as u64);
-            let second = self.run_wave(ctx, deliver, &spec_path, &retry_shards)?;
-            match second.into_iter().next() {
+            match first {
+                Some(e) => Err(e),
                 None => Ok(()),
-                Some((shard, why)) => Err(EngineError::worker(
-                    shard,
-                    format!("shard failed twice (last: {why})"),
-                )),
             }
-        })();
+        });
         let _ = std::fs::remove_file(&spec_path);
-        result
+        result?;
+        if ctx.cancel.is_cancelled() {
+            return Err(EngineError::cancelled());
+        }
+        if !leases.is_drained() {
+            return Err(EngineError::worker(
+                None,
+                "workers exhausted their retry budget before the lease queue drained",
+            ));
+        }
+        Ok(())
     }
 }
 
-/// Merges a campaign's event stream: per-shard bookkeeping, row
+/// Merges a campaign's event stream: per-source bookkeeping, row
 /// re-sequencing into the sinks, first-error capture, and the
 /// completeness checks that make backend outputs interchangeable.
 ///
-/// `dedup` mode (the [`Campaign`] core) tolerates a shard delivering
-/// events twice — what a [`MultiProcess`] retry produces — by keeping
-/// the first copy of every cell and counting each shard's totals once.
+/// `dedup` mode (the [`Campaign`] core) tolerates duplicate
+/// deliveries — what a re-queued lease (or a v1 shard retry) produces
+/// — by keeping the first copy of every cell/reference/lease total.
 /// Strict mode ([`crate::merge_event_streams`], which replays logged
 /// streams with no retry semantics) treats any repeat as a protocol
 /// violation.
+///
+/// A [`Plan`](CampaignEvent::Plan) event switches the merge to
+/// **planned** totals (v2): expected cell/reference counts come from
+/// the coordinator's plan instead of summing per-shard `Hello`
+/// announcements, and per-worker completeness is subsumed by the lease
+/// queue (workers under leasing cannot announce their share up front).
 pub(crate) struct Merge {
     dedup: bool,
+    planned: bool,
     reorder: Reorderer,
     rows: Vec<SweepRow>,
     hellos: usize,
@@ -421,6 +742,8 @@ pub(crate) struct Merge {
     hello_shards: BTreeMap<usize, (usize, usize)>,
     done_shards: BTreeSet<usize>,
     seen_cells: HashSet<usize>,
+    seen_scenarios: HashSet<usize>,
+    lease_done: BTreeSet<usize>,
     refs_seen: BTreeMap<usize, usize>,
     telemetry_shards: BTreeSet<usize>,
     total_cells: usize,
@@ -451,6 +774,7 @@ impl Merge {
     pub(crate) fn new(dedup: bool) -> Merge {
         Merge {
             dedup,
+            planned: false,
             reorder: Reorderer::new(),
             rows: Vec::new(),
             hellos: 0,
@@ -458,6 +782,8 @@ impl Merge {
             hello_shards: BTreeMap::new(),
             done_shards: BTreeSet::new(),
             seen_cells: HashSet::new(),
+            seen_scenarios: HashSet::new(),
+            lease_done: BTreeSet::new(),
             refs_seen: BTreeMap::new(),
             telemetry_shards: BTreeSet::new(),
             total_cells: 0,
@@ -480,17 +806,23 @@ impl Merge {
     }
 
     /// Dedup gate (dedup mode only): returns `true` when this event
-    /// re-delivers something already merged — a retried shard's
+    /// re-delivers something already merged — a re-queued lease's
     /// duplicate — so neither observers (progress counters!) nor the
-    /// row pipeline see it twice. References carry no index, so they
-    /// are capped at the count the shard's `Hello` announced.
+    /// row pipeline see it twice. v2 references carry their global
+    /// scenario index and dedup across workers; v1 references carry no
+    /// index and are capped at the count the shard's `Hello` announced.
     pub(crate) fn is_duplicate(&mut self, source: usize, event: &CampaignEvent) -> bool {
         if !self.dedup {
             return false;
         }
         match event {
+            CampaignEvent::Plan { .. } => self.planned,
             CampaignEvent::Hello { shard, .. } => self.hello_shards.contains_key(shard),
-            CampaignEvent::Reference { .. } => {
+            CampaignEvent::LeaseStart { .. } => false,
+            CampaignEvent::Reference {
+                scenario: Some(g), ..
+            } => !self.seen_scenarios.insert(*g),
+            CampaignEvent::Reference { scenario: None, .. } => {
                 let cap = self
                     .hello_shards
                     .get(&source)
@@ -504,10 +836,11 @@ impl Merge {
                 }
             }
             CampaignEvent::Cell { index, .. } => self.seen_cells.contains(index),
+            CampaignEvent::LeaseDone { lease_id, .. } => self.lease_done.contains(lease_id),
             CampaignEvent::Done { .. } => self.done_shards.contains(&source),
             CampaignEvent::Error { .. } => false,
-            // A retried shard re-sends its snapshot; merge each
-            // shard's telemetry exactly once.
+            // A re-spawned worker re-sends its snapshot; merge each
+            // source's telemetry exactly once.
             CampaignEvent::Telemetry { shard, .. } => !self.telemetry_shards.insert(*shard),
             CampaignEvent::Unknown { .. } => false,
         }
@@ -520,6 +853,16 @@ impl Merge {
         sinks: &mut [&mut dyn ResultSink],
     ) {
         match event {
+            CampaignEvent::Plan {
+                cells, references, ..
+            } => {
+                // Authoritative totals from the coordinator's plan (in
+                // strict replay mode too: a logged v2 stream opens with
+                // the plan it executed).
+                self.planned = true;
+                self.total_cells = cells;
+                self.total_refs = references;
+            }
             CampaignEvent::Hello {
                 shard,
                 cells,
@@ -528,17 +871,17 @@ impl Merge {
             } => {
                 self.hellos += 1;
                 if self.dedup {
-                    // A retried shard re-announces identical totals;
-                    // count each shard once.
+                    // A re-spawned worker re-announces the same slot;
+                    // count each slot once.
                     self.hello_shards
                         .entry(shard)
                         .or_insert((cells, references));
-                } else {
+                } else if !self.planned {
                     self.total_cells += cells;
                     self.total_refs += references;
                 }
             }
-            CampaignEvent::Reference { .. } => {}
+            CampaignEvent::Reference { .. } | CampaignEvent::LeaseStart { .. } => {}
             CampaignEvent::Cell {
                 index, tier, row, ..
             } => {
@@ -570,6 +913,19 @@ impl Merge {
                         .get_or_insert(EngineError::sink(failed_cell, format!("sink row: {e}")));
                 }
             }
+            CampaignEvent::LeaseDone {
+                lease_id,
+                hits,
+                misses,
+                ..
+            } => {
+                // Per-attempt cache totals, deduplicated by lease id:
+                // a re-queued lease's totals count once.
+                if self.lease_done.insert(lease_id) {
+                    self.cache_hits += hits;
+                    self.cache_misses += misses;
+                }
+            }
             CampaignEvent::Done { hits, misses, .. } => {
                 self.dones += 1;
                 if !self.dedup || self.done_shards.insert(source) {
@@ -594,21 +950,27 @@ impl Merge {
         if let Some(e) = self.first_error.take() {
             return Err(e);
         }
-        let (started, completed) = if self.dedup {
-            (self.hello_shards.len(), self.done_shards.len())
-        } else {
-            (self.hellos, self.dones)
-        };
-        if started != expected_workers || completed != expected_workers {
-            return Err(EngineError::worker(
-                None,
-                format!(
-                    "only {completed} of {expected_workers} worker(s) completed their shard \
-                     ({started} started) — a worker crashed or was killed"
-                ),
-            ));
+        // Under leasing the per-worker started/completed census is
+        // meaningless (slots may retire early, re-spawn, or never win a
+        // lease); completeness is the lease queue draining plus the
+        // planned row total below.
+        if !self.planned {
+            let (started, completed) = if self.dedup {
+                (self.hello_shards.len(), self.done_shards.len())
+            } else {
+                (self.hellos, self.dones)
+            };
+            if started != expected_workers || completed != expected_workers {
+                return Err(EngineError::worker(
+                    None,
+                    format!(
+                        "only {completed} of {expected_workers} worker(s) completed their shard \
+                         ({started} started) — a worker crashed or was killed"
+                    ),
+                ));
+            }
         }
-        if self.dedup {
+        if self.dedup && !self.planned {
             self.total_cells = self.hello_shards.values().map(|&(c, _)| c).sum();
             self.total_refs = self.hello_shards.values().map(|&(_, r)| r).sum();
         }
@@ -666,7 +1028,10 @@ pub struct DryRun {
     pub cells: usize,
     /// Monte-Carlo reference scenarios.
     pub references: usize,
-    /// Cells each shard would own under the backend's worker count.
+    /// Cells each shard would own under the *v1 static partition* at
+    /// the backend's worker count — the load-balance baseline that
+    /// work leasing replaces (leases assign dynamically, so per-worker
+    /// loads are not knowable up front).
     pub shard_cells: Vec<usize>,
 }
 
@@ -761,7 +1126,7 @@ impl Campaign {
             &self.spec,
             &self.registry,
             &self.cache,
-            self.backend.worker_count(),
+            self.backend.workers(),
         )
     }
 
@@ -775,7 +1140,7 @@ impl Campaign {
             models,
             ..
         } = expand(&self.spec, &self.registry)?;
-        let shard_count = self.backend.worker_count().max(1);
+        let shard_count = self.backend.workers().max(1);
         let e_count = estimator_ids.len();
         let hashes: Vec<u128> = instances.iter().map(|i| structural_hash(&i.dag)).collect();
         let mut shard_cells = vec![0usize; shard_count];
@@ -808,9 +1173,10 @@ impl Campaign {
         })
     }
 
-    /// Execute one shard of the campaign in this process (the worker
-    /// half of a distributed run): events go to the configured
-    /// observers — a worker process attaches a
+    /// Execute one static shard of the campaign in this process (the
+    /// worker half of a **v1** distributed run, kept for the
+    /// `sweep-worker --shard I --of N` protocol): events go to the
+    /// configured observers — a worker process attaches a
     /// [`WireObserver`](crate::WireObserver) on stdout — and rows
     /// cross back to the coordinator as events, so sinks are not fed.
     pub fn run_shard(
@@ -841,9 +1207,146 @@ impl Campaign {
         result
     }
 
+    /// Serve work leases from `input` — the worker half of a **v2**
+    /// distributed run (`sweep-worker --leases`, spawned by
+    /// [`MultiProcess`] or launched by hand against a
+    /// [`SharedFs`](crate::SharedFs) spool's coordinator pipe).
+    ///
+    /// Decodes one [`WorkLease`] per line, executes each against the
+    /// shared cache with `jobs` worker threads (the coordinator's
+    /// `--jobs` handshake; defaulting to this machine's cores — a
+    /// leased worker never derives `cores / N`, it does not know the
+    /// peer count), and reports events to the configured observers — a
+    /// worker process attaches a
+    /// [`WireObserver`](crate::WireObserver) on stdout. Returns when
+    /// `input` reaches EOF (the coordinator closed the pipe after the
+    /// queue drained). `worker` tags this worker's `Hello`/`Telemetry`
+    /// events.
+    pub fn serve_leases(mut self, worker: usize, input: impl BufRead) -> Result<(), EngineError> {
+        let start = Instant::now();
+        if self.cancel.is_cancelled() {
+            return Err(EngineError::cancelled());
+        }
+        let observers = Mutex::new(std::mem::take(&mut self.observers));
+        let emit = |ev: CampaignEvent| -> Result<(), EngineError> {
+            let mut observers = observers.lock().expect("observer list");
+            for o in observers.iter_mut() {
+                o.on_event(&ev)?;
+            }
+            Ok(())
+        };
+        let result = (|| {
+            let _jobs_cap = apply_jobs_cap(self.spec.jobs)?;
+            self.cache.reset_counters();
+            let plan = CampaignPlan::new(&self.spec, &self.registry)?;
+            let ctx = BackendContext {
+                spec: &self.spec,
+                registry: &self.registry,
+                cache: &self.cache,
+                telemetry: &self.telemetry,
+                cancel: &self.cancel,
+                plan: &plan,
+            };
+            let executor = LeaseExecutor::new(&ctx);
+            emit(CampaignEvent::Hello {
+                shard: worker,
+                shard_count: 0,
+                cells: 0,
+                references: 0,
+                version: Some(2),
+                jobs: self.spec.jobs,
+            })?;
+            let threads = self
+                .spec
+                .jobs
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+                .max(1);
+            let (tx, rx) = mpsc::channel::<WorkLease>();
+            let rx = Mutex::new(rx);
+            let first_error: Mutex<Option<EngineError>> = Mutex::new(None);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let rx = &rx;
+                    let first_error = &first_error;
+                    let executor = &executor;
+                    let emit = &emit;
+                    scope.spawn(move || loop {
+                        let lease = rx.lock().expect("lease receiver").recv();
+                        let Ok(lease) = lease else { return };
+                        if let Err(e) = executor.run(&lease, emit) {
+                            first_error
+                                .lock()
+                                .expect("first error slot")
+                                .get_or_insert(e);
+                            return;
+                        }
+                    });
+                }
+                // Reader: one lease per line until the coordinator
+                // closes the pipe (blank lines are keep-alives).
+                for line in input.lines() {
+                    if first_error.lock().expect("first error slot").is_some() {
+                        break;
+                    }
+                    let line = match line {
+                        Ok(l) => l,
+                        Err(e) => {
+                            first_error
+                                .lock()
+                                .expect("first error slot")
+                                .get_or_insert(EngineError::io("reading lease stream", e));
+                            break;
+                        }
+                    };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match decode_lease(&line) {
+                        Ok(lease) => {
+                            if tx.send(lease).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            first_error
+                                .lock()
+                                .expect("first error slot")
+                                .get_or_insert(EngineError::worker(worker, e));
+                            break;
+                        }
+                    }
+                }
+                drop(tx);
+            });
+            if let Some(e) = first_error.into_inner().expect("first error slot") {
+                return Err(e);
+            }
+            let tel = executor.telemetry();
+            if tel.is_enabled() {
+                tel.record_span_duration("worker_shard", start.elapsed());
+                emit(CampaignEvent::Telemetry {
+                    shard: worker,
+                    snapshot: tel.snapshot(),
+                })?;
+            }
+            // Zero cache totals by design: per-batch tallies already
+            // went out on LeaseDone events.
+            emit(CampaignEvent::Done {
+                hits: 0,
+                misses: 0,
+                wall_s: start.elapsed().as_secs_f64(),
+            })
+        })();
+        for o in observers.into_inner().expect("observer list").iter_mut() {
+            let _ = o.on_finish();
+        }
+        result
+    }
+
     /// The engine room shared by every full-campaign execution path:
-    /// runs the backend, merges its event stream (dedup, re-sequencing,
-    /// completeness), feeds observers and sinks, and folds shard
+    /// plans the campaign, announces the plan, runs the backend over
+    /// the lease queue, merges its event stream (dedup, re-sequencing,
+    /// completeness), feeds observers and sinks, and folds worker
     /// telemetry snapshots into the campaign's collector.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_core(
@@ -858,30 +1361,54 @@ impl Campaign {
     ) -> Result<SweepOutcome, EngineError> {
         let start = Instant::now();
         spec.validate()?;
-        let expected = backend.worker_count();
-        if expected == 0 {
+        let workers = backend.workers();
+        if workers == 0 {
             return Err(EngineError::spec("backend needs at least one worker"));
         }
+        let plan = CampaignPlan::new(spec, registry)?;
+        let leases = LeaseQueue::new(plan.leases().to_vec());
         for sink in sinks.iter_mut() {
             sink.begin()
                 .map_err(|e| EngineError::sink(None, format!("sink begin: {e}")))?;
         }
         let mut merge = Merge::new(true);
-        let (tx, rx) = mpsc::channel::<(usize, CampaignEvent)>();
+        // Bounded to one in-flight event: backends run at most two
+        // events ahead of the observers, so an observer that flips the
+        // campaign's [`CancelToken`] (the seam the service's `cancel`
+        // request is built on) is guaranteed visible to the executor
+        // before the next lease starts. Cell computation dominates the
+        // per-event handoff, so throughput is unaffected.
+        let (tx, rx) = mpsc::sync_channel::<(usize, CampaignEvent)>(1);
+        // The coordinator announces the authoritative totals before
+        // any worker starts — under leasing no worker can (it does not
+        // know how many leases it will win). The one buffered slot
+        // makes this pre-loop send safe.
+        tx.send((
+            COORDINATOR_SOURCE,
+            CampaignEvent::Plan {
+                cells: plan.cells(),
+                references: plan.references(),
+                leases: leases.total(),
+            },
+        ))
+        .expect("plan receiver alive");
         let ctx = BackendContext {
             spec,
             registry,
             cache,
             telemetry,
             cancel,
+            plan: &plan,
         };
         let backend_result = std::thread::scope(|scope| {
+            let ctx = &ctx;
+            let leases = &leases;
             let handle = scope.spawn(move || {
                 let deliver = move |source: usize, ev: CampaignEvent| {
                     tx.send((source, ev))
                         .map_err(|_| EngineError::worker(None, "event channel closed"))
                 };
-                backend.execute(&ctx, &deliver)
+                backend.execute(ctx, leases, &deliver)
             });
             loop {
                 // Only measure channel blocking when telemetry is on:
@@ -906,15 +1433,15 @@ impl Campaign {
                 if merge.has_error() {
                     continue;
                 }
-                // A retried shard re-delivers events its crashed
+                // A re-queued lease re-delivers events its crashed
                 // attempt already sent; drop them before observers so
                 // progress counters and custom monitors stay exact.
                 if merge.is_duplicate(source, &event) {
                     continue;
                 }
-                // Fold each shard's aggregate into the campaign's
+                // Fold each worker's aggregate into the campaign's
                 // collector — the same path whether the snapshot came
-                // from an in-process shard or over a worker pipe.
+                // from an in-process session or over a worker pipe.
                 if let CampaignEvent::Telemetry { snapshot, .. } = &event {
                     telemetry.merge(snapshot);
                 }
@@ -933,7 +1460,7 @@ impl Campaign {
             }
         }
         backend_result?;
-        let merged = merge.finalize(expected)?;
+        let merged = merge.finalize(workers)?;
         let summary = summarize(&merged.rows);
         {
             let _flush = telemetry.span("sink_flush");
@@ -947,11 +1474,10 @@ impl Campaign {
         telemetry.record_span_duration("campaign", wall);
         Ok(SweepOutcome {
             cells: merged.cells,
-            // Worker hellos count a reference scenario once per shard
-            // that needs it; report the deduplicated campaign total
-            // (every scenario has exactly one cell per estimator, so
-            // the unique count falls out of the merged cell count).
-            references: merged.cells / spec.estimators.len().max(1),
+            // Exact from the coordinator's plan (one reference
+            // scenario per instance × model, however many workers
+            // probed it).
+            references: merged.references,
             cache_hits: merged.cache_hits,
             cache_misses: merged.cache_misses,
             cells_computed: merged.cells_computed,
@@ -992,7 +1518,9 @@ impl CampaignBuilder {
         self
     }
 
-    /// Select the execution backend (default: [`InProcess`]).
+    /// Select the execution backend (default: [`InProcess`]). A v1
+    /// implementation goes through the [`V1Backend`] adapter:
+    /// `.backend(V1Backend(my_v1_backend))`.
     pub fn backend(mut self, backend: impl ExecBackend + 'static) -> Self {
         self.backend = Box::new(backend);
         self
@@ -1030,7 +1558,7 @@ impl CampaignBuilder {
     /// Attach a telemetry collector (default:
     /// [`Telemetry::disabled`]). Pass a clone of an enabled handle and
     /// keep the original: after [`Campaign::run`] it holds the merged
-    /// spans and counters of every shard, ready for
+    /// spans and counters of every worker, ready for
     /// [`Telemetry::report`]. With an enabled collector,
     /// [`MultiProcess`] workers are spawned with `--telemetry` and
     /// their snapshots merge in over the wire.
@@ -1073,7 +1601,7 @@ impl CampaignBuilder {
         for est in &spec.estimators {
             registry.build(est, 0)?; // constructors are cheap; reject bad knobs now
         }
-        if backend.worker_count() == 0 {
+        if backend.workers() == 0 {
             return Err(EngineError::spec("backend needs at least one worker"));
         }
         Ok(Campaign {

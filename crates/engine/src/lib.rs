@@ -64,21 +64,32 @@
 //!
 //! ## Distributed campaigns
 //!
-//! Swap the backend and nothing else changes: [`MultiProcess`] spawns
-//! N `sweep-worker` processes sharing one on-disk cache, cells are
-//! partitioned deterministically by cache key ([`shard_of`]), workers
-//! stream line-delimited JSON [`CampaignEvent`]s back over their
-//! stdout pipes, and the campaign core merges the streams into sink
-//! output **byte-identical** to an [`InProcess`] run over the same
-//! cache — with live progress/ETA from a [`ProgressReporter`] and
-//! single-retry of crashed shards. The `stochdag sweep --workers N`
-//! CLI is a thin shell over exactly this.
+//! Swap the backend and nothing else changes. Execution is
+//! pull-scheduled (`ExecBackend` **v2**): the coordinator expands the
+//! spec into a [`CampaignPlan`] of [`WorkLease`] cell batches, loads
+//! them into a [`LeaseQueue`], and workers drain batches as they
+//! finish — so heterogeneous cell costs balance themselves and a
+//! crashed worker's leases are re-queued for the survivors.
+//! [`MultiProcess`] spawns N `sweep-worker --leases` processes sharing
+//! one on-disk cache, streaming leases over stdin pipes and
+//! line-delimited JSON [`CampaignEvent`]s back over stdout;
+//! [`SharedFs`] coordinates remote workers through a shared-filesystem
+//! spool directory instead of pipes. Either way the campaign core
+//! merges the streams into sink output **byte-identical** to an
+//! [`InProcess`] run over the same cache — with live progress/ETA from
+//! a [`ProgressReporter`]. The `stochdag sweep --workers N` /
+//! `sweep --spool DIR` CLI is a thin shell over exactly this.
+//!
+//! v1 `ExecBackend` implementations (static shard partitioning) keep
+//! working through the [`V1Backend`] adapter for a deprecation window
+//! — see the [`ExecBackend`] rustdoc for the v1 → v2 migration table.
 
 mod cache;
 mod campaign;
 mod cancel;
 mod error;
 mod keys;
+mod lease;
 mod observer;
 mod progress;
 mod protocol;
@@ -87,16 +98,20 @@ mod runner;
 mod shard;
 mod sink;
 mod spec;
+mod spool;
 mod telemetry;
 
 pub use cache::{cell_key, CacheGcStats, CacheTier, ResultCache};
 pub use campaign::{
     BackendContext, Campaign, CampaignBuilder, Deliver, DryRun, DryRunInstance, ExecBackend,
-    InProcess, MultiProcess,
+    ExecBackendV1, InProcess, MultiProcess, V1Backend,
 };
 pub use cancel::CancelToken;
 pub use error::EngineError;
 pub use keys::StableHasher;
+pub use lease::{
+    decode_lease, encode_lease, CampaignPlan, LeaseExecutor, LeasePoll, LeaseQueue, WorkLease,
+};
 pub use observer::{CampaignObserver, FnObserver};
 pub use progress::{ProgressMode, ProgressReporter};
 pub use protocol::{decode_event, encode_event, CampaignEvent, WireObserver};
@@ -107,6 +122,7 @@ pub use sink::{
     summarize, CsvSink, JsonlSink, Reorderer, ResultSink, SummaryRow, SweepRow, VecSink,
 };
 pub use spec::{parse_toml, DagInstance, DagSpec, SweepSpec};
+pub use spool::{SharedFs, SpoolSummary, SpoolWorker};
 pub use telemetry::{
     MetricsReport, MetricsSnapshot, SpanGuard, SpanStat, Telemetry, TelemetrySink,
 };

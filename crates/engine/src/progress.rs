@@ -58,9 +58,13 @@ pub struct ProgressReporter {
     mode: ProgressMode,
     out: Box<dyn Write + Send>,
     start: Instant,
-    /// Totals announced by `hello` events so far.
+    /// Totals announced by a `plan` event (authoritative) or summed
+    /// from `hello` events (v1 streams without a plan).
     total_cells: usize,
     total_refs: usize,
+    /// Whether a `plan` event fixed the totals — `hello` totals are
+    /// ignored from then on (lease-consuming workers announce zeros).
+    planned: bool,
     workers: usize,
     done_cells: usize,
     done_refs: usize,
@@ -84,6 +88,7 @@ impl ProgressReporter {
             start: Instant::now(),
             total_cells: 0,
             total_refs: 0,
+            planned: false,
             workers: 0,
             done_cells: 0,
             done_refs: 0,
@@ -127,14 +132,26 @@ impl ProgressReporter {
     /// Fold one worker event into the counters and maybe re-render.
     pub fn observe(&mut self, event: &CampaignEvent) {
         match event {
+            CampaignEvent::Plan {
+                cells, references, ..
+            } => {
+                // The coordinator's plan is authoritative: totals are
+                // fixed up front, and the ETA extrapolates over them no
+                // matter how leases are batched across workers.
+                self.planned = true;
+                self.total_cells = *cells;
+                self.total_refs = *references;
+            }
             CampaignEvent::Hello {
                 cells, references, ..
             } => {
                 self.workers += 1;
-                self.total_cells += cells;
-                self.total_refs += references;
+                if !self.planned {
+                    self.total_cells += cells;
+                    self.total_refs += references;
+                }
             }
-            CampaignEvent::Reference { cached } => {
+            CampaignEvent::Reference { cached, .. } => {
                 self.done_refs += 1;
                 self.lookups += 1;
                 self.cache_hits += usize::from(*cached);
@@ -144,7 +161,9 @@ impl ProgressReporter {
                 self.lookups += 1;
                 self.cache_hits += usize::from(*cached);
             }
-            CampaignEvent::Done { .. }
+            CampaignEvent::LeaseStart { .. }
+            | CampaignEvent::LeaseDone { .. }
+            | CampaignEvent::Done { .. }
             | CampaignEvent::Error { .. }
             | CampaignEvent::Telemetry { .. }
             | CampaignEvent::Unknown { .. } => {}
@@ -298,8 +317,13 @@ mod tests {
             shard_count: 1,
             cells,
             references: 1,
+            version: None,
+            jobs: None,
         });
-        reporter.observe(&CampaignEvent::Reference { cached: false });
+        reporter.observe(&CampaignEvent::Reference {
+            cached: false,
+            scenario: None,
+        });
         for i in 0..cells {
             reporter.observe(&CampaignEvent::Cell {
                 index: i,
@@ -368,11 +392,56 @@ mod tests {
             shard_count: 1,
             cells: 100,
             references: 1,
+            version: None,
+            jobs: None,
         });
         let text = buf.text();
         assert!(text.contains("cells 0/100"), "{text}");
         assert!(text.contains("eta --"), "no rate sample yet: {text}");
         assert!(text.contains("0.0 cells/s"), "{text}");
+    }
+
+    #[test]
+    fn plan_fixes_totals_and_hello_totals_are_ignored() {
+        let buf = SharedBuf::default();
+        let mut p = ProgressReporter::new(ProgressMode::Plain, Box::new(buf.clone()))
+            .with_plain_interval(Duration::ZERO);
+        p.observe(&CampaignEvent::Plan {
+            cells: 8,
+            references: 4,
+            leases: 4,
+        });
+        // Lease-consuming workers announce zeros; worker count still
+        // tracks hellos, totals stay the plan's.
+        for w in 0..2 {
+            p.observe(&CampaignEvent::Hello {
+                shard: w,
+                shard_count: 0,
+                cells: 0,
+                references: 0,
+                version: Some(2),
+                jobs: Some(2),
+            });
+        }
+        p.observe(&CampaignEvent::LeaseStart {
+            lease_id: 0,
+            cells: 2,
+        });
+        p.observe(&CampaignEvent::Reference {
+            cached: true,
+            scenario: Some(0),
+        });
+        p.observe(&CampaignEvent::LeaseDone {
+            lease_id: 0,
+            cells: 2,
+            hits: 1,
+            misses: 2,
+        });
+        p.finish();
+        let text = buf.text();
+        assert!(text.contains("cells 0/8"), "{text}");
+        assert!(text.contains("refs 1/4"), "{text}");
+        assert!(text.contains("2 worker(s)"), "{text}");
     }
 
     #[test]

@@ -12,19 +12,25 @@
 //!
 //! | event | direction | meaning |
 //! |-------|-----------|---------|
-//! | `hello` | worker → coordinator | shard accepted; sizes follow |
+//! | `plan` | coordinator → observers | campaign totals + lease count |
+//! | `hello` | worker → coordinator | worker accepted; sizes follow |
+//! | `lease_start` | worker → coordinator | a work lease began executing |
 //! | `reference` | worker → coordinator | one MC reference scenario done |
 //! | `cell` | worker → coordinator | one estimator cell done (full row) |
-//! | `done` | worker → coordinator | shard complete; cache totals |
-//! | `error` | worker → coordinator | shard aborted with a message |
-//! | `telemetry` | worker → coordinator | shard's metrics snapshot |
+//! | `lease_done` | worker → coordinator | lease complete; batch cache totals |
+//! | `done` | worker → coordinator | worker finished; cache totals |
+//! | `error` | worker → coordinator | worker aborted with a message |
+//! | `telemetry` | worker → coordinator | worker's metrics snapshot |
 //!
 //! The vocabulary is **additively extensible**: a decoder maps an
 //! unrecognised `"event"` tag to [`CampaignEvent::Unknown`] instead of
 //! failing, so a coordinator built before `telemetry` existed replays
 //! newer streams unharmed (malformed JSON and missing fields of known
 //! events are still hard errors). New optional fields on existing
-//! events (`cell.tier`, `error.kind`) decode as `None` when absent.
+//! events (`cell.tier`, `error.kind`, `hello.version`, `hello.jobs`,
+//! `reference.scenario`) decode as `None` when absent — which is also
+//! how the leasing protocol of `ExecBackend` v2 coexists with v1
+//! streams: a v1 stream simply never carries the lease events.
 //!
 //! `cell` events carry the complete [`SweepRow`], so the coordinator
 //! can re-sequence rows into deterministic cell order and write the
@@ -50,24 +56,59 @@ use serde::{Deserialize, Serialize, Value};
 /// a pipe (see [`WireObserver`]).
 #[derive(Clone, Debug, PartialEq)]
 pub enum CampaignEvent {
-    /// First event of a shard: the worker validated the spec and
-    /// reports how much work it owns.
-    Hello {
-        /// Shard index (0-based).
-        shard: usize,
-        /// Total shard count of the campaign.
-        shard_count: usize,
-        /// Estimator cells assigned to this shard.
+    /// First event of a leased (`ExecBackend` v2) campaign, emitted by
+    /// the **coordinator** before any worker starts: the authoritative
+    /// totals of the campaign plan. Under work leasing a worker cannot
+    /// announce its share up front (it does not know how many leases it
+    /// will win), so totals come from the plan instead of from `hello`
+    /// events.
+    Plan {
+        /// Total estimator cells the campaign will produce.
         cells: usize,
-        /// Monte-Carlo reference scenarios this shard needs (scenarios
-        /// touched by at least one assigned cell; scenarios shared with
-        /// other shards are counted by each of them).
+        /// Total Monte-Carlo reference scenarios.
         references: usize,
+        /// Number of work leases in the coordinator's ready queue.
+        leases: usize,
+    },
+    /// First event of a worker: it validated the spec and reports how
+    /// much work it owns (v1 sharding) or that it is ready to lease
+    /// (v2, with `cells`/`references` zero and `version: Some(2)`).
+    Hello {
+        /// Shard index (v1) or worker slot (v2), 0-based.
+        shard: usize,
+        /// Total shard count of the campaign (v1); `0` when the worker
+        /// leases work dynamically and peer count is unknown.
+        shard_count: usize,
+        /// Estimator cells assigned to this shard (v1; `0` under
+        /// leasing, where totals come from [`CampaignEvent::Plan`]).
+        cells: usize,
+        /// Monte-Carlo reference scenarios this shard needs (v1; `0`
+        /// under leasing).
+        references: usize,
+        /// Protocol version the worker speaks (`None` from v1 workers,
+        /// `Some(2)` from lease-consuming workers).
+        version: Option<u32>,
+        /// The worker-thread cap this worker applied, from the
+        /// coordinator's `--jobs` handshake (`None` from v1 workers,
+        /// which derived `cores / worker_count` locally).
+        jobs: Option<usize>,
+    },
+    /// A worker started executing a leased cell batch.
+    LeaseStart {
+        /// Lease id (stable across re-queued attempts).
+        lease_id: usize,
+        /// Number of cells in the batch.
+        cells: usize,
     },
     /// One reference scenario finished (cached or computed).
     Reference {
         /// Whether the result came from the shared cache.
         cached: bool,
+        /// Global scenario index (instance-major), the coordinator's
+        /// cross-worker dedup key under leasing. `None` from v1
+        /// workers, which are deduplicated per-shard by announced
+        /// count instead.
+        scenario: Option<usize>,
     },
     /// One estimator cell finished; carries the complete result row.
     Cell {
@@ -81,6 +122,20 @@ pub enum CampaignEvent {
         tier: Option<CacheTier>,
         /// The full result row, ready for the sinks.
         row: SweepRow,
+    },
+    /// A leased cell batch finished. The cache totals cover exactly the
+    /// probes this attempt performed (cells plus any reference
+    /// scenarios it resolved first); the coordinator deduplicates by
+    /// `lease_id`, so a re-queued lease's totals count once.
+    LeaseDone {
+        /// Lease id.
+        lease_id: usize,
+        /// Number of cells in the batch.
+        cells: usize,
+        /// Cache hits across the batch's probes.
+        hits: usize,
+        /// Cache misses (computed fresh).
+        misses: usize,
     },
     /// Last event of a successful shard.
     Done {
@@ -122,22 +177,54 @@ pub enum CampaignEvent {
 impl Serialize for CampaignEvent {
     fn serialize(&self) -> Value {
         match self {
+            CampaignEvent::Plan {
+                cells,
+                references,
+                leases,
+            } => Value::obj([
+                ("event", Value::Str("plan".into())),
+                ("cells", cells.serialize()),
+                ("references", references.serialize()),
+                ("leases", leases.serialize()),
+            ]),
             CampaignEvent::Hello {
                 shard,
                 shard_count,
                 cells,
                 references,
-            } => Value::obj([
-                ("event", Value::Str("hello".into())),
-                ("shard", shard.serialize()),
-                ("shard_count", shard_count.serialize()),
+                version,
+                jobs,
+            } => {
+                let mut fields = vec![
+                    ("event", Value::Str("hello".into())),
+                    ("shard", shard.serialize()),
+                    ("shard_count", shard_count.serialize()),
+                    ("cells", cells.serialize()),
+                    ("references", references.serialize()),
+                ];
+                if let Some(version) = version {
+                    fields.push(("version", version.serialize()));
+                }
+                if let Some(jobs) = jobs {
+                    fields.push(("jobs", jobs.serialize()));
+                }
+                Value::obj(fields)
+            }
+            CampaignEvent::LeaseStart { lease_id, cells } => Value::obj([
+                ("event", Value::Str("lease_start".into())),
+                ("lease_id", lease_id.serialize()),
                 ("cells", cells.serialize()),
-                ("references", references.serialize()),
             ]),
-            CampaignEvent::Reference { cached } => Value::obj([
-                ("event", Value::Str("reference".into())),
-                ("cached", cached.serialize()),
-            ]),
+            CampaignEvent::Reference { cached, scenario } => {
+                let mut fields = vec![
+                    ("event", Value::Str("reference".into())),
+                    ("cached", cached.serialize()),
+                ];
+                if let Some(scenario) = scenario {
+                    fields.push(("scenario", scenario.serialize()));
+                }
+                Value::obj(fields)
+            }
             CampaignEvent::Cell {
                 index,
                 cached,
@@ -155,6 +242,18 @@ impl Serialize for CampaignEvent {
                 fields.push(("row", row.serialize()));
                 Value::obj(fields)
             }
+            CampaignEvent::LeaseDone {
+                lease_id,
+                cells,
+                hits,
+                misses,
+            } => Value::obj([
+                ("event", Value::Str("lease_done".into())),
+                ("lease_id", lease_id.serialize()),
+                ("cells", cells.serialize()),
+                ("hits", hits.serialize()),
+                ("misses", misses.serialize()),
+            ]),
             CampaignEvent::Done {
                 hits,
                 misses,
@@ -189,14 +288,35 @@ impl Deserialize for CampaignEvent {
     fn deserialize(v: &Value) -> Result<CampaignEvent, serde::Error> {
         let tag = String::deserialize(v.require("event")?)?;
         match tag.as_str() {
+            "plan" => Ok(CampaignEvent::Plan {
+                cells: usize::deserialize(v.require("cells")?)?,
+                references: usize::deserialize(v.require("references")?)?,
+                leases: usize::deserialize(v.require("leases")?)?,
+            }),
             "hello" => Ok(CampaignEvent::Hello {
                 shard: usize::deserialize(v.require("shard")?)?,
                 shard_count: usize::deserialize(v.require("shard_count")?)?,
                 cells: usize::deserialize(v.require("cells")?)?,
                 references: usize::deserialize(v.require("references")?)?,
+                version: match v.get("version") {
+                    None | Some(Value::Null) => None,
+                    Some(n) => Some(u32::deserialize(n)?),
+                },
+                jobs: match v.get("jobs") {
+                    None | Some(Value::Null) => None,
+                    Some(n) => Some(usize::deserialize(n)?),
+                },
+            }),
+            "lease_start" => Ok(CampaignEvent::LeaseStart {
+                lease_id: usize::deserialize(v.require("lease_id")?)?,
+                cells: usize::deserialize(v.require("cells")?)?,
             }),
             "reference" => Ok(CampaignEvent::Reference {
                 cached: bool::deserialize(v.require("cached")?)?,
+                scenario: match v.get("scenario") {
+                    None | Some(Value::Null) => None,
+                    Some(n) => Some(usize::deserialize(n)?),
+                },
             }),
             "cell" => Ok(CampaignEvent::Cell {
                 index: usize::deserialize(v.require("index")?)?,
@@ -211,6 +331,12 @@ impl Deserialize for CampaignEvent {
                     }
                 },
                 row: SweepRow::deserialize(v.require("row")?)?,
+            }),
+            "lease_done" => Ok(CampaignEvent::LeaseDone {
+                lease_id: usize::deserialize(v.require("lease_id")?)?,
+                cells: usize::deserialize(v.require("cells")?)?,
+                hits: usize::deserialize(v.require("hits")?)?,
+                misses: usize::deserialize(v.require("misses")?)?,
             }),
             "done" => Ok(CampaignEvent::Done {
                 hits: usize::deserialize(v.require("hits")?)?,
@@ -297,13 +423,45 @@ mod tests {
     #[test]
     fn every_event_round_trips() {
         let events = [
+            CampaignEvent::Plan {
+                cells: 24,
+                references: 12,
+                leases: 12,
+            },
             CampaignEvent::Hello {
                 shard: 1,
                 shard_count: 4,
                 cells: 6,
                 references: 3,
+                version: None,
+                jobs: None,
             },
-            CampaignEvent::Reference { cached: true },
+            CampaignEvent::Hello {
+                shard: 0,
+                shard_count: 0,
+                cells: 0,
+                references: 0,
+                version: Some(2),
+                jobs: Some(4),
+            },
+            CampaignEvent::LeaseStart {
+                lease_id: 7,
+                cells: 2,
+            },
+            CampaignEvent::Reference {
+                cached: true,
+                scenario: None,
+            },
+            CampaignEvent::Reference {
+                cached: false,
+                scenario: Some(5),
+            },
+            CampaignEvent::LeaseDone {
+                lease_id: 7,
+                cells: 2,
+                hits: 1,
+                misses: 2,
+            },
             CampaignEvent::Cell {
                 index: 17,
                 cached: false,
@@ -386,6 +544,45 @@ mod tests {
             CampaignEvent::Error {
                 message: "boom".into(),
                 kind: None
+            }
+        );
+        // A v1 hello (no version, no jobs) and a v1 reference (no
+        // scenario) decode with the new optional fields defaulted.
+        assert_eq!(
+            decode_event(
+                "{\"event\":\"hello\",\"shard\":2,\"shard_count\":3,\
+                 \"cells\":8,\"references\":4}"
+            )
+            .unwrap(),
+            CampaignEvent::Hello {
+                shard: 2,
+                shard_count: 3,
+                cells: 8,
+                references: 4,
+                version: None,
+                jobs: None,
+            }
+        );
+        assert_eq!(
+            decode_event("{\"event\":\"reference\",\"cached\":false}").unwrap(),
+            CampaignEvent::Reference {
+                cached: false,
+                scenario: None,
+            }
+        );
+    }
+
+    #[test]
+    fn lease_events_require_their_fields() {
+        assert!(decode_event("{\"event\":\"plan\",\"cells\":4}").is_err());
+        assert!(decode_event("{\"event\":\"lease_start\",\"cells\":2}").is_err());
+        assert!(decode_event("{\"event\":\"lease_done\",\"lease_id\":1,\"cells\":2}").is_err());
+        assert_eq!(
+            decode_event("{\"event\":\"plan\",\"cells\":4,\"references\":2,\"leases\":2}").unwrap(),
+            CampaignEvent::Plan {
+                cells: 4,
+                references: 2,
+                leases: 2,
             }
         );
     }

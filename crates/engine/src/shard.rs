@@ -191,6 +191,8 @@ pub(crate) fn execute_shard(
         shard_count,
         cells: n_cells,
         references: n_refs,
+        version: None,
+        jobs: None,
     })?;
     // First emit failure wins; later parallel completions still finish
     // (their results land in the cache) but stop reporting.
@@ -233,7 +235,10 @@ pub(crate) fn execute_shard(
                 tel.count_lookup("references", tier);
                 let cached = tier.is_some();
                 out[m] = Some(est);
-                send(CampaignEvent::Reference { cached });
+                send(CampaignEvent::Reference {
+                    cached,
+                    scenario: None,
+                });
             }
             out
         })

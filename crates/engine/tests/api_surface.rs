@@ -13,6 +13,7 @@ const EXPECTED: &[&str] = &[
     "CampaignBuilder",
     "CampaignEvent",
     "CampaignObserver",
+    "CampaignPlan",
     "CancelToken",
     "CsvSink",
     "DagInstance",
@@ -24,9 +25,13 @@ const EXPECTED: &[&str] = &[
     "EstimatorRegistry",
     "EstimatorSpec",
     "ExecBackend",
+    "ExecBackendV1",
     "FnObserver",
     "InProcess",
     "JsonlSink",
+    "LeaseExecutor",
+    "LeasePoll",
+    "LeaseQueue",
     "MetricsReport",
     "MetricsSnapshot",
     "MultiProcess",
@@ -37,10 +42,13 @@ const EXPECTED: &[&str] = &[
     "ResultSink",
     "ResumeEstimatorReport",
     "ResumeReport",
+    "SharedFs",
     "ShardCoverage",
     "ShardOutcome",
     "SpanGuard",
     "SpanStat",
+    "SpoolSummary",
+    "SpoolWorker",
     "StableHasher",
     "SummaryRow",
     "SweepOutcome",
@@ -48,11 +56,15 @@ const EXPECTED: &[&str] = &[
     "SweepSpec",
     "Telemetry",
     "TelemetrySink",
+    "V1Backend",
     "VecSink",
     "WireObserver",
+    "WorkLease",
     "cell_key",
     "decode_event",
+    "decode_lease",
     "encode_event",
+    "encode_lease",
     "merge_event_streams",
     "parse_toml",
     "shard_of",
@@ -118,13 +130,15 @@ fn snapshot_names_actually_resolve() {
     // snapshot comparison.)
     #[allow(unused_imports)]
     use stochdag_engine::{
-        cell_key, decode_event, encode_event, merge_event_streams, parse_toml, shard_of, summarize,
-        BackendContext, CacheGcStats, CacheTier, Campaign, CampaignBuilder, CampaignEvent,
-        CampaignObserver, CancelToken, CsvSink, DagInstance, DagSpec, Deliver, DryRun,
-        DryRunInstance, EngineError, EstimatorRegistry, EstimatorSpec, ExecBackend, FnObserver,
-        InProcess, JsonlSink, MetricsReport, MetricsSnapshot, MultiProcess, ProgressMode,
+        cell_key, decode_event, decode_lease, encode_event, encode_lease, merge_event_streams,
+        parse_toml, shard_of, summarize, BackendContext, CacheGcStats, CacheTier, Campaign,
+        CampaignBuilder, CampaignEvent, CampaignObserver, CampaignPlan, CancelToken, CsvSink,
+        DagInstance, DagSpec, Deliver, DryRun, DryRunInstance, EngineError, EstimatorRegistry,
+        EstimatorSpec, ExecBackend, ExecBackendV1, FnObserver, InProcess, JsonlSink, LeaseExecutor,
+        LeasePoll, LeaseQueue, MetricsReport, MetricsSnapshot, MultiProcess, ProgressMode,
         ProgressReporter, Reorderer, ResultCache, ResultSink, ResumeEstimatorReport, ResumeReport,
-        ShardCoverage, ShardOutcome, SpanGuard, SpanStat, StableHasher, SummaryRow, SweepOutcome,
-        SweepRow, SweepSpec, Telemetry, TelemetrySink, VecSink, WireObserver,
+        ShardCoverage, ShardOutcome, SharedFs, SpanGuard, SpanStat, SpoolSummary, SpoolWorker,
+        StableHasher, SummaryRow, SweepOutcome, SweepRow, SweepSpec, Telemetry, TelemetrySink,
+        V1Backend, VecSink, WireObserver, WorkLease,
     };
 }

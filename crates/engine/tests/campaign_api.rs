@@ -140,9 +140,12 @@ fn observers_see_the_full_event_stream() {
     let outcome = Campaign::builder(campaign_spec())
         .observer(FnObserver(move |ev: &CampaignEvent| {
             let tag = match ev {
+                CampaignEvent::Plan { .. } => "plan",
                 CampaignEvent::Hello { .. } => "hello",
+                CampaignEvent::LeaseStart { .. } => "lease_start",
                 CampaignEvent::Reference { .. } => "reference",
                 CampaignEvent::Cell { .. } => "cell",
+                CampaignEvent::LeaseDone { .. } => "lease_done",
                 CampaignEvent::Done { .. } => "done",
                 CampaignEvent::Error { .. } => "error",
                 CampaignEvent::Telemetry { .. } => "telemetry",
@@ -155,7 +158,8 @@ fn observers_see_the_full_event_stream() {
         .run()
         .unwrap();
     let seen = events.lock().unwrap();
-    assert_eq!(seen.first().map(String::as_str), Some("hello"));
+    assert_eq!(seen.first().map(String::as_str), Some("plan"));
+    assert_eq!(seen.get(1).map(String::as_str), Some("hello"));
     assert_eq!(seen.last().map(String::as_str), Some("done"));
     assert_eq!(seen.iter().filter(|t| *t == "cell").count(), outcome.cells);
     assert_eq!(

@@ -14,12 +14,13 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 use stochdag_engine::{
-    merge_event_streams, EngineError, ProgressMode, ProgressReporter, ResultSink, SweepOutcome,
-    SweepSpec,
+    decode_event, merge_event_streams, CampaignEvent, EngineError, ProgressMode, ProgressReporter,
+    ResultSink, SweepOutcome, SweepSpec,
 };
 
 use crate::protocol::{
-    decode_response, encode_request, Request, Response, ShutdownMode, StatusReport, Submitted,
+    decode_response, encode_request, BackendChoice, Request, Response, ShutdownMode, StatusReport,
+    Submitted,
 };
 
 /// A failed service interaction: transport problems, protocol
@@ -127,9 +128,24 @@ impl ServeClient {
         }
     }
 
-    /// Submit a campaign spec; returns the admission receipt.
+    /// Submit a campaign spec on the daemon's default in-process
+    /// backend; returns the admission receipt.
     pub fn submit(&self, spec: &SweepSpec) -> Result<Submitted, ServeError> {
-        match self.round_trip(&Request::Submit { spec: spec.clone() })? {
+        self.submit_on(spec, BackendChoice::InProcess)
+    }
+
+    /// Submit a campaign spec on an explicit execution backend
+    /// (in-process, multi-process, or a cross-host spool directory
+    /// reachable from the daemon's host).
+    pub fn submit_on(
+        &self,
+        spec: &SweepSpec,
+        backend: BackendChoice,
+    ) -> Result<Submitted, ServeError> {
+        match self.round_trip(&Request::Submit {
+            spec: spec.clone(),
+            backend,
+        })? {
             Response::Submitted(s) => Ok(s),
             other => Err(ServeError::protocol(format!(
                 "expected submitted, got {other:?}"
@@ -174,13 +190,22 @@ impl ServeClient {
         }
     }
 
-    /// Subscribe to a campaign's event stream. The returned reader
-    /// yields raw [`CampaignEvent`] lines — the full stream from the
-    /// beginning, however late the subscription — and reaches EOF when
-    /// the campaign finishes.
-    ///
-    /// [`CampaignEvent`]: stochdag_engine::CampaignEvent
-    pub fn events(&self, id: u64) -> Result<BufReader<TcpStream>, ServeError> {
+    /// Subscribe to a campaign's event stream as typed
+    /// [`CampaignEvent`]s — the full stream from the beginning,
+    /// however late the subscription; the iterator ends when the
+    /// campaign finishes. A campaign that failed (or was cancelled)
+    /// ends its stream with a [`CampaignEvent::Error`] item; transport
+    /// or decode problems surface as `Err` items and end the stream.
+    pub fn events(&self, id: u64) -> Result<EventStream, ServeError> {
+        Ok(EventStream {
+            reader: self.events_raw(id)?,
+            done: false,
+        })
+    }
+
+    /// The raw subscription reader (one encoded event per line) —
+    /// exactly what [`merge_event_streams`] consumes.
+    fn events_raw(&self, id: u64) -> Result<BufReader<TcpStream>, ServeError> {
         let (_stream, mut reader) = self.send(&Request::Events { id })?;
         let mut line = String::new();
         reader
@@ -210,9 +235,47 @@ impl ServeClient {
         sinks: &mut [&mut dyn ResultSink],
         progress: ProgressMode,
     ) -> Result<SweepOutcome, ServeError> {
-        let reader = self.events(id)?;
+        let reader = self.events_raw(id)?;
         let mut progress = ProgressReporter::stderr(progress);
         let outcome = merge_event_streams(vec![reader], sinks, &mut progress)?;
         Ok(outcome)
+    }
+}
+
+/// A campaign's event subscription as an iterator of decoded
+/// [`CampaignEvent`]s (from [`ServeClient::events`]). Yields the full
+/// stream from the campaign's beginning and ends when the server
+/// closes the subscription; a transport or decode failure yields one
+/// `Err` and then ends.
+pub struct EventStream {
+    reader: BufReader<TcpStream>,
+    done: bool,
+}
+
+impl Iterator for EventStream {
+    type Item = Result<CampaignEvent, ServeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Err(e) => {
+                self.done = true;
+                Some(Err(ServeError::io("read event stream", e)))
+            }
+            Ok(0) => {
+                self.done = true;
+                None
+            }
+            Ok(_) => match decode_event(&line) {
+                Ok(event) => Some(Ok(event)),
+                Err(message) => {
+                    self.done = true;
+                    Some(Err(ServeError::protocol(message)))
+                }
+            },
+        }
     }
 }

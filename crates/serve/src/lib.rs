@@ -20,9 +20,15 @@
 //!   vocabulary ([`Request`]/[`Response`]), sharing the engine's
 //!   [`CampaignEvent`](stochdag_engine::CampaignEvent) wire format for
 //!   event streams.
-//! * [`ServeClient`] — a blocking client; its
-//!   [`run_to_sinks`](ServeClient::run_to_sinks) replays a served
-//!   event stream through the engine's stream merger, producing
+//! * [`ServeClient`] — the documented public client API: typed
+//!   [`Submitted`]/[`StatusReport`] returns, an [`EventStream`]
+//!   iterator of decoded
+//!   [`CampaignEvent`](stochdag_engine::CampaignEvent)s from
+//!   [`events`](ServeClient::events), per-campaign execution backends
+//!   via [`submit_on`](ServeClient::submit_on) ([`BackendChoice`]:
+//!   in-process, multi-process, or a cross-host spool directory), and
+//!   [`run_to_sinks`](ServeClient::run_to_sinks) replaying a served
+//!   event stream through the engine's stream merger — producing
 //!   CSV/JSONL **byte-identical** to an in-process run.
 //!
 //! No runtime, no new dependencies: `std::net` sockets and OS threads,
@@ -71,9 +77,9 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ServeClient, ServeError};
+pub use client::{EventStream, ServeClient, ServeError};
 pub use protocol::{
-    CampaignState, CampaignStatus, Request, Response, ServerStatus, ShutdownMode, StatusReport,
-    Submitted,
+    BackendChoice, CampaignState, CampaignStatus, Request, Response, ServerStatus, ShutdownMode,
+    StatusReport, Submitted,
 };
 pub use server::{ServeConfig, ServeHandle, Server, ShutdownReport, UnfinishedCampaign};

@@ -37,6 +37,65 @@
 use serde::{Deserialize, Serialize, Value};
 use stochdag_engine::SweepSpec;
 
+/// Which engine [`ExecBackend`](stochdag_engine::ExecBackend) a served
+/// campaign runs on. Per-campaign: one daemon can run an in-process
+/// campaign, a multi-process one, and a cross-host spool campaign
+/// concurrently over the same shared cache.
+///
+/// On the wire this is an optional `backend` object on `submit`;
+/// absent means [`InProcess`](BackendChoice::InProcess), so v1 clients
+/// keep working unchanged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Work-stealing threads inside the daemon (the default).
+    #[default]
+    InProcess,
+    /// `workers` lease-pulling `sweep-worker` child processes sharing
+    /// the daemon's on-disk cache.
+    MultiProcess {
+        /// Worker process count (must be positive).
+        workers: usize,
+    },
+    /// Cross-host execution through a shared-filesystem spool
+    /// directory; remote `sweep-worker --spool` processes do the work.
+    SharedFs {
+        /// Spool directory (must be empty; shared with the workers).
+        spool: String,
+    },
+}
+
+impl Serialize for BackendChoice {
+    fn serialize(&self) -> Value {
+        match self {
+            BackendChoice::InProcess => Value::obj([("kind", Value::Str("in-process".into()))]),
+            BackendChoice::MultiProcess { workers } => Value::obj([
+                ("kind", Value::Str("multi-process".into())),
+                ("workers", workers.serialize()),
+            ]),
+            BackendChoice::SharedFs { spool } => Value::obj([
+                ("kind", Value::Str("shared-fs".into())),
+                ("spool", spool.serialize()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for BackendChoice {
+    fn deserialize(v: &Value) -> Result<BackendChoice, serde::Error> {
+        let kind = String::deserialize(v.require("kind")?)?;
+        match kind.as_str() {
+            "in-process" => Ok(BackendChoice::InProcess),
+            "multi-process" => Ok(BackendChoice::MultiProcess {
+                workers: usize::deserialize(v.require("workers")?)?,
+            }),
+            "shared-fs" => Ok(BackendChoice::SharedFs {
+                spool: String::deserialize(v.require("spool")?)?,
+            }),
+            other => Err(serde::Error::new(format!("unknown backend {other:?}"))),
+        }
+    }
+}
+
 /// One client request (see the module table).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -47,6 +106,9 @@ pub enum Request {
     Submit {
         /// The campaign to run (same spec model as `sweep --spec`).
         spec: SweepSpec,
+        /// Execution backend for this campaign; `InProcess` is the
+        /// wire default (the field is omitted when encoding it).
+        backend: BackendChoice,
     },
     /// Report one campaign (`id` set) or the whole server (`id`
     /// unset): every campaign plus pool/cache/admission statistics.
@@ -286,10 +348,16 @@ pub enum Response {
 impl Serialize for Request {
     fn serialize(&self) -> Value {
         match self {
-            Request::Submit { spec } => Value::obj([
-                ("type", Value::Str("submit".into())),
-                ("spec", spec.serialize()),
-            ]),
+            Request::Submit { spec, backend } => {
+                let mut fields = vec![
+                    ("type", Value::Str("submit".into())),
+                    ("spec", spec.serialize()),
+                ];
+                if backend != &BackendChoice::InProcess {
+                    fields.push(("backend", backend.serialize()));
+                }
+                Value::obj(fields)
+            }
             Request::Status { id } => {
                 let mut fields = vec![("type", Value::Str("status".into()))];
                 if let Some(id) = id {
@@ -323,6 +391,10 @@ impl Deserialize for Request {
         match tag.as_str() {
             "submit" => Ok(Request::Submit {
                 spec: SweepSpec::deserialize(v.require("spec")?)?,
+                backend: match v.get("backend") {
+                    None | Some(Value::Null) => BackendChoice::InProcess,
+                    Some(b) => BackendChoice::deserialize(b)?,
+                },
             }),
             "status" => Ok(Request::Status {
                 id: match v.get("id") {
@@ -554,6 +626,17 @@ mod tests {
         let requests = [
             Request::Submit {
                 spec: sample_spec(),
+                backend: BackendChoice::InProcess,
+            },
+            Request::Submit {
+                spec: sample_spec(),
+                backend: BackendChoice::MultiProcess { workers: 3 },
+            },
+            Request::Submit {
+                spec: sample_spec(),
+                backend: BackendChoice::SharedFs {
+                    spool: "/tmp/spool".into(),
+                },
             },
             Request::Status { id: None },
             Request::Status { id: Some(7) },
@@ -633,6 +716,29 @@ mod tests {
         assert!(decode_request("{\"type\":\"events\"}").is_err());
         assert!(decode_response("{not json").is_err());
         assert!(decode_response("{\"type\":\"warp\"}").is_err());
+    }
+
+    #[test]
+    fn submit_backend_field_is_optional_on_the_wire() {
+        // A v1 submit line (no backend field) decodes to InProcess,
+        // and an InProcess submit encodes without the field — the v1
+        // wire shape is preserved in both directions.
+        let line = encode_request(&Request::Submit {
+            spec: sample_spec(),
+            backend: BackendChoice::InProcess,
+        });
+        assert!(!line.contains("backend"), "{line}");
+        match decode_request(&line).unwrap() {
+            Request::Submit { backend, .. } => assert_eq!(backend, BackendChoice::InProcess),
+            other => panic!("expected submit, got {other:?}"),
+        }
+        let line = encode_request(&Request::Submit {
+            spec: sample_spec(),
+            backend: BackendChoice::MultiProcess { workers: 2 },
+        });
+        assert!(line.contains("multi-process"), "{line}");
+        let bad = serde::json::parse("{\"kind\":\"warp\"}").unwrap();
+        assert!(BackendChoice::deserialize(&bad).is_err());
     }
 
     #[test]

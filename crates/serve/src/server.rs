@@ -31,12 +31,12 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize, Value};
 use stochdag_engine::{
     encode_event, Campaign, CampaignEvent, CampaignObserver, CancelToken, EngineError,
-    MetricsSnapshot, ResultCache, SweepSpec, Telemetry,
+    MetricsSnapshot, MultiProcess, ResultCache, SharedFs, SweepSpec, Telemetry,
 };
 
 use crate::protocol::{
-    decode_request, encode_response, CampaignState, CampaignStatus, Request, Response,
-    ServerStatus, ShutdownMode, StatusReport, Submitted,
+    decode_request, encode_response, BackendChoice, CampaignState, CampaignStatus, Request,
+    Response, ServerStatus, ShutdownMode, StatusReport, Submitted,
 };
 
 /// Daemon configuration.
@@ -248,6 +248,7 @@ impl CampaignObserver for LogObserver {
 struct Entry {
     name: String,
     spec: SweepSpec,
+    backend: BackendChoice,
     state: CampaignState,
     cells: usize,
     rows: Arc<AtomicUsize>,
@@ -429,7 +430,7 @@ impl Server {
 
 impl Inner {
     /// Admission path shared by `submit` and `resume`.
-    fn submit(&self, mut spec: SweepSpec) -> Response {
+    fn submit(&self, mut spec: SweepSpec, backend: BackendChoice) -> Response {
         if self.stop.load(Ordering::Relaxed) != RUN {
             self.admission_rejected.fetch_add(1, Ordering::Relaxed);
             self.telemetry.count("serve.admission_rejected", 1);
@@ -442,6 +443,23 @@ impl Inner {
         // (the engine guards them with a global mutex), which would
         // defeat the whole point of a multiplexing service — strip it.
         spec.jobs = None;
+        // Reject malformed backend choices before admission, with the
+        // same structured kind a bad spec would get.
+        match &backend {
+            BackendChoice::MultiProcess { workers: 0 } => {
+                return Response::Error {
+                    kind: "spec".into(),
+                    message: "backend worker count must be positive".into(),
+                }
+            }
+            BackendChoice::SharedFs { spool } if spool.is_empty() => {
+                return Response::Error {
+                    kind: "spec".into(),
+                    message: "backend spool directory must not be empty".into(),
+                }
+            }
+            _ => {}
+        }
         // Validate and size the campaign before admitting it; the
         // throwaway Campaign never runs.
         let sized = Campaign::builder(spec.clone())
@@ -490,6 +508,7 @@ impl Inner {
             Entry {
                 name: name.clone(),
                 spec,
+                backend,
                 state: CampaignState::Queued,
                 cells: dry.cells,
                 rows: Arc::new(AtomicUsize::new(0)),
@@ -603,10 +622,18 @@ impl Inner {
         match entry.state {
             CampaignState::Failed | CampaignState::Cancelled => {
                 let spec = entry.spec.clone();
+                let backend = entry.backend.clone();
                 drop(state);
                 // Re-admission over the shared cache: finished cells
                 // are hits, so only the missing tail is recomputed.
-                self.submit(spec)
+                // SharedFs resumes fall back to in-process: the old
+                // spool directory already hosted a campaign and cannot
+                // be reused, but the cache still carries the work.
+                let backend = match backend {
+                    BackendChoice::SharedFs { .. } => BackendChoice::InProcess,
+                    other => other,
+                };
+                self.submit(spec, backend)
             }
             CampaignState::Done => Response::Error {
                 kind: "state".into(),
@@ -738,7 +765,7 @@ fn worker_loop(inner: &Arc<Inner>) {
 /// Execute one queued campaign on the shared cache, mirroring its
 /// events into the log and folding its outcome into process totals.
 fn run_campaign(inner: &Arc<Inner>, id: u64) {
-    let (spec, cancel, log, rows) = {
+    let (spec, backend, cancel, log, rows) = {
         let mut state = inner.state.lock().unwrap();
         let Some(entry) = state.campaigns.get_mut(&id) else {
             return;
@@ -750,6 +777,7 @@ fn run_campaign(inner: &Arc<Inner>, id: u64) {
         entry.state = CampaignState::Running;
         (
             entry.spec.clone(),
+            entry.backend.clone(),
             entry.cancel.clone(),
             entry.log.clone(),
             entry.rows.clone(),
@@ -759,16 +787,24 @@ fn run_campaign(inner: &Arc<Inner>, id: u64) {
     // Per-campaign telemetry child: fresh aggregates, shared sink;
     // merged back into the process handle below.
     let child = inner.telemetry.child();
-    let result = Campaign::builder(spec)
+    let mut builder = Campaign::builder(spec)
         .cache(inner.cache.clone())
         .telemetry(child.clone())
         .cancel_token(cancel)
         .observer(LogObserver {
             log: log.clone(),
             rows,
-        })
-        .build()
-        .and_then(|c| c.run());
+        });
+    // Per-campaign execution backend (ROADMAP round 2 (c)): the
+    // default stays in-process on the shared pool; multi-process and
+    // cross-host spool campaigns run their workers against the same
+    // shared cache, so the cross-campaign cache dividend is unchanged.
+    builder = match backend {
+        BackendChoice::InProcess => builder,
+        BackendChoice::MultiProcess { workers } => builder.backend(MultiProcess::new(workers)),
+        BackendChoice::SharedFs { spool } => builder.backend(SharedFs::new(spool)),
+    };
+    let result = builder.build().and_then(|c| c.run());
     inner.telemetry.merge(&child.snapshot());
 
     let mut state = inner.state.lock().unwrap();
@@ -854,7 +890,7 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
         }
     };
     match request {
-        Request::Submit { spec } => respond(stream, &inner.submit(spec)),
+        Request::Submit { spec, backend } => respond(stream, &inner.submit(spec, backend)),
         Request::Status { id } => respond(stream, &inner.status(id)),
         Request::Cancel { id } => respond(stream, &inner.cancel(id)),
         Request::Resume { id } => respond(stream, &inner.resume(id)),

@@ -1,0 +1,89 @@
+//! Public-API snapshot for the campaign service, the sibling of the
+//! engine's `api_surface` test: `stochdag_serve`'s exported symbol
+//! list is pinned so client-facing API breaks are deliberate, reviewed
+//! changes. If this test fails, either restore the export or update
+//! `EXPECTED` *and* the README's service documentation in the same
+//! change.
+
+/// Every name `stochdag_serve` re-exports at the crate root, sorted.
+const EXPECTED: &[&str] = &[
+    "BackendChoice",
+    "CampaignState",
+    "CampaignStatus",
+    "EventStream",
+    "Request",
+    "Response",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeHandle",
+    "Server",
+    "ServerStatus",
+    "ShutdownMode",
+    "ShutdownReport",
+    "StatusReport",
+    "Submitted",
+    "UnfinishedCampaign",
+];
+
+/// Extract the names re-exported by `pub use …;` items in lib.rs —
+/// the same scanner as the engine's surface test.
+fn exported_names(source: &str) -> Vec<String> {
+    let joined: String = source
+        .lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut names = Vec::new();
+    let mut rest = joined.as_str();
+    while let Some(start) = rest.find("pub use ") {
+        rest = &rest[start + "pub use ".len()..];
+        let end = rest.find(';').expect("pub use item is terminated");
+        let item = &rest[..end];
+        rest = &rest[end + 1..];
+        let item = item.trim();
+        assert!(!item.contains('*'), "glob re-exports hide the surface");
+        if let Some(brace) = item.find('{') {
+            let list = item[brace + 1..].trim_end_matches('}');
+            for name in list.split(',') {
+                let name = name.trim();
+                if !name.is_empty() {
+                    names.push(name.rsplit("::").next().unwrap().trim().to_string());
+                }
+            }
+        } else {
+            names.push(item.rsplit("::").next().unwrap().trim().to_string());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[test]
+fn exported_symbol_list_is_pinned() {
+    let names = exported_names(include_str!("../src/lib.rs"));
+    let expected: Vec<String> = {
+        let mut v: Vec<String> = EXPECTED.iter().map(|s| s.to_string()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        names, expected,
+        "the service's public re-export surface changed; if intentional, \
+         update EXPECTED and the service docs together"
+    );
+}
+
+#[test]
+fn snapshot_names_actually_resolve() {
+    // Compile-time cross-check that the snapshot is not stale: every
+    // name above is imported here. (A name dropped from lib.rs fails
+    // this `use`; a name added to lib.rs fails the comparison.)
+    #[allow(unused_imports)]
+    use stochdag_serve::{
+        BackendChoice, CampaignState, CampaignStatus, EventStream, Request, Response, ServeClient,
+        ServeConfig, ServeError, ServeHandle, Server, ServerStatus, ShutdownMode, ShutdownReport,
+        StatusReport, Submitted, UnfinishedCampaign,
+    };
+}

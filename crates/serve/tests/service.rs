@@ -367,17 +367,15 @@ fn cancel_stops_a_running_campaign_and_leaves_others_unaffected() {
     );
 
     // The victim's event stream terminates with a structured
-    // cancellation error (same shape as a failed sweep-worker).
-    let mut lines = Vec::new();
-    {
-        use std::io::BufRead;
-        for line in client.events(slow.id).unwrap().lines() {
-            lines.push(line.unwrap());
-        }
-    }
-    let last = stochdag_engine::decode_event(lines.last().unwrap()).unwrap();
-    match last {
-        stochdag_engine::CampaignEvent::Error { kind, .. } => {
+    // cancellation error (same shape as a failed sweep-worker),
+    // decoded by the typed subscription iterator.
+    let events: Vec<_> = client
+        .events(slow.id)
+        .unwrap()
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap();
+    match events.last() {
+        Some(stochdag_engine::CampaignEvent::Error { kind, .. }) => {
             assert_eq!(kind.as_deref(), Some("cancelled"));
         }
         other => panic!("stream must end with a cancelled error event, got {other:?}"),
