@@ -29,6 +29,7 @@ fn campaign() -> SweepSpec {
         reference_trials: 5_000,
         reference_sampling: stochdag::core::SamplingModel::Geometric,
         jobs: None,
+        scenarios: vec![],
         dags: vec![DagSpec::Factorization {
             class: FactorizationClass::Cholesky,
             ks: vec![4, 6, 8],

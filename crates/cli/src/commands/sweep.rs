@@ -156,7 +156,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "sweep {:?}: {} estimator(s) x {} model(s), reference mc={} trials{}",
         spec.name,
         spec.estimators.len(),
-        spec.pfails.len() + spec.lambdas.len(),
+        spec.model_count(),
         spec.reference_trials,
         match (workers, &spool) {
             (Some(n), _) => format!(", distributed over {n} worker(s)"),
@@ -332,6 +332,9 @@ pub(crate) fn load_spec(opts: &Options) -> Result<SweepSpec, String> {
         if let Some(jobs) = opts.get("jobs") {
             spec.jobs = Some(jobs.parse().map_err(|_| "bad --jobs".to_string())?);
         }
+        if let Some(list) = opts.get("scenarios") {
+            spec.scenarios = parse_scenarios(list)?;
+        }
         return Ok(spec);
     }
     // Flag-assembled spec: factorization classes only.
@@ -378,6 +381,21 @@ pub(crate) fn load_spec(opts: &Options) -> Result<SweepSpec, String> {
             .map(str::parse)
             .transpose()
             .map_err(|_| "bad --jobs".to_string())?,
+        scenarios: match opts.get("scenarios") {
+            None => Vec::new(),
+            Some(list) => parse_scenarios(list)?,
+        },
         dags,
     })
+}
+
+/// Comma-separated scenario ids, e.g. `iid,rack:4:0.05:2`.
+fn parse_scenarios(list: &str) -> Result<Vec<stochdag::workload::ScenarioSpec>, String> {
+    list.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<stochdag::workload::ScenarioSpec>()
+                .map_err(|e| format!("bad scenario {s:?}: {e}"))
+        })
+        .collect()
 }

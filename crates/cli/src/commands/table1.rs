@@ -46,6 +46,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             .map(str::parse)
             .transpose()
             .map_err(|_| "bad --jobs".to_string())?,
+        scenarios: vec![],
         dags: vec![DagSpec::Factorization {
             class: FactorizationClass::Lu,
             ks: vec![k],

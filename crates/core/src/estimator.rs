@@ -18,6 +18,7 @@
 //! and amortize the preprocessing across every failure model.
 
 use crate::model::FailureModel;
+use crate::scenario::{ScenarioModel, UnsupportedScenario};
 use std::time::{Duration, Instant};
 use stochdag_dag::{Dag, PreparedDag};
 
@@ -107,6 +108,30 @@ pub trait PreparedEstimator: Send {
             elapsed: start.elapsed(),
             name: self.name().to_string(),
             std_error: self.std_error_hint(),
+        }
+    }
+
+    /// Evaluate one failure model under a correlated-failure
+    /// [`ScenarioModel`].
+    ///
+    /// The i.i.d. scenario always delegates to
+    /// [`PreparedEstimator::estimate_for`], so it is bit-identical to
+    /// the plain path. Non-i.i.d. scenarios are supported only by the
+    /// families whose math extends soundly: Monte Carlo samples the
+    /// mixture directly, and the first-order pair evaluates the
+    /// marginal-hazard expansion (exact to first order in λ). Every
+    /// other family returns a structured [`UnsupportedScenario`] error
+    /// rather than silently ignoring the correlation — that is this
+    /// default.
+    fn estimate_scenario(
+        &mut self,
+        model: &FailureModel,
+        scenario: &ScenarioModel,
+    ) -> Result<Estimate, UnsupportedScenario> {
+        if scenario.is_iid() {
+            Ok(self.estimate_for(model))
+        } else {
+            Err(UnsupportedScenario::new(self.name(), scenario))
         }
     }
 

@@ -25,6 +25,7 @@
 
 use crate::estimator::{Estimate, Estimator, PreparedEstimator};
 use crate::model::FailureModel;
+use crate::scenario::{ScenarioModel, UnsupportedScenario};
 use std::time::Instant;
 use stochdag_dag::{Dag, LevelInfo, PreparedDag};
 
@@ -155,6 +156,50 @@ impl PreparedEstimator for PreparedFirstOrder {
         } else {
             self.fast_value(model.lambda)
         }
+    }
+
+    /// First-order evaluation over the scenario *mixture*: the
+    /// correction term becomes `Σᵢ λ·h̄ᵢ·aᵢ·(d(Gᵢ) − d(G))` where
+    /// `h̄ᵢ` is the scenario's marginal hazard multiplier for node `i`
+    /// ([`ScenarioModel::marginal_hazard`]). This is *exact to first
+    /// order in λ*: a group-correlated mixture only perturbs the
+    /// single-failure states through their marginal probability —
+    /// cross-task correlation enters at `O(λ²)`, which the expansion
+    /// drops anyway. Summation runs in node order like the i.i.d. fast
+    /// path, and the i.i.d. scenario delegates to
+    /// [`PreparedEstimator::estimate_for`] bit-identically.
+    fn estimate_scenario(
+        &mut self,
+        model: &FailureModel,
+        scenario: &ScenarioModel,
+    ) -> Result<Estimate, UnsupportedScenario> {
+        if scenario.is_iid() {
+            return Ok(self.estimate_for(model));
+        }
+        let start = Instant::now();
+        let value = if self.use_naive {
+            let dag = self.prepared.dag();
+            let d_g = dag.longest_path_length();
+            let mut sum = 0.0f64;
+            for i in dag.nodes() {
+                let a_i = dag.weight(i);
+                let d_gi = dag.with_scaled_weight(i, 2.0).longest_path_length();
+                sum += model.lambda * scenario.marginal_hazard(i.index()) * a_i * (d_gi - d_g);
+            }
+            d_g + sum
+        } else {
+            let mut sum = 0.0f64;
+            for (i, (&a_i, &delta)) in self.prepared.weights().iter().zip(&self.sens).enumerate() {
+                sum += model.lambda * scenario.marginal_hazard(i) * a_i * delta;
+            }
+            self.d_g + sum
+        };
+        Ok(Estimate {
+            value,
+            elapsed: start.elapsed(),
+            name: self.name().to_string(),
+            std_error: self.std_error_hint(),
+        })
     }
 
     /// Batched grid pass (fast variant): one sweep over the node axis
@@ -327,5 +372,93 @@ mod tests {
             assert!(e >= prev);
             prev = e;
         }
+    }
+
+    #[test]
+    fn scenario_iid_is_bit_identical_to_plain_path() {
+        let g = diamond();
+        let m = FailureModel::new(0.03);
+        let prepared = PreparedDag::new(g);
+        let mut p = FirstOrderEstimator::fast().prepare(&prepared);
+        let plain = p.estimate_for(&m).value;
+        let via = p.estimate_scenario(&m, &ScenarioModel::Iid).unwrap().value;
+        assert_eq!(plain, via);
+    }
+
+    #[test]
+    fn scenario_fast_equals_naive() {
+        let g = diamond();
+        let m = FailureModel::new(0.02);
+        let scenario = ScenarioModel::NodeHazard {
+            hazard: vec![1.0, 3.0, 2.0, 1.5],
+        };
+        let prepared = PreparedDag::new(g);
+        let fast = FirstOrderEstimator::fast()
+            .prepare(&prepared)
+            .estimate_scenario(&m, &scenario)
+            .unwrap()
+            .value;
+        let naive = FirstOrderEstimator::naive()
+            .prepare(&prepared)
+            .estimate_scenario(&m, &scenario)
+            .unwrap()
+            .value;
+        assert!((fast - naive).abs() < 1e-12, "fast {fast} vs naive {naive}");
+    }
+
+    #[test]
+    fn group_scenario_uses_the_marginal_hazard() {
+        // rack mixture with q, m: every node's marginal multiplier is
+        // 1 + q(m − 1), so the correction scales by exactly that factor.
+        let g = diamond();
+        let m = FailureModel::new(0.01);
+        let prepared = PreparedDag::new(g);
+        let mut p = FirstOrderEstimator::fast().prepare(&prepared);
+        let base = p.estimate_for(&m).value;
+        let d_g = 5.0;
+        let scenario = ScenarioModel::GroupHazard {
+            group_of: vec![0, 1, 0, 1],
+            n_groups: 2,
+            group_prob: 0.25,
+            hazard: 5.0,
+        };
+        let mixed = p.estimate_scenario(&m, &scenario).unwrap().value;
+        let factor = 1.0 + 0.25 * (5.0 - 1.0);
+        assert!(
+            (mixed - d_g - factor * (base - d_g)).abs() < 1e-12,
+            "mixed {mixed} base {base}"
+        );
+    }
+
+    #[test]
+    fn scenario_matches_monte_carlo_mixture() {
+        // MC samples the rack mixture directly; first-order evaluates
+        // the marginal-hazard expansion. At small λ they must agree to
+        // within sampling noise + O(λ²).
+        use crate::monte_carlo::MonteCarloEstimator;
+        let g = diamond();
+        let m = FailureModel::new(0.01);
+        let scenario = ScenarioModel::GroupHazard {
+            group_of: vec![0, 0, 1, 1],
+            n_groups: 2,
+            group_prob: 0.2,
+            hazard: 4.0,
+        };
+        let prepared = PreparedDag::new(g);
+        let fo = FirstOrderEstimator::fast()
+            .prepare(&prepared)
+            .estimate_scenario(&m, &scenario)
+            .unwrap()
+            .value;
+        let mut mc = MonteCarloEstimator::new(150_000)
+            .with_seed(11)
+            .prepare(&prepared);
+        let mce = mc.estimate_scenario(&m, &scenario).unwrap();
+        let tol = 4.0 * mce.std_error.unwrap() + 0.01;
+        assert!(
+            (fo - mce.value).abs() < tol,
+            "first-order {fo} vs MC {} (tol {tol})",
+            mce.value
+        );
     }
 }

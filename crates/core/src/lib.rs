@@ -82,6 +82,7 @@ mod first_order;
 mod model;
 mod monte_carlo;
 mod normal;
+mod scenario;
 mod second_order;
 mod spec;
 mod spelde;
@@ -101,6 +102,7 @@ pub use first_order::{
 pub use model::FailureModel;
 pub use monte_carlo::{MonteCarloEstimator, MonteCarloResult, SamplingModel};
 pub use normal::{CorLcaEstimator, CovarianceNormalEstimator, SculliEstimator};
+pub use scenario::{ScenarioModel, UnsupportedScenario};
 pub use second_order::{
     second_order_expected_makespan, second_order_from_tables, second_order_with,
     SecondOrderEstimator, SecondOrderTables,

@@ -13,6 +13,7 @@
 
 use crate::estimator::{Estimate, Estimator, PreparedEstimator};
 use crate::model::FailureModel;
+use crate::scenario::{ScenarioModel, UnsupportedScenario};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -146,7 +147,16 @@ impl MonteCarloEstimator {
         // Per-task success probabilities, hoisted out of the trial loop.
         psucc.clear();
         psucc.extend(frozen.weights.iter().map(|&a| model.psuccess_of_weight(a)));
-        let psucc: &[f64] = psucc;
+        self.run_trials_with(frozen, psucc)
+    }
+
+    /// Run the configured trial budget against an already-filled
+    /// per-task success-probability vector and summarize. This is the
+    /// i.i.d. kernel; inhomogeneous scenarios reuse it with effective
+    /// per-task probabilities (hazard-scaled), which leaves the
+    /// baseline path bit-identical.
+    fn run_trials_with(&self, frozen: &FrozenDag, psucc: &[f64]) -> MonteCarloResult {
+        let n = frozen.node_count();
         let sampling = self.sampling;
         let seed = self.seed;
         let antithetic = self.antithetic;
@@ -170,11 +180,111 @@ impl MonteCarloEstimator {
                 .map(|t| scratch.run_trial(frozen, psucc, sampling, seed, t, antithetic))
                 .collect()
         };
+        self.summarize(&makespans)
+    }
+
+    /// Run the simulation under a correlated [`ScenarioModel`].
+    ///
+    /// `Iid` takes exactly the [`MonteCarloEstimator::run_on`] path.
+    /// `NodeHazard` reduces to inhomogeneous i.i.d. sampling with
+    /// per-task success probability `psucc_i^{h_i}` (a hazard
+    /// multiplier on λ, since `psucc_i = e^{−λ a_i}`). `GroupHazard`
+    /// draws the per-group hot/cold Bernoullis *first* from the same
+    /// per-trial RNG stream, then samples tasks with `psucc_i^m` when
+    /// their group is hot — so same-group tasks fail in a correlated
+    /// way while trials stay deterministic per (seed, trial). The
+    /// antithetic-variates knob is ignored on the group-correlated
+    /// path (mirroring the group draw would bias the mixture weights).
+    ///
+    /// Panics if the scenario's shape does not match the graph (the
+    /// engine validates scenarios at spec-resolution time).
+    fn run_scenario_on(
+        &self,
+        frozen: &FrozenDag,
+        model: &FailureModel,
+        scenario: &ScenarioModel,
+        psucc: &mut Vec<f64>,
+    ) -> MonteCarloResult {
+        let n = frozen.node_count();
+        if n == 0 {
+            return MonteCarloResult {
+                mean: 0.0,
+                variance: 0.0,
+                std_error: 0.0,
+                min: 0.0,
+                max: 0.0,
+                trials: self.trials,
+            };
+        }
+        if let Err(msg) = scenario.validate(n) {
+            panic!("invalid failure scenario: {msg}");
+        }
+        match scenario {
+            ScenarioModel::Iid => self.run_on(frozen, model, psucc),
+            ScenarioModel::NodeHazard { hazard } => {
+                psucc.clear();
+                psucc.extend(
+                    frozen
+                        .weights
+                        .iter()
+                        .zip(hazard.iter())
+                        .map(|(&a, &h)| model.psuccess_of_weight(a).powf(h)),
+                );
+                self.run_trials_with(frozen, psucc)
+            }
+            ScenarioModel::GroupHazard {
+                group_of,
+                n_groups,
+                group_prob,
+                hazard,
+            } => {
+                psucc.clear();
+                psucc.extend(frozen.weights.iter().map(|&a| model.psuccess_of_weight(a)));
+                // Hot-member per-attempt success probability, hoisted so
+                // the trial loop never calls powf.
+                let psucc_hot: Vec<f64> = psucc.iter().map(|p| p.powf(*hazard)).collect();
+                let psucc: &[f64] = psucc;
+                let psucc_hot: &[f64] = &psucc_hot;
+                let group_of: &[u32] = group_of;
+                let (n_groups, group_prob) = (*n_groups, *group_prob);
+                let sampling = self.sampling;
+                let seed = self.seed;
+                let makespans: Vec<f64> = if self.parallel {
+                    (0..self.trials as u64)
+                        .into_par_iter()
+                        .map_init(
+                            || TrialScratch::new(n),
+                            |scratch, t| {
+                                scratch.run_group_trial(
+                                    frozen, psucc, psucc_hot, group_of, n_groups, group_prob,
+                                    sampling, seed, t,
+                                )
+                            },
+                        )
+                        .collect()
+                } else {
+                    let mut scratch = TrialScratch::new(n);
+                    (0..self.trials as u64)
+                        .map(|t| {
+                            scratch.run_group_trial(
+                                frozen, psucc, psucc_hot, group_of, n_groups, group_prob, sampling,
+                                seed, t,
+                            )
+                        })
+                        .collect()
+                };
+                self.summarize(&makespans)
+            }
+        }
+    }
+
+    /// Sequential trial-order reduction shared by every sampling path.
+    fn summarize(&self, makespans: &[f64]) -> MonteCarloResult {
         let mut sum = 0.0f64;
         let mut sum_sq = 0.0f64;
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
-        for &m in &makespans {
+        for &m in makespans {
             sum += m;
             sum_sq += m * m;
             min = min.min(m);
@@ -227,6 +337,27 @@ impl PreparedEstimator for PreparedMonteCarlo {
     fn reseed(&mut self, seed: u64) {
         self.est.seed = seed;
     }
+
+    fn estimate_scenario(
+        &mut self,
+        model: &FailureModel,
+        scenario: &ScenarioModel,
+    ) -> Result<Estimate, UnsupportedScenario> {
+        if scenario.is_iid() {
+            return Ok(self.estimate_for(model));
+        }
+        let start = Instant::now();
+        let r = self
+            .est
+            .run_scenario_on(self.prepared.frozen(), model, scenario, &mut self.psucc);
+        self.last_std_error = Some(r.std_error);
+        Ok(Estimate {
+            value: r.mean,
+            elapsed: start.elapsed(),
+            name: self.name().to_string(),
+            std_error: Some(r.std_error),
+        })
+    }
 }
 
 impl Estimator for MonteCarloEstimator {
@@ -263,6 +394,8 @@ impl Estimator for MonteCarloEstimator {
 struct TrialScratch {
     weights: Vec<f64>,
     completion: Vec<f64>,
+    /// Per-group hot flags (group-correlated scenarios only).
+    hot: Vec<bool>,
 }
 
 impl TrialScratch {
@@ -270,6 +403,7 @@ impl TrialScratch {
         TrialScratch {
             weights: vec![0.0; n],
             completion: Vec::with_capacity(n),
+            hot: Vec::new(),
         }
     }
 
@@ -300,28 +434,70 @@ impl TrialScratch {
             if mirror {
                 u = 1.0 - u; // (0, 1]
             }
-            let attempts = match sampling {
-                SamplingModel::TwoState => {
-                    if p >= 1.0 || u < p {
-                        1u32
-                    } else {
-                        2u32
-                    }
-                }
-                SamplingModel::Geometric => {
-                    if p >= 1.0 || u < p {
-                        1u32
-                    } else {
-                        // Inversion: P(N > k) = (1−p)^k.
-                        let q = 1.0 - p;
-                        let k = 1.0 + ((1.0 - u).max(f64::MIN_POSITIVE)).ln() / q.ln();
-                        (k.floor() as u32).clamp(1, 10_000)
-                    }
-                }
-            };
-            self.weights[i] = attempts as f64 * a;
+            self.weights[i] = attempts_for(sampling, p, u) as f64 * a;
         }
         frozen.longest_path_with_weights(&self.weights, &mut self.completion)
+    }
+
+    /// Sample one group-correlated trial and return its makespan.
+    ///
+    /// The per-group hot/cold Bernoullis are drawn *before* the task
+    /// uniforms from the same per-trial stream, so a trial's outcome is
+    /// a pure function of `(seed, trial)` exactly like the i.i.d.
+    /// kernel. Hot members use the precomputed `psucc_hot` vector
+    /// (`psucc^m`); cold members use the baseline `psucc`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_group_trial(
+        &mut self,
+        frozen: &FrozenDag,
+        psucc: &[f64],
+        psucc_hot: &[f64],
+        group_of: &[u32],
+        n_groups: usize,
+        group_prob: f64,
+        sampling: SamplingModel,
+        seed: u64,
+        trial: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(trial)));
+        self.hot.clear();
+        self.hot
+            .extend((0..n_groups).map(|_| rng.gen::<f64>() < group_prob));
+        for (i, &a) in frozen.weights.iter().enumerate() {
+            let p = if self.hot[group_of[i] as usize] {
+                psucc_hot[i]
+            } else {
+                psucc[i]
+            };
+            let u: f64 = rng.gen();
+            self.weights[i] = attempts_for(sampling, p, u) as f64 * a;
+        }
+        frozen.longest_path_with_weights(&self.weights, &mut self.completion)
+    }
+}
+
+/// Number of execution attempts implied by success probability `p` and
+/// uniform draw `u` — the shared inner step of every trial kernel.
+#[inline]
+fn attempts_for(sampling: SamplingModel, p: f64, u: f64) -> u32 {
+    match sampling {
+        SamplingModel::TwoState => {
+            if p >= 1.0 || u < p {
+                1u32
+            } else {
+                2u32
+            }
+        }
+        SamplingModel::Geometric => {
+            if p >= 1.0 || u < p {
+                1u32
+            } else {
+                // Inversion: P(N > k) = (1−p)^k.
+                let q = 1.0 - p;
+                let k = 1.0 + ((1.0 - u).max(f64::MIN_POSITIVE)).ln() / q.ln();
+                (k.floor() as u32).clamp(1, 10_000)
+            }
+        }
     }
 }
 
@@ -544,5 +720,141 @@ mod antithetic_tests {
             .run(&g, &model);
         assert!(r.trials == 2);
         assert!(r.min >= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod scenario_tests {
+    use super::*;
+    use crate::scenario::ScenarioModel;
+    use stochdag_dag::Dag;
+
+    fn diamond() -> Dag {
+        let mut g = Dag::new();
+        let s = g.add_node(1.0);
+        let a = g.add_node(2.0);
+        let b = g.add_node(3.0);
+        let t = g.add_node(1.0);
+        g.add_edge(s, a);
+        g.add_edge(s, b);
+        g.add_edge(a, t);
+        g.add_edge(b, t);
+        g
+    }
+
+    fn scenario_mean(g: &Dag, model: &FailureModel, scenario: &ScenarioModel, seed: u64) -> f64 {
+        let mc = MonteCarloEstimator::new(20_000).with_seed(seed);
+        mc.run_scenario_on(&g.freeze(), model, scenario, &mut Vec::new())
+            .mean
+    }
+
+    #[test]
+    fn iid_scenario_is_bit_identical_to_plain_run() {
+        let g = diamond();
+        let m = FailureModel::new(0.1);
+        let mc = MonteCarloEstimator::new(5_000).with_seed(17);
+        let plain = mc.run(&g, &m);
+        let via = mc.run_scenario_on(&g.freeze(), &m, &ScenarioModel::Iid, &mut Vec::new());
+        assert_eq!(plain.mean, via.mean);
+        assert_eq!(plain.variance, via.variance);
+    }
+
+    #[test]
+    fn never_hot_group_scenario_matches_iid_statistically() {
+        // q = 0 ⇒ the mixture collapses to i.i.d. (the trial streams
+        // differ because group uniforms are drawn first, so compare
+        // means, not bits).
+        let g = diamond();
+        let m = FailureModel::new(0.2);
+        let scenario = ScenarioModel::GroupHazard {
+            group_of: vec![0, 1, 0, 1],
+            n_groups: 2,
+            group_prob: 0.0,
+            hazard: 5.0,
+        };
+        let corr = scenario_mean(&g, &m, &scenario, 3);
+        let iid = MonteCarloEstimator::new(20_000).with_seed(4).run(&g, &m);
+        assert!(
+            (corr - iid.mean).abs() < 6.0 * iid.std_error.max(1e-3),
+            "q=0 mixture {corr} vs iid {}",
+            iid.mean
+        );
+    }
+
+    #[test]
+    fn always_hot_group_matches_uniform_node_hazard() {
+        // q = 1 ⇒ every task runs at hazard m, which is exactly the
+        // uniform NodeHazard scenario.
+        let g = diamond();
+        let m = FailureModel::new(0.15);
+        let hot = ScenarioModel::GroupHazard {
+            group_of: vec![0, 0, 1, 1],
+            n_groups: 2,
+            group_prob: 1.0,
+            hazard: 3.0,
+        };
+        let node = ScenarioModel::NodeHazard {
+            hazard: vec![3.0; 4],
+        };
+        let a = scenario_mean(&g, &m, &hot, 5);
+        let b = scenario_mean(&g, &m, &node, 6);
+        assert!(
+            (a - b).abs() / b < 0.02,
+            "always-hot {a} vs node-hazard {b}"
+        );
+    }
+
+    #[test]
+    fn correlation_raises_the_expected_makespan() {
+        let g = diamond();
+        let m = FailureModel::new(0.1);
+        let scenario = ScenarioModel::GroupHazard {
+            group_of: vec![0, 0, 0, 0],
+            n_groups: 1,
+            group_prob: 0.3,
+            hazard: 6.0,
+        };
+        let corr = scenario_mean(&g, &m, &scenario, 9);
+        let iid = MonteCarloEstimator::new(20_000).with_seed(9).run(&g, &m);
+        assert!(
+            corr > iid.mean,
+            "hot racks must hurt: {corr} vs {}",
+            iid.mean
+        );
+    }
+
+    #[test]
+    fn group_trials_are_deterministic_per_seed() {
+        let g = diamond();
+        let m = FailureModel::new(0.25);
+        let scenario = ScenarioModel::GroupHazard {
+            group_of: vec![0, 1, 0, 1],
+            n_groups: 2,
+            group_prob: 0.4,
+            hazard: 2.0,
+        };
+        let a = scenario_mean(&g, &m, &scenario, 42);
+        let b = scenario_mean(&g, &m, &scenario, 42);
+        let c = scenario_mean(&g, &m, &scenario, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prepared_estimate_scenario_reports_std_error() {
+        let g = diamond();
+        let prepared = PreparedDag::new(g);
+        let mut p = MonteCarloEstimator::new(2_000).prepare(&prepared);
+        let est = p
+            .estimate_scenario(
+                &FailureModel::new(0.1),
+                &ScenarioModel::NodeHazard {
+                    hazard: vec![1.0, 2.0, 1.0, 2.0],
+                },
+            )
+            .unwrap();
+        assert!(est.value > 0.0);
+        assert!(est.std_error.is_some());
+        assert_eq!(est.name, "MonteCarlo");
     }
 }

@@ -9,8 +9,12 @@ use std::fmt::Write as _;
 /// Render `dag` as a Graphviz `digraph`.
 ///
 /// Node labels are the task names (falling back to `#idx`), with the
-/// weight shown on a second line when `show_weights` is set. Output is
-/// deterministic (insertion order).
+/// weight shown on a second line when `show_weights` is set. Every node
+/// also carries a full-precision `weight` attribute (Rust's `Display`
+/// for `f64` is shortest-round-trip), so re-ingesting the output
+/// through `stochdag-workload`'s DOT parser reproduces the exact
+/// weight bits — the label's `{:.4}` rendering is display-only. Output
+/// is deterministic (insertion order).
 pub fn dot_string(dag: &Dag, graph_name: &str, show_weights: bool) -> String {
     let mut s = String::with_capacity(32 * (dag.node_count() + dag.edge_count()));
     let clean: String = graph_name
@@ -32,7 +36,14 @@ pub fn dot_string(dag: &Dag, graph_name: &str, show_weights: bool) -> String {
         } else {
             dag.display_name(v)
         };
-        writeln!(s, "  n{} [label=\"{}\"];", v.index(), label).unwrap();
+        writeln!(
+            s,
+            "  n{} [label=\"{}\", weight={}];",
+            v.index(),
+            label,
+            dag.weight(v)
+        )
+        .unwrap();
     }
     for (a, b) in dag.edges() {
         writeln!(s, "  n{} -> n{};", a.index(), b.index()).unwrap();
@@ -64,6 +75,17 @@ mod tests {
         g.add_named_node(1.5, Some("t"));
         let dot = dot_string(&g, "g", true);
         assert!(dot.contains("1.5000"));
+    }
+
+    #[test]
+    fn weight_attribute_is_always_emitted_at_full_precision() {
+        let mut g = Dag::new();
+        g.add_named_node(0.1 + 0.2, Some("t")); // 0.30000000000000004
+        let dot = dot_string(&g, "g", false);
+        assert!(
+            dot.contains("weight=0.30000000000000004"),
+            "shortest-round-trip weight attribute missing:\n{dot}"
+        );
     }
 
     #[test]

@@ -1145,15 +1145,16 @@ impl Campaign {
         let hashes: Vec<u128> = instances.iter().map(|i| structural_hash(&i.dag)).collect();
         let mut shard_cells = vec![0usize; shard_count];
         for (i, inst_models) in models.iter().enumerate() {
-            for (model, _) in inst_models {
+            for entry in inst_models {
                 for (_, canonical) in &estimator_ids {
-                    let seed = derive_seed(self.spec.seed, hashes[i], model.lambda, canonical);
-                    let key = cell_key(hashes[i], model.lambda, canonical, seed);
+                    let unit = entry.unit(canonical);
+                    let seed = derive_seed(self.spec.seed, hashes[i], entry.model.lambda, &unit);
+                    let key = cell_key(hashes[i], entry.model.lambda, &unit, seed);
                     shard_cells[shard_of(&key, shard_count)] += 1;
                 }
             }
         }
-        let m_count = self.spec.pfails.len() + self.spec.lambdas.len();
+        let m_count = self.spec.model_count();
         Ok(DryRun {
             name: self.spec.name.clone(),
             backend: self.backend.name(),

@@ -330,7 +330,7 @@ impl CampaignPlan {
             .iter()
             .map(|i| structural_hash(&i.dag))
             .collect();
-        let m_count = spec.pfails.len() + spec.lambdas.len();
+        let m_count = spec.model_count();
         let e_count = expansion.estimator_ids.len();
         let mut leases = Vec::with_capacity(expansion.instances.len() * e_count);
         for i in 0..expansion.instances.len() {
@@ -478,20 +478,22 @@ impl<'a> LeaseExecutor<'a> {
             let m = (idx / e_count) % m_count;
             let i = idx / (e_count * m_count);
             let pdag = self.prepared_dag(i);
-            let (model, label) = &models[i][m];
+            let entry = &models[i][m];
+            let (model, label) = (&entry.model, &entry.label);
             let scenario = i * m_count + m;
             let reference = {
                 let mut slot = self.refs[scenario].lock().expect("reference slot");
                 match slot.as_ref() {
                     Some(est) => est.clone(),
                     None => {
+                        let ref_unit = entry.unit(reference_id);
                         let seed = derive_seed(
                             self.spec.seed,
                             self.plan.hashes[i],
                             model.lambda,
-                            reference_id,
+                            &ref_unit,
                         );
-                        let key = cell_key(self.plan.hashes[i], model.lambda, reference_id, seed);
+                        let key = cell_key(self.plan.hashes[i], model.lambda, &ref_unit, seed);
                         let trials = self.spec.reference_trials;
                         let sampling = self.spec.reference_sampling;
                         let mut ref_prep: Option<Box<dyn PreparedEstimator>> = None;
@@ -501,13 +503,14 @@ impl<'a> LeaseExecutor<'a> {
                             &key,
                             seed,
                             model,
+                            &entry.scenario,
                             &mut ref_prep,
                             || {
                                 MonteCarloEstimator::new(trials)
                                     .with_sampling(sampling)
                                     .prepare(pdag)
                             },
-                        );
+                        )?;
                         self.tel.count_lookup("references", tier);
                         count(tier);
                         emit(CampaignEvent::Reference {
@@ -520,19 +523,28 @@ impl<'a> LeaseExecutor<'a> {
                 }
             };
             let (est_spec, canonical) = &estimator_ids[e];
-            let seed = derive_seed(self.spec.seed, self.plan.hashes[i], model.lambda, canonical);
-            let key = cell_key(self.plan.hashes[i], model.lambda, canonical, seed);
+            let unit = entry.unit(canonical);
+            let seed = derive_seed(self.spec.seed, self.plan.hashes[i], model.lambda, &unit);
+            let key = cell_key(self.plan.hashes[i], model.lambda, &unit, seed);
             if prep_group != Some((i, e)) {
                 prep = None;
                 prep_group = Some((i, e));
             }
-            let (est, tier) =
-                evaluate_unit(&self.tel, self.cache, &key, seed, model, &mut prep, || {
+            let (est, tier) = evaluate_unit(
+                &self.tel,
+                self.cache,
+                &key,
+                seed,
+                model,
+                &entry.scenario,
+                &mut prep,
+                || {
                     self.registry
                         .build(est_spec, seed)
                         .expect("estimator specs validated before launch")
                         .prepare(pdag)
-                });
+                },
+            )?;
             self.tel.count_lookup("cells", tier);
             count(tier);
             let row = make_row(
@@ -668,6 +680,7 @@ mod tests {
             reference_trials: 100,
             reference_sampling: stochdag_core::SamplingModel::Geometric,
             jobs: None,
+            scenarios: vec![],
             dags: vec![DagSpec::Factorization {
                 class: FactorizationClass::Cholesky,
                 ks: vec![2, 3, 4],

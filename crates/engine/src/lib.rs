@@ -129,3 +129,8 @@ pub use telemetry::{
 // Re-exported so embedders can construct typed specs without adding a
 // stochdag-core dependency.
 pub use stochdag_core::EstimatorSpec;
+// Re-exported so embedders can describe correlated-failure sweeps and
+// inspect scenario support without depending on stochdag-workload or
+// stochdag-core directly.
+pub use stochdag_core::{ScenarioModel, UnsupportedScenario};
+pub use stochdag_workload::ScenarioSpec;

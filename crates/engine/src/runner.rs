@@ -28,7 +28,7 @@ use crate::sink::{SummaryRow, SweepRow};
 use crate::spec::{DagInstance, SweepSpec};
 use crate::telemetry::Telemetry;
 use std::time::{Duration, Instant};
-use stochdag_core::{Estimate, EstimatorSpec, FailureModel, PreparedEstimator};
+use stochdag_core::{Estimate, EstimatorSpec, FailureModel, PreparedEstimator, ScenarioModel};
 use stochdag_dag::{structural_hash, PreparedDag};
 
 /// Outcome of a finished sweep.
@@ -78,6 +78,34 @@ pub(crate) fn derive_seed(spec_seed: u64, dag_hash: u128, lambda: f64, unit: &st
     mix(h.finish() as u64) & ((1u64 << 53) - 1)
 }
 
+/// One entry of a campaign's model axis: a base failure model crossed
+/// with one (possibly i.i.d.) failure scenario.
+///
+/// `unit_suffix` is the cache/seed identity of the scenario axis: empty
+/// for i.i.d. entries — so every pre-scenario cell key stays
+/// byte-identical, and `scenarios = ["iid"]` equals an absent axis —
+/// and `"|rack:4:0.05:2"`-style otherwise, appended to both the
+/// estimator's and the reference's unit string before
+/// [`derive_seed`]/[`cell_key`](crate::cache::cell_key).
+pub(crate) struct SweepModel {
+    /// The base (marginal) failure model.
+    pub(crate) model: FailureModel,
+    /// Resolved correlation structure (i.i.d. when the axis is absent).
+    pub(crate) scenario: ScenarioModel,
+    /// Row label: `"pfail=0.01"`, or `"pfail=0.01|rack:4:0.05:2"`.
+    pub(crate) label: String,
+    /// `""` for i.i.d., `"|{scenario_id}"` otherwise.
+    pub(crate) unit_suffix: String,
+}
+
+impl SweepModel {
+    /// The full unit string of this entry for estimator/reference id
+    /// `base` — what seeds and cache keys are derived from.
+    pub(crate) fn unit(&self, base: &str) -> String {
+        format!("{base}{}", self.unit_suffix)
+    }
+}
+
 /// A validated, fully-expanded campaign — the shared front half of
 /// every execution and reporting path.
 pub(crate) struct Expansion {
@@ -85,10 +113,10 @@ pub(crate) struct Expansion {
     pub(crate) estimator_ids: Vec<(EstimatorSpec, String)>,
     /// Materialized DAG instances, in spec order.
     pub(crate) instances: Vec<DagInstance>,
-    /// Per-instance failure models with their row labels (pfails first,
-    /// then lambdas — the pfail calibration depends on the instance's
-    /// mean task weight).
-    pub(crate) models: Vec<Vec<(FailureModel, String)>>,
+    /// Per-instance model entries: base models (pfails first, then
+    /// lambdas — the pfail calibration depends on the instance's mean
+    /// task weight) crossed with the scenario axis, scenarios fastest.
+    pub(crate) models: Vec<Vec<SweepModel>>,
     /// Canonical id of the Monte-Carlo reference configuration.
     pub(crate) reference_id: String,
 }
@@ -155,10 +183,37 @@ pub(crate) fn expand(
             }
         }
     }
-    let models: Vec<Vec<(FailureModel, String)>> = instances
+    // Resolve each scenario against each instance once (rack striping
+    // and bursty windows depend on the graph), then cross the base
+    // models with the scenario axis — base-model-major, scenarios
+    // fastest. An absent axis is the single implicit i.i.d. entry with
+    // an empty unit suffix, which keeps every pre-scenario cache key
+    // byte-identical.
+    let scenario_axis: Vec<(stochdag_workload::ScenarioSpec, String)> =
+        spec.scenarios.iter().map(|s| (*s, s.to_string())).collect();
+    let models: Vec<Vec<SweepModel>> = instances
         .iter()
         .map(|inst| {
-            spec.pfails
+            let resolved: Vec<(ScenarioModel, String)> = if scenario_axis.is_empty() {
+                vec![(ScenarioModel::Iid, String::new())]
+            } else {
+                scenario_axis
+                    .iter()
+                    .map(|(s, id)| {
+                        let model = s.resolve(&inst.dag).map_err(|e| {
+                            EngineError::spec(format!("scenario {id} on {}: {e}", inst.id))
+                        })?;
+                        let suffix = if s.is_iid() {
+                            String::new()
+                        } else {
+                            format!("|{id}")
+                        };
+                        Ok((model, suffix))
+                    })
+                    .collect::<Result<_, EngineError>>()?
+            };
+            let base: Vec<(FailureModel, String)> = spec
+                .pfails
                 .iter()
                 .map(|&p| {
                     (
@@ -171,9 +226,20 @@ pub(crate) fn expand(
                         .iter()
                         .map(|&l| (FailureModel::new(l), format!("lambda={l}"))),
                 )
-                .collect()
+                .collect();
+            Ok(base
+                .into_iter()
+                .flat_map(|(model, label)| {
+                    resolved.iter().map(move |(scenario, suffix)| SweepModel {
+                        model,
+                        scenario: scenario.clone(),
+                        label: format!("{label}{suffix}"),
+                        unit_suffix: suffix.clone(),
+                    })
+                })
+                .collect())
         })
-        .collect();
+        .collect::<Result<_, EngineError>>()?;
     let reference_id = format!(
         "mc-reference:{}:{}",
         spec.reference_trials,
@@ -259,21 +325,23 @@ pub(crate) fn apply_jobs_cap(jobs: Option<usize>) -> Result<JobsCap, EngineError
 /// recorded here for the same reason — every backend's phase timings
 /// come from the same instrumentation points (all no-ops on a disabled
 /// handle).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_unit(
     tel: &Telemetry,
     cache: &ResultCache,
     key: &str,
     seed: u64,
     model: &FailureModel,
+    scenario: &ScenarioModel,
     prep: &mut Option<Box<dyn PreparedEstimator>>,
     prepare: impl FnOnce() -> Box<dyn PreparedEstimator>,
-) -> (Estimate, Option<CacheTier>) {
+) -> Result<(Estimate, Option<CacheTier>), EngineError> {
     let found = {
         let _probe = tel.span("cache_probe");
         cache.lookup_tiered(key)
     };
     if let Some((est, tier)) = found {
-        return (est, Some(tier));
+        return Ok((est, Some(tier)));
     }
     let prep_cost = if prep.is_none() {
         let _prepare = tel.span("prepare_estimator");
@@ -294,11 +362,14 @@ pub(crate) fn evaluate_unit(
     p.reseed(seed);
     let mut est = {
         let _estimate = tel.span("estimate_cell");
-        p.estimate_for(model)
+        // Spec validation already rejected unsupported (estimator,
+        // scenario) pairs; this surfaces only for hand-built plans.
+        p.estimate_scenario(model, scenario)
+            .map_err(|e| EngineError::spec(e.to_string()))?
     };
     est.elapsed += prep_cost;
     cache.store(key, &est);
-    (est, None)
+    Ok((est, None))
 }
 
 /// Build the result row of one finished cell — like [`evaluate_unit`],
@@ -430,16 +501,19 @@ pub(crate) fn resume_report_impl(
     let mut reference_hits = 0;
     let mut reference_misses = 0;
     for (i, inst_models) in models.iter().enumerate() {
-        for (model, _) in inst_models {
-            let seed = derive_seed(spec.seed, hashes[i], model.lambda, &reference_id);
-            if cache.probe(&cell_key(hashes[i], model.lambda, &reference_id, seed)) {
+        for entry in inst_models {
+            let lambda = entry.model.lambda;
+            let ref_unit = entry.unit(&reference_id);
+            let seed = derive_seed(spec.seed, hashes[i], lambda, &ref_unit);
+            if cache.probe(&cell_key(hashes[i], lambda, &ref_unit, seed)) {
                 reference_hits += 1;
             } else {
                 reference_misses += 1;
             }
             for (e, (_, canonical)) in estimator_ids.iter().enumerate() {
-                let seed = derive_seed(spec.seed, hashes[i], model.lambda, canonical);
-                let key = cell_key(hashes[i], model.lambda, canonical, seed);
+                let unit = entry.unit(canonical);
+                let seed = derive_seed(spec.seed, hashes[i], lambda, &unit);
+                let key = cell_key(hashes[i], lambda, &unit, seed);
                 let shard = crate::shard::shard_of(&key, shard_count);
                 if cache.probe(&key) {
                     estimators[e].hits += 1;
@@ -478,6 +552,7 @@ mod tests {
             reference_trials: 1500,
             reference_sampling: stochdag_core::SamplingModel::Geometric,
             jobs: None,
+            scenarios: vec![],
             dags: vec![
                 DagSpec::Factorization {
                     class: FactorizationClass::Cholesky,

@@ -137,7 +137,7 @@ pub(crate) fn execute_shard(
     let tel = telemetry.child();
 
     let n_inst = instances.len();
-    let m_count = spec.pfails.len() + spec.lambdas.len();
+    let m_count = spec.model_count();
     let e_count = estimator_ids.len();
     let hashes: Vec<u128> = instances.iter().map(|i| structural_hash(&i.dag)).collect();
 
@@ -148,10 +148,11 @@ pub(crate) fn execute_shard(
     let mut scenario_needed: Vec<Vec<bool>> = vec![vec![false; m_count]; n_inst];
     let mut n_cells = 0usize;
     for i in 0..n_inst {
-        for (m, (model, _)) in models[i].iter().enumerate() {
+        for (m, entry) in models[i].iter().enumerate() {
             for (e, (_, canonical)) in estimator_ids.iter().enumerate() {
-                let seed = derive_seed(spec.seed, hashes[i], model.lambda, canonical);
-                let key = cell_key(hashes[i], model.lambda, canonical, seed);
+                let unit = entry.unit(canonical);
+                let seed = derive_seed(spec.seed, hashes[i], entry.model.lambda, &unit);
+                let key = cell_key(hashes[i], entry.model.lambda, &unit, seed);
                 if shard_of(&key, shard_count) == shard {
                     owned[i * e_count + e].push((
                         m,
@@ -214,7 +215,7 @@ pub(crate) fn execute_shard(
         .map(|i| {
             let mut prep: Option<Box<dyn PreparedEstimator>> = None;
             let mut out: Vec<Option<Estimate>> = vec![None; m_count];
-            for (m, (model, _)) in models[i].iter().enumerate() {
+            for (m, entry) in models[i].iter().enumerate() {
                 if !scenario_needed[i][m] {
                     continue;
                 }
@@ -225,13 +226,29 @@ pub(crate) fn execute_shard(
                     break;
                 }
                 let pdag = prepared[i].1.as_ref().expect("touched instances frozen");
-                let seed = derive_seed(spec.seed, hashes[i], model.lambda, &reference_id);
-                let key = cell_key(hashes[i], model.lambda, &reference_id, seed);
-                let (est, tier) = evaluate_unit(&tel, cache, &key, seed, model, &mut prep, || {
-                    MonteCarloEstimator::new(reference_trials)
-                        .with_sampling(reference_sampling)
-                        .prepare(pdag)
-                });
+                let ref_unit = entry.unit(&reference_id);
+                let seed = derive_seed(spec.seed, hashes[i], entry.model.lambda, &ref_unit);
+                let key = cell_key(hashes[i], entry.model.lambda, &ref_unit, seed);
+                let (est, tier) = match evaluate_unit(
+                    &tel,
+                    cache,
+                    &key,
+                    seed,
+                    &entry.model,
+                    &entry.scenario,
+                    &mut prep,
+                    || {
+                        MonteCarloEstimator::new(reference_trials)
+                            .with_sampling(reference_sampling)
+                            .prepare(pdag)
+                    },
+                ) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        emit_error.lock().expect("emit error slot").get_or_insert(e);
+                        break;
+                    }
+                };
                 tel.count_lookup("references", tier);
                 let cached = tier.is_some();
                 out[m] = Some(est);
@@ -270,18 +287,42 @@ pub(crate) fn execute_shard(
             if cancel.is_cancelled() {
                 return;
             }
-            let (model, label) = &models[i][m];
-            let (est, tier) = evaluate_unit(&tel, cache, key, seed, model, &mut prep, || {
-                registry
-                    .build(est_spec, seed)
-                    .expect("estimator specs validated before launch")
-                    .prepare(pdag)
-            });
+            let entry = &models[i][m];
+            let (est, tier) = match evaluate_unit(
+                &tel,
+                cache,
+                key,
+                seed,
+                &entry.model,
+                &entry.scenario,
+                &mut prep,
+                || {
+                    registry
+                        .build(est_spec, seed)
+                        .expect("estimator specs validated before launch")
+                        .prepare(pdag)
+                },
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    emit_error.lock().expect("emit error slot").get_or_insert(e);
+                    return;
+                }
+            };
             tel.count_lookup("cells", tier);
             let reference = references[i][m]
                 .as_ref()
                 .expect("needed scenarios computed");
-            let row = make_row(id, pdag, label, model, canonical, &est, reference, seed);
+            let row = make_row(
+                id,
+                pdag,
+                &entry.label,
+                &entry.model,
+                canonical,
+                &est,
+                reference,
+                seed,
+            );
             send(CampaignEvent::Cell {
                 index: cell,
                 cached: tier.is_some(),

@@ -14,11 +14,12 @@
 use crate::error::EngineError;
 use serde::{Deserialize, Serialize, Value};
 use stochdag_core::{EstimatorSpec, SamplingModel};
-use stochdag_dag::Dag;
+use stochdag_dag::{structural_hash, Dag};
 use stochdag_taskgraphs::{
     diamond_mesh_dag, erdos_renyi_dag, fork_join_dag, layered_random_dag, FactorizationClass,
     KernelTimings, LayeredConfig,
 };
+use stochdag_workload::{load_dot, load_trace_json, IngestedTrace, ScenarioSpec};
 
 /// One concrete DAG produced from a [`DagSpec`].
 pub struct DagInstance {
@@ -87,6 +88,31 @@ pub enum DagSpec {
         /// Path to the file.
         path: String,
     },
+    /// A Graphviz DOT trace (ingested via [`stochdag_workload::load_dot`]).
+    ///
+    /// The instance id — and with it every cache key — is derived from
+    /// the parsed graph's structural hash, not this path: moving or
+    /// renaming the file leaves cached cells valid.
+    Dot {
+        /// Path to the `.dot` file.
+        path: String,
+    },
+    /// A WfCommons-style workflow JSON trace (ingested via
+    /// [`stochdag_workload::load_trace_json`]). Content-addressed like
+    /// [`DagSpec::Dot`].
+    TraceJson {
+        /// Path to the `.json` trace.
+        path: String,
+    },
+}
+
+/// Content-addressed instance id of an ingested trace: format, the
+/// trace's own workflow name, and 48 bits of the graph's WL structural
+/// hash — so the id (and every cache key under it) survives the file
+/// moving or being renamed.
+fn trace_instance_id(trace: &IngestedTrace) -> String {
+    let h = (structural_hash(&trace.dag) as u64) & 0xffff_ffff_ffff;
+    format!("{}:{}:{h:012x}", trace.format.id(), trace.name)
 }
 
 impl DagSpec {
@@ -163,6 +189,22 @@ impl DagSpec {
                     dag,
                 }])
             }
+            DagSpec::Dot { path } => {
+                let trace = load_dot(std::path::Path::new(path))
+                    .map_err(|e| EngineError::spec(format!("ingesting DOT trace {path}: {e}")))?;
+                Ok(vec![DagInstance {
+                    id: trace_instance_id(&trace),
+                    dag: trace.dag,
+                }])
+            }
+            DagSpec::TraceJson { path } => {
+                let trace = load_trace_json(std::path::Path::new(path))
+                    .map_err(|e| EngineError::spec(format!("ingesting JSON trace {path}: {e}")))?;
+                Ok(vec![DagInstance {
+                    id: trace_instance_id(&trace),
+                    dag: trace.dag,
+                }])
+            }
         }
     }
 }
@@ -189,6 +231,12 @@ pub struct SweepSpec {
     /// are deterministic regardless of this knob; it only bounds
     /// parallelism (the CLI's `--jobs`).
     pub jobs: Option<usize>,
+    /// Correlated-failure scenarios crossed with every failure model
+    /// (`"iid"`, `"rack:G:q:m"`, `"bursty:W:frac:m:seed"`; see
+    /// [`ScenarioSpec`]). Empty means plain i.i.d. failures — and an
+    /// explicit `["iid"]` expands to byte-identical cells, so adding
+    /// the axis never invalidates an existing cache.
+    pub scenarios: Vec<ScenarioSpec>,
     /// DAG sources.
     pub dags: Vec<DagSpec>,
 }
@@ -204,6 +252,7 @@ impl Default for SweepSpec {
             reference_trials: 100_000,
             reference_sampling: SamplingModel::Geometric,
             jobs: None,
+            scenarios: Vec::new(),
             dags: Vec::new(),
         }
     }
@@ -242,7 +291,52 @@ impl SweepSpec {
         if self.jobs == Some(0) {
             return Err(EngineError::spec("jobs must be positive when set"));
         }
+        {
+            let mut ids: Vec<String> = Vec::new();
+            for s in &self.scenarios {
+                s.validate()
+                    .map_err(|e| EngineError::spec(format!("scenario {s}: {e}")))?;
+                ids.push(s.to_string());
+            }
+            ids.sort_unstable();
+            for pair in ids.windows(2) {
+                if pair[0] == pair[1] {
+                    return Err(EngineError::spec(format!(
+                        "duplicate scenario {:?} in spec",
+                        pair[0]
+                    )));
+                }
+            }
+        }
+        if self.scenarios.iter().any(|s| !s.is_iid()) {
+            // Correlated scenarios are exact only for the Monte-Carlo
+            // and first-order families; every other estimator would
+            // silently answer the i.i.d. question. Fail the spec up
+            // front instead of per cell.
+            for est in &self.estimators {
+                if !matches!(
+                    est,
+                    EstimatorSpec::Mc { .. }
+                        | EstimatorSpec::FirstOrder
+                        | EstimatorSpec::FirstOrderNaive
+                ) {
+                    return Err(EngineError::spec(format!(
+                        "estimator {est} does not support correlated failure scenarios \
+                         (supported: mc, first-order, first-order-naive)"
+                    )));
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Failure-model entries per DAG instance: the base models (pfails
+    /// then lambdas) crossed with the scenario axis (an empty
+    /// `scenarios` list counts as the single implicit i.i.d. entry).
+    /// The single source of truth for every path that sizes the model
+    /// axis (plans, shards, dry runs).
+    pub fn model_count(&self) -> usize {
+        (self.pfails.len() + self.lambdas.len()) * self.scenarios.len().max(1)
     }
 
     /// Load from a file; TOML unless the content starts with `{`.
@@ -322,8 +416,14 @@ impl Deserialize for DagSpec {
             "file" => Ok(DagSpec::File {
                 path: String::deserialize(v.require("path")?)?,
             }),
+            "dot" => Ok(DagSpec::Dot {
+                path: String::deserialize(v.require("path")?)?,
+            }),
+            "trace-json" => Ok(DagSpec::TraceJson {
+                path: String::deserialize(v.require("path")?)?,
+            }),
             other => Err(serde::Error::new(format!(
-                "unknown DAG kind {other:?} (cholesky|lu|qr|layered|erdos-renyi|fork-join|diamond-mesh|file)"
+                "unknown DAG kind {other:?} (cholesky|lu|qr|layered|erdos-renyi|fork-join|diamond-mesh|file|dot|trace-json)"
             ))),
         }
     }
@@ -391,6 +491,14 @@ impl Serialize for DagSpec {
                 ("kind", Value::Str("file".into())),
                 ("path", path.serialize()),
             ]),
+            DagSpec::Dot { path } => Value::obj([
+                ("kind", Value::Str("dot".into())),
+                ("path", path.serialize()),
+            ]),
+            DagSpec::TraceJson { path } => Value::obj([
+                ("kind", Value::Str("trace-json".into())),
+                ("path", path.serialize()),
+            ]),
         }
     }
 }
@@ -429,6 +537,10 @@ impl Deserialize for SweepSpec {
                 None => None,
                 Some(j) => Some(usize::deserialize(j)?),
             },
+            scenarios: match v.get("scenarios") {
+                None => Vec::new(),
+                Some(s) => Vec::deserialize(s)?,
+            },
             dags: Vec::deserialize(v.require("dags")?)?,
         })
     }
@@ -457,6 +569,9 @@ impl Serialize for SweepSpec {
         ];
         if let Some(jobs) = self.jobs {
             pairs.push(("jobs", jobs.serialize()));
+        }
+        if !self.scenarios.is_empty() {
+            pairs.push(("scenarios", self.scenarios.serialize()));
         }
         Value::obj(pairs)
     }

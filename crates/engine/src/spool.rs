@@ -13,6 +13,7 @@
 //!   spec.json                    campaign spec (coordinator, at start)
 //!   meta.json                    campaign name + shared cache dir
 //!   workers/{name}.json          worker registration {name, jobs, pid}
+//!   stats/{name}.json            cumulative worker progress {name, leases, cells}
 //!   leases/open/
 //!     lease-000007-a1.json       grantable lease, attempt 1
 //!   leases/claimed/
@@ -42,7 +43,12 @@
 //! Spool workers run with telemetry disabled (snapshots would need
 //! another spool channel for little insight — worker timings are in
 //! the event streams' wake); the coordinator's own spans and counters
-//! (`worker_retries`, per-event progress) work as usual.
+//! (`worker_retries`, per-event progress) work as usual. Workers do
+//! publish cumulative progress to `stats/{name}.json` after every
+//! completed lease; the coordinator folds the deltas into
+//! `spool_leases_{name}` / `spool_cells_{name}` telemetry counters and
+//! counts stale-claim reclaims as `spool_reclaims`, so `--metrics-out`
+//! shows who did the work and how often leases had to be re-granted.
 
 use crate::campaign::{BackendContext, Deliver, ExecBackend, COORDINATOR_SOURCE};
 use crate::error::EngineError;
@@ -156,6 +162,37 @@ impl SharedFs {
     fn stop(&self, verdict: &str) {
         let _ = write_atomic(&self.spool.join("stop"), verdict);
     }
+
+    /// Fold the workers' cumulative `stats/{name}.json` files into
+    /// per-worker telemetry counters, counting only the delta since
+    /// the previous harvest (the files are cumulative; counters are
+    /// monotonic sums).
+    fn harvest_worker_stats(&self, telemetry: &Telemetry, seen: &mut BTreeMap<String, (u64, u64)>) {
+        for path in sorted_dir(&self.spool.join("stats")) {
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Some(v) = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|s| serde::json::parse(&s).ok())
+            else {
+                continue; // torn or vanished file; next poll re-reads
+            };
+            let leases = v.get("leases").and_then(Value::as_u64).unwrap_or(0);
+            let cells = v.get("cells").and_then(Value::as_u64).unwrap_or(0);
+            let last = seen.entry(name.to_string()).or_insert((0, 0));
+            if leases > last.0 {
+                telemetry.count(&format!("spool_leases_{name}"), leases - last.0);
+            }
+            if cells > last.1 {
+                telemetry.count(&format!("spool_cells_{name}"), cells - last.1);
+            }
+            *last = (leases.max(last.0), cells.max(last.1));
+        }
+    }
 }
 
 impl ExecBackend for SharedFs {
@@ -173,7 +210,13 @@ impl ExecBackend for SharedFs {
         if ctx.cancel.is_cancelled() {
             return Err(EngineError::cancelled());
         }
-        for sub in ["leases/open", "leases/claimed", "events", "workers"] {
+        for sub in [
+            "leases/open",
+            "leases/claimed",
+            "events",
+            "workers",
+            "stats",
+        ] {
             std::fs::create_dir_all(self.spool.join(sub)).map_err(|e| {
                 EngineError::io(
                     format!("creating spool directory {}", self.spool.display()),
@@ -207,6 +250,7 @@ impl ExecBackend for SharedFs {
         write_atomic(&spec_path, &serde::json::to_string(ctx.spec))?;
         self.publish_ready(leases)?;
 
+        let mut worker_stats: BTreeMap<String, (u64, u64)> = BTreeMap::new();
         let result = (|| {
             let mut worker_slots: BTreeMap<String, usize> = BTreeMap::new();
             let mut processed_events: HashSet<PathBuf> = HashSet::new();
@@ -350,11 +394,16 @@ impl ExecBackend for SharedFs {
                         }
                         eprintln!("spool lease {lease_id}: claim went stale; re-queueing");
                         ctx.telemetry.count("worker_retries", 1);
+                        ctx.telemetry.count("spool_reclaims", 1);
                         self.publish_ready(leases)?;
                         last_progress = Instant::now();
                     }
                 }
+                self.harvest_worker_stats(ctx.telemetry, &mut worker_stats);
                 if leases.is_drained() {
+                    // One last harvest after the final drain poll would
+                    // still race the workers' post-lease stats write;
+                    // the grace pass below (after `stop`) settles it.
                     return Ok(());
                 }
                 if worker_slots.is_empty() && start.elapsed() > self.worker_timeout {
@@ -385,6 +434,22 @@ impl ExecBackend for SharedFs {
         match &result {
             Ok(()) => self.stop("done"),
             Err(_) => self.stop("abort"),
+        }
+        if result.is_ok() {
+            // Grace pass: a worker writes its stats file just *after*
+            // publishing the event stream that drained the queue, so
+            // give the last cumulative writes a moment to land before
+            // the final fold into the counters.
+            let total = leases.completed_count() as u64;
+            let grace = Instant::now();
+            loop {
+                self.harvest_worker_stats(ctx.telemetry, &mut worker_stats);
+                let harvested: u64 = worker_stats.values().map(|(l, _)| *l).sum();
+                if harvested >= total || grace.elapsed() > Duration::from_secs(2) {
+                    break;
+                }
+                std::thread::sleep(POLL);
+            }
         }
         result?;
         deliver(
@@ -566,6 +631,7 @@ impl SpoolWorker {
         )?;
         let done_leases = AtomicUsize::new(0);
         let done_cells = AtomicUsize::new(0);
+        let stats_lock: Mutex<()> = Mutex::new(());
         let abort: Mutex<Option<EngineError>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for _ in 0..jobs.min(plan.leases().len()).max(1) {
@@ -574,6 +640,7 @@ impl SpoolWorker {
                 let abort = &abort;
                 let done_leases = &done_leases;
                 let done_cells = &done_cells;
+                let stats_lock = &stats_lock;
                 scope.spawn(move || {
                     while !this.stopped() && abort.lock().expect("abort slot").is_none() {
                         let Some((lease, attempt_stem)) = this.claim_next() else {
@@ -584,6 +651,7 @@ impl SpoolWorker {
                             Ok(()) => {
                                 done_leases.fetch_add(1, Ordering::Relaxed);
                                 done_cells.fetch_add(lease.cells.len(), Ordering::Relaxed);
+                                this.publish_stats(done_leases, done_cells, stats_lock);
                             }
                             Err(e) => {
                                 abort.lock().expect("abort slot").get_or_insert(e);
@@ -601,6 +669,31 @@ impl SpoolWorker {
             leases: done_leases.load(Ordering::Relaxed),
             cells: done_cells.load(Ordering::Relaxed),
         })
+    }
+
+    /// Publish this worker's cumulative progress to
+    /// `stats/{name}.json`. The counters are re-read under the lock so
+    /// concurrent completions always publish monotonically
+    /// non-decreasing totals; failures are ignored (stats are
+    /// observability, never correctness).
+    fn publish_stats(&self, done_leases: &AtomicUsize, done_cells: &AtomicUsize, lock: &Mutex<()>) {
+        let _guard = lock.lock().expect("stats lock");
+        let payload = Value::obj([
+            ("name", serde::Serialize::serialize(&self.name)),
+            (
+                "leases",
+                serde::Serialize::serialize(&(done_leases.load(Ordering::Relaxed) as u64)),
+            ),
+            (
+                "cells",
+                serde::Serialize::serialize(&(done_cells.load(Ordering::Relaxed) as u64)),
+            ),
+        ]);
+        let mut text = String::new();
+        serde::json::write_value(&payload, &mut text);
+        let stats_dir = self.spool.join("stats");
+        let _ = std::fs::create_dir_all(&stats_dir);
+        let _ = write_atomic(&stats_dir.join(format!("{}.json", self.name)), &text);
     }
 
     /// Claim the first open lease by renaming it into `claimed/`; the

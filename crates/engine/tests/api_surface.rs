@@ -42,6 +42,8 @@ const EXPECTED: &[&str] = &[
     "ResultSink",
     "ResumeEstimatorReport",
     "ResumeReport",
+    "ScenarioModel",
+    "ScenarioSpec",
     "SharedFs",
     "ShardCoverage",
     "ShardOutcome",
@@ -56,6 +58,7 @@ const EXPECTED: &[&str] = &[
     "SweepSpec",
     "Telemetry",
     "TelemetrySink",
+    "UnsupportedScenario",
     "V1Backend",
     "VecSink",
     "WireObserver",
@@ -137,8 +140,8 @@ fn snapshot_names_actually_resolve() {
         EstimatorSpec, ExecBackend, ExecBackendV1, FnObserver, InProcess, JsonlSink, LeaseExecutor,
         LeasePoll, LeaseQueue, MetricsReport, MetricsSnapshot, MultiProcess, ProgressMode,
         ProgressReporter, Reorderer, ResultCache, ResultSink, ResumeEstimatorReport, ResumeReport,
-        ShardCoverage, ShardOutcome, SharedFs, SpanGuard, SpanStat, SpoolSummary, SpoolWorker,
-        StableHasher, SummaryRow, SweepOutcome, SweepRow, SweepSpec, Telemetry, TelemetrySink,
-        V1Backend, VecSink, WireObserver, WorkLease,
+        ScenarioModel, ScenarioSpec, ShardCoverage, ShardOutcome, SharedFs, SpanGuard, SpanStat,
+        SpoolSummary, SpoolWorker, StableHasher, SummaryRow, SweepOutcome, SweepRow, SweepSpec,
+        Telemetry, TelemetrySink, UnsupportedScenario, V1Backend, VecSink, WireObserver, WorkLease,
     };
 }

@@ -12,6 +12,7 @@
 //! | [`dag`] | `stochdag-dag` | DAG substrate: graphs, topological order, longest paths, DOT |
 //! | [`dist`] | `stochdag-dist` | discrete distributions, normal/erf, Clark's formulas, failure calibration |
 //! | [`taskgraphs`] | `stochdag-taskgraphs` | Cholesky/LU/QR generators (paper Figs. 1–3) + synthetic families |
+//! | [`workload`] | `stochdag-workload` | real-trace ingestion (DOT, WfCommons JSON) + correlated failure scenarios |
 //! | [`sp`] | `stochdag-sp` | series-parallel reductions, Dodin's transformation |
 //! | [`core`] | `stochdag-core` | the estimators: FirstOrder, SecondOrder, MonteCarlo, Dodin, Sculli/CorLCA/Normal(cov), Exact |
 //! | [`sched`] | `stochdag-sched` | failure-aware list scheduling, HEFT, execution simulation |
@@ -40,6 +41,7 @@ pub use stochdag_engine as engine;
 pub use stochdag_sched as sched;
 pub use stochdag_sp as sp;
 pub use stochdag_taskgraphs as taskgraphs;
+pub use stochdag_workload as workload;
 
 /// Convenient glob-import surface for applications and examples.
 pub mod prelude {
@@ -77,6 +79,10 @@ pub mod prelude {
         chain_dag, cholesky_dag, diamond_mesh_dag, erdos_renyi_dag, fork_join_dag,
         layered_random_dag, lu_dag, qr_dag, FactorizationClass, Kernel, KernelTimings,
         LayeredConfig,
+    };
+    pub use stochdag_workload::{
+        load_dot, load_trace_json, parse_dot, parse_trace_json, IngestedTrace, ScenarioSpec,
+        TraceFormat, WorkloadError,
     };
 }
 

@@ -1,0 +1,92 @@
+//! Structured errors for trace ingestion and scenario specs.
+
+use std::fmt;
+use stochdag_dag::DagError;
+
+/// What went wrong while ingesting a trace or resolving a scenario.
+///
+/// Parse problems carry the 1-indexed line/column of the offending
+/// input plus, when known, the node or edge id it concerns — the CLI
+/// and spec loader surface these verbatim so a user can fix the file
+/// without bisecting it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadError {
+    /// Malformed trace text at a specific location.
+    Parse {
+        /// 1-indexed line of the offending input.
+        line: usize,
+        /// 1-indexed column of the offending input.
+        column: usize,
+        /// Offending node or edge id, when the problem concerns one.
+        entity: Option<String>,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The trace parsed but does not describe a valid DAG (cycle,
+    /// duplicate task, bad weight caught at the graph layer).
+    Graph(DagError),
+    /// Reading the trace file failed.
+    Io {
+        /// Path that failed to read.
+        path: String,
+        /// Underlying I/O error description.
+        message: String,
+    },
+    /// A scenario spec is malformed or cannot be resolved against the
+    /// graph.
+    Scenario(String),
+}
+
+impl WorkloadError {
+    /// Shorthand for a located parse error without an entity.
+    pub(crate) fn parse(line: usize, column: usize, message: impl Into<String>) -> WorkloadError {
+        WorkloadError::Parse {
+            line,
+            column,
+            entity: None,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a located parse error about a specific node/edge.
+    pub(crate) fn parse_at(
+        line: usize,
+        column: usize,
+        entity: impl Into<String>,
+        message: impl Into<String>,
+    ) -> WorkloadError {
+        WorkloadError::Parse {
+            line,
+            column,
+            entity: Some(entity.into()),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Parse {
+                line,
+                column,
+                entity,
+                message,
+            } => match entity {
+                Some(e) => write!(f, "line {line}, column {column} ({e}): {message}"),
+                None => write!(f, "line {line}, column {column}: {message}"),
+            },
+            WorkloadError::Graph(e) => write!(f, "invalid task graph: {e}"),
+            WorkloadError::Io { path, message } => write!(f, "reading {path}: {message}"),
+            WorkloadError::Scenario(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<DagError> for WorkloadError {
+    fn from(e: DagError) -> WorkloadError {
+        WorkloadError::Graph(e)
+    }
+}

@@ -1,0 +1,57 @@
+//! # stochdag-workload — real traces and correlated failure models
+//!
+//! The paper evaluates its estimators on generated LU/QR/Cholesky
+//! grids under i.i.d. per-task failures. This crate opens the two axes
+//! a production campaign system needs beyond that:
+//!
+//! 1. **Trace ingestion** — parsers for Graphviz DOT
+//!    ([`parse_dot`]/[`load_dot`], the import dual of
+//!    [`stochdag_dag::dot_string`]) and WfCommons-style workflow JSON
+//!    ([`parse_trace_json`]/[`load_trace_json`]), each producing a
+//!    validated [`stochdag_dag::Dag`] plus provenance metadata
+//!    ([`IngestedTrace`]). Errors are structured
+//!    ([`WorkloadError`]): located (line/column) and naming the
+//!    offending node or edge id. The engine keys caches on the parsed
+//!    graph's WL structural hash — file content, not file path — so a
+//!    moved or renamed trace still hits.
+//!
+//! 2. **Correlated failure scenarios** — [`ScenarioSpec`], the
+//!    declarative `rack:G:q:m` / `bursty:W:frac:m:seed` axis sweep
+//!    specs carry, resolved per graph into the
+//!    [`stochdag_core::ScenarioModel`] the estimator layer consumes.
+//!    Monte Carlo samples the correlated mixture directly; the
+//!    first-order pair evaluates the marginal-hazard expansion (exact
+//!    to first order in λ); every other family reports a structured
+//!    [`stochdag_core::UnsupportedScenario`] error instead of a
+//!    silently wrong answer.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use stochdag_workload::{parse_dot, ScenarioSpec};
+//! use stochdag_core::{Estimator, FailureModel, FirstOrderEstimator};
+//! use stochdag_dag::PreparedDag;
+//!
+//! let trace = parse_dot(
+//!     "digraph wf { a [weight=2]; b [weight=3]; a -> b; }",
+//! ).unwrap();
+//! let scenario: ScenarioSpec = "rack:2:0.1:4".parse().unwrap();
+//! let model = scenario.resolve(&trace.dag).unwrap();
+//!
+//! let prepared = PreparedDag::new(trace.dag);
+//! let mut fo = FirstOrderEstimator::fast().prepare(&prepared);
+//! let est = fo
+//!     .estimate_scenario(&FailureModel::from_pfail(0.01, 2.5), &model)
+//!     .unwrap();
+//! assert!(est.value >= 5.0);
+//! ```
+
+mod dot;
+mod error;
+mod scenario;
+mod trace;
+
+pub use dot::{load_dot, parse_dot};
+pub use error::WorkloadError;
+pub use scenario::ScenarioSpec;
+pub use trace::{load_trace_json, parse_trace_json, IngestedTrace, TraceFormat};

@@ -1,0 +1,79 @@
+//! DOT round-trip property: exporting any generated DAG with
+//! [`stochdag_dag::dot_string`] and re-ingesting it through
+//! [`stochdag_workload::parse_dot`] must reproduce the exact weight
+//! bits and the WL structural hash — the invariant that makes
+//! trace-sourced cache keys content-addressed.
+
+use proptest::prelude::*;
+use stochdag_dag::{dot_string, structural_hash, Dag};
+use stochdag_taskgraphs::{
+    cholesky_dag, erdos_renyi_dag, layered_random_dag, lu_dag, qr_dag, FactorizationClass,
+    KernelTimings, LayeredConfig,
+};
+use stochdag_workload::parse_dot;
+
+fn assert_round_trips(dag: &Dag, name: &str) {
+    for show_weights in [true, false] {
+        let dot = dot_string(dag, name, show_weights);
+        let trace = parse_dot(&dot).unwrap_or_else(|e| panic!("{name}: {e}\n{dot}"));
+        assert_eq!(
+            structural_hash(&trace.dag),
+            structural_hash(dag),
+            "{name}: structural hash drifted (show_weights={show_weights})"
+        );
+        assert_eq!(trace.dag.node_count(), dag.node_count(), "{name}");
+        assert_eq!(trace.dag.edge_count(), dag.edge_count(), "{name}");
+        let (orig, back): (Vec<_>, Vec<_>) = (dag.nodes().collect(), trace.dag.nodes().collect());
+        for (o, r) in orig.iter().zip(&back) {
+            assert_eq!(
+                dag.weight(*o).to_bits(),
+                trace.dag.weight(*r).to_bits(),
+                "{name}: weight bits drifted at node {o:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn factorization_exports_round_trip() {
+    let timings = KernelTimings::paper_default();
+    for k in 2..=5 {
+        assert_round_trips(&cholesky_dag(k, &timings), &format!("chol_{k}"));
+        assert_round_trips(&lu_dag(k, &timings), &format!("lu_{k}"));
+        assert_round_trips(&qr_dag(k, &timings), &format!("qr_{k}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn factorization_class_round_trips(
+        which in 0usize..3,
+        k in 2usize..6,
+        unit in 0.01f64..10.0,
+    ) {
+        let class = [
+            FactorizationClass::Cholesky,
+            FactorizationClass::Lu,
+            FactorizationClass::Qr,
+        ][which];
+        let dag = class.generate(k, &KernelTimings::flop_proportional(unit));
+        assert_round_trips(&dag, class.name());
+    }
+
+    #[test]
+    fn layered_random_round_trips(seed in 0u64..1_000, layers in 2usize..6, width in 1usize..5) {
+        let cfg = LayeredConfig {
+            layers,
+            width,
+            ..LayeredConfig::default()
+        };
+        assert_round_trips(&layered_random_dag(&cfg, seed), "layered");
+    }
+
+    #[test]
+    fn erdos_renyi_round_trips(seed in 0u64..1_000, n in 1usize..24, p in 0.0f64..1.0) {
+        assert_round_trips(&erdos_renyi_dag(n, p, (0.1, 7.3), seed), "er");
+    }
+}

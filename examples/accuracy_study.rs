@@ -27,6 +27,7 @@ fn main() {
         reference_trials: 400_000,
         reference_sampling: SamplingModel::TwoState,
         jobs: None,
+        scenarios: vec![],
         dags: vec![
             DagSpec::Layered {
                 layers: vec![6],

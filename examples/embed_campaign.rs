@@ -26,6 +26,7 @@ fn main() {
         reference_trials: 20_000,
         reference_sampling: SamplingModel::Geometric,
         jobs: None,
+        scenarios: vec![],
         dags: vec![
             DagSpec::Factorization {
                 class: FactorizationClass::Cholesky,

@@ -28,6 +28,7 @@ fn campaign() -> SweepSpec {
         reference_trials: 2_000,
         reference_sampling: stochdag::core::SamplingModel::Geometric,
         jobs: None,
+        scenarios: vec![],
         dags: vec![
             DagSpec::Factorization {
                 class: FactorizationClass::Cholesky,
